@@ -1,0 +1,181 @@
+// Experiment group O2.6 + the Omega(log n) SSLE bound (see DESIGN.md):
+// empirical witnesses of the paper's lower bounds.
+//
+//   * Observation 2.6: a silent protocol must take Omega(n) expected time,
+//     because duplicating the leader of a silent configuration forces the
+//     two leaders to meet directly — a Geometric(2/n(n-1)) wait with mean
+//     (n-1)/2 parallel time. Measured on both silent protocols.
+//   * Omega(log n): from the all-leaders configuration, n-1 agents must
+//     interact at least once (coupon collector) — Omega(log n) time. This
+//     uses the self-stabilizing assumption that all-leaders is a valid
+//     start.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversary.h"
+#include "analysis/experiments.h"
+#include "core/simulation.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+
+namespace ppsim {
+namespace {
+
+// Time until the duplicated pair first interacts (= first configuration
+// change) in Silent-n-state-SSR, starting from a correct ranking with one
+// agent's rank overwritten by another's.
+double duplicate_meeting_time_silent_nstate(std::uint32_t n,
+                                            std::uint64_t seed) {
+  SilentNStateSSR proto(n);
+  std::vector<SilentNStateSSR::State> init(n);
+  for (std::uint32_t i = 0; i < n; ++i) init[i].rank = i;
+  init[1].rank = init[0].rank;  // duplicate the "leader" (rank 0)
+  Simulation<SilentNStateSSR> sim(proto, std::move(init), seed);
+  while (true) {
+    const AgentPair p = sim.step();
+    if ((p.initiator == 0 && p.responder == 1) ||
+        (p.initiator == 1 && p.responder == 0))
+      return sim.parallel_time();
+  }
+}
+
+// Same experiment on Optimal-Silent-SSR: duplicate the rank-1 agent of the
+// silent configuration; the collision trigger fires only when they meet.
+double duplicate_meeting_time_optimal(std::uint32_t n, std::uint64_t seed) {
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  auto init =
+      optimal_silent_config(params, OsAdversary::kCorrectRanking, seed);
+  init[1] = init[0];  // two copies of the rank-1 leader state
+  Simulation<OptimalSilentSSR> sim(proto, std::move(init), seed + 1);
+  while (sim.protocol().counters().collision_triggers == 0) sim.step();
+  return sim.parallel_time();
+}
+
+void experiment_obs26(const BenchScale& scale) {
+  std::cout << "\n== O2.6: duplicated-leader recovery needs a direct meeting "
+               "==\n";
+  Table t({"protocol", "n", "mean time", "(n-1)/2", "ratio", "frac >= n/3"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto trials = scale.trials(60);
+    std::vector<double> a, b;
+    int tail_a = 0, tail_b = 0;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      a.push_back(
+          duplicate_meeting_time_silent_nstate(n, derive_seed(10 + n, i)));
+      b.push_back(duplicate_meeting_time_optimal(n, derive_seed(20 + n, i)));
+      if (a.back() >= n / 3.0) ++tail_a;
+      if (b.back() >= n / 3.0) ++tail_b;
+    }
+    const double expect = (n - 1) / 2.0;
+    t.add_row({"Silent-n-state", std::to_string(n), fmt(summarize(a).mean, 1),
+               fmt(expect, 1), fmt(summarize(a).mean / expect, 3),
+               fmt(static_cast<double>(tail_a) / trials, 2)});
+    t.add_row({"Optimal-Silent", std::to_string(n), fmt(summarize(b).mean, 1),
+               fmt(expect, 1), fmt(summarize(b).mean / expect, 3),
+               fmt(static_cast<double>(tail_b) / trials, 2)});
+  }
+  t.print();
+  std::cout << "paper: expected time >= n/3 and P[time >= n lnn /3] >= "
+               "n^{-1}/2; the mean matches the exact (n-1)/2 meeting time, "
+               "certifying the Omega(n) silent lower bound\n";
+}
+
+void experiment_log_lower_bound(const BenchScale& scale) {
+  std::cout << "\n== Omega(log n): from all-leaders, n-1 agents must "
+               "interact ==\n";
+  Table t({"n", "mean time to <= 1 untouched", "ln(n)/2", "ratio"});
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto trials = scale.trials(100);
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      // Count interactions until at most one agent has never interacted:
+      // a lower bound on any protocol's convergence from all-leaders.
+      Rng rng(derive_seed(30 + n, i));
+      UniformScheduler sched(n);
+      std::vector<char> touched(n, 0);
+      std::uint32_t untouched = n;
+      std::uint64_t steps = 0;
+      while (untouched > 1) {
+        const AgentPair p = sched.next(rng);
+        ++steps;
+        if (!touched[p.initiator]) {
+          touched[p.initiator] = 1;
+          --untouched;
+        }
+        if (!touched[p.responder]) {
+          touched[p.responder] = 1;
+          --untouched;
+        }
+      }
+      xs.push_back(static_cast<double>(steps) / n);
+    }
+    const double expect = std::log(n) / 2.0;
+    t.add_row({std::to_string(n), fmt(summarize(xs).mean, 2),
+               fmt(expect, 2), fmt(summarize(xs).mean / expect, 3)});
+  }
+  t.print();
+  std::cout << "paper: any SSLE protocol needs Omega(log n) time from the "
+               "all-leaders configuration (coupon collector)\n";
+
+  // And the matching protocol-level fact: Silent-n-state from all-equal
+  // ranks takes at least that long to reach one agent per rank.
+  std::cout << "\n== all-leaders start, Silent-n-state: time until the "
+               "original rank has one holder ==\n";
+  Table t2({"n", "mean time", "ln n", "mean/ln(n)"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto trials = scale.trials(40);
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      SilentNStateSSR proto(n);
+      Simulation<SilentNStateSSR> sim(proto, silent_nstate_all_same(n, 0),
+                                      derive_seed(40 + n, i));
+      while (true) {
+        sim.step();
+        std::uint32_t at_zero = 0;
+        for (const auto& s : sim.states())
+          if (s.rank == 0) ++at_zero;
+        if (at_zero <= 1) break;
+      }
+      xs.push_back(sim.parallel_time());
+    }
+    t2.add_row({std::to_string(n), fmt(summarize(xs).mean, 2),
+                fmt(std::log(n), 2),
+                fmt(summarize(xs).mean / std::log(n), 3)});
+  }
+  t2.print();
+  std::cout << "in Protocol 1 the thinning needs equal-rank meetings, so it "
+               "actually costs Theta(n) — well above the Omega(log n) floor "
+               "that the coupon-collector argument guarantees for any "
+               "protocol\n";
+}
+
+void BM_PairCoupon(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  UniformScheduler sched(n);
+  for (auto _ : state) benchmark::DoNotOptimize(sched.next(rng));
+}
+BENCHMARK(BM_PairCoupon)->Arg(1024);
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_lower_bounds: Observation 2.6 and the Omega(log n) "
+               "bound ===\n";
+  ppsim::experiment_obs26(scale);
+  ppsim::experiment_log_lower_bound(scale);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--micro") {
+      int bench_argc = 1;
+      benchmark::Initialize(&bench_argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      break;
+    }
+  }
+  return 0;
+}

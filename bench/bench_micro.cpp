@@ -1,0 +1,118 @@
+// Kernel microbenchmarks (google-benchmark): the per-interaction costs that
+// determine how large an n each protocol can be simulated at. Not a paper
+// experiment — an engineering dashboard for the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "analysis/adversary.h"
+#include "common/name.h"
+#include "common/roster.h"
+#include "core/rng.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/sublinear.h"
+
+namespace ppsim {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(1000));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_SchedulerNext(benchmark::State& state) {
+  Rng rng(1);
+  UniformScheduler sched(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(sched.next(rng));
+}
+BENCHMARK(BM_SchedulerNext)->Arg(1024)->Arg(1 << 20);
+
+void BM_NameCompare(benchmark::State& state) {
+  Rng rng(1);
+  const Name a = Name::from_bits(rng(), 30);
+  const Name b = Name::from_bits(rng(), 30);
+  for (auto _ : state) benchmark::DoNotOptimize(a < b);
+}
+BENCHMARK(BM_NameCompare);
+
+void BM_RosterUnionDisjoint(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  Roster a, b;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    a.insert(Name::from_bits(2 * i, 40));
+    b.insert(Name::from_bits(2 * i + 1, 40));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(Roster::merged(a, b));
+}
+BENCHMARK(BM_RosterUnionDisjoint)->Arg(64)->Arg(1024);
+
+void BM_RosterUnionShared(benchmark::State& state) {
+  // The steady-state fast path: both rosters share storage.
+  Roster a;
+  for (std::uint32_t i = 0; i < 1024; ++i) a.insert(Name::from_bits(i, 40));
+  const Roster b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Roster::union_size(a, b));
+    benchmark::DoNotOptimize(Roster::merged(a, b));
+  }
+}
+BENCHMARK(BM_RosterUnionShared);
+
+void BM_SimulationStepSilentNState(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  SilentNStateSSR proto(n);
+  Simulation<SilentNStateSSR> sim(proto, silent_nstate_random_config(n, 1),
+                                  2);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulationStepSilentNState)->Arg(1024)->Arg(1 << 16);
+
+void BM_SimulationStepOptimalSilent(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  Simulation<OptimalSilentSSR> sim(
+      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, 1),
+      2);
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulationStepOptimalSilent)->Arg(1024)->Arg(1 << 16);
+
+void BM_SimulationStepSublinear(benchmark::State& state) {
+  const auto h = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto p = h == 0 ? SublinearParams::log_time(n)
+                        : SublinearParams::constant_h(n, h);
+  SublinearTimeSSR proto(p);
+  Simulation<SublinearTimeSSR> sim(
+      proto, sublinear_config(p, SlAdversary::kCorrectRanked, 1), 2);
+  sim.run(20000);  // reach steady-state tree sizes
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dfs_nodes_per_call"] =
+      static_cast<double>(sim.protocol().detector_stats().nodes_visited) /
+      std::max<std::uint64_t>(1, sim.protocol().detector_stats().calls);
+}
+// The H = Theta(log n) configuration is excluded here: a single steady-state
+// step can cost seconds (the quasi-exponential live tree), which starves the
+// wall-clock benchmark loop; bench_sublinear's state-growth table covers it.
+BENCHMARK(BM_SimulationStepSublinear)
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({3, 256});
+
+}  // namespace
+}  // namespace ppsim
+
+BENCHMARK_MAIN();

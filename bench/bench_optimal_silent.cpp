@@ -1,0 +1,205 @@
+// Experiments T4.3 / C4.4 / L4.1 / L4.2 (see DESIGN.md): Optimal-Silent-SSR.
+//
+//   * full stabilization from adversarial starts is Theta(n) expected and
+//     O(n log n) whp (log-log slope ~1; p99/mean stays bounded)
+//   * the binary-tree rank assignment from a single leader is O(n)
+//     (Lemma 4.1), with per-level times proportional to the level size
+//   * awakening configurations carry a unique leader with high constant
+//     probability at Dmax = 8n (Lemma 4.2)
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "core/simulation.h"
+#include "protocols/optimal_silent.h"
+
+namespace ppsim {
+namespace {
+
+RunOptions options_for(std::uint32_t n) {
+  RunOptions opts;
+  opts.max_interactions =
+      static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
+  return opts;
+}
+
+void experiment_stabilization(const BenchScale& scale) {
+  for (auto kind : {OsAdversary::kUniformRandom, OsAdversary::kDuplicateRank,
+                    OsAdversary::kAllLeaders}) {
+    Sweep sweep;
+    for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      const auto trials = scale.trials(n <= 512 ? 20 : 8);
+      std::vector<double> times;
+      for (std::uint32_t i = 0; i < trials; ++i) {
+        const auto params = OptimalSilentParams::standard(n);
+        OptimalSilentSSR proto(params);
+        auto init = optimal_silent_config(params, kind,
+                                          derive_seed(1000 + n, i));
+        const RunResult r = run_until_ranked(
+            proto, std::move(init), derive_seed(2000 + n, i),
+            options_for(n));
+        times.push_back(r.stabilized ? r.stabilization_ptime : -1);
+      }
+      sweep.points.push_back({static_cast<double>(n), summarize(times)});
+    }
+    print_sweep(std::string("T4.3: stabilization time from '") +
+                    to_string(kind) + "' start",
+                sweep);
+    std::cout << "paper: Theta(n) expected (slope ~1); O(n log n) whp "
+                 "(p99/mean grows at most logarithmically)\n";
+    Table t({"n", "time/n (expected O(1))", "p99/mean"});
+    for (const auto& pt : sweep.points)
+      t.add_row({fmt(pt.n, 0), fmt(pt.summary.mean / pt.n, 3),
+                 fmt(pt.summary.p99 / pt.summary.mean, 2)});
+    t.print();
+  }
+}
+
+// Lemma 4.1: leader-driven binary-tree ranking from one Settled leader.
+void experiment_tree_ranking(const BenchScale& scale) {
+  Sweep sweep;
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto trials = scale.trials(n <= 1024 ? 30 : 10);
+    std::vector<double> times;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto params = OptimalSilentParams::standard(n);
+      OptimalSilentSSR proto(params);
+      std::vector<OptimalSilentSSR::State> init(n);
+      init[0].role = OsRole::Settled;
+      init[0].rank = 1;
+      init[0].children = 0;
+      for (std::uint32_t j = 1; j < n; ++j) {
+        init[j].role = OsRole::Unsettled;
+        init[j].errorcount = params.emax;
+      }
+      const RunResult r = run_until_ranked(
+          proto, std::move(init), derive_seed(3000 + n, i), options_for(n));
+      times.push_back(r.stabilization_ptime);
+    }
+    sweep.points.push_back({static_cast<double>(n), summarize(times)});
+  }
+  print_sweep("L4.1: binary-tree ranking time from a single leader", sweep);
+  std::cout << "paper: expected O(n) (slope ~1)\n";
+
+  // Per-level completion times at one size: level d should cost ~ 2^d.
+  constexpr std::uint32_t kN = 1024;
+  const auto params = OptimalSilentParams::standard(kN);
+  OptimalSilentSSR proto(params);
+  std::vector<OptimalSilentSSR::State> init(kN);
+  init[0].role = OsRole::Settled;
+  init[0].rank = 1;
+  for (std::uint32_t j = 1; j < kN; ++j) {
+    init[j].role = OsRole::Unsettled;
+    init[j].errorcount = params.emax;
+  }
+  Simulation<OptimalSilentSSR> sim(proto, std::move(init), 777);
+  std::uint32_t levels = 0;
+  while ((1u << (levels + 1)) <= kN) ++levels;
+  std::vector<double> level_done(levels + 1, -1);
+  std::uint32_t settled = 1;
+  while (settled < kN) {
+    sim.step();
+    if (sim.interactions() % (kN / 4) != 0) continue;  // sample sparsely
+    std::vector<char> present(kN + 1, 0);
+    for (const auto& s : sim.states())
+      if (s.role == OsRole::Settled && s.rank >= 1 && s.rank <= kN)
+        present[s.rank] = 1;
+    settled = 0;
+    for (std::uint32_t r = 1; r <= kN; ++r) settled += present[r];
+    for (std::uint32_t d = 0; d <= levels; ++d) {
+      if (level_done[d] >= 0) continue;
+      bool complete = true;
+      for (std::uint32_t r = 1u << d; r < std::min(kN + 1, 1u << (d + 1));
+           ++r)
+        if (!present[r]) {
+          complete = false;
+          break;
+        }
+      if (complete) level_done[d] = sim.parallel_time();
+    }
+  }
+  Table t({"tree level d", "ranks", "completion time", "delta from prev"});
+  double prev = 0;
+  for (std::uint32_t d = 0; d <= levels; ++d) {
+    if (level_done[d] < 0) level_done[d] = sim.parallel_time();
+    t.add_row({std::to_string(d),
+               std::to_string(1u << d) + ".." +
+                   std::to_string(std::min(kN, (1u << (d + 1)) - 1)),
+               fmt(level_done[d], 1), fmt(level_done[d] - prev, 1)});
+    prev = level_done[d];
+  }
+  t.print();
+  std::cout << "paper (Lemma 4.1 proof): level d costs O(2^d) time; the "
+               "deltas should grow with the level size, summing to O(n)\n";
+}
+
+// Lemma 4.2: probability that an awakening configuration has one leader.
+void experiment_awakening_leader(const BenchScale& scale) {
+  std::cout << "\n== L4.2: unique leader at awakening (Dmax = 8n) ==\n";
+  Table t({"n", "trials", "unique-leader fraction"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto trials = scale.trials(40);
+    std::uint32_t unique = 0;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto params = OptimalSilentParams::standard(n);
+      OptimalSilentSSR proto(params);
+      auto init = optimal_silent_config(params, OsAdversary::kAllPropagating,
+                                        derive_seed(4000 + n, i));
+      Simulation<OptimalSilentSSR> sim(proto, std::move(init),
+                                       derive_seed(5000 + n, i));
+      while (sim.protocol().counters().resets_executed == 0 &&
+             sim.interactions() < (1ull << 30))
+        sim.step();
+      std::uint32_t leaders = 0;
+      for (const auto& s : sim.states()) {
+        if (s.role == OsRole::Resetting && s.leader) ++leaders;
+        if (s.role == OsRole::Settled && s.rank == 1) ++leaders;
+      }
+      if (leaders == 1) ++unique;
+    }
+    t.add_row({std::to_string(n), std::to_string(trials),
+               fmt(static_cast<double>(unique) / trials, 3)});
+  }
+  t.print();
+  std::cout << "paper: constant probability (epochs repeat on failure); the "
+               "fraction should be a healthy constant\n";
+}
+
+void BM_OptimalSilentInteraction(benchmark::State& state) {
+  const auto params = OptimalSilentParams::standard(1024);
+  OptimalSilentSSR proto(params);
+  Rng rng(1);
+  auto states = optimal_silent_config(params, OsAdversary::kUniformRandom, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    proto.interact(states[i % states.size()],
+                   states[(i + 7) % states.size()], rng);
+    ++i;
+  }
+}
+BENCHMARK(BM_OptimalSilentInteraction);
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_optimal_silent: Protocols 3-4 / Theorem 4.3 "
+               "(Table 1 row 2) ===\n";
+  ppsim::experiment_stabilization(scale);
+  ppsim::experiment_tree_ranking(scale);
+  ppsim::experiment_awakening_leader(scale);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--micro") {
+      int bench_argc = 1;
+      benchmark::Initialize(&bench_argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      break;
+    }
+  }
+  return 0;
+}

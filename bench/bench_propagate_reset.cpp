@@ -1,0 +1,188 @@
+// Experiment group L3.2 / L3.3 / T3.4 / C3.5 (see DESIGN.md): phase timing
+// of Propagate-Reset (Protocol 2) in isolation.
+//
+//   trigger -> fully propagating   O(log n)            (Lemma 3.2)
+//   fully propagating -> dormant   O(log n + Rmax)     (Lemma 3.3)
+//   dormant -> awakening           O(Dmax)             (Theorem 3.4)
+//   awakening -> fully computing   O(log n) epidemic
+//   arbitrary debris -> computing  O(log n + Dmax)     (Corollary 3.5)
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/experiments.h"
+#include "core/simulation.h"
+#include "reset/reset_process.h"
+
+namespace ppsim {
+namespace {
+
+struct PhaseTimes {
+  double fully_propagating = -1;
+  double fully_dormant = -1;
+  double awakening = -1;
+  double all_computing = -1;
+  bool clean = false;  // one computing agent, rest dormant, at awakening
+};
+
+PhaseTimes run_phases(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
+                      std::uint64_t seed) {
+  ResetProcess proto(n, rmax, dmax);
+  std::vector<ResetProcess::State> init(n);
+  proto.trigger(init[0]);
+  Simulation<ResetProcess> sim(proto, std::move(init), seed);
+  PhaseTimes out;
+  while (sim.interactions() < (1ull << 32)) {
+    sim.step();
+    std::uint32_t propagating = 0, dormant = 0, computing = 0;
+    for (const auto& s : sim.states()) {
+      if (!s.resetting)
+        ++computing;
+      else if (s.resetcount > 0)
+        ++propagating;
+      else
+        ++dormant;
+    }
+    if (out.fully_propagating < 0 && propagating == n)
+      out.fully_propagating = sim.parallel_time();
+    if (out.fully_dormant < 0 && dormant == n)
+      out.fully_dormant = sim.parallel_time();
+    if (out.awakening < 0 && sim.protocol().total_resets() > 0) {
+      out.awakening = sim.parallel_time();
+      out.clean = computing == 1 && propagating == 0;
+    }
+    if (computing == n) {
+      out.all_computing = sim.parallel_time();
+      break;
+    }
+  }
+  return out;
+}
+
+void experiment_phases(const BenchScale& scale) {
+  std::cout << "\n== T3.4: phase completion times (Rmax = 8 ln n, "
+               "Dmax = 4 Rmax) ==\n";
+  Table t({"n", "Rmax", "Dmax", "fully-propag.", "fully-dormant", "awakening",
+           "all-computing", "clean frac", "awk/Dmax"});
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+    const auto rmax =
+        static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
+    const std::uint32_t dmax = 4 * rmax;
+    const auto trials = scale.trials(n <= 1024 ? 20 : 8);
+    std::vector<double> prop, dorm, awk, comp;
+    int clean = 0;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const PhaseTimes p = run_phases(n, rmax, dmax, derive_seed(n, i));
+      prop.push_back(p.fully_propagating);
+      dorm.push_back(p.fully_dormant);
+      awk.push_back(p.awakening);
+      comp.push_back(p.all_computing);
+      if (p.clean) ++clean;
+    }
+    t.add_row({std::to_string(n), std::to_string(rmax), std::to_string(dmax),
+               fmt(summarize(prop).mean, 1), fmt(summarize(dorm).mean, 1),
+               fmt(summarize(awk).mean, 1), fmt(summarize(comp).mean, 1),
+               fmt(static_cast<double>(clean) / trials, 2),
+               fmt(summarize(awk).mean / dmax, 3)});
+  }
+  t.print();
+  std::cout << "paper: propagation O(log n) (Lemma 3.2); dormancy O(log n + "
+               "Rmax) (Lemma 3.3); awakening ~ Dmax/2 agent-interactions "
+               "(Theorem 3.4, awk/Dmax ~ 0.4-0.5); clean frac ~ 1\n";
+}
+
+void experiment_scaling_in_dmax(const BenchScale& scale) {
+  std::cout << "\n== T3.4: awakening time is linear in Dmax ==\n";
+  constexpr std::uint32_t kN = 512;
+  const auto rmax =
+      static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
+  Table t({"Dmax", "mean awakening time", "awakening/Dmax"});
+  for (std::uint32_t factor : {2u, 4u, 8u, 16u, 32u}) {
+    const std::uint32_t dmax = factor * rmax;
+    const auto trials = scale.trials(12);
+    std::vector<double> awk;
+    for (std::uint32_t i = 0; i < trials; ++i)
+      awk.push_back(run_phases(kN, rmax, dmax, derive_seed(9000 + factor, i))
+                        .awakening);
+    const Summary s = summarize(awk);
+    t.add_row({std::to_string(dmax), fmt(s.mean, 1),
+               fmt(s.mean / dmax, 3)});
+  }
+  t.print();
+  std::cout << "the ratio settles near 0.5: delaytimer counts per-agent "
+               "interactions, ~2 per parallel-time unit\n";
+}
+
+// Corollary 3.5: arbitrary Resetting debris drains quickly.
+void experiment_debris(const BenchScale& scale) {
+  std::cout << "\n== C3.5: drain time from arbitrary Resetting debris ==\n";
+  Table t({"n", "mean drain time", "p95", "(log n + Dmax) scale"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto rmax =
+        static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
+    const std::uint32_t dmax = 4 * rmax;
+    const auto trials = scale.trials(20);
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      Rng gen(derive_seed(100 + n, i));
+      ResetProcess proto(n, rmax, dmax);
+      std::vector<ResetProcess::State> init(n);
+      for (auto& s : init) {
+        if (gen.coin()) continue;
+        s.resetting = true;
+        s.resetcount = static_cast<std::uint32_t>(gen.below(rmax));
+        s.delaytimer = static_cast<std::uint32_t>(gen.below(dmax + 1));
+      }
+      Simulation<ResetProcess> sim(proto, std::move(init),
+                                   derive_seed(200 + n, i));
+      while (sim.interactions() < (1ull << 30)) {
+        sim.step();
+        bool all = true;
+        for (const auto& s : sim.states())
+          if (s.resetting) {
+            all = false;
+            break;
+          }
+        if (all) break;
+      }
+      xs.push_back(sim.parallel_time());
+    }
+    const Summary s = summarize(xs);
+    t.add_row({std::to_string(n), fmt(s.mean, 1), fmt(s.p95, 1),
+               fmt(std::log(n) + dmax, 1)});
+  }
+  t.print();
+}
+
+void BM_PropagateResetStep(benchmark::State& state) {
+  ResetProcess proto(1024, 60, 240);
+  Rng rng(1);
+  ResetProcess::State a, b;
+  proto.trigger(a);
+  for (auto _ : state) {
+    proto.interact(a, b, rng);
+    if (!a.resetting) proto.trigger(a);
+  }
+}
+BENCHMARK(BM_PropagateResetStep);
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_propagate_reset: Protocol 2 / Section 3 ===\n";
+  ppsim::experiment_phases(scale);
+  ppsim::experiment_scaling_in_dmax(scale);
+  ppsim::experiment_debris(scale);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--micro") {
+      int bench_argc = 1;
+      benchmark::Initialize(&bench_argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      break;
+    }
+  }
+  return 0;
+}

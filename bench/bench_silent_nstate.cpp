@@ -1,0 +1,151 @@
+// Experiment T2.4 (see DESIGN.md): the Theta(n^2)-time behavior of
+// Silent-n-state-SSR [Cai-Izumi-Wada], Protocol 1.
+//
+//   * worst-case configuration: E[interactions] = (n-1) * C(n,2) exactly;
+//     parallel time grows x4 per doubling (slope 2 in log-log)
+//   * random configurations: same order, smaller constant
+//   * the accelerated (exact-distribution) simulator is validated against
+//     the direct one
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversary.h"
+#include "analysis/barrier.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/silent_nstate_fast.h"
+
+namespace ppsim {
+namespace {
+
+void experiment_worst_case(const BenchScale& scale) {
+  std::cout << "\n== T2.4: worst-case stabilization time (accelerated exact "
+               "simulator) ==\n";
+  Table t({"n", "mean time", "p95 time", "mean inter.", "(n-1)C(n,2)",
+           "ratio", "x vs n/2"});
+  Sweep sweep;
+  for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const auto trials = scale.trials(n <= 1024 ? 60 : 25);
+    std::vector<double> times, inters;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto r = SilentNStateFast(n).run(silent_nstate_worst_counts(n),
+                                             derive_seed(100 + n, i));
+      times.push_back(r.parallel_time);
+      inters.push_back(static_cast<double>(r.interactions));
+    }
+    const Summary st = summarize(times);
+    const Summary si = summarize(inters);
+    const double exact = silent_nstate_worst_expected_interactions(n);
+    sweep.points.push_back({static_cast<double>(n), st});
+    t.add_row({std::to_string(n), fmt(st.mean, 0), fmt(st.p95, 0),
+               fmt(si.mean, 0), fmt(exact, 0), fmt(si.mean / exact, 3),
+               fmt(st.mean / (n / 2.0), 2)});
+  }
+  t.print();
+  const LinearFit f = sweep.fit();
+  std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
+            << "  (paper: Theta(n^2), exponent 2)\n";
+}
+
+void experiment_random_configs(const BenchScale& scale) {
+  std::cout << "\n== T2.4: stabilization from uniformly random "
+               "configurations ==\n";
+  Table t({"n", "mean time", "p95 time", "worst-case mean", "random/worst"});
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto trials = scale.trials(60);
+    std::vector<double> times;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto cfg = silent_nstate_random_config(n, derive_seed(200 + n, i));
+      const auto counts = rank_counts(cfg, n);
+      times.push_back(
+          SilentNStateFast(n).run(counts, derive_seed(300 + n, i))
+              .parallel_time);
+    }
+    const Summary s = summarize(times);
+    std::vector<double> worst;
+    for (std::uint32_t i = 0; i < trials; ++i)
+      worst.push_back(SilentNStateFast(n)
+                          .run(silent_nstate_worst_counts(n),
+                               derive_seed(400 + n, i))
+                          .parallel_time);
+    const Summary w = summarize(worst);
+    t.add_row({std::to_string(n), fmt(s.mean, 0), fmt(s.p95, 0),
+               fmt(w.mean, 0), fmt(s.mean / w.mean, 3)});
+  }
+  t.print();
+  std::cout << "random starts are Theta(n^2) as well, with a smaller "
+               "constant\n";
+}
+
+void experiment_validation(const BenchScale& scale) {
+  std::cout << "\n== validation: direct vs accelerated simulator (exact "
+               "distribution) ==\n";
+  Table t({"n", "direct mean inter.", "fast mean inter.", "diff/ci"});
+  for (std::uint32_t n : {16u, 32u}) {
+    const auto trials = scale.trials(200);
+    RunOptions opts;
+    opts.max_interactions = 1ull << 32;
+    std::vector<double> direct, fast;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const RunResult r =
+          run_until_ranked(SilentNStateSSR(n), silent_nstate_worst_config(n),
+                           derive_seed(500 + n, i), opts);
+      direct.push_back(static_cast<double>(r.interactions));
+      fast.push_back(static_cast<double>(
+          SilentNStateFast(n)
+              .run(silent_nstate_worst_counts(n), derive_seed(600 + n, i))
+              .interactions));
+    }
+    const Summary sd = summarize(direct);
+    const Summary sf = summarize(fast);
+    t.add_row({std::to_string(n), fmt(sd.mean, 0), fmt(sf.mean, 0),
+               fmt(std::abs(sd.mean - sf.mean) / (sd.ci95 + sf.ci95), 2)});
+  }
+  t.print();
+  std::cout << "diff/ci < ~2 indicates statistically identical means\n";
+}
+
+void BM_SilentNStateInteraction(benchmark::State& state) {
+  SilentNStateSSR proto(1024);
+  Rng rng(1);
+  SilentNStateSSR::State a{5}, b{5};
+  for (auto _ : state) {
+    proto.interact(a, b, rng);
+    benchmark::DoNotOptimize(b.rank);
+  }
+}
+BENCHMARK(BM_SilentNStateInteraction);
+
+void BM_FastSimulatorWorstCase(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SilentNStateFast(n).run(silent_nstate_worst_counts(n), seed++));
+  }
+}
+BENCHMARK(BM_FastSimulatorWorstCase)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_silent_nstate: Protocol 1 / Theorem 2.4 "
+               "(Table 1 row 1) ===\n";
+  ppsim::experiment_worst_case(scale);
+  ppsim::experiment_random_configs(scale);
+  ppsim::experiment_validation(scale);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--micro") {
+      int bench_argc = 1;
+      benchmark::Initialize(&bench_argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      break;
+    }
+  }
+  return 0;
+}

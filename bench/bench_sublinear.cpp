@@ -1,0 +1,268 @@
+// Experiments T5.7 / L5.6 / L5.4-5.5 (see DESIGN.md): Sublinear-Time-SSR.
+//
+//   * collision-detection latency (Lemma 5.6): from a planted duplicate
+//     name, some agent detects the collision in O(TH) time, i.e.
+//     O(H n^{1/(H+1)}) for constant H and O(log n) for H = Theta(log n)
+//   * full stabilization (Theorem 5.7): detection + reset + renaming + roll
+//     call; sweeps over H show the time/space tradeoff of Table 1 rows 3-4
+//   * state growth: measured history-tree sizes (live and logical nodes) as
+//     the state-complexity proxy for the exp(O(n^H log n)) bound
+//   * safety (Lemmas 5.4/5.5): zero false collisions over long horizons
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "core/simulation.h"
+#include "protocols/leader.h"
+#include "protocols/sublinear.h"
+
+namespace ppsim {
+namespace {
+
+SublinearParams params_for(std::uint32_t n, std::uint32_t h) {
+  // h = 0 encodes the H = Theta(log n) configuration.
+  return h == 0 ? SublinearParams::log_time(n)
+                : SublinearParams::constant_h(n, h);
+}
+
+std::string h_label(std::uint32_t h) {
+  return h == 0 ? "Theta(log n)" : std::to_string(h);
+}
+
+// Parallel time until the planted duplicate pair is first detected
+// (collision trigger), with the direct-check rule disabled so only the
+// indirect (tree-path) mechanism of Protocol 7 is measured.
+double detection_latency(std::uint32_t n, std::uint32_t h,
+                         std::uint64_t seed) {
+  auto p = params_for(n, h);
+  p.direct_check = false;
+  SublinearTimeSSR proto(p);
+  auto init = sublinear_config(p, SlAdversary::kDuplicateNames, seed);
+  Simulation<SublinearTimeSSR> sim(proto, std::move(init),
+                                   derive_seed(seed, 1));
+  while (sim.protocol().counters().collision_triggers == 0) {
+    sim.step();
+    if (sim.interactions() > (1ull << 34)) return -1;
+  }
+  return sim.parallel_time();
+}
+
+void experiment_detection_latency(const BenchScale& scale) {
+  std::cout << "\n== L5.6: collision-detection latency (indirect only) ==\n";
+  for (std::uint32_t h : {1u, 2u, 3u}) {
+    Sweep sweep;
+    std::vector<std::uint32_t> sizes =
+        h == 1 ? std::vector<std::uint32_t>{64, 128, 256, 512, 1024}
+               : std::vector<std::uint32_t>{64, 128, 256, 512};
+    for (std::uint32_t n : sizes) {
+      const auto trials = scale.trials(n <= 256 ? 12 : 6);
+      std::vector<double> xs;
+      for (std::uint32_t i = 0; i < trials; ++i)
+        xs.push_back(detection_latency(n, h, derive_seed(6000 + n * 7 + h, i)));
+      sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+    }
+    print_sweep("detection latency, H = " + h_label(h), sweep,
+                "detect time");
+    const double expect = 1.0 / (h + 1);
+    std::cout << "paper: O(H n^{1/(H+1)}) -> exponent ~" << fmt(expect, 3)
+              << "\n";
+  }
+  // H = Theta(log n): latency should grow like log n, i.e. exponent -> 0.
+  {
+    Sweep sweep;
+    Table t({"n", "mean detect time", "p95", "ln n", "mean/ln(n)"});
+    for (std::uint32_t n : {16u, 32u, 64u, 128u}) {
+      const auto trials = scale.trials(n <= 64 ? 10 : 6);
+      std::vector<double> xs;
+      for (std::uint32_t i = 0; i < trials; ++i)
+        xs.push_back(detection_latency(n, 0, derive_seed(7000 + n, i)));
+      const Summary s = summarize(xs);
+      sweep.points.push_back({static_cast<double>(n), s});
+      t.add_row({std::to_string(n), fmt(s.mean, 2), fmt(s.p95, 2),
+                 fmt(std::log(n), 2), fmt(s.mean / std::log(n), 3)});
+    }
+    std::cout << "\n== detection latency, H = Theta(log n) ==\n";
+    t.print();
+    const LinearFit f = sweep.fit();
+    std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
+              << "  (paper: O(log n), exponent -> 0; mean/ln(n) ~ const)\n";
+  }
+}
+
+double stabilization_time(std::uint32_t n, std::uint32_t h,
+                          SlAdversary kind, std::uint64_t seed) {
+  const auto p = params_for(n, h);
+  SublinearTimeSSR proto(p);
+  auto init = sublinear_config(p, kind, seed);
+  RunOptions opts;
+  const std::uint64_t per_epoch = static_cast<std::uint64_t>(p.n) *
+                                  (6ull * p.th + 6ull * p.dmax + 400);
+  opts.max_interactions = 120ull * per_epoch + (1ull << 22);
+  opts.tail_ptime = 0.75 * p.th + 10;
+  const RunResult r =
+      run_until_ranked(proto, std::move(init), derive_seed(seed, 2), opts);
+  return r.stabilized ? r.stabilization_ptime : -1;
+}
+
+void experiment_stabilization(const BenchScale& scale) {
+  std::cout << "\n== T5.7: full stabilization from adversarial starts ==\n";
+  struct Config {
+    std::uint32_t h;
+    std::vector<std::uint32_t> sizes;
+  };
+  // H = 1 runs cheaply at large n (materialized depth-1 grafts); H >= 2
+  // keeps full lazy history (memory grows with the run), so sizes stay
+  // moderate — see DESIGN.md's memory-model note.
+  const std::vector<Config> configs = {
+      {1u, {32, 64, 128, 256, 512}},
+      {2u, {32, 64, 128}},
+      // H = Theta(log n): per-interaction detection walks the
+      // quasi-exponential live tree, so end-to-end runs stay tiny; the
+      // detection-latency sweep above covers larger n for this row.
+      {0u, {8, 16}},
+  };
+  for (const auto& cfg : configs) {
+    for (auto kind :
+         {SlAdversary::kDuplicateNames, SlAdversary::kUniformRandom}) {
+      Sweep sweep;
+      for (std::uint32_t n : cfg.sizes) {
+        const auto trials = scale.trials(n <= 128 ? 4 : 3);
+        std::vector<double> xs;
+        for (std::uint32_t i = 0; i < trials; ++i)
+          xs.push_back(stabilization_time(
+              n, cfg.h, kind, derive_seed(8000 + n * 13 + cfg.h, i)));
+        sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+      }
+      print_sweep("stabilization, H = " + h_label(cfg.h) + ", start = " +
+                      to_string(kind),
+                  sweep);
+      if (cfg.h != 0) {
+        std::cout << "paper: Theta(H n^{1/(H+1)}) -> exponent ~"
+                  << fmt(1.0 / (cfg.h + 1), 3) << "\n";
+      } else {
+        std::cout << "paper: Theta(log n) -> additive growth per doubling\n";
+      }
+      std::cout << "note: totals include the reset pipeline's ~Dmax/2 + "
+                   "Theta(log n) additive overhead, which dominates at "
+                   "laptop n; the H-dependent component is isolated in the "
+                   "detection-latency tables above\n";
+    }
+  }
+}
+
+void experiment_state_growth(const BenchScale& scale) {
+  std::cout << "\n== T5.7 state proxy: history-tree sizes at steady state "
+               "==\n";
+  Table t({"H", "n", "mean live nodes", "max live", "mean logical nodes",
+           "DFS nodes/call", "worst DFS call"});
+  struct Probe {
+    std::uint32_t h;
+    std::uint32_t n;
+  };
+  const std::vector<Probe> probes = {
+      {1, 64}, {1, 256}, {1, 1024}, {2, 64}, {2, 128},
+      {3, 64}, {0, 16},
+  };
+  for (const auto& probe : probes) {
+    const auto p = params_for(probe.n, probe.h);
+    SublinearTimeSSR proto(p);
+    auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 9000);
+    Simulation<SublinearTimeSSR> sim(proto, std::move(init), 9001);
+    const std::uint64_t warmup = std::min<std::uint64_t>(
+        400000, static_cast<std::uint64_t>(probe.n) * (4ull * p.th + 50));
+    sim.run(warmup);
+    (void)scale;
+    double live_sum = 0, logical_sum = 0;
+    std::uint64_t live_max = 0;
+    // Counting caps: the live/logical portion of an H = Theta(log n) tree is
+    // the quasi-exponential object itself — enumerate only to bounded depth.
+    const std::uint32_t live_cap = std::min(p.depth_h, 8u);
+    for (const auto& s : sim.states()) {
+      const auto live = live_node_count(s.tree, live_cap);
+      live_sum += static_cast<double>(live);
+      live_max = std::max(live_max, live);
+      logical_sum += static_cast<double>(
+          logical_node_count(s.tree, std::min(p.depth_h, 4u)));
+    }
+    const auto& ds = sim.protocol().detector_stats();
+      t.add_row({h_label(probe.h), std::to_string(probe.n),
+               fmt(live_sum / probe.n, 1), std::to_string(live_max),
+               fmt(logical_sum / probe.n, 1),
+               fmt(static_cast<double>(ds.nodes_visited) /
+                       std::max<std::uint64_t>(1, ds.calls),
+                   1),
+               std::to_string(ds.max_nodes_one_call)});
+  }
+  t.print();
+  std::cout << "paper: the tree field needs exp(O(n^H) log n) states; live "
+               "sizes grow with H and n (logical counts capped at depth 6)\n";
+}
+
+void experiment_safety(const BenchScale& scale) {
+  std::cout << "\n== L5.4/5.5 safety: false-collision rate after a correct "
+               "configuration ==\n";
+  Table t({"H", "n", "interactions", "collision triggers", "ghost triggers",
+           "resets"});
+  for (std::uint32_t h : {1u, 2u, 0u}) {
+    const std::uint32_t n = h == 1 ? 64 : (h == 2 ? 32 : 16);
+    const auto p = params_for(n, h);
+    SublinearTimeSSR proto(p);
+    auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 10000 + h);
+    Simulation<SublinearTimeSSR> sim(proto, std::move(init), 10001 + h);
+    sim.run(h == 1 ? 400000ull * scale.trials(1)
+                   : (h == 2 ? 150000ull : 20000ull));
+    const auto& c = sim.protocol().counters();
+    t.add_row({h_label(h), std::to_string(n),
+               std::to_string(sim.interactions()),
+               std::to_string(c.collision_triggers),
+               std::to_string(c.ghost_triggers),
+               std::to_string(c.resets_executed)});
+  }
+  t.print();
+  std::cout << "paper: a uniquely-named configuration reached after a clean "
+               "reset never produces a false collision (all zeros)\n";
+}
+
+void BM_SublinearInteractionSteadyState(benchmark::State& state) {
+  const auto h = static_cast<std::uint32_t>(state.range(0));
+  const auto n = static_cast<std::uint32_t>(state.range(1));
+  const auto p = params_for(n, h);
+  SublinearTimeSSR proto(p);
+  auto states = sublinear_config(p, SlAdversary::kCorrectRanked, 42);
+  Simulation<SublinearTimeSSR> sim(proto, std::move(states), 43);
+  sim.run(20000);  // reach tree steady state
+  for (auto _ : state) sim.step();
+  state.counters["dfs_nodes_per_call"] =
+      static_cast<double>(sim.protocol().detector_stats().nodes_visited) /
+      std::max<std::uint64_t>(1, sim.protocol().detector_stats().calls);
+}
+BENCHMARK(BM_SublinearInteractionSteadyState)
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({0, 16});
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_sublinear: Protocols 5-8 / Theorem 5.7 "
+               "(Table 1 rows 3-4) ===\n";
+  ppsim::experiment_detection_latency(scale);
+  ppsim::experiment_stabilization(scale);
+  ppsim::experiment_state_growth(scale);
+  ppsim::experiment_safety(scale);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--micro") {
+      int bench_argc = 1;
+      benchmark::Initialize(&bench_argc, argv);
+      benchmark::RunSpecifiedBenchmarks();
+      break;
+    }
+  }
+  return 0;
+}

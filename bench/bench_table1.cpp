@@ -1,0 +1,175 @@
+// Experiment T1 (see DESIGN.md): the paper's Table 1 — time and space of
+// every self-stabilizing ranking protocol, side by side.
+//
+//   protocol                    expected time   WHP time        states  silent
+//   Silent-n-state-SSR [21]     Theta(n^2)      Theta(n^2)      n       yes
+//   Optimal-Silent-SSR          Theta(n)        Theta(n log n)  O(n)    yes
+//   Sublinear-Time-SSR  H=logn  Theta(log n)    Theta(log n)    exp     no
+//   Sublinear-Time-SSR  H=const Theta(H n^{1/(H+1)})            exp     no
+//
+// This binary regenerates the table empirically: per-protocol stabilization
+// times from the same adversarial starting families at a range of n, the
+// measured growth exponent next to the paper's, and the state accounting.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/silent_nstate_fast.h"
+#include "protocols/sublinear.h"
+
+namespace ppsim {
+namespace {
+
+struct RowResult {
+  Sweep sweep;
+  std::string states;
+  std::string silent;
+};
+
+RowResult measure_silent_nstate(const BenchScale& scale,
+                                const std::vector<std::uint32_t>& sizes) {
+  RowResult row;
+  for (std::uint32_t n : sizes) {
+    const auto trials = scale.trials(30);
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i)
+      xs.push_back(SilentNStateFast(n)
+                       .run(silent_nstate_worst_counts(n),
+                            derive_seed(11 + n, i))
+                       .parallel_time);
+    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+  }
+  row.states = "n (exact)";
+  row.silent = "yes";
+  return row;
+}
+
+RowResult measure_optimal_silent(const BenchScale& scale,
+                                 const std::vector<std::uint32_t>& sizes) {
+  RowResult row;
+  for (std::uint32_t n : sizes) {
+    const auto trials = scale.trials(n <= 256 ? 8 : 5);
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto params = OptimalSilentParams::standard(n);
+      OptimalSilentSSR proto(params);
+      auto init = optimal_silent_config(
+          params, OsAdversary::kUniformRandom, derive_seed(21 + n, i));
+      RunOptions opts;
+      opts.max_interactions =
+          static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
+      const RunResult r = run_until_ranked(proto, std::move(init),
+                                           derive_seed(22 + n, i), opts);
+      xs.push_back(r.stabilization_ptime);
+    }
+    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+  }
+  const auto p = OptimalSilentParams::standard(1024);
+  row.states = "~" + std::to_string((3 * 1024 + p.emax + 1 +
+                                     2 * (p.rmax + p.dmax + 1)) /
+                                    1024) +
+               "n";
+  row.silent = "yes";
+  return row;
+}
+
+RowResult measure_sublinear(const BenchScale& scale, std::uint32_t h,
+                            const std::vector<std::uint32_t>& sizes) {
+  RowResult row;
+  for (std::uint32_t n : sizes) {
+    // The H = Theta(log n) row's trees make single interactions expensive
+    // to simulate at larger n (the quasi-exponential state is real).
+    const auto trials = scale.trials(h == 0 ? 3 : (n <= 64 ? 5 : 3));
+    std::vector<double> xs;
+    for (std::uint32_t i = 0; i < trials; ++i) {
+      const auto p = h == 0 ? SublinearParams::log_time(n)
+                            : SublinearParams::constant_h(n, h);
+      SublinearTimeSSR proto(p);
+      auto init = sublinear_config(p, SlAdversary::kUniformRandom,
+                                   derive_seed(31 + n + h, i));
+      RunOptions opts;
+      const std::uint64_t per_epoch = static_cast<std::uint64_t>(p.n) *
+                                      (6ull * p.th + 6ull * p.dmax + 400);
+      opts.max_interactions = 120ull * per_epoch + (1ull << 22);
+      opts.tail_ptime = 0.75 * p.th + 10;
+      const RunResult r = run_until_ranked(proto, std::move(init),
+                                           derive_seed(32 + n + h, i), opts);
+      xs.push_back(r.stabilization_ptime);
+    }
+    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+  }
+  row.states = h == 0 ? "exp(O(n^log n) log n)" : "exp(O(n^H) log n)";
+  row.silent = "no";
+  return row;
+}
+
+void print_table1(const BenchScale& scale) {
+  const std::vector<std::uint32_t> common = {32, 64, 128, 256};
+  std::cout << "\n== Table 1 (measured): stabilization parallel time from "
+               "adversarial starts ==\n";
+
+  const RowResult r1 = measure_silent_nstate(scale, common);
+  const RowResult r2 = measure_optimal_silent(scale, common);
+  const RowResult r3 = measure_sublinear(scale, 0, {8, 16});
+  const RowResult r4 = measure_sublinear(scale, 1, common);
+
+  Table t({"protocol", "paper expected", "paper WHP", "states", "silent",
+           "measured mean time @n", "measured exponent"});
+  auto cell = [](const RowResult& r) {
+    std::string s;
+    for (const auto& p : r.sweep.points)
+      s += fmt(p.summary.mean, 0) + "@" + fmt(p.n, 0) + " ";
+    return s;
+  };
+  t.add_row({"Silent-n-state-SSR [21]", "Theta(n^2)", "Theta(n^2)",
+             r1.states, r1.silent, cell(r1), fmt(r1.sweep.fit().slope, 2)});
+  t.add_row({"Optimal-Silent-SSR", "Theta(n)", "Theta(n log n)", r2.states,
+             r2.silent, cell(r2), fmt(r2.sweep.fit().slope, 2)});
+  t.add_row({"Sublinear-Time-SSR H=3log2(n)", "Theta(log n)", "Theta(log n)",
+             r3.states, r3.silent, cell(r3), fmt(r3.sweep.fit().slope, 2)});
+  t.add_row({"Sublinear-Time-SSR H=1", "Theta(H n^{1/(H+1)})",
+             "Theta(log n * n^{1/(H+1)})", r4.states, r4.silent, cell(r4),
+             fmt(r4.sweep.fit().slope, 2)});
+  t.print();
+
+  std::cout
+      << "\npaper exponents: 2 / 1 / ~0 / 0.5. The sublinear rows carry an "
+         "additive reset overhead (~Dmax/2) that biases their fitted\n"
+         "exponents downward at laptop n; bench_sublinear isolates the "
+         "H-dependent detection component, where the exponents match.\n";
+
+  std::cout << "\n== who wins at which n (mean time, same adversarial "
+               "family) ==\n";
+  Table w({"n", "Silent-n-state", "Optimal-Silent", "Sublinear H=1",
+           "fastest"});
+  for (std::size_t i = 0; i < common.size(); ++i) {
+    const double a = r1.sweep.points[i].summary.mean;
+    const double b = r2.sweep.points[i].summary.mean;
+    const double c = r4.sweep.points[i].summary.mean;
+    const char* win = a < b && a < c ? "Silent-n-state"
+                      : b < c        ? "Optimal-Silent"
+                                     : "Sublinear H=1";
+    w.add_row({fmt(common[i], 0), fmt(a, 0), fmt(b, 0), fmt(c, 0), win});
+  }
+  w.print();
+  std::cout << "paper: the n-state baseline loses quickly (x4 per doubling); "
+               "the crossover between Optimal-Silent (x2 per doubling) and "
+               "Sublinear (additive + n^{1/2} growth) moves with the reset "
+               "constants\n";
+}
+
+}  // namespace
+}  // namespace ppsim
+
+int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  std::cout << "=== bench_table1: the paper's Table 1, measured ===\n";
+  ppsim::print_table1(scale);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// History-tree demo: watch Detect-Name-Collision catch an impostor.
+//
+// Five agents run the collision-detection layer of Sublinear-Time-SSR in
+// isolation. Two of them ("alice" and "mallory") are given the same name.
+// The demo scripts a short interaction sequence, printing each agent's
+// history tree, until a third party that has heard about alice meets
+// mallory — who cannot echo the recorded sync values and is exposed
+// (Protocol 8's Check-Path-Consistency returning Inconsistent).
+//
+// Build & run:  ./build/examples/history_tree_demo
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/name.h"
+#include "core/rng.h"
+#include "protocols/collision_tree.h"
+
+using namespace ppsim;
+
+namespace {
+
+struct Agent {
+  std::string label;
+  HistoryTree tree;
+};
+
+void render(const HistoryNode& node, const std::string& indent,
+            std::vector<Name>& path, std::int64_t sigma, std::int64_t ops,
+            std::uint32_t depth_left,
+            const std::vector<Agent>& directory) {
+  auto label_of = [&](const Name& n) -> std::string {
+    for (const auto& a : directory)
+      if (a.tree.initialized() && a.tree.own_name() == n) return a.label;
+    return n.to_string();
+  };
+  std::printf("%s%s\n", indent.c_str(), label_of(node.name).c_str());
+  if (depth_left == 0) return;
+  path.push_back(node.name);
+  for (const auto& e : node.children) {
+    bool repeated = false;
+    for (const auto& anc : path)
+      if (anc == e.child->name) repeated = true;
+    if (repeated) continue;
+    const auto timer =
+        std::max<std::int64_t>(0, e.expiry + sigma - ops);
+    std::printf("%s|-- sync=%llu timer=%lld --> ", indent.c_str(),
+                static_cast<unsigned long long>(e.sync),
+                static_cast<long long>(timer));
+    std::vector<Name> sub = path;
+    render(*e.child, indent + "    ", sub, sigma + e.shift, ops,
+           depth_left - 1, directory);
+  }
+  path.pop_back();
+}
+
+void show(const Agent& a, const std::vector<Agent>& directory,
+          std::uint32_t h) {
+  std::printf("%s's history tree:\n", a.label.c_str());
+  std::vector<Name> path;
+  render(*a.tree.root(), "  ", path, 0,
+         static_cast<std::int64_t>(a.tree.ops()), h, directory);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kH = 2;
+  CollisionDetectorParams params;
+  params.depth_h = kH;
+  params.smax = 97;  // small two-digit syncs for readability
+  params.th = 1000;
+  params.direct_check = false;  // force the indirect mechanism
+  CollisionDetector detector(params);
+
+  std::vector<Agent> agents(5);
+  agents[0].label = "alice";
+  agents[1].label = "bob";
+  agents[2].label = "carol";
+  agents[3].label = "dave";
+  agents[4].label = "mallory (same name as alice!)";
+  const Name alice_name = Name::from_bits(0b101101, 6);
+  agents[0].tree.reset(alice_name);
+  agents[1].tree.reset(Name::from_bits(0b000111, 6));
+  agents[2].tree.reset(Name::from_bits(0b011001, 6));
+  agents[3].tree.reset(Name::from_bits(0b110010, 6));
+  agents[4].tree.reset(alice_name);  // the impostor
+
+  Rng rng(20210712);
+  auto meet = [&](int i, int j) {
+    std::printf("\n>>> %s meets %s\n", agents[i].label.c_str(),
+                agents[j].label.c_str());
+    const bool collision =
+        detector.detect_and_update(agents[i].tree, agents[j].tree, rng);
+    if (collision) {
+      std::printf("    COLLISION DETECTED: the population would now "
+                  "trigger Propagate-Reset and re-randomize names\n");
+    } else {
+      show(agents[i], agents, kH);
+      show(agents[j], agents, kH);
+    }
+    return collision;
+  };
+
+  std::printf("H = %u: agents remember interaction chains of length <= %u\n",
+              kH, kH);
+
+  // bob meets alice and learns her sync history...
+  meet(1, 0);
+  // ...then gossips with carol (alice's record travels one hop)...
+  meet(2, 1);
+  // ...alice refreshes with dave (irrelevant chatter)...
+  meet(0, 3);
+  // ...and now carol bumps into mallory. Carol's tree holds a path
+  // carol -> bob -> alice; mallory, asked to verify it, has no matching
+  // sync values.
+  const bool caught = meet(2, 4);
+  std::printf("\n%s\n",
+              caught
+                  ? "mallory was exposed by a two-hop history she never took "
+                    "part in — no direct alice-mallory meeting was needed."
+                  : "mallory slipped through (try another seed)");
+  return caught ? 0 : 1;
+}

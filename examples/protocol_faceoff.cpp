@@ -1,0 +1,88 @@
+// Protocol face-off: all three self-stabilizing ranking protocols on the
+// same adversarial inputs — Table 1 in action.
+//
+// For a few population sizes, each protocol starts from an equally hostile
+// configuration and races to a stable ranking. The output shows the paper's
+// time hierarchy (Theta(n^2) vs Theta(n) vs sublinear) and the price paid
+// in state complexity.
+//
+// Build & run:  ./build/examples/protocol_faceoff
+#include <cstdio>
+#include <string>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/sublinear.h"
+
+using namespace ppsim;
+
+namespace {
+
+double race_silent_nstate(std::uint32_t n, std::uint64_t seed) {
+  RunOptions opts;
+  opts.max_interactions = 1ull << 40;
+  const RunResult r = run_until_ranked(
+      SilentNStateSSR(n), silent_nstate_random_config(n, seed), seed + 1,
+      opts);
+  return r.stabilization_ptime;
+}
+
+double race_optimal_silent(std::uint32_t n, std::uint64_t seed) {
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  RunOptions opts;
+  opts.max_interactions = 1ull << 40;
+  const RunResult r = run_until_ranked(
+      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
+      seed + 1, opts);
+  return r.stabilization_ptime;
+}
+
+double race_sublinear(std::uint32_t n, std::uint32_t h, std::uint64_t seed) {
+  const auto p = h == 0 ? SublinearParams::log_time(n)
+                        : SublinearParams::constant_h(n, h);
+  SublinearTimeSSR proto(p);
+  RunOptions opts;
+  opts.max_interactions = 1ull << 40;
+  opts.tail_ptime = 0.75 * p.th + 10;
+  const RunResult r = run_until_ranked(
+      proto, sublinear_config(p, SlAdversary::kUniformRandom, seed), seed + 1,
+      opts);
+  return r.stabilization_ptime;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("self-stabilizing ranking face-off (stabilization parallel "
+              "time, one adversarial run each)\n\n");
+  std::printf("%6s %18s %18s %20s %22s\n", "n", "Silent-n-state",
+              "Optimal-Silent", "Sublinear (H=1)", "Sublinear (H=log n)");
+  std::printf("%6s %18s %18s %20s %22s\n", "", "n states, silent",
+              "O(n) states, silent", "exp states, live", "exp states, live");
+
+  std::uint64_t seed = 1;
+  for (std::uint32_t n : {16u, 32u, 64u, 128u}) {
+    const double t1 = race_silent_nstate(n, seed += 10);
+    const double t2 = race_optimal_silent(n, seed += 10);
+    const double t3 = race_sublinear(n, 1, seed += 10);
+    // The H = Theta(log n) configuration's history trees get expensive to
+    // *simulate* (not to run!) beyond small n; keep the demo snappy.
+    const double t4 = n <= 32 ? race_sublinear(n, 0, seed += 10) : -1.0;
+    if (t4 >= 0)
+      std::printf("%6u %18.1f %18.1f %20.1f %22.1f\n", n, t1, t2, t3, t4);
+    else
+      std::printf("%6u %18.1f %18.1f %20.1f %22s\n", n, t1, t2, t3,
+                  "(skipped: heavy)");
+  }
+
+  std::printf(
+      "\nreading the race: the n-state baseline quadruples per doubling of "
+      "n;\nOptimal-Silent doubles; the Sublinear rows grow far slower, "
+      "paying with\nquasi-exponential state (their absolute times carry a "
+      "fixed reset-pipeline\noverhead that shrinks in relative terms as n "
+      "grows). This is Table 1 of the\npaper, measured.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: self-stabilizing ranking and leader election in five minutes.
+//
+// We drop 100 agents into a hostile, completely scrambled initial
+// configuration (as if every memory bit had been hit by transient faults),
+// run Optimal-Silent-SSR (the paper's O(n)-time, O(n)-state silent
+// protocol), and watch the population detect the inconsistency, reset,
+// elect a leader during the dormant phase, and rebuild the ranking
+// 1..n via the binary rank tree.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/adversary.h"
+#include "core/simulation.h"
+#include "protocols/leader.h"
+#include "protocols/optimal_silent.h"
+
+using namespace ppsim;
+
+int main() {
+  constexpr std::uint32_t kN = 100;
+  const auto params = OptimalSilentParams::standard(kN);
+  OptimalSilentSSR protocol(params);
+
+  // An adversarial start: every field of every agent uniformly random.
+  auto initial =
+      optimal_silent_config(params, OsAdversary::kUniformRandom, /*seed=*/7);
+
+  Simulation<OptimalSilentSSR> sim(protocol, std::move(initial), /*seed=*/42);
+
+  std::printf("n = %u agents, Emax = %u, Dmax = %u, Rmax = %u\n", kN,
+              params.emax, params.dmax, params.rmax);
+  std::printf("%10s %12s %12s %12s %10s\n", "time", "settled", "unsettled",
+              "resetting", "ranked?");
+
+  auto count_roles = [&](OsRole role) {
+    std::uint32_t c = 0;
+    for (const auto& s : sim.states())
+      if (s.role == role) ++c;
+    return c;
+  };
+
+  double next_report = 0;
+  while (!is_correctly_ranked(sim.protocol(), sim.states())) {
+    sim.step();
+    if (sim.parallel_time() >= next_report) {
+      std::printf("%10.1f %12u %12u %12u %10s\n", sim.parallel_time(),
+                  count_roles(OsRole::Settled), count_roles(OsRole::Unsettled),
+                  count_roles(OsRole::Resetting),
+                  is_correctly_ranked(sim.protocol(), sim.states()) ? "yes"
+                                                                    : "no");
+      next_report += 100.0;
+    }
+  }
+
+  std::printf("\nstabilized at parallel time %.1f (%llu interactions)\n",
+              sim.parallel_time(),
+              static_cast<unsigned long long>(sim.interactions()));
+  const auto& counters = sim.protocol().counters();
+  std::printf("resets: %llu collision triggers, %llu timeout triggers\n",
+              static_cast<unsigned long long>(counters.collision_triggers),
+              static_cast<unsigned long long>(counters.timeout_triggers));
+
+  const auto leader = unique_leader(sim.protocol(), sim.states());
+  std::printf("leader (rank 1) is agent %u\n", *leader);
+  std::printf("first ranks: ");
+  for (std::uint32_t r = 1; r <= 10; ++r) {
+    for (std::uint32_t i = 0; i < kN; ++i)
+      if (sim.protocol().rank_of(sim.states()[i]) == r)
+        std::printf("%u->agent%u ", r, i);
+  }
+  std::printf("...\n");
+  return 0;
+}

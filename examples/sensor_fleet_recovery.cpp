@@ -1,0 +1,100 @@
+// Sensor-fleet recovery: the paper's motivating scenario (Section 1,
+// "Reliable leader election").
+//
+// A fleet of mobile sensors runs Sublinear-Time-SSR for coordination: the
+// rank-1 sensor acts as the leader that aggregates readings. The fleet
+// operates in a harsh environment: every so often a burst of transient
+// faults scrambles the memory of every sensor (or a targeted subset).
+// Because the protocol is self-stabilizing, no external re-initialization
+// is needed — the fleet detects the damage, resets, renames, and re-elects
+// on its own, and we log each recovery's latency.
+//
+// Build & run:  ./build/examples/sensor_fleet_recovery
+#include <cstdio>
+
+#include "analysis/adversary.h"
+#include "core/simulation.h"
+#include "protocols/leader.h"
+#include "protocols/sublinear.h"
+
+using namespace ppsim;
+
+namespace {
+
+constexpr std::uint32_t kFleet = 48;
+
+// One burst of transient faults: corrupt `count` sensors chosen at random
+// (memory becomes arbitrary valid states, names possibly duplicated).
+void inject_fault_burst(Simulation<SublinearTimeSSR>& sim,
+                        const SublinearParams& params, std::uint32_t count,
+                        std::uint64_t seed) {
+  const auto scrambled =
+      sublinear_config(params, SlAdversary::kUniformRandom, seed);
+  Rng pick(seed ^ 0xfeed);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const auto victim = static_cast<std::uint32_t>(pick.below(kFleet));
+    sim.mutable_states()[victim] = scrambled[victim];
+  }
+}
+
+double recover(Simulation<SublinearTimeSSR>& sim) {
+  const double start = sim.parallel_time();
+  while (!is_correctly_ranked(sim.protocol(), sim.states())) sim.step();
+  // Let the ranking settle a little to make sure no stale timer fires.
+  const auto params = sim.protocol().params();
+  sim.run(static_cast<std::uint64_t>(params.th) * 2 * kFleet);
+  while (!is_correctly_ranked(sim.protocol(), sim.states())) sim.step();
+  return sim.parallel_time() - start;
+}
+
+}  // namespace
+
+int main() {
+  const SublinearParams params = SublinearParams::constant_h(kFleet, 2);
+  SublinearTimeSSR protocol(params);
+
+  // The fleet boots with whatever was in memory: fully adversarial.
+  auto initial =
+      sublinear_config(params, SlAdversary::kUniformRandom, /*seed=*/2021);
+  Simulation<SublinearTimeSSR> sim(protocol, std::move(initial), /*seed=*/7);
+
+  std::printf("fleet of %u sensors, H = %u, names of %u bits\n", kFleet,
+              params.depth_h, params.name_len);
+
+  const double boot = recover(sim);
+  const auto leader0 = unique_leader(sim.protocol(), sim.states());
+  std::printf("[boot    ] self-organized in %7.1f time units; leader = "
+              "sensor %u\n",
+              boot, *leader0);
+
+  struct Burst {
+    const char* label;
+    std::uint32_t victims;
+  };
+  const Burst bursts[] = {
+      {"cosmic ray hits 3 sensors", 3},
+      {"radio interference corrupts half the fleet", kFleet / 2},
+      {"power glitch scrambles every sensor", kFleet},
+  };
+
+  std::uint64_t seed = 100;
+  for (const Burst& b : bursts) {
+    sim.run(5000);  // normal operation
+    inject_fault_burst(sim, params, b.victims, seed++);
+    const double latency = recover(sim);
+    const auto leader = unique_leader(sim.protocol(), sim.states());
+    std::printf("[fault   ] %-45s -> re-stabilized in %7.1f time units; "
+                "leader = sensor %u\n",
+                b.label, latency, *leader);
+  }
+
+  const auto& c = sim.protocol().counters();
+  std::printf("\nlifetime statistics: %llu collision triggers, %llu ghost "
+              "triggers, %llu resets executed\n",
+              static_cast<unsigned long long>(c.collision_triggers),
+              static_cast<unsigned long long>(c.ghost_triggers),
+              static_cast<unsigned long long>(c.resets_executed));
+  std::printf("no sensor was ever re-initialized externally: recovery is "
+              "entirely emergent (self-stabilization)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The "barrier rank" machinery of Lemmas 2.2 and 2.3: for every
+// configuration of Silent-n-state-SSR there is a rank k such that the
+// partial sums sum_{d=0..r} m_{(k-d) mod n} <= r+1 for all r, and this
+// invariant is preserved by every interaction. The barrier is why Protocol 1
+// cannot cycle forever. These helpers compute a witness k and check the
+// invariant; used in tests (exhaustive for tiny n) and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/silent_nstate.h"
+
+namespace ppsim {
+
+inline std::vector<std::uint32_t> rank_counts(
+    const std::vector<SilentNStateSSR::State>& states, std::uint32_t n) {
+  std::vector<std::uint32_t> m(n, 0);
+  for (const auto& s : states) ++m[s.rank % n];
+  return m;
+}
+
+// Lemma 2.2's constructive witness: k minimizing S_k = sum_{j<=k}(m_j - 1).
+inline std::uint32_t barrier_rank(const std::vector<std::uint32_t>& counts) {
+  const auto n = static_cast<std::uint32_t>(counts.size());
+  std::int64_t s = 0;
+  std::int64_t best = INT64_MAX;
+  std::uint32_t k = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s += static_cast<std::int64_t>(counts[i]) - 1;
+    if (s < best) {
+      best = s;
+      k = i;
+    }
+  }
+  return k;
+}
+
+// Checks invariant (1): for all r, sum_{d=0..r} m_{(k-d) mod n} <= r+1.
+inline bool barrier_invariant_holds(const std::vector<std::uint32_t>& counts,
+                                    std::uint32_t k) {
+  const auto n = static_cast<std::uint32_t>(counts.size());
+  std::uint64_t sum = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    sum += counts[(k + n - (r % n)) % n];
+    if (sum > r + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace ppsim

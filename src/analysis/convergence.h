@@ -1,0 +1,112 @@
+// Run-until-stable harness.
+//
+// Measures convergence/stabilization parallel time of a ranking protocol
+// exactly as the paper defines it: the number of interactions after which
+// the configuration is (stably) correct forever, divided by n.
+//
+// For the silent protocols a correct configuration is provably silent, so
+// the first entry into correctness is stabilization (optionally verified by
+// an exhaustive null-pair check). Sublinear-Time-SSR is non-silent; there we
+// record the *last* entry into correctness and additionally require the
+// configuration to stay correct for a caller-chosen tail window (>= 3*TH
+// parallel time: stale adversarial tree data can only cause a spurious reset
+// while its timers are alive, Lemma 5.5).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rank_tracker.h"
+#include "core/simulation.h"
+
+namespace ppsim {
+
+struct RunOptions {
+  std::uint64_t max_interactions = 0;  // hard horizon (required)
+  double tail_ptime = 0.0;  // extra correct time demanded after last entry
+  bool verify_silent = false;  // O(n^2) null-pair check at the end
+};
+
+struct RunResult {
+  bool stabilized = false;
+  double stabilization_ptime = -1.0;  // last entry into correctness
+  double first_correct_ptime = -1.0;
+  std::uint64_t interactions = 0;
+  std::uint64_t correctness_breaks = 0;  // times correctness was lost again
+};
+
+template <RankingProtocol P>
+RunResult run_until_ranked(P protocol, std::vector<typename P::State> initial,
+                           std::uint64_t seed, const RunOptions& opts) {
+  if (opts.max_interactions == 0)
+    throw std::invalid_argument("max_interactions must be set");
+  const std::uint32_t n = protocol.population_size();
+  Simulation<P> sim(std::move(protocol), std::move(initial), seed);
+
+  std::vector<std::uint32_t> shadow(n);
+  RankTracker tracker(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    shadow[i] = sim.protocol().rank_of(sim.states()[i]);
+  tracker.reset(sim.states(), [&](const typename P::State& s) {
+    return sim.protocol().rank_of(s);
+  });
+
+  RunResult out;
+  bool was_correct = tracker.is_permutation();
+  double last_entry = was_correct ? 0.0 : -1.0;
+  if (was_correct) out.first_correct_ptime = 0.0;
+
+  const std::uint64_t tail_interactions = static_cast<std::uint64_t>(
+      opts.tail_ptime * static_cast<double>(n));
+
+  while (sim.interactions() < opts.max_interactions) {
+    const AgentPair pair = sim.step();
+    for (std::uint32_t agent : {pair.initiator, pair.responder}) {
+      const std::uint32_t r = sim.protocol().rank_of(sim.states()[agent]);
+      if (r != shadow[agent]) {
+        tracker.on_change(shadow[agent], r);
+        shadow[agent] = r;
+      }
+    }
+    const bool correct = tracker.is_permutation();
+    if (correct && !was_correct) {
+      last_entry = sim.parallel_time();
+      if (out.first_correct_ptime < 0)
+        out.first_correct_ptime = last_entry;
+    } else if (!correct && was_correct) {
+      ++out.correctness_breaks;
+    }
+    was_correct = correct;
+    if (correct) {
+      const auto since_entry = static_cast<std::uint64_t>(
+          (sim.parallel_time() - last_entry) * static_cast<double>(n));
+      if (opts.tail_ptime == 0.0 || since_entry >= tail_interactions) {
+        out.stabilized = true;
+        break;
+      }
+    }
+  }
+  out.interactions = sim.interactions();
+  if (out.stabilized) out.stabilization_ptime = last_entry;
+
+  if constexpr (requires(const P& p, const typename P::State& s) {
+                  p.is_null_pair(s, s);
+                }) {
+    if (out.stabilized && opts.verify_silent) {
+      const auto& states = sim.states();
+      for (std::uint32_t i = 0; i < n; ++i)
+        for (std::uint32_t j = 0; j < n; ++j)
+          if (i != j && !sim.protocol().is_null_pair(states[i], states[j]))
+            throw std::logic_error(
+                "configuration reported stable is not silent");
+    }
+  } else {
+    if (opts.verify_silent)
+      throw std::invalid_argument(
+          "verify_silent requires the protocol to expose is_null_pair");
+  }
+  return out;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,102 @@
+// Shared helpers for the benchmark harness: seeded trial loops, sweep
+// tables, and scaling-exponent reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/table.h"
+
+namespace ppsim {
+
+// Runs `trials` seeded executions of `one` (seed -> measurement).
+template <class F>
+std::vector<double> run_trials(std::uint32_t trials, std::uint64_t base_seed,
+                               F&& one) {
+  std::vector<double> xs;
+  xs.reserve(trials);
+  for (std::uint32_t t = 0; t < trials; ++t)
+    xs.push_back(one(derive_seed(base_seed, t)));
+  return xs;
+}
+
+// A (n, summary) sweep with a power-law fit over the means.
+struct SweepPoint {
+  double n = 0;
+  Summary summary;
+};
+
+struct Sweep {
+  std::vector<SweepPoint> points;
+
+  LinearFit fit() const {
+    std::vector<double> ns, ts;
+    for (const auto& p : points) {
+      ns.push_back(p.n);
+      ts.push_back(p.summary.mean);
+    }
+    return fit_power_law(ns, ts);
+  }
+
+  // Growth factor of the mean per doubling of n between consecutive points
+  // (assumes the sweep doubles n); length = points-1.
+  std::vector<double> doubling_factors() const {
+    std::vector<double> fs;
+    for (std::size_t i = 1; i < points.size(); ++i)
+      fs.push_back(points[i].summary.mean / points[i - 1].summary.mean);
+    return fs;
+  }
+};
+
+// Standard sweep printer: one row per n with mean +/- ci, p50/p95/p99.
+inline void print_sweep(const std::string& title, const Sweep& sweep,
+                        const std::string& metric = "parallel time") {
+  std::cout << "\n== " << title << " ==\n";
+  Table t({"n", metric + " mean", "ci95", "p50", "p95", "p99", "max"});
+  for (const auto& p : sweep.points) {
+    t.add_row({fmt(p.n, 0), fmt(p.summary.mean), fmt(p.summary.ci95),
+               fmt(p.summary.p50), fmt(p.summary.p95), fmt(p.summary.p99),
+               fmt(p.summary.max)});
+  }
+  t.print();
+  if (sweep.points.size() >= 2) {
+    const LinearFit f = sweep.fit();
+    std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
+              << "  (R^2 = " << fmt(f.r2, 4) << ")\n";
+  }
+}
+
+// Tiny flag parser for the bench binaries: --quick / --full scale the trial
+// counts; everything else is ignored (so the binaries also tolerate being
+// invoked by generic runners).
+struct BenchScale {
+  double factor = 1.0;  // multiplies trial counts
+  bool quick = false;
+  bool full = false;
+
+  static BenchScale from_args(int argc, char** argv) {
+    BenchScale s;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--quick") {
+        s.quick = true;
+        s.factor = 0.25;
+      } else if (a == "--full") {
+        s.full = true;
+        s.factor = 4.0;
+      }
+    }
+    return s;
+  }
+
+  std::uint32_t trials(std::uint32_t base) const {
+    const auto t = static_cast<std::uint32_t>(base * factor);
+    return t < 3 ? 3 : t;
+  }
+};
+
+}  // namespace ppsim

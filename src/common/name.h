@@ -1,0 +1,110 @@
+// Packed bitstring names.
+//
+// Sublinear-Time-SSR gives each agent a name in {0,1}^{<= 3*log2 n} (Section
+// 5.1). Names are built one random bit at a time while the agent is dormant,
+// so the type supports partial lengths, and ranks are assigned by
+// lexicographic order over bitstrings, where a proper prefix sorts before any
+// of its extensions. Bits are stored MSB-first in a single 64-bit word, which
+// makes lexicographic comparison of equal-length names a plain integer
+// comparison (n up to ~2^21 fits: 3*log2 n <= 63).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace ppsim {
+
+class Name {
+ public:
+  static constexpr std::uint32_t kMaxBits = 63;
+
+  constexpr Name() = default;  // the empty string epsilon
+
+  static Name from_bits(std::uint64_t value, std::uint32_t length) {
+    if (length > kMaxBits) throw std::invalid_argument("name too long");
+    Name n;
+    n.len_ = length;
+    // Place the `length` low bits of value at the top of the word, first bit
+    // (most significant of value's low `length` bits) first.
+    n.bits_ = length == 0 ? 0 : (value << (64 - length));
+    return n;
+  }
+
+  // The number of bits a name has for population size n: 3*ceil(log2 n),
+  // at least 3 (the paper's 3*log2 n; ceilings are asymptotically negligible).
+  static std::uint32_t full_length(std::uint32_t n) {
+    std::uint32_t bits = 0;
+    std::uint32_t v = n > 1 ? n - 1 : 1;
+    while (v > 0) {
+      ++bits;
+      v >>= 1;
+    }
+    return std::max<std::uint32_t>(3, 3 * std::max<std::uint32_t>(1, bits));
+  }
+
+  constexpr std::uint32_t length() const { return len_; }
+  constexpr bool empty() const { return len_ == 0; }
+
+  void clear() {
+    len_ = 0;
+    bits_ = 0;
+  }
+
+  void append_bit(bool bit) {
+    if (len_ >= kMaxBits) throw std::length_error("name at maximum length");
+    if (bit) bits_ |= (1ULL << (63 - len_));
+    ++len_;
+  }
+
+  bool bit(std::uint32_t i) const {
+    if (i >= len_) throw std::out_of_range("bit index past name length");
+    return ((bits_ >> (63 - i)) & 1ULL) != 0;
+  }
+
+  // Lexicographic bitstring order; a proper prefix precedes its extensions.
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b) {
+    const std::uint32_t c = a.len_ < b.len_ ? a.len_ : b.len_;
+    if (c > 0) {
+      const std::uint64_t pa = a.bits_ >> (64 - c);
+      const std::uint64_t pb = b.bits_ >> (64 - c);
+      if (pa != pb) return pa <=> pb;
+    }
+    return a.len_ <=> b.len_;
+  }
+
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.len_ == b.len_ && a.bits_ == b.bits_;
+  }
+
+  std::string to_string() const {
+    if (len_ == 0) return "eps";
+    std::string s;
+    s.reserve(len_);
+    for (std::uint32_t i = 0; i < len_; ++i) s.push_back(bit(i) ? '1' : '0');
+    return s;
+  }
+
+  // 64-bit mix of (bits, len) for Bloom digests and hashing.
+  std::uint64_t hash() const {
+    std::uint64_t z = bits_ ^ (0x9e3779b97f4a7c15ULL * (len_ + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint32_t len_ = 0;
+  std::uint64_t bits_ = 0;  // MSB-first: bit i of the string at position 63-i
+};
+
+}  // namespace ppsim
+
+template <>
+struct std::hash<ppsim::Name> {
+  std::size_t operator()(const ppsim::Name& n) const noexcept {
+    return static_cast<std::size_t>(n.hash());
+  }
+};

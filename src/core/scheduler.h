@@ -1,0 +1,39 @@
+// The uniform random pairwise scheduler of the population-protocol model.
+//
+// At each discrete step an ordered pair of distinct agents (initiator,
+// responder) is chosen uniformly at random from the n(n-1) possibilities
+// (complete communication graph, Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace ppsim {
+
+struct AgentPair {
+  std::uint32_t initiator;
+  std::uint32_t responder;
+};
+
+class UniformScheduler {
+ public:
+  explicit UniformScheduler(std::uint32_t n) : n_(n) {
+    if (n < 2) throw std::invalid_argument("population size must be >= 2");
+  }
+
+  std::uint32_t population_size() const { return n_; }
+
+  AgentPair next(Rng& rng) const {
+    const auto i = static_cast<std::uint32_t>(rng.below(n_));
+    auto j = static_cast<std::uint32_t>(rng.below(n_ - 1));
+    if (j >= i) ++j;  // uniform over the n-1 agents distinct from i
+    return AgentPair{i, j};
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,97 @@
+// Generic agent-array simulation engine.
+//
+// A Protocol supplies a State type and an interact(initiator, responder, rng)
+// transition; the engine owns the agent array, the scheduler and the RNG, and
+// accounts parallel time = interactions / n exactly as the paper defines it.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+// Minimal contract a protocol must satisfy to be simulated.
+template <class P>
+concept Protocol = requires(P p, typename P::State& s, typename P::State& t,
+                            Rng& rng) {
+  typename P::State;
+  { p.population_size() } -> std::convertible_to<std::uint32_t>;
+  { p.interact(s, t, rng) };
+};
+
+// Protocols that expose a ranking output (all protocols in this repo do;
+// rank_of returns 0 for "no rank assigned yet").
+template <class P>
+concept RankingProtocol =
+    Protocol<P> && requires(const P p, const typename P::State& s) {
+      { p.rank_of(s) } -> std::convertible_to<std::uint32_t>;
+    };
+
+template <Protocol P>
+class Simulation {
+ public:
+  using State = typename P::State;
+
+  Simulation(P protocol, std::vector<State> initial, std::uint64_t seed)
+      : protocol_(std::move(protocol)),
+        states_(std::move(initial)),
+        scheduler_(protocol_.population_size()),
+        rng_(seed) {
+    if (states_.size() != protocol_.population_size())
+      throw std::invalid_argument(
+          "initial configuration size != population size");
+  }
+
+  std::uint32_t population_size() const {
+    return protocol_.population_size();
+  }
+  const std::vector<State>& states() const { return states_; }
+  std::vector<State>& mutable_states() { return states_; }
+  P& protocol() { return protocol_; }
+  const P& protocol() const { return protocol_; }
+  Rng& rng() { return rng_; }
+
+  std::uint64_t interactions() const { return interactions_; }
+  double parallel_time() const {
+    return static_cast<double>(interactions_) /
+           static_cast<double>(population_size());
+  }
+
+  // Executes one interaction and returns the pair that interacted.
+  AgentPair step() {
+    const AgentPair pair = scheduler_.next(rng_);
+    protocol_.interact(states_[pair.initiator], states_[pair.responder], rng_);
+    ++interactions_;
+    return pair;
+  }
+
+  // Runs `count` interactions.
+  void run(std::uint64_t count) {
+    for (std::uint64_t k = 0; k < count; ++k) step();
+  }
+
+  // Runs until `done(simulation)` is true, checking after every interaction,
+  // up to `max_interactions`. Returns true iff the predicate fired.
+  template <class Done>
+  bool run_until(Done&& done, std::uint64_t max_interactions) {
+    while (interactions_ < max_interactions) {
+      step();
+      if (done(*this)) return true;
+    }
+    return false;
+  }
+
+ private:
+  P protocol_;
+  std::vector<State> states_;
+  UniformScheduler scheduler_;
+  Rng rng_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,115 @@
+// Small statistics toolkit for the experiment harness: summary statistics,
+// quantiles, confidence intervals, and least-squares fits used to estimate
+// scaling exponents from (n, time) sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ppsim {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  // Half-width of the 95% normal-approximation confidence interval on mean.
+  double ci95 = 0.0;
+};
+
+// Quantile by linear interpolation on the sorted sample, q in [0, 1].
+inline double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+inline Summary summarize(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("summarize of empty sample");
+  Summary s;
+  s.count = xs.size();
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p50 = quantile_sorted(xs, 0.50);
+  s.p95 = quantile_sorted(xs, 0.95);
+  s.p99 = quantile_sorted(xs, 0.99);
+  s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(xs.size()));
+  return s;
+}
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+// Ordinary least squares y = slope*x + intercept.
+inline LinearFit fit_line(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_line needs >= 2 matching points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("degenerate x values");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+// Fits time ~ c * n^e on a (n, time) sweep; returns the exponent e (slope in
+// log-log space). This is how every scaling claim in the paper is checked.
+inline LinearFit fit_power_law(const std::vector<double>& ns,
+                               const std::vector<double>& times) {
+  std::vector<double> lx(ns.size()), ly(times.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (ns[i] <= 0 || times[i] <= 0)
+      throw std::invalid_argument("power-law fit needs positive data");
+    lx[i] = std::log2(ns[i]);
+    ly[i] = std::log2(times[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+inline double harmonic_number(std::uint64_t k) {
+  double h = 0.0;
+  for (std::uint64_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,71 @@
+// Aligned ASCII table printer used by the benchmark harness to emit
+// paper-style tables (Table 1 and the per-lemma experiment tables).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ppsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        os << " " << cell << std::string(widths[i] - cell.size(), ' ')
+           << " |";
+      }
+      os << "\n";
+    };
+    auto print_rule = [&] {
+      os << "+";
+      for (auto w : widths) os << std::string(w + 2, '-') << "+";
+      os << "\n";
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto& r : rows_) print_row(r);
+    print_rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision + 2, v);
+  return buf;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,72 @@
+// The bounded epidemic process (Section 2.1, Lemmas 2.10 and 2.11).
+//
+// A source agent s has level 0, all others level infinity; on an interaction
+// both agents update level <- min(own level, other level + 1). tau_k is the
+// first (parallel) time a fixed target agent reaches level <= k, i.e. it has
+// heard from the source through an interaction chain of length <= k.
+//
+// Lemma 2.10: E[tau_k] <= k * n^{1/k} for constant k.
+// Lemma 2.11: tau_{3 log2 n} <= 3 ln n whp (epidemic trees are shallow).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct BoundedEpidemicResult {
+  // tau_by_level[k] = parallel time when the target first had level <= k
+  // (index 0 unused except for the source itself). Levels never reached
+  // within the horizon are left at -1.
+  std::vector<double> tau_by_level;
+  std::uint64_t interactions = 0;
+};
+
+// Runs until the target's level drops to <= stop_level (and records the
+// first-hit times of every level above it on the way down).
+inline BoundedEpidemicResult run_bounded_epidemic(std::uint32_t n,
+                                                  std::uint32_t max_level,
+                                                  std::uint32_t stop_level,
+                                                  std::uint64_t seed) {
+  if (stop_level < 1 || stop_level > max_level)
+    throw std::invalid_argument("stop_level out of range");
+  if (n < 2) throw std::invalid_argument("need n >= 2");
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<std::uint32_t> level(n, kInf);
+  const std::uint32_t source = 0;
+  const std::uint32_t target = n - 1;
+  level[source] = 0;
+
+  BoundedEpidemicResult out;
+  out.tau_by_level.assign(max_level + 1, -1.0);
+  std::uint64_t t = 0;
+  std::uint32_t target_level = kInf;
+  while (target_level > stop_level) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    auto& li = level[p.initiator];
+    auto& lj = level[p.responder];
+    const std::uint32_t mi = lj == kInf ? li : std::min(li, lj + 1);
+    const std::uint32_t mj = li == kInf ? lj : std::min(lj, li + 1);
+    li = mi;
+    lj = mj;
+    if (level[target] < target_level) {
+      const double ptime = static_cast<double>(t) / n;
+      for (std::uint32_t k = level[target];
+           k < target_level && k <= max_level; ++k)
+        if (out.tau_by_level[k] < 0) out.tau_by_level[k] = ptime;
+      target_level = level[target];
+    }
+  }
+  out.interactions = t;
+  return out;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,42 @@
+// Coupon-collector process over scheduled pairs (Lemma 2.9's lower-bound
+// ingredient): the number of interactions until every agent has interacted
+// at least once. Two agents are "collected" per step, so the expectation is
+// ~ (1/2) n ln n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct CouponResult {
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+};
+
+inline CouponResult run_pair_coupon_collector(std::uint32_t n,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<char> seen(n, 0);
+  std::uint32_t count = 0;
+  std::uint64_t t = 0;
+  while (count < n) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    if (!seen[p.initiator]) {
+      seen[p.initiator] = 1;
+      ++count;
+    }
+    if (!seen[p.responder]) {
+      seen[p.responder] = 1;
+      ++count;
+    }
+  }
+  return CouponResult{t, static_cast<double>(t) / n};
+}
+
+}  // namespace ppsim

@@ -1,0 +1,61 @@
+// The two-way epidemic process (Section 2.1).
+//
+// Agents hold infected ∈ {true,false} and update
+//   a.infected, b.infected <- a.infected OR b.infected.
+// T_n is the number of interactions until everyone is infected; Lemma 2.7 /
+// Corollary 2.8 give E[T_n] = (n-1) * H_{n-1} ~ n ln n and
+// P[T_n > 3 n ln n] < 1/n^2.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct EpidemicResult {
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+};
+
+// Simulates one epidemic to completion, starting from `initially_infected`
+// infected agents (default 1).
+inline EpidemicResult run_epidemic(std::uint32_t n, std::uint64_t seed,
+                                   std::uint32_t initially_infected = 1) {
+  if (initially_infected == 0 || initially_infected > n)
+    throw std::invalid_argument("initially_infected out of range");
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<char> infected(n, 0);
+  for (std::uint32_t i = 0; i < initially_infected; ++i) infected[i] = 1;
+  std::uint32_t count = initially_infected;
+  std::uint64_t t = 0;
+  while (count < n) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    const bool any = infected[p.initiator] || infected[p.responder];
+    if (any) {
+      if (!infected[p.initiator]) {
+        infected[p.initiator] = 1;
+        ++count;
+      }
+      if (!infected[p.responder]) {
+        infected[p.responder] = 1;
+        ++count;
+      }
+    }
+  }
+  return EpidemicResult{t, static_cast<double>(t) / n};
+}
+
+// Exact expectation from Lemma 2.7: E[T_n] = (n-1) * H_{n-1}.
+inline double epidemic_expected_interactions(std::uint32_t n) {
+  double h = 0.0;
+  for (std::uint32_t i = 1; i + 1 <= n; ++i) h += 1.0 / i;
+  return static_cast<double>(n - 1) * h;
+}
+
+}  // namespace ppsim

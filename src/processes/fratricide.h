@@ -1,0 +1,86 @@
+// The classic "fratricide" initialized leader election L,L -> L,F.
+//
+// It is the slow leader election Optimal-Silent-SSR runs during the dormant
+// phase of a reset (Protocol 3 line 4, Lemma 4.2), and the stochastic
+// dominator used in the Theta(n^2) upper bound of Theorem 2.4. Expected
+// interactions from all-L: sum_{i=2..n} n(n-1)/(i(i-1)) = n(n-1)(1 - 1/n).
+//
+// Two simulators: a direct one, and an exact-distribution accelerated one
+// that jumps over null interactions with geometric skips (only L-L meetings
+// change anything).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct FratricideResult {
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+};
+
+inline FratricideResult run_fratricide_direct(std::uint32_t n,
+                                              std::uint64_t seed,
+                                              std::uint32_t initial_leaders) {
+  if (initial_leaders < 1 || initial_leaders > n)
+    throw std::invalid_argument("initial_leaders out of range");
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<char> leader(n, 0);
+  for (std::uint32_t i = 0; i < initial_leaders; ++i) leader[i] = 1;
+  std::uint32_t count = initial_leaders;
+  std::uint64_t t = 0;
+  while (count > 1) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    if (leader[p.initiator] && leader[p.responder]) {
+      leader[p.responder] = 0;  // initiator survives
+      --count;
+    }
+  }
+  return FratricideResult{t, static_cast<double>(t) / n};
+}
+
+// Samples a Geometric(p) interaction count (number of trials up to and
+// including the first success) via inversion; exact in distribution.
+inline std::uint64_t sample_geometric(Rng& rng, double p) {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) throw std::invalid_argument("geometric with p<=0");
+  // P[X >= k] = (1-p)^{k-1}; invert a uniform.
+  const double u = 1.0 - rng.unit();  // in (0, 1]
+  const double k = std::ceil(std::log(u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
+
+// Accelerated fratricide: from i leaders, the next effective interaction is
+// an L-L meeting, which happens each step with probability
+// i(i-1) / (n(n-1)); the wait is geometric.
+inline FratricideResult run_fratricide_fast(std::uint32_t n,
+                                            std::uint64_t seed,
+                                            std::uint32_t initial_leaders) {
+  if (initial_leaders < 1 || initial_leaders > n)
+    throw std::invalid_argument("initial_leaders out of range");
+  Rng rng(seed);
+  const double pairs =
+      static_cast<double>(n) * static_cast<double>(n - 1);
+  std::uint64_t t = 0;
+  for (std::uint32_t i = initial_leaders; i > 1; --i) {
+    const double p = static_cast<double>(i) *
+                     static_cast<double>(i - 1) / pairs;
+    t += sample_geometric(rng, p);
+  }
+  return FratricideResult{t, static_cast<double>(t) / n};
+}
+
+// Exact expected interaction count from all-n leaders (Lemma 4.2).
+inline double fratricide_expected_interactions(std::uint32_t n) {
+  return static_cast<double>(n) * static_cast<double>(n - 1) *
+         (1.0 - 1.0 / static_cast<double>(n));
+}
+
+}  // namespace ppsim

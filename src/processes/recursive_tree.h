@@ -1,0 +1,72 @@
+// Uniform random recursive trees from epidemic infections (Lemma 2.11).
+//
+// Viewing the standard epidemic as generating a tree (each agent's parent is
+// the agent that infected it) yields a uniform random recursive tree; its
+// height is e*ln(n) in expectation with exponential tails (Drmota, [32,33]).
+// This is the structural fact behind the H = Theta(log n) choice in
+// Sublinear-Time-SSR: collision information travels along epidemic paths of
+// length O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct EpidemicTreeResult {
+  std::uint32_t height = 0;        // depth of the deepest infected agent
+  std::uint32_t last_agent_depth = 0;  // depth of the last agent infected
+  std::uint64_t interactions = 0;
+};
+
+// Runs one epidemic from agent 0, recording infection parents, and returns
+// the height of the infection tree.
+inline EpidemicTreeResult run_epidemic_tree(std::uint32_t n,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<char> infected(n, 0);
+  infected[0] = 1;
+  std::uint32_t count = 1;
+  std::uint64_t t = 0;
+  EpidemicTreeResult out;
+  std::uint32_t last = 0;
+  while (count < n) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    const bool ai = infected[p.initiator];
+    const bool bi = infected[p.responder];
+    if (ai == bi) continue;  // both or neither: no new infection
+    const std::uint32_t src = ai ? p.initiator : p.responder;
+    const std::uint32_t dst = ai ? p.responder : p.initiator;
+    infected[dst] = 1;
+    depth[dst] = depth[src] + 1;
+    out.height = std::max(out.height, depth[dst]);
+    last = dst;
+    ++count;
+  }
+  out.last_agent_depth = depth[last];
+  out.interactions = t;
+  return out;
+}
+
+// Direct sampler of the random recursive tree (vertex i attaches to a uniform
+// vertex in {0..i-1}); used to cross-check the epidemic-tree construction.
+inline std::uint32_t sample_recursive_tree_height(std::uint32_t n,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::uint32_t h = 0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<std::uint32_t>(rng.below(i));
+    depth[i] = depth[parent] + 1;
+    h = std::max(h, depth[i]);
+  }
+  return h;
+}
+
+}  // namespace ppsim

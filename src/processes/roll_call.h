@@ -1,0 +1,82 @@
+// The roll call process (Section 2.1, Lemma 2.9).
+//
+// Every agent starts with a roster containing only its own ID; interactions
+// take set unions. R_n is the number of interactions until every agent knows
+// all n IDs. Lemma 2.9: E[R_n] ~ 1.5 n ln n and P[R_n > 3 n ln n] < 1/n.
+//
+// Rosters are bitsets (one bit per agent ID), so a union is a word-wise OR
+// and completion is tracked by an incremental popcount.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+struct RollCallResult {
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+};
+
+namespace detail {
+
+class BitRoster {
+ public:
+  BitRoster(std::uint32_t n, std::uint32_t self)
+      : words_((n + 63) / 64, 0), popcount_(1) {
+    words_[self / 64] |= (1ULL << (self % 64));
+  }
+
+  // ORs `other` into this; returns the updated popcount.
+  std::uint32_t merge_from(const BitRoster& other) {
+    std::uint32_t pc = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+      pc += static_cast<std::uint32_t>(std::popcount(words_[w]));
+    }
+    popcount_ = pc;
+    return pc;
+  }
+
+  std::uint32_t popcount() const { return popcount_; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint32_t popcount_;
+};
+
+}  // namespace detail
+
+inline RollCallResult run_roll_call(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  UniformScheduler sched(n);
+  std::vector<detail::BitRoster> rosters;
+  rosters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) rosters.emplace_back(n, i);
+  std::uint32_t complete = 0;  // agents whose roster has all n IDs
+  std::uint64_t t = 0;
+  while (complete < n) {
+    const AgentPair p = sched.next(rng);
+    ++t;
+    auto& a = rosters[p.initiator];
+    auto& b = rosters[p.responder];
+    const std::uint32_t before_a = a.popcount();
+    const std::uint32_t before_b = b.popcount();
+    if (before_a == n && before_b == n) continue;
+    // Union both ways (two-way exchange).
+    detail::BitRoster merged = a;
+    merged.merge_from(b);
+    a = merged;
+    b = merged;
+    if (before_a < n && a.popcount() == n) ++complete;
+    if (before_b < n && b.popcount() == n) ++complete;
+  }
+  return RollCallResult{t, static_cast<double>(t) / n};
+}
+
+}  // namespace ppsim

@@ -1,0 +1,47 @@
+// Synthetic-coin derandomization (Section 6).
+//
+// Population protocols are formally deterministic; randomness is extracted
+// from the scheduler. Each agent alternates between roles Alg and Flip on
+// every interaction ("time multiplexing"). When an agent in role Alg meets a
+// partner in role Flip, it harvests one bit: heads if the Alg agent was the
+// initiator, tails if it was the responder. Because the scheduler picks the
+// ordered pair uniformly, the bit is exactly unbiased and independent of both
+// agents' states. An agent needing a bit waits an expected 4 interactions
+// (the partner is in Flip w.p. ~1/2 and the agent must be in Alg, w.p. 1/2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ppsim {
+
+// Per-agent coin state: a single phase bit, toggled on *every* interaction.
+struct CoinPhase {
+  bool flip_phase = false;  // false = Alg, true = Flip
+};
+
+// Advances both agents' phases and, if the configuration (Alg meets Flip)
+// yields a harvestable bit for either agent, reports it.
+//
+// Returned bits: harvested_initiator is set iff the initiator was in Alg and
+// the responder in Flip (the initiator's bit is heads=true); symmetric for
+// the responder (its bit is tails=false when it is in Alg and the initiator
+// in Flip, because from its perspective it was the responder).
+struct CoinOutcome {
+  std::optional<bool> initiator_bit;
+  std::optional<bool> responder_bit;
+};
+
+inline CoinOutcome synthetic_coin_step(CoinPhase& initiator,
+                                       CoinPhase& responder) {
+  CoinOutcome out;
+  const bool i_alg = !initiator.flip_phase;
+  const bool r_alg = !responder.flip_phase;
+  if (i_alg && !r_alg) out.initiator_bit = true;   // Alg initiated: heads
+  if (r_alg && !i_alg) out.responder_bit = false;  // Alg responded: tails
+  initiator.flip_phase = !initiator.flip_phase;
+  responder.flip_phase = !responder.flip_phase;
+  return out;
+}
+
+}  // namespace ppsim

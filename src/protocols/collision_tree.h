@@ -1,0 +1,411 @@
+// The interaction-history tree of Sublinear-Time-SSR and the collision
+// detection it supports (Protocols 7 and 8, Sections 5.3-5.4, Figure 2).
+//
+// Each agent stores a tree of depth <= H whose root is labelled with its own
+// name; a root-to-node path a -s1-> b -s2-> c means "when a last met b they
+// generated sync value s1, and in that interaction b told a that when b last
+// met c they generated s2". Paths are simply labelled (no name repeats along
+// a path). When agents meet they (1) check every not-outdated path ending at
+// the partner's name against the partner's own history (Check-Path-
+// Consistency) and declare a collision on any mismatch, then (2) exchange
+// trees: each replaces its depth-1 subtree for the partner by the partner's
+// entire tree trimmed to depth H-1, tagged with a freshly generated shared
+// sync value.
+//
+// Representation. The tree field has quasi-exponential size if materialized
+// (Theorem 5.7 counts exp(O(n^H) log n) states), so nodes are immutable and
+// structurally shared: grafting the partner's tree is O(1) plus an O(degree)
+// rebuild of the root. Three protocol rules become lazy:
+//
+//   * timers   - "decrement every edge timer" (lines 13-14) would touch the
+//                whole tree; instead each agent keeps an operation counter
+//                and edges store an expiry in their owner's frame. A graft
+//                stores the frame shift (owner ops - partner ops), so the
+//                effective timer of an edge reached with accumulated shift
+//                sigma is expiry + sigma - reader_ops, clamped at 0.
+//   * depth    - trimming the partner's tree to depth H-1 (line 9) is a
+//                depth budget enforced during traversal.
+//   * own-name - "remove subtrees rooted at my own name" (lines 11-12) and
+//                simple labeling are together equivalent to skipping, during
+//                traversal, any child whose name equals an ancestor's name on
+//                the current path (the root carries the owner's name).
+//
+// Per-node 256-bit Bloom digests of subtree names prune the detection DFS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/name.h"
+#include "core/rng.h"
+
+namespace ppsim {
+
+struct HistoryNode;
+using HistoryNodePtr = std::shared_ptr<const HistoryNode>;
+
+struct HistoryEdge {
+  std::uint64_t sync = 0;   // {1..Smax}
+  std::int64_t expiry = 0;  // effective timer = expiry + sigma - reader ops
+  std::int64_t shift = 0;   // added to sigma when descending into child
+  HistoryNodePtr child;
+};
+
+// 256-bit Bloom digest over the names appearing in a subtree (including the
+// node's own name; over-approximate, never misses a present name).
+struct NameDigest {
+  std::array<std::uint64_t, 4> words{};
+
+  void add(const Name& n) {
+    const std::uint64_t h = n.hash();
+    words[(h >> 6) & 3] |= (1ULL << (h & 63));
+    words[(h >> 14) & 3] |= (1ULL << ((h >> 8) & 63));
+  }
+  void merge(const NameDigest& other) {
+    for (int i = 0; i < 4; ++i) words[i] |= other.words[i];
+  }
+  bool may_contain(const Name& n) const {
+    const std::uint64_t h = n.hash();
+    return ((words[(h >> 6) & 3] >> (h & 63)) & 1ULL) != 0 &&
+           ((words[(h >> 14) & 3] >> ((h >> 8) & 63)) & 1ULL) != 0;
+  }
+};
+
+struct HistoryNode {
+  Name name;
+  std::vector<HistoryEdge> children;  // sibling names are unique
+  NameDigest digest;                  // own name + all descendant names
+
+  HistoryNode(Name n, std::vector<HistoryEdge> kids)
+      : name(n), children(std::move(kids)) {
+    digest.add(name);
+    for (const auto& e : children)
+      if (e.child) digest.merge(e.child->digest);
+  }
+
+  // Iterative teardown: history DAGs can contain reference chains as long as
+  // the execution, so the default recursive shared_ptr destruction could
+  // overflow the stack.
+  ~HistoryNode() {
+    thread_local std::vector<HistoryEdge> pending;
+    thread_local bool draining = false;
+    for (auto& e : children) pending.push_back(std::move(e));
+    children.clear();
+    if (draining) return;
+    draining = true;
+    while (!pending.empty()) {
+      HistoryEdge e = std::move(pending.back());
+      pending.pop_back();
+      e.child.reset();  // may re-enter this destructor, which only enqueues
+    }
+    draining = false;
+  }
+
+  HistoryNode(const HistoryNode&) = delete;
+  HistoryNode& operator=(const HistoryNode&) = delete;
+};
+
+// One agent's tree field: the current (immutable) root plus the agent's
+// operation counter, whose increments realize the global timer decrement.
+class HistoryTree {
+ public:
+  HistoryTree() = default;
+
+  void reset(const Name& own_name) {
+    root_ = std::make_shared<const HistoryNode>(own_name,
+                                                std::vector<HistoryEdge>{});
+    ops_ = 0;
+  }
+
+  bool initialized() const { return root_ != nullptr; }
+  const HistoryNodePtr& root() const { return root_; }
+  std::uint64_t ops() const { return ops_; }
+  const Name& own_name() const { return root_->name; }
+
+  // Lines 13-14 of Protocol 7: decrement every timer in this tree.
+  void tick() { ++ops_; }
+
+  // Lines 6-10 of Protocol 7: replace the depth-1 subtree named after the
+  // partner by the partner's tree (a pre-interaction snapshot), reached via a
+  // new edge carrying the shared sync value and a fresh timer.
+  //
+  // prune_window > 0 additionally drops root edges that have been expired
+  // for more than prune_window of this agent's operations. Expired edges can
+  // still serve as *verification* material (Check-Path-Consistency ignores
+  // timers), but a verifying edge is never older than the live path it
+  // vouches for by more than ~TH interactions of frame skew per hop, so a
+  // window of several TH bounds the root degree without disturbing safety;
+  // see DESIGN.md ("dead-edge pruning").
+  void graft(const HistoryNodePtr& partner_root, std::uint64_t partner_ops,
+             std::uint64_t sync, std::uint32_t th,
+             std::uint64_t prune_window = 0) {
+    std::vector<HistoryEdge> kids;
+    kids.reserve(root_->children.size() + 1);
+    for (const auto& e : root_->children) {
+      if (e.child->name == partner_root->name) continue;
+      if (prune_window > 0 &&
+          e.expiry + static_cast<std::int64_t>(prune_window) <
+              static_cast<std::int64_t>(ops_))
+        continue;  // long-dead: unreachable for detection, stale for verify
+      kids.push_back(e);
+    }
+    HistoryEdge fresh;
+    fresh.sync = sync;
+    fresh.expiry = static_cast<std::int64_t>(ops_) + th;
+    fresh.shift = static_cast<std::int64_t>(ops_) -
+                  static_cast<std::int64_t>(partner_ops);
+    fresh.child = partner_root;
+    kids.push_back(std::move(fresh));
+    root_ = std::make_shared<const HistoryNode>(root_->name, std::move(kids));
+  }
+
+  // Used by adversarial generators to install arbitrary (valid-format) trees.
+  void install(HistoryNodePtr root, std::uint64_t ops) {
+    root_ = std::move(root);
+    ops_ = ops;
+  }
+
+ private:
+  HistoryNodePtr root_;
+  std::uint64_t ops_ = 0;
+};
+
+struct CollisionDetectorParams {
+  std::uint32_t depth_h = 1;  // H: maximum path length considered
+  std::uint64_t smax = 1;     // sync values drawn from {1..smax}
+  std::uint32_t th = 1;       // initial edge timer T_H
+  // The direct rule "equal names meeting declare a collision". Protocol 7
+  // detects only through third parties, which cannot work at n = 2 (there is
+  // no third agent); the direct rule is the paper's H = 0 warm-up and can
+  // never fire in a non-colliding configuration, so it is safe. See
+  // DESIGN.md.
+  bool direct_check = true;
+  // Root edges expired for more than this many owner operations are dropped
+  // at the next graft (0 = keep forever). Bounds the root degree by ~the
+  // number of distinct partners met within the window.
+  std::uint64_t prune_window = 0;
+};
+
+struct CollisionDetectorStats {
+  std::uint64_t calls = 0;
+  std::uint64_t nodes_visited = 0;       // detection DFS work
+  std::uint64_t paths_checked = 0;       // Check-Path-Consistency runs
+  std::uint64_t max_nodes_one_call = 0;  // worst single detection DFS
+  std::uint64_t collisions_reported = 0;
+};
+
+// Stateless with respect to agents; owns parameters and instrumentation.
+class CollisionDetector {
+ public:
+  explicit CollisionDetector(CollisionDetectorParams params)
+      : params_(params) {}
+
+  const CollisionDetectorParams& params() const { return params_; }
+  const CollisionDetectorStats& stats() const { return stats_; }
+
+  // Protocol 7, Detect-Name-Collision(a, b). Returns true iff a collision is
+  // detected; otherwise performs the mutual tree exchange and timer tick.
+  // Both trees must be initialized.
+  bool detect_and_update(HistoryTree& a, HistoryTree& b, Rng& rng) {
+    ++stats_.calls;
+    std::uint64_t call_nodes = 0;
+    if (params_.direct_check && a.own_name() == b.own_name()) {
+      ++stats_.collisions_reported;
+      return true;
+    }
+    // Lines 1-4: check all of a's live histories about b and vice versa.
+    if (has_inconsistent_path(a, b, call_nodes) ||
+        has_inconsistent_path(b, a, call_nodes)) {
+      stats_.nodes_visited += call_nodes;
+      stats_.max_nodes_one_call =
+          std::max(stats_.max_nodes_one_call, call_nodes);
+      ++stats_.collisions_reported;
+      return true;
+    }
+    stats_.nodes_visited += call_nodes;
+    stats_.max_nodes_one_call =
+        std::max(stats_.max_nodes_one_call, call_nodes);
+    // Line 5: the shared fresh sync value.
+    const std::uint64_t x = rng.range(1, params_.smax);
+    // Lines 6-10: mutual graft of pre-interaction snapshots, trimmed to
+    // depth H-1. For H = 1 the trim leaves only the partner's bare name, so
+    // we materialize it (a canonical leaf): this cuts the reference chain
+    // into the partner's history entirely and gives the depth-1
+    // "dictionary" of the paper's warm-up O(sqrt n) protocol with O(1)
+    // memory per edge. For H >= 2 the trim stays lazy (see class comment).
+    HistoryNodePtr a_for_b;
+    HistoryNodePtr b_for_a;
+    if (params_.depth_h == 1) {
+      a_for_b = std::make_shared<const HistoryNode>(
+          a.own_name(), std::vector<HistoryEdge>{});
+      b_for_a = std::make_shared<const HistoryNode>(
+          b.own_name(), std::vector<HistoryEdge>{});
+    } else {
+      a_for_b = a.root();
+      b_for_a = b.root();
+    }
+    const std::uint64_t a_ops = a.ops();
+    const std::uint64_t b_ops = b.ops();
+    a.graft(b_for_a, b_ops, x, params_.th, params_.prune_window);
+    b.graft(a_for_b, a_ops, x, params_.th, params_.prune_window);
+    // Lines 13-14: global timer decrement.
+    a.tick();
+    b.tick();
+    return false;
+  }
+
+  // Exposed for unit tests: Protocol 8 on an explicit path. `names` holds
+  // the path's node labels from the root (names[0] = i's own name) to the
+  // final node (named j); `syncs[k]` is the sync on the edge into names[k]
+  // (syncs[0] unused). Returns true iff consistent.
+  bool check_path_consistency(const HistoryTree& j_tree,
+                              const std::vector<Name>& names,
+                              const std::vector<std::uint64_t>& syncs) const {
+    const std::size_t p = names.size() - 1;
+    const HistoryNode* cur = j_tree.root().get();
+    for (std::size_t t = 1; t <= p && t <= params_.depth_h; ++t) {
+      const Name& want = names[p - t];
+      const HistoryEdge* next = find_child(*cur, want);
+      if (next == nullptr) break;  // the reverse suffix ends here
+      // j.e_{p-t+1} in the paper's indexing corresponds to i's edge with
+      // sync syncs[p-t+1].
+      if (next->sync == syncs[p - t + 1]) return true;
+      cur = next->child.get();
+    }
+    return false;  // Inconsistent: no edge of the reverse suffix matched
+  }
+
+ private:
+  static const HistoryEdge* find_child(const HistoryNode& node,
+                                       const Name& name) {
+    for (const auto& e : node.children)
+      if (e.child->name == name) return &e;
+    return nullptr;
+  }
+
+  // Line 2 of Protocol 7: DFS over all live (all timers positive), simply
+  // labelled paths of length <= H in i's tree that end at a node named
+  // j.name; returns true iff any fails Check-Path-Consistency against j.
+  bool has_inconsistent_path(const HistoryTree& i_tree,
+                             const HistoryTree& j_tree,
+                             std::uint64_t& nodes_visited) {
+    const Name target = j_tree.own_name();
+    path_names_.clear();
+    path_syncs_.clear();
+    path_names_.push_back(i_tree.own_name());
+    path_syncs_.push_back(0);
+    return dfs(*i_tree.root(), /*sigma=*/0,
+               static_cast<std::int64_t>(i_tree.ops()), /*depth=*/0, target,
+               j_tree, nodes_visited);
+  }
+
+  bool dfs(const HistoryNode& node, std::int64_t sigma, std::int64_t ops,
+           std::uint32_t depth, const Name& target,
+           const HistoryTree& j_tree, std::uint64_t& nodes_visited) {
+    if (depth >= params_.depth_h) return false;
+    for (const auto& e : node.children) {
+      ++nodes_visited;
+      const Name& cn = e.child->name;
+      if (e.expiry + sigma - ops <= 0) continue;  // outdated: timer hit 0
+      if (!e.child->digest.may_contain(target)) continue;  // Bloom prune
+      bool repeated = false;  // lazy simple-labeling / own-name removal
+      for (const Name& anc : path_names_)
+        if (anc == cn) {
+          repeated = true;
+          break;
+        }
+      if (repeated) continue;
+      path_names_.push_back(cn);
+      path_syncs_.push_back(e.sync);
+      bool bad = false;
+      if (cn == target) {
+        ++stats_.paths_checked;
+        bad = !check_path_consistency(j_tree, path_names_, path_syncs_);
+      }
+      if (!bad)
+        bad = dfs(*e.child, sigma + e.shift, ops, depth + 1, target, j_tree,
+                  nodes_visited);
+      path_names_.pop_back();
+      path_syncs_.pop_back();
+      if (bad) return true;
+    }
+    return false;
+  }
+
+  CollisionDetectorParams params_;
+  CollisionDetectorStats stats_;
+  // Scratch buffers reused across calls to avoid per-interaction allocation.
+  std::vector<Name> path_names_;
+  std::vector<std::uint64_t> path_syncs_;
+};
+
+// --- Introspection helpers (tests, state accounting, demos). ---
+
+// Counts the logical nodes of the tree as the protocol defines it (depth
+// limit, live-or-dead edges, simple labeling). Exponential in the worst
+// case; use on small trees only.
+inline std::uint64_t logical_node_count(const HistoryNode& node,
+                                        std::uint32_t depth_left,
+                                        std::vector<Name>& path) {
+  std::uint64_t count = 1;
+  if (depth_left == 0) return count;
+  path.push_back(node.name);
+  for (const auto& e : node.children) {
+    bool repeated = false;
+    for (const Name& anc : path)
+      if (anc == e.child->name) {
+        repeated = true;
+        break;
+      }
+    if (repeated) continue;
+    count += logical_node_count(*e.child, depth_left - 1, path);
+  }
+  path.pop_back();
+  return count;
+}
+
+inline std::uint64_t logical_node_count(const HistoryTree& tree,
+                                        std::uint32_t depth_h) {
+  std::vector<Name> path;
+  return tree.initialized() ? logical_node_count(*tree.root(), depth_h, path)
+                            : 0;
+}
+
+// Counts only live paths (all timers positive), i.e. the portion the
+// detection DFS can visit.
+inline std::uint64_t live_node_count(const HistoryNode& node,
+                                     std::int64_t sigma, std::int64_t ops,
+                                     std::uint32_t depth_left,
+                                     std::vector<Name>& path) {
+  std::uint64_t count = 1;
+  if (depth_left == 0) return count;
+  path.push_back(node.name);
+  for (const auto& e : node.children) {
+    if (e.expiry + sigma - ops <= 0) continue;
+    bool repeated = false;
+    for (const Name& anc : path)
+      if (anc == e.child->name) {
+        repeated = true;
+        break;
+      }
+    if (repeated) continue;
+    count += live_node_count(*e.child, sigma + e.shift, ops, depth_left - 1,
+                             path);
+  }
+  path.pop_back();
+  return count;
+}
+
+inline std::uint64_t live_node_count(const HistoryTree& tree,
+                                     std::uint32_t depth_h) {
+  std::vector<Name> path;
+  return tree.initialized()
+             ? live_node_count(*tree.root(), 0,
+                               static_cast<std::int64_t>(tree.ops()), depth_h,
+                               path)
+             : 0;
+}
+
+}  // namespace ppsim

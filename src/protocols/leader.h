@@ -1,0 +1,57 @@
+// The SSLE view of a ranking protocol (Section 2): any protocol solving SSR
+// solves SSLE by declaring leader <=> rank = 1. These helpers expose that
+// view over a configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace ppsim {
+
+// True iff this agent is the leader under the rank-1 rule.
+template <RankingProtocol P>
+bool is_leader(const P& protocol, const typename P::State& s) {
+  return protocol.rank_of(s) == 1;
+}
+
+template <RankingProtocol P>
+std::uint32_t count_leaders(const P& protocol,
+                            const std::vector<typename P::State>& states) {
+  std::uint32_t count = 0;
+  for (const auto& s : states)
+    if (is_leader(protocol, s)) ++count;
+  return count;
+}
+
+// Index of the unique leader, or nullopt if there is not exactly one.
+template <RankingProtocol P>
+std::optional<std::uint32_t> unique_leader(
+    const P& protocol, const std::vector<typename P::State>& states) {
+  std::optional<std::uint32_t> found;
+  for (std::uint32_t i = 0; i < states.size(); ++i) {
+    if (is_leader(protocol, states[i])) {
+      if (found) return std::nullopt;
+      found = i;
+    }
+  }
+  return found;
+}
+
+// True iff ranks form a permutation of 1..n (full-scan check; the
+// incremental RankTracker is used inside hot loops instead).
+template <RankingProtocol P>
+bool is_correctly_ranked(const P& protocol,
+                         const std::vector<typename P::State>& states) {
+  std::vector<bool> seen(states.size() + 1, false);
+  for (const auto& s : states) {
+    const std::uint32_t r = protocol.rank_of(s);
+    if (r == 0 || r > states.size() || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,62 @@
+// The Observation 2.5 protocol: silent SSLE for n = 3 whose states cannot be
+// assigned ranks (so SSLE does not imply SSR "for free").
+//
+// States are {l, f0..f4}. The five silent configurations are {l, fi, fj}
+// with |i-j| = 1 (mod 5); every other pair of states (equal states, or two
+// followers at non-adjacent indices) jumps to a uniformly random pair of
+// states. Because |F| = 5 is odd, no assignment of ranks {2,3} to f0..f4 can
+// rank all five silent configurations consistently — the impossibility the
+// observation proves, which tests/obs25_test.cpp verifies by enumeration.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/rng.h"
+
+namespace ppsim {
+
+class Obs25SSLE {
+ public:
+  // 0 = leader l, 1..5 = followers f0..f4.
+  struct State {
+    std::uint8_t v = 0;
+  };
+
+  static constexpr std::uint32_t kStates = 6;
+
+  explicit Obs25SSLE(std::uint32_t n) {
+    if (n != 3)
+      throw std::invalid_argument("Observation 2.5 protocol is for n = 3");
+  }
+
+  std::uint32_t population_size() const { return 3; }
+
+  static bool adjacent_followers(std::uint8_t a, std::uint8_t b) {
+    if (a == 0 || b == 0) return false;
+    const int i = a - 1;
+    const int j = b - 1;
+    const int d = ((i - j) % 5 + 5) % 5;
+    return d == 1 || d == 4;  // |i-j| = 1 (mod 5)
+  }
+
+  // Null pairs are exactly {l, fi} and adjacent follower pairs.
+  bool is_null_pair(const State& a, const State& b) const {
+    if (a.v != b.v &&
+        (a.v == 0 || b.v == 0 || adjacent_followers(a.v, b.v)))
+      return true;
+    return false;
+  }
+
+  void interact(State& a, State& b, Rng& rng) const {
+    if (is_null_pair(a, b)) return;
+    a.v = static_cast<std::uint8_t>(rng.below(kStates));
+    b.v = static_cast<std::uint8_t>(rng.below(kStates));
+  }
+
+  bool is_leader(const State& s) const { return s.v == 0; }
+
+ private:
+};
+
+}  // namespace ppsim

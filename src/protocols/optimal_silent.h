@@ -1,0 +1,187 @@
+// Optimal-Silent-SSR (Protocols 3 and 4, Section 4).
+//
+// A silent self-stabilizing ranking protocol with O(n) states and O(n)
+// expected parallel time — both optimal for silent protocols (Observation
+// 2.6). Structure:
+//
+//   * Errors trigger Propagate-Reset (Protocol 2): either two Settled agents
+//     collide on a rank, or an Unsettled agent waits Emax = Theta(n)
+//     interactions without receiving one.
+//   * The reset's dormant phase is stretched to Dmax = Theta(n), during which
+//     all Resetting agents run the slow leader election L,L -> L,F (every
+//     agent enters the Resetting role as L), so the population awakens with a
+//     unique leader with constant probability (Lemma 4.2).
+//   * Upon Reset, the leader becomes Settled with rank 1 and everyone else
+//     Unsettled; Settled agents then recruit Unsettled agents into a full
+//     binary tree of ranks (children of rank i are 2i and 2i+1), which
+//     completes in O(n) time (Lemma 4.1, Figure 1).
+//
+// Erratum note: Protocol 3 line 9 reads "2*i.rank + i.children < n", which
+// with 1-based ranks would never assign rank n (contradicting Figure 1, where
+// rank 12 is assigned for n = 12). We use <= n; see DESIGN.md.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/rng.h"
+#include "reset/propagate_reset.h"
+
+namespace ppsim {
+
+enum class OsRole : std::uint8_t { Settled, Unsettled, Resetting };
+
+struct OptimalSilentParams {
+  std::uint32_t n = 0;
+  std::uint32_t emax = 0;  // Unsettled patience, Theta(n)
+  std::uint32_t dmax = 0;  // dormant delay, Theta(n)
+  std::uint32_t rmax = 0;  // reset wave height, Theta(log n)
+
+  // Defaults validated by tests and stressed by bench/bench_ablations. The
+  // paper's proof constants (Rmax = 60 ln n and unspecified Theta(n)'s) are
+  // deliberately generous; these are the smallest round values at which the
+  // per-epoch success probability stays high at simulable sizes.
+  static OptimalSilentParams standard(std::uint32_t n) {
+    if (n < 2) throw std::invalid_argument("population size must be >= 2");
+    OptimalSilentParams p;
+    p.n = n;
+    p.emax = 16 * n;
+    p.dmax = 8 * n;
+    p.rmax = static_cast<std::uint32_t>(
+        std::ceil(8.0 * std::log(static_cast<double>(n)))) + 4;
+    return p;
+  }
+};
+
+class OptimalSilentSSR {
+ public:
+  struct State {
+    OsRole role = OsRole::Unsettled;
+    // Settled fields.
+    std::uint32_t rank = 0;      // {1..n}
+    std::uint8_t children = 0;   // {0,1,2}
+    // Unsettled fields.
+    std::uint32_t errorcount = 0;  // {0..Emax}
+    // Resetting fields.
+    bool leader = false;           // L = true, F = false
+    std::uint32_t resetcount = 0;  // {0..Rmax}
+    std::uint32_t delaytimer = 0;  // {0..Dmax}, meaningful when resetcount=0
+  };
+
+  struct Counters {
+    std::uint64_t collision_triggers = 0;  // line 5: two Settled, same rank
+    std::uint64_t timeout_triggers = 0;    // line 16: errorcount hit 0
+    std::uint64_t resets_executed = 0;     // Protocol 4 invocations
+    std::uint64_t recruits = 0;            // binary-tree rank assignments
+  };
+
+  explicit OptimalSilentSSR(OptimalSilentParams params) : params_(params) {
+    if (params.n < 2) throw std::invalid_argument("population size >= 2");
+    if (params.emax == 0 || params.dmax == 0 || params.rmax == 0)
+      throw std::invalid_argument("constants must be positive");
+  }
+
+  std::uint32_t population_size() const { return params_.n; }
+  const OptimalSilentParams& params() const { return params_; }
+  const Counters& counters() const { return counters_; }
+
+  // Protocol 3, for initiator a and responder b.
+  void interact(State& a, State& b, Rng&) {
+    // Lines 1-4: resetting machinery plus the slow leader election.
+    if (a.role == OsRole::Resetting || b.role == OsRole::Resetting) {
+      propagate_reset_step(*this, a, b);
+      if (a.role == OsRole::Resetting && b.role == OsRole::Resetting &&
+          a.leader && b.leader) {
+        b.leader = false;  // L,L -> L,F
+      }
+    }
+    // Lines 5-7: rank-collision detection between Settled agents.
+    if (a.role == OsRole::Settled && b.role == OsRole::Settled &&
+        a.rank == b.rank) {
+      ++counters_.collision_triggers;
+      trigger_reset(a);
+      trigger_reset(b);
+    }
+    // Lines 8-12: binary-tree rank assignment.
+    assign_rank(a, b);
+    assign_rank(b, a);
+    // Lines 13-18: Unsettled patience countdown.
+    for (State* i : {&a, &b}) {
+      if (i->role != OsRole::Unsettled) continue;
+      if (i->errorcount > 0) --i->errorcount;
+      if (i->errorcount == 0) {
+        // Lines 16-18 re-trigger both agents unconditionally (even one
+        // already Resetting): a fresh error restarts the wave.
+        ++counters_.timeout_triggers;
+        trigger_reset(a);
+        trigger_reset(b);
+      }
+    }
+  }
+
+  std::uint32_t rank_of(const State& s) const {
+    return s.role == OsRole::Settled ? s.rank : 0;
+  }
+
+  // The stable configuration (all Settled, distinct ranks) is silent: every
+  // pair of distinct-rank Settled states has only the null transition.
+  bool is_null_pair(const State& a, const State& b) const {
+    return a.role == OsRole::Settled && b.role == OsRole::Settled &&
+           a.rank != b.rank;
+  }
+
+  // --- ResetHost hooks for propagate_reset_step (Protocol 2). ---
+  bool is_resetting(const State& s) const {
+    return s.role == OsRole::Resetting;
+  }
+  std::uint32_t& reset_count(State& s) const { return s.resetcount; }
+  std::uint32_t& delay_timer(State& s) const { return s.delaytimer; }
+  // "All agents set themselves to L upon entering the Resetting role"
+  // (Section 4), so the dormant phase runs leader election over everyone.
+  void recruit(State& s) const {
+    s.role = OsRole::Resetting;
+    s.resetcount = 0;
+    s.delaytimer = params_.dmax;
+    s.leader = true;
+  }
+  // Protocol 4: Reset(a).
+  void reset_agent(State& s) {
+    ++counters_.resets_executed;
+    if (s.leader) {
+      s.role = OsRole::Settled;
+      s.rank = 1;
+      s.children = 0;
+    } else {
+      s.role = OsRole::Unsettled;
+      s.errorcount = params_.emax;
+    }
+  }
+  std::uint32_t dmax() const { return params_.dmax; }
+
+ private:
+  // Lines 8-12 for the ordered role pair (settled recruiter i, candidate j).
+  void assign_rank(State& i, State& j) {
+    if (i.role == OsRole::Settled && j.role == OsRole::Unsettled &&
+        i.children < 2 &&
+        2ull * i.rank + i.children <= params_.n) {  // erratum: <= (see above)
+      j.role = OsRole::Settled;
+      j.children = 0;
+      j.rank = 2 * i.rank + i.children;
+      ++i.children;
+      ++counters_.recruits;
+    }
+  }
+
+  void trigger_reset(State& s) {
+    s.role = OsRole::Resetting;
+    s.resetcount = params_.rmax;
+    s.delaytimer = 0;
+    s.leader = true;
+  }
+
+  OptimalSilentParams params_;
+  Counters counters_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,98 @@
+// Propagate-Reset (Protocol 2, Section 3).
+//
+// A reusable subprotocol by which an agent that detects an error triggers a
+// global restart: the trigger (resetcount = Rmax) spreads by epidemic as a
+// propagating variable a,b <- max(a-1, b-1, 0) (Observation 3.1); once
+// everyone's count hits 0 the population is dormant; dormant agents count a
+// delaytimer down from Dmax and then execute the host protocol's Reset, and
+// the instruction to awaken spreads by epidemic (a dormant agent that meets a
+// computing agent resets immediately).
+//
+// Crucially, agents keep no memory of whether a reset already happened
+// (Section 3, footnote 10): an adversary could otherwise plant "already
+// reset" markers and suppress the reset forever.
+//
+// The host protocol supplies role management through the Host concept below:
+//   is_resetting(s)      - whether s is in the Resetting role
+//   reset_count(s)       - mutable access to resetcount  (Resetting only)
+//   delay_timer(s)       - mutable access to delaytimer  (Resetting only)
+//   recruit(s)           - enter the Resetting role with resetcount = 0,
+//                          delaytimer = Dmax, plus protocol-specific
+//                          initialization (e.g. leader <- L in Protocol 3)
+//   reset_agent(s)       - the Reset subroutine; must leave the Resetting role
+//   dmax()               - the delay constant Dmax
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+
+namespace ppsim {
+
+template <class H, class State>
+concept ResetHost = requires(H h, State& s, const State& cs) {
+  { h.is_resetting(cs) } -> std::convertible_to<bool>;
+  { h.reset_count(s) } -> std::convertible_to<std::uint32_t&>;
+  { h.delay_timer(s) } -> std::convertible_to<std::uint32_t&>;
+  { h.recruit(s) };
+  { h.reset_agent(s) };
+  { h.dmax() } -> std::convertible_to<std::uint32_t>;
+};
+
+// Executes Propagate-Reset for an interacting pair where at least one agent
+// is in the Resetting role. Follows Protocol 2 line by line; the "other
+// agent is computing" awakening test uses pre-interaction roles, so the first
+// agent to awaken does not also awaken its partner within the same
+// interaction (matching the paper's definition of an awakening
+// configuration).
+template <class Host, class State>
+  requires ResetHost<Host, State>
+void propagate_reset_step(Host& host, State& a, State& b) {
+  const bool a_was_resetting = host.is_resetting(a);
+  const bool b_was_resetting = host.is_resetting(b);
+  assert(a_was_resetting || b_was_resetting);
+
+  // Lines 1-2: a propagating agent recruits a computing partner.
+  if (a_was_resetting && !b_was_resetting && host.reset_count(a) > 0) {
+    host.recruit(b);
+  } else if (b_was_resetting && !a_was_resetting &&
+             host.reset_count(b) > 0) {
+    host.recruit(a);
+  }
+
+  // Lines 3-4: the propagating-variable max rule (Observation 3.1). A
+  // computing agent has virtual resetcount 0, in which case the rule is a
+  // no-op on the resetting side, so we only apply it when both agents are
+  // (now) in the Resetting role.
+  bool a_just_zero = false;
+  bool b_just_zero = false;
+  if (host.is_resetting(a) && host.is_resetting(b)) {
+    const std::uint32_t ra = host.reset_count(a);
+    const std::uint32_t rb = host.reset_count(b);
+    const std::uint32_t v = std::max(std::max(ra, rb), 1u) - 1;
+    a_just_zero = ra > 0 && v == 0;
+    b_just_zero = rb > 0 && v == 0;
+    host.reset_count(a) = v;
+    host.reset_count(b) = v;
+  }
+
+  // Lines 5-11: dormant agents tick their delay timer and possibly awaken.
+  auto handle_dormant = [&](State& self, bool self_just_zero,
+                            bool other_was_resetting) {
+    if (!host.is_resetting(self) || host.reset_count(self) != 0) return;
+    std::uint32_t& timer = host.delay_timer(self);
+    if (self_just_zero) {
+      timer = host.dmax();  // line 7: initialize the delay
+    } else if (timer > 0) {
+      --timer;  // line 9
+    }
+    if (timer == 0 || !other_was_resetting) {
+      host.reset_agent(self);  // lines 10-11: awaken
+    }
+  };
+  handle_dormant(a, a_just_zero, b_was_resetting);
+  handle_dormant(b, b_just_zero, a_was_resetting);
+}
+
+}  // namespace ppsim

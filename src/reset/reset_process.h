@@ -1,0 +1,73 @@
+// A minimal host protocol around Propagate-Reset, used to study the reset
+// machinery in isolation (Section 3's lemmas) in tests and in
+// bench/bench_propagate_reset. Agents are either Computing (a single
+// contentless state) or Resetting; Reset returns them to Computing and
+// counts how many times each agent has reset.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+#include "reset/propagate_reset.h"
+
+namespace ppsim {
+
+class ResetProcess {
+ public:
+  struct State {
+    bool resetting = false;
+    std::uint32_t resetcount = 0;
+    std::uint32_t delaytimer = 0;
+    std::uint32_t resets_executed = 0;  // per-agent Reset() invocations
+  };
+
+  ResetProcess(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax)
+      : n_(n), rmax_(rmax), dmax_(dmax) {
+    if (n < 2) throw std::invalid_argument("population size must be >= 2");
+  }
+
+  std::uint32_t population_size() const { return n_; }
+  std::uint32_t rmax() const { return rmax_; }
+
+  void interact(State& a, State& b, Rng&) {
+    if (a.resetting || b.resetting) propagate_reset_step(*this, a, b);
+  }
+
+  std::uint32_t rank_of(const State&) const { return 0; }
+
+  // Marks an agent as having just detected an error (Protocol 2 precondition:
+  // "some agent becoming triggered").
+  void trigger(State& s) const {
+    s.resetting = true;
+    s.resetcount = rmax_;
+    s.delaytimer = 0;
+  }
+
+  // --- ResetHost hooks. ---
+  bool is_resetting(const State& s) const { return s.resetting; }
+  std::uint32_t& reset_count(State& s) const { return s.resetcount; }
+  std::uint32_t& delay_timer(State& s) const { return s.delaytimer; }
+  void recruit(State& s) const {
+    s.resetting = true;
+    s.resetcount = 0;
+    s.delaytimer = dmax_;
+  }
+  void reset_agent(State& s) {
+    s.resetting = false;
+    ++s.resets_executed;
+    ++total_resets_;
+  }
+  std::uint32_t dmax() const { return dmax_; }
+
+  std::uint64_t total_resets() const { return total_resets_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t rmax_;
+  std::uint32_t dmax_;
+  std::uint64_t total_resets_ = 0;
+};
+
+}  // namespace ppsim

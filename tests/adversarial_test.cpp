@@ -1,0 +1,221 @@
+// The cross-protocol self-stabilization property suite: every protocol must
+// reach its stably-correct configuration from every adversarial family, and
+// the SSLE view (leader <=> rank 1) must then hold. These are the
+// "probability 1 from any configuration" guarantees of Theorems 2.4, 4.3,
+// and 5.7, exercised across sizes and seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "core/simulation.h"
+#include "protocols/leader.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/sublinear.h"
+
+namespace ppsim {
+namespace {
+
+// ---------- Sublinear-Time-SSR across adversaries, H values, sizes. ----------
+
+struct SlCase {
+  SlAdversary kind;
+  std::uint32_t n;
+  std::uint32_t h;  // 0 means "log-time configuration"
+};
+
+std::string sl_case_name(const ::testing::TestParamInfo<SlCase>& info) {
+  const auto& c = info.param;
+  std::string name = std::string(to_string(c.kind)) + "_n" +
+                     std::to_string(c.n) + "_H" +
+                     (c.h == 0 ? std::string("log") : std::to_string(c.h));
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
+  return name;
+}
+
+class SublinearAdversaryTest : public ::testing::TestWithParam<SlCase> {};
+
+TEST_P(SublinearAdversaryTest, StabilizesAndElectsLeader) {
+  const SlCase c = GetParam();
+  const SublinearParams p = c.h == 0 ? SublinearParams::log_time(c.n)
+                                     : SublinearParams::constant_h(c.n, c.h);
+  for (int trial = 0; trial < 2; ++trial) {
+    SublinearTimeSSR proto(p);
+    auto init = sublinear_config(p, c.kind, derive_seed(c.n * 131 + c.h, trial));
+    RunOptions opts;
+    const std::uint64_t per_epoch = static_cast<std::uint64_t>(p.n) *
+                                    (4ull * p.th + 4ull * p.dmax + 200);
+    opts.max_interactions = 80ull * per_epoch + (1ull << 22);
+    opts.tail_ptime = 3.0 * p.th + 10;
+    const RunResult r = run_until_ranked(proto, std::move(init),
+                                         derive_seed(c.n * 137 + c.h, trial),
+                                         opts);
+    ASSERT_TRUE(r.stabilized)
+        << to_string(c.kind) << " n=" << c.n << " H=" << c.h << " trial "
+        << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SublinearAdversaryTest,
+    ::testing::Values(
+        // H = 1 (the sqrt(n)-time warm-up structure).
+        SlCase{SlAdversary::kUniformRandom, 8, 1},
+        SlCase{SlAdversary::kDuplicateNames, 8, 1},
+        SlCase{SlAdversary::kGhostNames, 8, 1},
+        SlCase{SlAdversary::kPoisonedTrees, 8, 1},
+        SlCase{SlAdversary::kMidReset, 8, 1},
+        SlCase{SlAdversary::kAllSameName, 8, 1},
+        SlCase{SlAdversary::kShortNames, 8, 1},
+        SlCase{SlAdversary::kCorrectRanked, 8, 1},
+        // H = 2 at a larger size.
+        SlCase{SlAdversary::kUniformRandom, 24, 2},
+        SlCase{SlAdversary::kDuplicateNames, 24, 2},
+        SlCase{SlAdversary::kGhostNames, 24, 2},
+        SlCase{SlAdversary::kPoisonedTrees, 24, 2},
+        SlCase{SlAdversary::kAllSameName, 24, 2},
+        // The log-time configuration.
+        SlCase{SlAdversary::kUniformRandom, 16, 0},
+        SlCase{SlAdversary::kDuplicateNames, 16, 0},
+        SlCase{SlAdversary::kGhostNames, 16, 0},
+        SlCase{SlAdversary::kPoisonedTrees, 16, 0},
+        SlCase{SlAdversary::kMidReset, 16, 0},
+        // Tiny populations.
+        SlCase{SlAdversary::kAllSameName, 2, 1},
+        SlCase{SlAdversary::kUniformRandom, 3, 1},
+        SlCase{SlAdversary::kDuplicateNames, 3, 0}),
+    sl_case_name);
+
+// ---------- Leader view after stabilization, all protocols. ----------
+
+TEST(LeaderView, SilentNStateElectsExactlyOne) {
+  constexpr std::uint32_t kN = 12;
+  SilentNStateSSR proto(kN);
+  RunOptions opts;
+  opts.max_interactions = 1ull << 26;
+  const RunResult r = run_until_ranked(
+      proto, silent_nstate_random_config(kN, 3), 5, opts);
+  ASSERT_TRUE(r.stabilized);
+}
+
+TEST(LeaderView, OptimalSilentElectsExactlyOne) {
+  constexpr std::uint32_t kN = 24;
+  OptimalSilentSSR proto(OptimalSilentParams::standard(kN));
+  auto init = optimal_silent_config(proto.params(),
+                                    OsAdversary::kUniformRandom, 11);
+  Simulation<OptimalSilentSSR> sim(proto, std::move(init), 13);
+  while (!is_correctly_ranked(sim.protocol(), sim.states())) {
+    sim.step();
+    ASSERT_LT(sim.interactions(), 1ull << 27);
+  }
+  EXPECT_EQ(count_leaders(sim.protocol(), sim.states()), 1u);
+}
+
+// ---------- Composition (the self-stabilization selling point). ----------
+
+// A prior computation may leave the ranking protocol's memory in any state;
+// simulate that by running the protocol, corrupting everything mid-flight,
+// and requiring re-stabilization.
+TEST(Composition, OptimalSilentSurvivesMidRunCorruption) {
+  constexpr std::uint32_t kN = 32;
+  OptimalSilentSSR proto(OptimalSilentParams::standard(kN));
+  auto init = optimal_silent_config(proto.params(),
+                                    OsAdversary::kCorrectRanking, 1);
+  Simulation<OptimalSilentSSR> sim(proto, std::move(init), 17);
+  sim.run(10000);
+  ASSERT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
+  // Transient fault: scramble every agent.
+  auto corrupted = optimal_silent_config(sim.protocol().params(),
+                                         OsAdversary::kUniformRandom, 19);
+  sim.mutable_states() = corrupted;
+  // Re-stabilizes.
+  std::uint64_t budget = 1ull << 27;
+  while (!is_correctly_ranked(sim.protocol(), sim.states()) && budget-- > 0)
+    sim.step();
+  ASSERT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
+  EXPECT_EQ(count_leaders(sim.protocol(), sim.states()), 1u);
+}
+
+TEST(Composition, SublinearSurvivesRepeatedFaults) {
+  const SublinearParams p = SublinearParams::constant_h(12, 2);
+  SublinearTimeSSR proto(p);
+  auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 23);
+  Simulation<SublinearTimeSSR> sim(proto, std::move(init), 29);
+  for (int round = 0; round < 3; ++round) {
+    auto corrupted =
+        sublinear_config(p, SlAdversary::kUniformRandom, 31 + round);
+    sim.mutable_states() = corrupted;
+    std::uint64_t budget = 1ull << 26;
+    while (!is_correctly_ranked(sim.protocol(), sim.states()) &&
+           budget-- > 0)
+      sim.step();
+    ASSERT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()))
+        << "round " << round;
+  }
+}
+
+// ---------- Generator sanity: adversarial states are valid states. ----------
+
+TEST(Generators, SublinearStatesSatisfyValidity) {
+  for (auto kind :
+       {SlAdversary::kUniformRandom, SlAdversary::kCorrectRanked,
+        SlAdversary::kDuplicateNames, SlAdversary::kGhostNames,
+        SlAdversary::kPoisonedTrees, SlAdversary::kMidReset,
+        SlAdversary::kAllSameName, SlAdversary::kShortNames}) {
+    const SublinearParams p = SublinearParams::constant_h(12, 2);
+    const auto states = sublinear_config(p, kind, 101);
+    ASSERT_EQ(states.size(), p.n);
+    for (const auto& s : states) {
+      if (s.role == SlRole::Collecting) {
+        EXPECT_TRUE(s.tree.initialized()) << to_string(kind);
+        EXPECT_TRUE(s.roster.contains(s.name)) << to_string(kind);
+        EXPECT_LE(s.name.length(), p.name_len);
+      } else {
+        EXPECT_LE(s.resetcount, p.rmax);
+        EXPECT_LE(s.delaytimer, p.dmax);
+      }
+    }
+  }
+}
+
+TEST(Generators, OptimalSilentStatesSatisfyValidity) {
+  const auto p = OptimalSilentParams::standard(16);
+  for (auto kind :
+       {OsAdversary::kUniformRandom, OsAdversary::kAllLeaders,
+        OsAdversary::kAllUnsettledZero, OsAdversary::kDuplicateRank,
+        OsAdversary::kAllPropagating, OsAdversary::kAllDormant,
+        OsAdversary::kCorrectRanking}) {
+    const auto states = optimal_silent_config(p, kind, 103);
+    ASSERT_EQ(states.size(), p.n);
+    for (const auto& s : states) {
+      switch (s.role) {
+        case OsRole::Settled:
+          EXPECT_GE(s.rank, 1u);
+          EXPECT_LE(s.rank, p.n);
+          EXPECT_LE(s.children, 2u);
+          break;
+        case OsRole::Unsettled:
+          EXPECT_LE(s.errorcount, p.emax);
+          break;
+        case OsRole::Resetting:
+          EXPECT_LE(s.resetcount, p.rmax);
+          EXPECT_LE(s.delaytimer, p.dmax);
+          break;
+      }
+    }
+  }
+}
+
+TEST(Generators, DistinctNamesReallyDistinct) {
+  Rng rng(7);
+  const auto names = distinct_names(64, 18, rng);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_FALSE(names[i] == names[j]);
+}
+
+}  // namespace
+}  // namespace ppsim

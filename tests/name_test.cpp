@@ -1,0 +1,195 @@
+// Unit tests for packed names and rosters (Section 5.1 data structures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/name.h"
+#include "common/roster.h"
+#include "core/rng.h"
+
+namespace ppsim {
+namespace {
+
+TEST(Name, EmptyByDefault) {
+  Name n;
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n.length(), 0u);
+  EXPECT_EQ(n.to_string(), "eps");
+}
+
+TEST(Name, AppendBitsBuildsString) {
+  Name n;
+  n.append_bit(true);
+  n.append_bit(false);
+  n.append_bit(true);
+  EXPECT_EQ(n.length(), 3u);
+  EXPECT_EQ(n.to_string(), "101");
+  EXPECT_TRUE(n.bit(0));
+  EXPECT_FALSE(n.bit(1));
+  EXPECT_TRUE(n.bit(2));
+}
+
+TEST(Name, FromBitsMatchesAppend) {
+  const Name a = Name::from_bits(0b101, 3);
+  Name b;
+  b.append_bit(true);
+  b.append_bit(false);
+  b.append_bit(true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Name, BitThrowsPastLength) {
+  const Name n = Name::from_bits(0b1, 1);
+  EXPECT_THROW(n.bit(1), std::out_of_range);
+}
+
+TEST(Name, ClearResets) {
+  Name n = Name::from_bits(0b111, 3);
+  n.clear();
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n, Name());
+}
+
+TEST(Name, LexicographicOrderEqualLengths) {
+  const Name a = Name::from_bits(0b001, 3);  // "001"
+  const Name b = Name::from_bits(0b010, 3);  // "010"
+  const Name c = Name::from_bits(0b100, 3);  // "100"
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Name, PrefixSortsBeforeExtension) {
+  const Name p = Name::from_bits(0b10, 2);    // "10"
+  const Name e0 = Name::from_bits(0b100, 3);  // "100"
+  const Name e1 = Name::from_bits(0b101, 3);  // "101"
+  EXPECT_LT(p, e0);
+  EXPECT_LT(p, e1);
+  const Name eps;
+  EXPECT_LT(eps, p);
+}
+
+TEST(Name, OrderMatchesStringOrder) {
+  // Property: Name ordering equals std::string ordering of the bit strings.
+  Rng rng(42);
+  std::vector<Name> names;
+  for (int i = 0; i < 200; ++i)
+    names.push_back(
+        Name::from_bits(rng(), static_cast<std::uint32_t>(rng.below(12))));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      const std::string si = names[i].to_string() == "eps"
+                                 ? ""
+                                 : names[i].to_string();
+      const std::string sj = names[j].to_string() == "eps"
+                                 ? ""
+                                 : names[j].to_string();
+      EXPECT_EQ(names[i] < names[j], si < sj)
+          << si << " vs " << sj;
+      EXPECT_EQ(names[i] == names[j], si == sj);
+    }
+  }
+}
+
+TEST(Name, FullLengthIsThreeLogTwo) {
+  EXPECT_EQ(Name::full_length(2), 3u);
+  EXPECT_EQ(Name::full_length(8), 9u);
+  EXPECT_EQ(Name::full_length(9), 12u);  // ceil(log2 9) = 4
+  EXPECT_EQ(Name::full_length(1024), 30u);
+}
+
+TEST(Name, HashSpreadsValues) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t v = 0; v < 512; ++v)
+    hashes.insert(Name::from_bits(v, 9).hash());
+  EXPECT_EQ(hashes.size(), 512u);  // no collisions in a tiny set
+}
+
+TEST(Name, MaxLengthEnforced) {
+  Name n;
+  for (std::uint32_t i = 0; i < Name::kMaxBits; ++i) n.append_bit(true);
+  EXPECT_THROW(n.append_bit(true), std::length_error);
+  EXPECT_THROW(Name::from_bits(0, 64), std::invalid_argument);
+}
+
+TEST(Roster, SingletonContainsOwnName) {
+  const Name n = Name::from_bits(0b101, 3);
+  const Roster r = Roster::singleton(n);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.contains(n));
+}
+
+TEST(Roster, InsertKeepsSortedUnique) {
+  Roster r;
+  const Name a = Name::from_bits(0b01, 2);
+  const Name b = Name::from_bits(0b10, 2);
+  r.insert(b);
+  r.insert(a);
+  r.insert(b);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(r.names().begin(), r.names().end()));
+}
+
+TEST(Roster, UnionSizeWithoutMaterializing) {
+  Roster a, b;
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) a.insert(Name::from_bits(v, 4));
+  for (std::uint64_t v : {3ull, 4ull}) b.insert(Name::from_bits(v, 4));
+  EXPECT_EQ(Roster::union_size(a, b), 4u);
+  const Roster u = Roster::merged(a, b);
+  EXPECT_EQ(u.size(), 4u);
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 4ull})
+    EXPECT_TRUE(u.contains(Name::from_bits(v, 4)));
+}
+
+TEST(Roster, UnionSizeMatchesMergedSizeRandomized) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Roster a, b;
+    const auto ka = rng.below(20);
+    const auto kb = rng.below(20);
+    for (std::uint64_t i = 0; i < ka; ++i)
+      a.insert(Name::from_bits(rng.below(32), 5));
+    for (std::uint64_t i = 0; i < kb; ++i)
+      b.insert(Name::from_bits(rng.below(32), 5));
+    EXPECT_EQ(Roster::union_size(a, b), Roster::merged(a, b).size());
+  }
+}
+
+TEST(Roster, LexicographicRankIsOneBasedPosition) {
+  Roster r;
+  const Name a = Name::from_bits(0b00, 2);
+  const Name b = Name::from_bits(0b01, 2);
+  const Name c = Name::from_bits(0b11, 2);
+  r.insert(c);
+  r.insert(a);
+  r.insert(b);
+  EXPECT_EQ(r.lexicographic_rank(a), 1u);
+  EXPECT_EQ(r.lexicographic_rank(b), 2u);
+  EXPECT_EQ(r.lexicographic_rank(c), 3u);
+  // Defined (lower_bound position) even for absent names.
+  EXPECT_EQ(r.lexicographic_rank(Name::from_bits(0b10, 2)), 3u);
+}
+
+TEST(Roster, RanksOverFullPopulationAreAPermutation) {
+  Rng rng(13);
+  constexpr std::uint32_t kN = 64;
+  std::set<std::uint64_t> raw;
+  while (raw.size() < kN) raw.insert(rng.below(1 << 18));
+  Roster full;
+  std::vector<Name> names;
+  for (auto v : raw) {
+    names.push_back(Name::from_bits(v, 18));
+    full.insert(names.back());
+  }
+  std::set<std::uint32_t> ranks;
+  for (const auto& nm : names) ranks.insert(full.lexicographic_rank(nm));
+  EXPECT_EQ(ranks.size(), kN);
+  EXPECT_EQ(*ranks.begin(), 1u);
+  EXPECT_EQ(*ranks.rbegin(), kN);
+}
+
+}  // namespace
+}  // namespace ppsim

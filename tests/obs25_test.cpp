@@ -1,0 +1,120 @@
+// Tests for the Observation 2.5 protocol: silent SSLE for n = 3 that does
+// not solve ranking — including an enumeration proof of the observation's
+// impossibility argument.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "core/simulation.h"
+#include "protocols/obs25.h"
+
+namespace ppsim {
+namespace {
+
+using State = Obs25SSLE::State;
+
+bool is_silent_config(const Obs25SSLE& proto, const std::array<State, 3>& c) {
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (i != j && !proto.is_null_pair(c[i], c[j])) return false;
+  return true;
+}
+
+TEST(Obs25, OnlyNEqualsThree) {
+  EXPECT_THROW(Obs25SSLE(2), std::invalid_argument);
+  EXPECT_THROW(Obs25SSLE(4), std::invalid_argument);
+  EXPECT_NO_THROW(Obs25SSLE(3));
+}
+
+TEST(Obs25, AdjacencyIsModuloFive) {
+  EXPECT_TRUE(Obs25SSLE::adjacent_followers(1, 2));   // f0, f1
+  EXPECT_TRUE(Obs25SSLE::adjacent_followers(5, 1));   // f4, f0 (wraps)
+  EXPECT_FALSE(Obs25SSLE::adjacent_followers(1, 3));  // f0, f2
+  EXPECT_FALSE(Obs25SSLE::adjacent_followers(0, 1));  // leader not a follower
+}
+
+TEST(Obs25, SilentConfigsAreExactlyTheFive) {
+  // Enumerate all 6^3 configurations; the silent ones must be {l, fi, fj}
+  // with |i-j| = 1 mod 5 (in any agent order).
+  Obs25SSLE proto(3);
+  int silent_count = 0;
+  std::set<std::multiset<int>> silent_sets;
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z) {
+        std::array<State, 3> c = {State{static_cast<std::uint8_t>(x)},
+                                  State{static_cast<std::uint8_t>(y)},
+                                  State{static_cast<std::uint8_t>(z)}};
+        if (is_silent_config(proto, c)) {
+          ++silent_count;
+          silent_sets.insert({x, y, z});
+        }
+      }
+  EXPECT_EQ(silent_sets.size(), 5u);  // exactly 5 distinct silent multisets
+  EXPECT_EQ(silent_count, 5 * 6);     // each in 3! = 6 agent orders
+  for (const auto& s : silent_sets) {
+    // Each contains the leader and two adjacent followers.
+    EXPECT_EQ(s.count(0), 1u);
+    std::vector<int> fs;
+    for (int v : s)
+      if (v != 0) fs.push_back(v);
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_TRUE(Obs25SSLE::adjacent_followers(
+        static_cast<std::uint8_t>(fs[0]), static_cast<std::uint8_t>(fs[1])));
+  }
+}
+
+TEST(Obs25, StabilizesToSilentConfigFromEveryStart) {
+  Obs25SSLE proto(3);
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z) {
+        std::vector<State> init = {State{static_cast<std::uint8_t>(x)},
+                                   State{static_cast<std::uint8_t>(y)},
+                                   State{static_cast<std::uint8_t>(z)}};
+        Simulation<Obs25SSLE> sim(proto, std::move(init),
+                                  1000 + x * 36 + y * 6 + z);
+        bool silent = false;
+        for (int step = 0; step < 100000; ++step) {
+          sim.step();
+          std::array<State, 3> c = {sim.states()[0], sim.states()[1],
+                                    sim.states()[2]};
+          if (is_silent_config(sim.protocol(), c)) {
+            silent = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(silent) << "stuck from (" << x << "," << y << "," << z
+                            << ")";
+        // The silent configuration has exactly one leader.
+        int leaders = 0;
+        for (const auto& s : sim.states())
+          if (sim.protocol().is_leader(s)) ++leaders;
+        EXPECT_EQ(leaders, 1);
+      }
+}
+
+// The enumeration behind Observation 2.5: no rank assignment to the six
+// states ranks all five silent configurations consistently.
+TEST(Obs25, NoRankAssignmentWorks) {
+  // l is WLOG rank 1 (it appears in every silent config); each fi must take
+  // rank 2 or 3. Try all 2^5 assignments; every one must fail on some silent
+  // configuration {l, fi, f_{i+1 mod 5}} (needs {2,3} exactly).
+  for (int mask = 0; mask < 32; ++mask) {
+    auto rank_of_follower = [&](int i) { return (mask >> i) & 1 ? 3 : 2; };
+    bool all_ok = true;
+    for (int i = 0; i < 5; ++i) {
+      const int j = (i + 1) % 5;
+      if (rank_of_follower(i) == rank_of_follower(j)) {
+        all_ok = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(all_ok) << "mask " << mask
+                         << " would rank all silent configs";
+  }
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,297 @@
+// Tests for the probabilistic-tool processes of Section 2.1: epidemic, roll
+// call, bounded epidemic, recursive trees, fratricide, coupon collector, and
+// the synthetic coin of Section 6. The statistical assertions use generous
+// tolerances around the paper's exact expectations so they are robust across
+// seeds while still catching implementation regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/experiments.h"
+#include "core/stats.h"
+#include "processes/bounded_epidemic.h"
+#include "processes/coupon.h"
+#include "processes/epidemic.h"
+#include "processes/fratricide.h"
+#include "processes/recursive_tree.h"
+#include "processes/roll_call.h"
+#include "processes/synthetic_coin.h"
+
+namespace ppsim {
+namespace {
+
+TEST(Epidemic, CompletesAndCountsInteractions) {
+  const EpidemicResult r = run_epidemic(32, 1);
+  EXPECT_GT(r.interactions, 31u);  // at least n-1 infections needed
+  EXPECT_DOUBLE_EQ(r.parallel_time, r.interactions / 32.0);
+}
+
+TEST(Epidemic, RejectsBadInitialCount) {
+  EXPECT_THROW(run_epidemic(8, 1, 0), std::invalid_argument);
+  EXPECT_THROW(run_epidemic(8, 1, 9), std::invalid_argument);
+}
+
+TEST(Epidemic, FullyInfectedStartEndsImmediately) {
+  const EpidemicResult r = run_epidemic(16, 3, 16);
+  EXPECT_EQ(r.interactions, 0u);
+}
+
+// Lemma 2.7: E[T_n] = (n-1) H_{n-1}.
+TEST(Epidemic, MeanMatchesLemma27) {
+  constexpr std::uint32_t kN = 128;
+  const auto xs = run_trials(400, 77, [&](std::uint64_t seed) {
+    return static_cast<double>(run_epidemic(kN, seed).interactions);
+  });
+  const Summary s = summarize(xs);
+  const double expected = epidemic_expected_interactions(kN);
+  EXPECT_NEAR(s.mean, expected, 4 * s.ci95 + 0.02 * expected);
+}
+
+// Corollary 2.8: P[T_n > 3 n ln n] < 1/n^2 — at n=128 and 300 trials we
+// should essentially never see an excession.
+TEST(Epidemic, TailBoundCorollary28) {
+  constexpr std::uint32_t kN = 128;
+  const double bound = 3.0 * kN * std::log(kN);
+  int exceed = 0;
+  for (int t = 0; t < 300; ++t)
+    if (run_epidemic(kN, derive_seed(123, t)).interactions > bound) ++exceed;
+  EXPECT_EQ(exceed, 0);
+}
+
+TEST(RollCall, CompletesWithAllRostersFull) {
+  const RollCallResult r = run_roll_call(16, 5);
+  EXPECT_GT(r.interactions, 0u);
+}
+
+// Lemma 2.9: E[R_n] ~ 1.5 n ln n — i.e. ~1.5x the epidemic time.
+TEST(RollCall, MeanIsAboutOnePointFiveTimesEpidemic) {
+  constexpr std::uint32_t kN = 128;
+  const auto xs = run_trials(150, 99, [&](std::uint64_t seed) {
+    return static_cast<double>(run_roll_call(kN, seed).interactions);
+  });
+  const Summary s = summarize(xs);
+  const double epidemic = epidemic_expected_interactions(kN);
+  const double ratio = s.mean / epidemic;
+  EXPECT_GT(ratio, 1.25);
+  EXPECT_LT(ratio, 1.75);
+}
+
+// Roll call dominates the epidemic: R_n >= T_n stochastically. Compare means.
+TEST(RollCall, DominatesEpidemicInMean) {
+  constexpr std::uint32_t kN = 64;
+  double roll = 0, epi = 0;
+  for (int t = 0; t < 100; ++t) {
+    roll += static_cast<double>(
+        run_roll_call(kN, derive_seed(7, t)).interactions);
+    epi += static_cast<double>(
+        run_epidemic(kN, derive_seed(8, t)).interactions);
+  }
+  EXPECT_GT(roll, epi);
+}
+
+TEST(BoundedEpidemic, LevelTimesAreMonotone) {
+  const auto r = run_bounded_epidemic(64, 6, 1, 3);
+  // tau_k is non-increasing in k: hearing via longer paths is never slower.
+  double prev = -1;
+  for (std::uint32_t k = 6; k >= 1; --k) {
+    ASSERT_GE(r.tau_by_level[k], 0.0) << "level " << k << " never reached";
+    if (prev >= 0) {
+      EXPECT_GE(r.tau_by_level[k], prev);
+    }
+    prev = r.tau_by_level[k];
+  }
+}
+
+// Lemma 2.10: E[tau_k] <= k n^{1/k}. Checked for k = 1..3 at n = 64 with a
+// 1.5x slack for the constant-factor looseness of the bound's derivation.
+TEST(BoundedEpidemic, Lemma210UpperBound) {
+  constexpr std::uint32_t kN = 64;
+  constexpr int kTrials = 120;
+  std::vector<double> sums(4, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = run_bounded_epidemic(kN, 3, 1, derive_seed(55, t));
+    for (std::uint32_t k = 1; k <= 3; ++k) sums[k] += r.tau_by_level[k];
+  }
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    const double mean = sums[k] / kTrials;
+    const double bound = k * std::pow(static_cast<double>(kN), 1.0 / k);
+    EXPECT_LT(mean, 1.5 * bound) << "k=" << k;
+  }
+}
+
+// tau_1 is a direct meeting: expected (n-1)/2 parallel time.
+TEST(BoundedEpidemic, Tau1IsDirectMeeting) {
+  constexpr std::uint32_t kN = 32;
+  const auto xs = run_trials(400, 11, [&](std::uint64_t seed) {
+    return run_bounded_epidemic(kN, 1, 1, seed).tau_by_level[1];
+  });
+  const Summary s = summarize(xs);
+  // Two specific agents meet with probability 2/(n(n-1)) per interaction:
+  // expected n(n-1)/2 interactions = (n-1)/2 parallel time.
+  EXPECT_NEAR(s.mean, (kN - 1) / 2.0, 4 * s.ci95 + 1.0);
+}
+
+// Lemma 2.11: with k = 3 log2 n, tau_k <= 3 ln n with high probability.
+TEST(BoundedEpidemic, Lemma211LogLevels) {
+  constexpr std::uint32_t kN = 256;
+  const std::uint32_t k = 3 * 8;  // 3 log2(256)
+  int exceed = 0;
+  constexpr int kTrials = 80;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = run_bounded_epidemic(kN, k, k, derive_seed(21, t));
+    if (r.tau_by_level[k] > 3.0 * std::log(kN)) ++exceed;
+  }
+  EXPECT_LE(exceed, 2);  // whp bound: essentially never
+}
+
+TEST(RecursiveTree, EpidemicTreeHeightNearELogN) {
+  constexpr std::uint32_t kN = 1024;
+  const auto xs = run_trials(60, 31, [&](std::uint64_t seed) {
+    return static_cast<double>(run_epidemic_tree(kN, seed).height);
+  });
+  const Summary s = summarize(xs);
+  const double expected = std::exp(1.0) * std::log(kN);  // e ln n (Drmota)
+  EXPECT_GT(s.mean, 0.6 * expected);
+  EXPECT_LT(s.mean, 1.4 * expected);
+}
+
+TEST(RecursiveTree, DirectSamplerAgreesWithEpidemicTree) {
+  constexpr std::uint32_t kN = 1024;
+  double epi = 0, direct = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    epi += run_epidemic_tree(kN, derive_seed(1, t)).height;
+    direct += sample_recursive_tree_height(kN, derive_seed(2, t));
+  }
+  EXPECT_NEAR(epi / kTrials, direct / kTrials, 0.15 * (epi / kTrials));
+}
+
+TEST(Fratricide, SingleLeaderIsImmediatelyDone) {
+  const auto r = run_fratricide_direct(16, 3, 1);
+  EXPECT_EQ(r.interactions, 0u);
+}
+
+// Lemma 4.2: expected interactions from all-L is n(n-1)(1 - 1/n).
+TEST(Fratricide, MeanMatchesClosedForm) {
+  constexpr std::uint32_t kN = 48;
+  const auto xs = run_trials(300, 17, [&](std::uint64_t seed) {
+    return static_cast<double>(
+        run_fratricide_direct(kN, seed, kN).interactions);
+  });
+  const Summary s = summarize(xs);
+  const double expected = fratricide_expected_interactions(kN);
+  EXPECT_NEAR(s.mean, expected, 4 * s.ci95 + 0.03 * expected);
+}
+
+// The accelerated simulator is exact in distribution: means must agree.
+TEST(Fratricide, FastSimulatorMatchesDirect) {
+  constexpr std::uint32_t kN = 48;
+  const auto direct = run_trials(300, 19, [&](std::uint64_t seed) {
+    return static_cast<double>(
+        run_fratricide_direct(kN, seed, kN).interactions);
+  });
+  const auto fast = run_trials(300, 23, [&](std::uint64_t seed) {
+    return static_cast<double>(
+        run_fratricide_fast(kN, seed, kN).interactions);
+  });
+  const Summary sd = summarize(direct);
+  const Summary sf = summarize(fast);
+  EXPECT_NEAR(sd.mean, sf.mean, 3 * (sd.ci95 + sf.ci95));
+}
+
+TEST(Geometric, MeanIsOneOverP) {
+  Rng rng(3);
+  for (double p : {0.5, 0.1, 0.01}) {
+    double sum = 0;
+    constexpr int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t)
+      sum += static_cast<double>(sample_geometric(rng, p));
+    EXPECT_NEAR(sum / kTrials, 1.0 / p, 0.06 / p);
+  }
+}
+
+TEST(Geometric, AlwaysAtLeastOne) {
+  Rng rng(5);
+  for (int t = 0; t < 1000; ++t)
+    EXPECT_GE(sample_geometric(rng, 0.9), 1u);
+}
+
+TEST(Coupon, EveryAgentSeenAtCompletion) {
+  const auto r = run_pair_coupon_collector(64, 9);
+  EXPECT_GT(r.interactions, 31u);  // needs at least n/2 interactions
+}
+
+// Pairwise coupon collection takes ~ (1/2) n ln n interactions.
+TEST(Coupon, MeanNearHalfNLogN) {
+  constexpr std::uint32_t kN = 256;
+  const auto xs = run_trials(200, 41, [&](std::uint64_t seed) {
+    return static_cast<double>(
+        run_pair_coupon_collector(kN, seed).interactions);
+  });
+  const Summary s = summarize(xs);
+  const double expected = 0.5 * kN * std::log(kN);
+  EXPECT_GT(s.mean, 0.75 * expected);
+  EXPECT_LT(s.mean, 1.35 * expected);
+}
+
+TEST(SyntheticCoin, HarvestsOnlyOnAlgFlipMeetings) {
+  CoinPhase alg{false}, flip{true};
+  const CoinOutcome o1 = synthetic_coin_step(alg, flip);
+  ASSERT_TRUE(o1.initiator_bit.has_value());
+  EXPECT_TRUE(*o1.initiator_bit);  // Alg initiated: heads
+  EXPECT_FALSE(o1.responder_bit.has_value());
+  // Phases toggled.
+  EXPECT_TRUE(alg.flip_phase);
+  EXPECT_FALSE(flip.flip_phase);
+
+  CoinPhase both_alg_a{false}, both_alg_b{false};
+  const CoinOutcome o2 = synthetic_coin_step(both_alg_a, both_alg_b);
+  EXPECT_FALSE(o2.initiator_bit.has_value());
+  EXPECT_FALSE(o2.responder_bit.has_value());
+}
+
+// The harvested bits are unbiased under the uniform scheduler.
+TEST(SyntheticCoin, BitsAreUnbiased) {
+  constexpr std::uint32_t kN = 10;
+  Rng rng(71);
+  UniformScheduler sched(kN);
+  std::vector<CoinPhase> phases(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) phases[i].flip_phase = i % 2 == 0;
+  std::uint64_t heads = 0, bits = 0;
+  for (int t = 0; t < 400000; ++t) {
+    const AgentPair p = sched.next(rng);
+    const CoinOutcome o =
+        synthetic_coin_step(phases[p.initiator], phases[p.responder]);
+    if (o.initiator_bit) {
+      ++bits;
+      if (*o.initiator_bit) ++heads;
+    }
+    if (o.responder_bit) {
+      ++bits;
+      if (*o.responder_bit) ++heads;
+    }
+  }
+  ASSERT_GT(bits, 10000u);
+  EXPECT_NEAR(static_cast<double>(heads) / bits, 0.5, 0.01);
+}
+
+// Section 6: an agent needing a bit waits an expected ~4 interactions.
+TEST(SyntheticCoin, ExpectedWaitPerBitIsAboutFour) {
+  constexpr std::uint32_t kN = 16;
+  Rng rng(73);
+  UniformScheduler sched(kN);
+  std::vector<CoinPhase> phases(kN);
+  std::uint64_t bits = 0, agent_interactions = 0;
+  for (int t = 0; t < 500000; ++t) {
+    const AgentPair p = sched.next(rng);
+    agent_interactions += 2;
+    const CoinOutcome o =
+        synthetic_coin_step(phases[p.initiator], phases[p.responder]);
+    bits += (o.initiator_bit ? 1 : 0) + (o.responder_bit ? 1 : 0);
+  }
+  const double per_bit = static_cast<double>(agent_interactions) / bits;
+  EXPECT_NEAR(per_bit, 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace ppsim

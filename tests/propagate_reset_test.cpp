@@ -1,0 +1,288 @@
+// Tests for Propagate-Reset (Protocol 2, Section 3): the single-interaction
+// semantics of recruitment, the propagating-variable max rule (Observation
+// 3.1), dormancy, and awakening; plus the phase-level behavior of Lemmas
+// 3.2/3.3, Theorem 3.4, and Corollary 3.5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/simulation.h"
+#include "reset/reset_process.h"
+
+namespace ppsim {
+namespace {
+
+using State = ResetProcess::State;
+
+State computing() { return State{}; }
+
+State resetting(std::uint32_t rc, std::uint32_t delay = 0) {
+  State s;
+  s.resetting = true;
+  s.resetcount = rc;
+  s.delaytimer = delay;
+  return s;
+}
+
+TEST(PropagateReset, PropagatingAgentRecruitsComputingPartner) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(10);
+  State b = computing();
+  proc.interact(a, b, rng);
+  EXPECT_TRUE(b.resetting);
+  // Line 4: both become max(10-1, 0-1, 0) = 9.
+  EXPECT_EQ(a.resetcount, 9u);
+  EXPECT_EQ(b.resetcount, 9u);
+  EXPECT_EQ(b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, MaxRuleBetweenTwoResetting) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(7);
+  State b = resetting(3);
+  proc.interact(a, b, rng);
+  EXPECT_EQ(a.resetcount, 6u);
+  EXPECT_EQ(b.resetcount, 6u);
+}
+
+TEST(PropagateReset, MaxRuleClampsAtZero) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(1, 0);
+  State b = resetting(1, 0);
+  proc.interact(a, b, rng);
+  // Both just became 0: delaytimer initialized to Dmax (line 7), no reset.
+  EXPECT_EQ(a.resetcount, 0u);
+  EXPECT_EQ(b.resetcount, 0u);
+  EXPECT_EQ(a.delaytimer, 100u);
+  EXPECT_EQ(b.delaytimer, 100u);
+  EXPECT_TRUE(a.resetting);
+  EXPECT_TRUE(b.resetting);
+}
+
+TEST(PropagateReset, DormantPairDecrementsDelayTimers) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(0, 50);
+  State b = resetting(0, 70);
+  proc.interact(a, b, rng);
+  EXPECT_EQ(a.delaytimer, 49u);
+  EXPECT_EQ(b.delaytimer, 69u);
+  EXPECT_EQ(a.resets_executed, 0u);
+  EXPECT_EQ(b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, DormantAwakensWhenDelayHitsZero) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(0, 1);
+  State b = resetting(0, 50);
+  proc.interact(a, b, rng);
+  EXPECT_FALSE(a.resetting);  // awakened: Reset executed
+  EXPECT_EQ(a.resets_executed, 1u);
+  EXPECT_TRUE(b.resetting);  // partner saw a pre-interaction Resetting agent
+  EXPECT_EQ(b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, DormantAwakensByEpidemicFromComputingPartner) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(0, 99);
+  State b = computing();
+  proc.interact(a, b, rng);
+  // Line 10: the partner's (pre-interaction) role is not Resetting.
+  EXPECT_FALSE(a.resetting);
+  EXPECT_EQ(a.resets_executed, 1u);
+  EXPECT_FALSE(b.resetting);
+}
+
+TEST(PropagateReset, DormantDoesNotRecruitComputingPartner) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(0, 99);
+  State b = computing();
+  proc.interact(a, b, rng);
+  EXPECT_FALSE(b.resetting);  // recruitment requires resetcount > 0 (line 1)
+  EXPECT_EQ(b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, PropagatingPairDoesNotAwaken) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(5);
+  State b = resetting(9);
+  proc.interact(a, b, rng);
+  EXPECT_TRUE(a.resetting);
+  EXPECT_TRUE(b.resetting);
+  EXPECT_EQ(a.resets_executed + b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, PropagatingPullsDormantBackIntoPropagation) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(5);
+  State b = resetting(0, 3);
+  proc.interact(a, b, rng);
+  EXPECT_EQ(b.resetcount, 4u);  // dormancy cancelled by the max rule
+  EXPECT_EQ(b.resets_executed, 0u);
+}
+
+TEST(PropagateReset, FreshRecruitDelayDecrementsNotReinitialized) {
+  ResetProcess proc(4, 10, 100);
+  Rng rng(1);
+  State a = resetting(1);  // becomes 0 this interaction
+  State b = computing();
+  proc.interact(a, b, rng);
+  // a just became 0 -> delay=Dmax. b was recruited at rc=0 (not "just became
+  // 0" through the max rule), so its recruit-assigned Dmax decrements once.
+  EXPECT_EQ(a.resetcount, 0u);
+  EXPECT_EQ(a.delaytimer, 100u);
+  EXPECT_EQ(b.resetcount, 0u);
+  EXPECT_EQ(b.delaytimer, 99u);
+}
+
+// --- Phase-level properties over whole executions. ---
+
+struct WaveOutcome {
+  double awakening_ptime = -1.0;       // first Reset execution
+  double all_computing_ptime = -1.0;   // everyone back to Computing
+  bool clean_awakening = false;        // all other agents dormant at first
+                                       // Reset (the paper's awakening config)
+  std::uint32_t min_resets = 0, max_resets = 0;
+};
+
+WaveOutcome run_wave(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
+                     std::uint64_t seed, std::uint64_t max_interactions) {
+  ResetProcess proto(n, rmax, dmax);
+  std::vector<State> init(n);
+  proto.trigger(init[0]);
+  Simulation<ResetProcess> sim(proto, std::move(init), seed);
+  WaveOutcome out;
+  while (sim.interactions() < max_interactions) {
+    sim.step();
+    if (out.awakening_ptime < 0 && sim.protocol().total_resets() > 0) {
+      out.awakening_ptime = sim.parallel_time();
+      bool clean = true;
+      std::uint32_t computing_count = 0;
+      for (const auto& s : sim.states()) {
+        if (!s.resetting) {
+          ++computing_count;
+          continue;
+        }
+        if (s.resetcount != 0) clean = false;  // still propagating
+      }
+      // Exactly the newly-awakened agent is computing; all others dormant.
+      out.clean_awakening = clean && computing_count == 1;
+    }
+    bool all_computing = true;
+    for (const auto& s : sim.states())
+      if (s.resetting) {
+        all_computing = false;
+        break;
+      }
+    if (all_computing) {
+      out.all_computing_ptime = sim.parallel_time();
+      break;
+    }
+  }
+  out.min_resets = UINT32_MAX;
+  for (const auto& s : sim.states()) {
+    out.min_resets = std::min(out.min_resets, s.resets_executed);
+    out.max_resets = std::max(out.max_resets, s.resets_executed);
+  }
+  return out;
+}
+
+// Theorem 3.4 + the epidemic awakening: from one triggered agent, the whole
+// population resets and returns to computing within O(Dmax) parallel time.
+TEST(PropagateResetWave, CompletesWithinLinearInDmax) {
+  constexpr std::uint32_t kN = 256;
+  const auto rmax =
+      static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
+  const std::uint32_t dmax = 4 * rmax;
+  for (int trial = 0; trial < 10; ++trial) {
+    const WaveOutcome w =
+        run_wave(kN, rmax, dmax, derive_seed(500, trial), 4000ull * kN);
+    ASSERT_GE(w.all_computing_ptime, 0.0) << "wave never completed";
+    EXPECT_GE(w.min_resets, 1u);  // everyone reset
+    // O(Dmax) bound: generous constant.
+    EXPECT_LT(w.all_computing_ptime, 4.0 * dmax);
+  }
+}
+
+// The first Reset should happen from a fully dormant configuration (the
+// paper's "awakening configuration") in nearly every execution.
+TEST(PropagateResetWave, AwakeningIsCleanWithHighProbability) {
+  constexpr std::uint32_t kN = 128;
+  const auto rmax =
+      static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
+  const std::uint32_t dmax = 4 * rmax;
+  int clean = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const WaveOutcome w =
+        run_wave(kN, rmax, dmax, derive_seed(600, trial), 4000ull * kN);
+    if (w.clean_awakening) ++clean;
+  }
+  EXPECT_GE(clean, kTrials - 2);
+}
+
+// Agents reset exactly once per wave (the Dmax delay prevents double wakes).
+TEST(PropagateResetWave, EachAgentResetsExactlyOnce) {
+  constexpr std::uint32_t kN = 128;
+  const auto rmax =
+      static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
+  const std::uint32_t dmax = 4 * rmax;
+  int exact = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const WaveOutcome w =
+        run_wave(kN, rmax, dmax, derive_seed(700, trial), 4000ull * kN);
+    if (w.min_resets == 1 && w.max_resets == 1) ++exact;
+  }
+  EXPECT_GE(exact, kTrials - 2);
+}
+
+// Corollary 3.5: from arbitrary Resetting debris (no triggered agent), the
+// population reaches fully-computing (or awakens) quickly.
+TEST(PropagateResetWave, DebrisDrainsToComputing) {
+  constexpr std::uint32_t kN = 128;
+  const auto rmax =
+      static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
+  const std::uint32_t dmax = 4 * rmax;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng gen(derive_seed(800, trial));
+    ResetProcess proto(kN, rmax, dmax);
+    std::vector<State> init(kN);
+    for (auto& s : init) {
+      if (gen.coin()) continue;  // computing
+      s.resetting = true;
+      s.resetcount = static_cast<std::uint32_t>(gen.below(rmax));  // < Rmax
+      s.delaytimer = static_cast<std::uint32_t>(gen.below(dmax + 1));
+    }
+    Simulation<ResetProcess> sim(proto, std::move(init),
+                                 derive_seed(900, trial));
+    bool done = false;
+    while (sim.interactions() < 4000ull * kN) {
+      sim.step();
+      bool all_computing = true;
+      for (const auto& s : sim.states())
+        if (s.resetting) {
+          all_computing = false;
+          break;
+        }
+      if (all_computing) {
+        done = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(done) << "debris did not drain, trial " << trial;
+    EXPECT_LT(sim.parallel_time(), 4.0 * dmax);
+  }
+}
+
+}  // namespace
+}  // namespace ppsim
