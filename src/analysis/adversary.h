@@ -8,9 +8,11 @@
 // and mid-reset mixtures.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rng.h"

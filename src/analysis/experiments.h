@@ -2,6 +2,7 @@
 // tables, and scaling-exponent reports.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>

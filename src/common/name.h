@@ -9,7 +9,9 @@
 // comparison (n up to ~2^21 fits: 3*log2 n <= 63).
 #pragma once
 
+#include <algorithm>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>

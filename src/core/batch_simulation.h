@@ -1,0 +1,371 @@
+// Count-based batched simulation backend.
+//
+// For a protocol whose state space Q is finite and enumerable, a population
+// configuration is fully described by the vector of state counts
+// (m_q)_{q in Q} — the scheduler of Section 2 is anonymous, so agent
+// identities carry no information. This backend keeps exactly that vector:
+// O(|Q|) memory instead of the O(n) agent array, and each step samples the
+// ordered (initiator, responder) *state pair* from the count distribution,
+//   P[(a, b)] = m_a (m_b - [a = b]) / (n (n - 1)),
+// which is precisely the pushforward of the uniform ordered-agent-pair
+// scheduler. The simulated interaction-count process therefore has the same
+// distribution as Simulation<P>'s, projected onto counts (validated in
+// tests/batch_simulation_test.cpp).
+//
+// Batching. Protocols that expose a deterministic null-pair predicate
+// (NullPairProtocol) let the backend skip runs of identical-outcome draws:
+//  * If the protocol further declares that only equal-state pairs can be
+//    non-null (DiagonalActiveProtocol — true for Silent-n-state-SSR, whose
+//    transition fires only on rank collisions), the total non-null weight
+//    W = sum_q active(q) m_q (m_q - 1) is maintained incrementally, the
+//    wait until the next effective interaction is Geometric(W / n(n-1)),
+//    and whole Theta(n^2)-step null stretches cost O(1). This generalizes
+//    the hand-rolled SilentNStateFast accelerator to any diagonal protocol.
+//  * Otherwise, when a drawn pair (a, b) is null, the run of consecutive
+//    identical (a, b) draws is Geometric too; the backend samples its
+//    length, accounts the whole run at once, and then redraws from the
+//    exact conditional distribution (rejection against the just-finished
+//    pair), which pays off whenever counts are concentrated on few states.
+//
+// Weighted state sampling uses a Fenwick (binary indexed) tree: O(log |Q|)
+// per draw and per count update, so even |Q| = n = 10^6 state spaces
+// (Silent-n-state-SSR) sample efficiently.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"  // sample_geometric
+#include "core/simulation.h"
+
+namespace ppsim {
+
+// A protocol whose finite state space can be enumerated: states are coded
+// as integers in [0, num_states()), with encode/decode the bijection.
+template <class P>
+concept EnumerableProtocol =
+    Protocol<P> && requires(const P p, const typename P::State& s,
+                            std::uint32_t code) {
+      { p.num_states() } -> std::convertible_to<std::uint32_t>;
+      { p.encode(s) } -> std::convertible_to<std::uint32_t>;
+      { p.decode(code) } -> std::same_as<typename P::State>;
+    };
+
+// Protocols that can tell, deterministically and without consuming
+// randomness, whether interact(a, b, .) would leave (a, b) unchanged.
+template <class P>
+concept NullPairProtocol =
+    requires(const P p, const typename P::State& a, const typename P::State& b) {
+      { p.is_null_pair(a, b) } -> std::convertible_to<bool>;
+    };
+
+// Protocols asserting that every non-null ordered pair has equal states
+// (all progress happens on the diagonal of Q x Q). Enables the exact
+// geometric fast-forward between effective interactions.
+template <class P>
+concept DiagonalActiveProtocol =
+    NullPairProtocol<P> && P::kActiveRequiresEqualStates;
+
+// Fenwick tree over per-state weights, supporting O(log |Q|) point update
+// and O(log |Q|) sampling of an index with probability weight/total.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::uint32_t size) : tree_(size + 1, 0) {}
+
+  // O(size) bulk construction from a full weight vector (replaces any
+  // existing content) — point-adds would cost O(size log size).
+  void build(const std::vector<std::uint64_t>& weights) {
+    std::fill(tree_.begin(), tree_.end(), 0);
+    for (std::uint32_t i = 1; i < tree_.size(); ++i) {
+      tree_[i] += weights[i - 1];
+      const std::uint32_t parent = i + (i & (~i + 1));
+      if (parent < tree_.size()) tree_[parent] += tree_[i];
+    }
+  }
+
+  void add(std::uint32_t index, std::int64_t delta) {
+    for (std::uint32_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+      tree_[i] += static_cast<std::uint64_t>(delta);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = static_cast<std::uint32_t>(tree_.size()) - 1; i > 0;
+         i -= i & (~i + 1))
+      sum += tree_[i];
+    return sum;
+  }
+
+  // Returns the smallest index such that the prefix sum through it exceeds
+  // `target` (target in [0, total())): samples index ∝ weight.
+  std::uint32_t find(std::uint64_t target) const {
+    std::uint32_t pos = 0;
+    std::uint32_t mask = 1;
+    while ((mask << 1) < tree_.size()) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      const std::uint32_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // 0-based index
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based internal indexing
+};
+
+struct BatchStepStats {
+  std::uint64_t effective = 0;  // interactions simulated individually
+  std::uint64_t batched = 0;    // null interactions accounted in bulk
+};
+
+template <EnumerableProtocol P>
+class BatchSimulation {
+ public:
+  using State = typename P::State;
+
+  // Member-initialization order (declaration order) makes counts_of safe
+  // here: protocol_ is fully constructed before counts_ is initialized.
+  BatchSimulation(P protocol, const std::vector<State>& initial,
+                  std::uint64_t seed)
+      : protocol_(std::move(protocol)),
+        counts_(counts_of(protocol_, initial)),
+        count_sampler_(protocol_.num_states()),
+        diag_sampler_(protocol_.num_states()),
+        rng_(seed) {
+    init_samplers();
+  }
+
+  BatchSimulation(P protocol, std::vector<std::uint64_t> counts,
+                  std::uint64_t seed)
+      : protocol_(std::move(protocol)),
+        counts_(std::move(counts)),
+        count_sampler_(protocol_.num_states()),
+        diag_sampler_(protocol_.num_states()),
+        rng_(seed) {
+    init_samplers();
+  }
+
+  std::uint32_t population_size() const {
+    return protocol_.population_size();
+  }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const P& protocol() const { return protocol_; }
+  P& protocol() { return protocol_; }
+  Rng& rng() { return rng_; }
+
+  std::uint64_t interactions() const { return interactions_; }
+  double parallel_time() const {
+    return static_cast<double>(interactions_) /
+           static_cast<double>(population_size());
+  }
+  const BatchStepStats& stats() const { return stats_; }
+
+  // For diagonal protocols: true iff no future interaction can change the
+  // configuration (the configuration is silent).
+  bool silent() const
+    requires DiagonalActiveProtocol<P>
+  {
+    return diag_sampler_.total() == 0;
+  }
+
+  // Advances the simulation by at least one interaction (a whole batched
+  // null run counts as its true number of interactions). Returns the number
+  // of interactions consumed, 0 iff the configuration is provably stuck:
+  // zero active weight (diagonal protocols), or every agent in one null
+  // self-pairing state (null-aware general protocols).
+  std::uint64_t step() {
+    if constexpr (DiagonalActiveProtocol<P>) {
+      return step_diagonal();
+    } else {
+      return step_general();
+    }
+  }
+
+  // Runs until at least `count` interactions have elapsed (a final batch
+  // may overshoot; the overshoot is real simulated time, not error).
+  void run(std::uint64_t count) {
+    const std::uint64_t target = interactions_ + count;
+    while (interactions_ < target)
+      if (step() == 0) break;  // silent: nothing will ever change again
+  }
+
+  // Runs until done(*this) is true, checking after every configuration
+  // change (null runs cannot flip a configuration predicate). Returns true
+  // iff the predicate fired before `max_interactions`.
+  template <class Done>
+  bool run_until(Done&& done, std::uint64_t max_interactions) {
+    if (done(*this)) return true;
+    while (interactions_ < max_interactions) {
+      if (step() == 0) return done(*this);
+      if (done(*this)) return true;
+    }
+    return false;
+  }
+
+ private:
+  void init_samplers() {
+    const std::uint32_t q = protocol_.num_states();
+    if (counts_.size() != q)
+      throw std::invalid_argument("counts size != num_states");
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < q; ++s) total += counts_[s];
+    if (total != protocol_.population_size())
+      throw std::invalid_argument("counts must sum to population size");
+    count_sampler_.build(counts_);
+    if constexpr (DiagonalActiveProtocol<P>) {
+      diag_active_.resize(q);
+      std::vector<std::uint64_t> diag(q, 0);
+      for (std::uint32_t s = 0; s < q; ++s) {
+        const State st = protocol_.decode(s);
+        diag_active_[s] = !protocol_.is_null_pair(st, st);
+        if (diag_active_[s]) diag[s] = diag_weight(s);
+      }
+      diag_sampler_.build(diag);
+    }
+  }
+
+  static std::vector<std::uint64_t> counts_of(const P& protocol,
+                                              const std::vector<State>& states) {
+    if (states.size() != protocol.population_size())
+      throw std::invalid_argument(
+          "initial configuration size != population size");
+    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
+    for (const State& s : states) {
+      const std::uint32_t code = protocol.encode(s);
+      if (code >= counts.size())
+        throw std::invalid_argument("encode() out of range");
+      ++counts[code];
+    }
+    return counts;
+  }
+
+  std::uint64_t diag_weight(std::uint32_t s) const {
+    return counts_[s] * (counts_[s] > 0 ? counts_[s] - 1 : 0);
+  }
+
+  double ordered_pairs() const {
+    const double n = static_cast<double>(population_size());
+    return n * (n - 1.0);
+  }
+
+  void apply_count_delta(std::uint32_t s, std::int64_t delta) {
+    if constexpr (DiagonalActiveProtocol<P>) {
+      if (diag_active_[s])
+        diag_sampler_.add(s, -static_cast<std::int64_t>(diag_weight(s)));
+    }
+    counts_[s] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(counts_[s]) + delta);
+    count_sampler_.add(s, delta);
+    if constexpr (DiagonalActiveProtocol<P>) {
+      if (diag_active_[s])
+        diag_sampler_.add(s, static_cast<std::int64_t>(diag_weight(s)));
+    }
+  }
+
+  // Applies interact() to one (a, b) state pair drawn by the scheduler and
+  // folds the result back into the counts.
+  void apply_interaction(std::uint32_t a, std::uint32_t b) {
+    State sa = protocol_.decode(a);
+    State sb = protocol_.decode(b);
+    protocol_.interact(sa, sb, rng_);
+    const std::uint32_t na = protocol_.encode(sa);
+    const std::uint32_t nb = protocol_.encode(sb);
+    if (na != a) {
+      apply_count_delta(a, -1);
+      apply_count_delta(na, +1);
+    }
+    if (nb != b) {
+      apply_count_delta(b, -1);
+      apply_count_delta(nb, +1);
+    }
+  }
+
+  // Diagonal fast path: every non-null pair has equal states, so the wait
+  // until the next effective interaction is Geometric(W / n(n-1)) with
+  // W = sum over active q of m_q (m_q - 1), and the colliding state is
+  // drawn ∝ m_q (m_q - 1). Identical in distribution to stepping one
+  // interaction at a time (compare SilentNStateFast).
+  std::uint64_t step_diagonal() {
+    const std::uint64_t w = diag_sampler_.total();
+    if (w == 0) return 0;  // silent forever
+    const double p = static_cast<double>(w) / ordered_pairs();
+    const std::uint64_t wait = sample_geometric(rng_, p);
+    interactions_ += wait;
+    stats_.batched += wait - 1;
+    ++stats_.effective;
+    const std::uint32_t q = diag_sampler_.find(rng_.below(w));
+    apply_interaction(q, q);
+    return wait;
+  }
+
+  // General path: draw the ordered state pair exactly; when the protocol
+  // can certify the pair null, batch the whole run of consecutive
+  // identical draws (Geometric in the pair's own probability) and then
+  // redraw conditioned on "not that pair again" by rejection.
+  std::uint64_t step_general() {
+    const std::uint64_t n = population_size();
+    std::uint32_t a = count_sampler_.find(rng_.below(n));
+    // Responder is uniform over the other n-1 agents: same count vector
+    // with one agent in state a removed.
+    count_sampler_.add(a, -1);
+    std::uint32_t b = count_sampler_.find(rng_.below(n - 1));
+    count_sampler_.add(a, +1);
+
+    if constexpr (NullPairProtocol<P>) {
+      const State sa = protocol_.decode(a);
+      const State sb = protocol_.decode(b);
+      if (protocol_.is_null_pair(sa, sb)) {
+        // Probability of drawing this exact ordered pair again.
+        const double pq = static_cast<double>(counts_[a]) *
+                          static_cast<double>(counts_[b] - (a == b ? 1 : 0)) /
+                          ordered_pairs();
+        if (pq >= 1.0) {
+          // (a, b) is the only drawable pair (all agents share one state)
+          // and it is null: the configuration can never change again.
+          // Signal silence exactly like the diagonal path does.
+          return 0;
+        }
+        // Run of consecutive (a, b) draws, first included: Geometric in
+        // the probability of breaking the run.
+        std::uint64_t run = 1;
+        if (pq > 0.0)
+          run = sample_geometric(rng_, 1.0 - pq);
+        interactions_ += run;
+        stats_.batched += run;
+        // The next draw is conditioned != (a, b); rejection is exact and
+        // terminates fast because P[reject] = pq < 1.
+        for (;;) {
+          std::uint32_t a2 = count_sampler_.find(rng_.below(n));
+          count_sampler_.add(a2, -1);
+          std::uint32_t b2 = count_sampler_.find(rng_.below(n - 1));
+          count_sampler_.add(a2, +1);
+          if (a2 == a && b2 == b) continue;
+          ++interactions_;
+          ++stats_.effective;
+          apply_interaction(a2, b2);
+          return run + 1;
+        }
+      }
+    }
+    ++interactions_;
+    ++stats_.effective;
+    apply_interaction(a, b);
+    return 1;
+  }
+
+  P protocol_;
+  std::vector<std::uint64_t> counts_;
+  WeightedSampler count_sampler_;  // weight m_q: scheduler state draws
+  WeightedSampler diag_sampler_;   // weight m_q (m_q - 1) on active states
+  std::vector<char> diag_active_;  // diagonal protocols only
+  Rng rng_;
+  std::uint64_t interactions_ = 0;
+  BatchStepStats stats_;
+};
+
+}  // namespace ppsim

@@ -6,8 +6,10 @@
 // seeded explicitly, so all experiments are reproducible from (params, seed).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 namespace ppsim {
 
@@ -95,6 +97,17 @@ class Xoshiro256ss {
 };
 
 using Rng = Xoshiro256ss;
+
+// Number of Bernoulli(p) trials up to and including the first success:
+// P[X >= k] = (1-p)^{k-1}. The jump-chain accelerators (SilentNStateFast,
+// BatchSimulation) use this to skip whole null stretches in one draw.
+inline std::uint64_t sample_geometric(Rng& rng, double p) {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) throw std::invalid_argument("geometric with p<=0");
+  const double u = 1.0 - rng.unit();  // in (0, 1]
+  const double k = std::ceil(std::log(u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
 
 // Derives a child seed from (base, stream) so that parameter sweeps use
 // independent streams without manual bookkeeping.

@@ -7,6 +7,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 

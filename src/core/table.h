@@ -2,10 +2,13 @@
 // paper-style tables (Table 1 and the per-lemma experiment tables).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ppsim {

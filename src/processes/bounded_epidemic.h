@@ -9,6 +9,7 @@
 // Lemma 2.11: tau_{3 log2 n} <= 3 ln n whp (epidemic trees are shallow).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "core/rng.h"
 #include "core/scheduler.h"
@@ -46,16 +47,8 @@ inline FratricideResult run_fratricide_direct(std::uint32_t n,
   return FratricideResult{t, static_cast<double>(t) / n};
 }
 
-// Samples a Geometric(p) interaction count (number of trials up to and
-// including the first success) via inversion; exact in distribution.
-inline std::uint64_t sample_geometric(Rng& rng, double p) {
-  if (p >= 1.0) return 1;
-  if (p <= 0.0) throw std::invalid_argument("geometric with p<=0");
-  // P[X >= k] = (1-p)^{k-1}; invert a uniform.
-  const double u = 1.0 - rng.unit();  // in (0, 1]
-  const double k = std::ceil(std::log(u) / std::log1p(-p));
-  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
-}
+// sample_geometric lives in core/rng.h (it is shared by every jump-chain
+// accelerator, not specific to the fratricide process).
 
 // Accelerated fratricide: from i leaders, the next effective interaction is
 // an L-L meeting, which happens each step with probability

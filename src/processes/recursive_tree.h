@@ -8,6 +8,7 @@
 // length O(log n).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 

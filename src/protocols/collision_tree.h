@@ -33,9 +33,12 @@
 // Per-node 256-bit Bloom digests of subtree names prune the detection DFS.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/name.h"

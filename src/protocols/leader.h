@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_simulation.h"
 #include "core/simulation.h"
 
 namespace ppsim {
@@ -49,6 +50,47 @@ bool is_correctly_ranked(const P& protocol,
   for (const auto& s : states) {
     const std::uint32_t r = protocol.rank_of(s);
     if (r == 0 || r > states.size() || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+// --- Count-based views -----------------------------------------------------
+//
+// The same SSLE queries over a BatchSimulation configuration: counts[q] is
+// the number of agents in the state coded q. O(|Q|) instead of O(n).
+
+template <class P>
+  requires EnumerableProtocol<P> && RankingProtocol<P>
+std::uint64_t count_leaders(const P& protocol,
+                            const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (std::uint32_t q = 0; q < counts.size(); ++q)
+    if (counts[q] > 0 && is_leader(protocol, protocol.decode(q)))
+      total += counts[q];
+  return total;
+}
+
+template <class P>
+  requires EnumerableProtocol<P> && RankingProtocol<P>
+bool has_unique_leader(const P& protocol,
+                       const std::vector<std::uint64_t>& counts) {
+  return count_leaders(protocol, counts) == 1;
+}
+
+// True iff the counted configuration's ranks form a permutation of 1..n.
+// Two agents sharing a state share a rank, so any count > 1 disqualifies.
+template <class P>
+  requires EnumerableProtocol<P> && RankingProtocol<P>
+bool is_correctly_ranked(const P& protocol,
+                         const std::vector<std::uint64_t>& counts) {
+  const std::uint64_t n = protocol.population_size();
+  std::vector<bool> seen(n + 1, false);
+  for (std::uint32_t q = 0; q < counts.size(); ++q) {
+    if (counts[q] == 0) continue;
+    if (counts[q] > 1) return false;
+    const std::uint32_t r = protocol.rank_of(protocol.decode(q));
+    if (r == 0 || r > n || seen[r]) return false;
     seen[r] = true;
   }
   return true;

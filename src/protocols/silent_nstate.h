@@ -21,11 +21,21 @@ class SilentNStateSSR {
     std::uint32_t rank = 0;  // {0..n-1}, the paper's Protocol 1 convention
   };
 
+  // All progress happens on the diagonal: interact() only changes state
+  // when initiator.rank == responder.rank, so the batched backend may
+  // geometric-skip every unequal-rank draw (core/batch_simulation.h).
+  static constexpr bool kActiveRequiresEqualStates = true;
+
   explicit SilentNStateSSR(std::uint32_t n) : n_(n) {
     if (n < 2) throw std::invalid_argument("population size must be >= 2");
   }
 
   std::uint32_t population_size() const { return n_; }
+
+  // EnumerableProtocol: Q = {0..n-1}, coded by the rank itself.
+  std::uint32_t num_states() const { return n_; }
+  std::uint32_t encode(const State& s) const { return s.rank; }
+  State decode(std::uint32_t code) const { return State{code}; }
 
   void interact(State& initiator, State& responder, Rng&) const {
     if (initiator.rank == responder.rank)

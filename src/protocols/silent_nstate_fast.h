@@ -14,12 +14,13 @@
 // Validated against the direct simulator in tests/silent_nstate_test.cpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
-#include "core/rng.h"
-#include "processes/fratricide.h"  // sample_geometric
+#include "core/rng.h"  // sample_geometric
 #include "protocols/silent_nstate.h"
 
 namespace ppsim {
@@ -86,11 +87,41 @@ class SilentNStateFast {
     return out;
   }
 
+  // Interop with the count-based batched backend: BatchSimulation keeps
+  // 64-bit counts; narrow and delegate. Named (not overloaded) so that
+  // brace-initialized count literals stay unambiguous. Validated against
+  // BatchSimulation<SilentNStateSSR> in tests/batch_simulation_test.cpp —
+  // the two accelerators implement the same jump-chain independently.
+  SilentNStateFastResult run_counts(const std::vector<std::uint64_t>& counts,
+                                    std::uint64_t seed) const {
+    std::vector<std::uint32_t> narrow(counts.size());
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      if (counts[r] > n_)
+        throw std::invalid_argument("count exceeds population size");
+      narrow[r] = static_cast<std::uint32_t>(counts[r]);
+    }
+    return run(std::move(narrow), seed);
+  }
+
   std::uint32_t population_size() const { return n_; }
 
  private:
   std::uint32_t n_;
 };
+
+// Rank-count vector of an explicit agent configuration — the bridge from
+// the agent-array world to the count-based accelerators.
+inline std::vector<std::uint32_t> silent_nstate_counts_of(
+    std::uint32_t n, const std::vector<SilentNStateSSR::State>& states) {
+  if (states.size() != n)
+    throw std::invalid_argument("configuration size != population size");
+  std::vector<std::uint32_t> counts(n, 0);
+  for (const auto& s : states) {
+    if (s.rank >= n) throw std::invalid_argument("rank out of range");
+    ++counts[s.rank];
+  }
+  return counts;
+}
 
 // Rank-count vector of the worst-case configuration of Theorem 2.4.
 inline std::vector<std::uint32_t> silent_nstate_worst_counts(

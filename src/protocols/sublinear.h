@@ -20,10 +20,12 @@
 // reached after a clean reset) is Lemma 5.4/5.5, exercised in the tests.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "common/name.h"
 #include "common/roster.h"

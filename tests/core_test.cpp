@@ -86,6 +86,30 @@ TEST(Rng, DeriveSeedSeparatesStreams) {
   EXPECT_EQ(derive_seed(1, 3), derive_seed(1, 3));
 }
 
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, DeriveSeedStreamsAreIndependent) {
+  // Every distinct stream of the same base must give a distinct seed, and
+  // the derived streams must not be shifted copies of each other: generators
+  // seeded from adjacent streams share (almost) no outputs in a long prefix.
+  const std::uint64_t base = 0xfeedfacecafebeefULL;
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 256; ++s)
+    seeds.insert(derive_seed(base, s));
+  EXPECT_EQ(seeds.size(), 256u);
+
+  Rng a(derive_seed(base, 0)), b(derive_seed(base, 1));
+  std::set<std::uint64_t> outputs_a;
+  for (int i = 0; i < 1000; ++i) outputs_a.insert(a());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (outputs_a.count(b())) ++collisions;
+  EXPECT_LT(collisions, 3);
+}
+
 TEST(Scheduler, RejectsTinyPopulations) {
   EXPECT_THROW(UniformScheduler(0), std::invalid_argument);
   EXPECT_THROW(UniformScheduler(1), std::invalid_argument);
@@ -187,6 +211,16 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(Stats, QuantileOfSingletonIsThatElement) {
+  const std::vector<double> xs = {7.5};
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, q), 7.5);
+}
+
+TEST(Stats, QuantileThrowsOnEmpty) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
 }
 
 TEST(Stats, LineFitRecoversExactLine) {
