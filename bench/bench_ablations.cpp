@@ -25,17 +25,18 @@
 #include "protocols/leader.h"
 #include "protocols/optimal_silent.h"
 #include "protocols/sublinear.h"
+#include "analysis/bench_report.h"
 #include "reset/reset_process.h"
 
 namespace ppsim {
 namespace {
 
-void ablate_dmax(const BenchScale& scale) {
+void ablate_dmax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Optimal-Silent Dmax (dormancy vs slow "
                "election, Lemma 4.2) ==\n";
   constexpr std::uint32_t kN = 256;
   Table t({"Dmax/n", "unique-leader frac", "mean stabilization time"});
-  for (double factor : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+  for (double factor : scale.points({0.5, 1.0, 2.0, 4.0, 8.0, 16.0})) {
     const auto trials = scale.trials(12);
     std::uint32_t unique = 0;
     std::vector<double> times;
@@ -47,7 +48,7 @@ void ablate_dmax(const BenchScale& scale) {
                                         derive_seed(100 + i, factor * 16));
       Simulation<OptimalSilentSSR> sim(proto, std::move(init),
                                        derive_seed(200 + i, factor * 16));
-      while (sim.protocol().counters().resets_executed == 0 &&
+      while (sim.counters().resets_executed == 0 &&
              sim.interactions() < (1ull << 31))
         sim.step();
       std::uint32_t leaders = 0;
@@ -68,6 +69,14 @@ void ablate_dmax(const BenchScale& scale) {
     }
     t.add_row({fmt(factor, 1), fmt(static_cast<double>(unique) / trials, 2),
                fmt(summarize(times).mean, 0)});
+    report.add()
+        .set("experiment", "ablate_dmax")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("dmax_over_n", factor)
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("unique_fraction", static_cast<double>(unique) / trials)
+        .set("parallel_time", summarize(times).mean);
   }
   t.print();
   std::cout << "small Dmax starves the L,L->L,F election (multi-leader "
@@ -76,12 +85,12 @@ void ablate_dmax(const BenchScale& scale) {
                "exactly the paper's design point\n";
 }
 
-void ablate_emax(const BenchScale& scale) {
+void ablate_emax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Optimal-Silent Emax (Unsettled patience, "
                "Theorem 4.3) ==\n";
   constexpr std::uint32_t kN = 256;
   Table t({"Emax/n", "mean time", "timeout triggers/run"});
-  for (double factor : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+  for (double factor : scale.points({2.0, 4.0, 8.0, 16.0, 32.0})) {
     const auto trials = scale.trials(10);
     std::vector<double> times, triggers;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -100,10 +109,18 @@ void ablate_emax(const BenchScale& scale) {
         sim.step();
       times.push_back(sim.parallel_time());
       triggers.push_back(
-          static_cast<double>(sim.protocol().counters().timeout_triggers));
+          static_cast<double>(sim.counters().timeout_triggers));
     }
     t.add_row({fmt(factor, 0), fmt(summarize(times).mean, 0),
                fmt(summarize(triggers).mean, 1)});
+    report.add()
+        .set("experiment", "ablate_emax")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("emax_over_n", factor)
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(times).mean)
+        .set("timeout_triggers", summarize(triggers).mean);
   }
   t.print();
   std::cout << "Emax too small fires timeouts during healthy ranking "
@@ -111,12 +128,12 @@ void ablate_emax(const BenchScale& scale) {
                "stuck configurations — both ends cost time\n";
 }
 
-void ablate_rmax(const BenchScale& scale) {
+void ablate_rmax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Propagate-Reset Rmax (wave coverage, Lemma "
                "3.2) ==\n";
   constexpr std::uint32_t kN = 1024;
   Table t({"Rmax", "all-reset frac", "exactly-once frac"});
-  for (double factor : {1.0, 2.0, 4.0, 8.0}) {
+  for (double factor : scale.points({1.0, 2.0, 4.0, 8.0})) {
     const auto rmax = static_cast<std::uint32_t>(
         std::ceil(factor * std::log(kN)));
     const std::uint32_t dmax = 8 * rmax;
@@ -150,6 +167,15 @@ void ablate_rmax(const BenchScale& scale) {
     t.add_row({std::to_string(rmax),
                fmt(static_cast<double>(all_reset) / trials, 2),
                fmt(static_cast<double>(exactly_once) / trials, 2)});
+    report.add()
+        .set("experiment", "ablate_rmax")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("rmax", static_cast<std::uint64_t>(rmax))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("all_reset_fraction", static_cast<double>(all_reset) / trials)
+        .set("exactly_once_fraction",
+             static_cast<double>(exactly_once) / trials);
   }
   t.print();
   std::cout << "Rmax = Theta(log n) with a sufficient constant makes the "
@@ -157,13 +183,13 @@ void ablate_rmax(const BenchScale& scale) {
                "n for its tail bounds; ~8 ln n suffices empirically)\n";
 }
 
-void ablate_smax(const BenchScale& scale) {
+void ablate_smax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Sublinear Smax (sync width vs lucky echoes, "
                "Lemma 5.6) ==\n";
   constexpr std::uint32_t kN = 64;
   Table t({"Smax", "mean detection time", "failed detections frac"});
-  for (std::uint64_t smax : {2ull, 4ull, 16ull, 256ull,
-                             static_cast<unsigned long long>(kN) * kN}) {
+  for (std::uint64_t smax : scale.points<std::uint64_t>(
+           {2, 4, 16, 256, static_cast<std::uint64_t>(kN) * kN})) {
     const auto trials = scale.trials(15);
     std::vector<double> times;
     std::uint32_t failures = 0;
@@ -177,10 +203,10 @@ void ablate_smax(const BenchScale& scale) {
       Simulation<SublinearTimeSSR> sim(proto, std::move(init),
                                        derive_seed(800 + i, smax));
       const std::uint64_t horizon = 400ull * kN * p.th;
-      while (sim.protocol().counters().collision_triggers == 0 &&
+      while (sim.counters().collision_triggers == 0 &&
              sim.interactions() < horizon)
         sim.step();
-      if (sim.protocol().counters().collision_triggers == 0)
+      if (sim.counters().collision_triggers == 0)
         ++failures;
       else
         times.push_back(sim.parallel_time());
@@ -188,6 +214,14 @@ void ablate_smax(const BenchScale& scale) {
     t.add_row({std::to_string(smax),
                times.empty() ? "-" : fmt(summarize(times).mean, 1),
                fmt(static_cast<double>(failures) / trials, 2)});
+    report.add()
+        .set("experiment", "ablate_smax")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("smax", smax)
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", times.empty() ? -1.0 : summarize(times).mean)
+        .set("failure_fraction", static_cast<double>(failures) / trials);
   }
   t.print();
   std::cout << "tiny Smax lets the duplicate echo sync values by luck "
@@ -195,13 +229,13 @@ void ablate_smax(const BenchScale& scale) {
                "Theta(n^2) makes echoes negligible\n";
 }
 
-void ablate_th(const BenchScale& scale) {
+void ablate_th(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Sublinear TH (timer lifetime vs tau_{H+1}) "
                "==\n";
   constexpr std::uint32_t kN = 256;
   Table t({"TH", "TH/tau-scale", "mean detection time"});
   const auto p_ref = SublinearParams::constant_h(kN, 1);
-  for (double factor : {0.25, 0.5, 1.0, 2.0}) {
+  for (double factor : scale.points({0.25, 0.5, 1.0, 2.0})) {
     const auto th = std::max<std::uint32_t>(
         2, static_cast<std::uint32_t>(factor * p_ref.th));
     const auto trials = scale.trials(12);
@@ -215,13 +249,20 @@ void ablate_th(const BenchScale& scale) {
                                    derive_seed(900 + i, factor * 16));
       Simulation<SublinearTimeSSR> sim(proto, std::move(init),
                                        derive_seed(1000 + i, factor * 16));
-      while (sim.protocol().counters().collision_triggers == 0 &&
+      while (sim.counters().collision_triggers == 0 &&
              sim.interactions() < (1ull << 31))
         sim.step();
       times.push_back(sim.parallel_time());
     }
     t.add_row({std::to_string(th), fmt(factor, 2),
                fmt(summarize(times).mean, 1)});
+    report.add()
+        .set("experiment", "ablate_th")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("th", static_cast<std::uint64_t>(th))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(times).mean);
   }
   t.print();
   std::cout << "timers shorter than tau_{H+1} expire detection paths before "
@@ -229,7 +270,7 @@ void ablate_th(const BenchScale& scale) {
                "direct-meeting Theta(n) rate\n";
 }
 
-void ablate_direct_check(const BenchScale&) {
+void ablate_direct_check(const BenchScale&, BenchReport& report) {
   std::cout << "\n== ablation: the direct-check rule at n = 2 (DESIGN.md) "
                "==\n";
   Table t({"direct_check", "outcome"});
@@ -251,6 +292,13 @@ void ablate_direct_check(const BenchScale&) {
     t.add_row({direct ? "on" : "off",
                ranked ? "stabilized at t=" + fmt(sim.parallel_time(), 1)
                       : "STUCK (no third party can witness the collision)"});
+    report.add()
+        .set("experiment", "ablate_direct_check")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(2))
+        .set("direct_check", direct)
+        .set("stabilized", ranked)
+        .set("parallel_time", ranked ? sim.parallel_time() : -1.0);
   }
   t.print();
   std::cout << "faithful Protocol 7 detects only through third parties and "
@@ -259,7 +307,7 @@ void ablate_direct_check(const BenchScale&) {
                "never misfire\n";
 }
 
-void ablate_synthetic_coin(const BenchScale& scale) {
+void ablate_synthetic_coin(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: synthetic-coin derandomization overhead "
                "(Section 6) ==\n";
   constexpr std::uint32_t kN = 64;
@@ -281,10 +329,18 @@ void ablate_synthetic_coin(const BenchScale& scale) {
         sim.step();
       times.push_back(sim.parallel_time());
       bits.push_back(
-          static_cast<double>(sim.protocol().counters().coin_bits) / kN);
+          static_cast<double>(sim.counters().coin_bits) / kN);
     }
     t.add_row({coin ? "on" : "off", fmt(summarize(times).mean, 1),
                fmt(summarize(bits).mean, 1)});
+    report.add()
+        .set("experiment", "ablate_synthetic_coin")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(kN))
+        .set("synthetic_coin", coin)
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(times).mean)
+        .set("coin_bits_per_agent", summarize(bits).mean);
   }
   t.print();
   std::cout << "paper: the coin costs ~4 interactions per harvested bit "
@@ -298,12 +354,16 @@ void ablate_synthetic_coin(const BenchScale& scale) {
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_ablations: constant-sensitivity studies ===\n";
-  ppsim::ablate_dmax(scale);
-  ppsim::ablate_emax(scale);
-  ppsim::ablate_rmax(scale);
-  ppsim::ablate_smax(scale);
-  ppsim::ablate_th(scale);
-  ppsim::ablate_direct_check(scale);
-  ppsim::ablate_synthetic_coin(scale);
+  ppsim::BenchReport report("ablations");
+  ppsim::ablate_dmax(scale, report);
+  ppsim::ablate_emax(scale, report);
+  ppsim::ablate_rmax(scale, report);
+  ppsim::ablate_smax(scale, report);
+  ppsim::ablate_th(scale, report);
+  ppsim::ablate_direct_check(scale, report);
+  ppsim::ablate_synthetic_coin(scale, report);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   return 0;
 }

@@ -14,12 +14,12 @@
 //    distributional agreement is visible alongside the speed difference.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/bench_report.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/batch_simulation.h"
@@ -31,12 +31,7 @@
 namespace ppsim {
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-void experiment_fixed_budget(const BenchScale& scale) {
+void experiment_fixed_budget(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== fixed parallel-time budget: array vs batched backend "
                "(worst-case config) ==\n";
   // Equal *parallel time* per n is the apples-to-apples workload: the
@@ -48,21 +43,21 @@ void experiment_fixed_budget(const BenchScale& scale) {
   Table t({"n", "array s", "batch s", "speedup", "batch eff. events",
            "batch null-skipped"});
   std::vector<double> ns, speedups;
-  for (std::uint32_t n : {10'000u, 100'000u, 1'000'000u}) {
+  for (std::uint32_t n : scale.sizes({10'000, 100'000, 1'000'000})) {
     const std::uint64_t seed = derive_seed(42, n);
     const std::uint64_t budget = ptime_budget * n;
 
-    const auto t_array = std::chrono::steady_clock::now();
+    const WallTimer t_array;
     Simulation<SilentNStateSSR> array_sim(SilentNStateSSR(n),
                                           silent_nstate_worst_config(n), seed);
     array_sim.run(budget);
-    const double array_s = seconds_since(t_array);
+    const double array_s = t_array.seconds();
 
-    const auto t_batch = std::chrono::steady_clock::now();
+    const WallTimer t_batch;
     BatchSimulation<SilentNStateSSR> batch_sim(
         SilentNStateSSR(n), silent_nstate_worst_config(n), seed);
     batch_sim.run(budget);
-    const double batch_s = seconds_since(t_batch);
+    const double batch_s = t_batch.seconds();
 
     const double speedup = array_s / batch_s;
     ns.push_back(static_cast<double>(n));
@@ -71,8 +66,20 @@ void experiment_fixed_budget(const BenchScale& scale) {
                fmt(speedup, 1),
                std::to_string(batch_sim.stats().effective),
                std::to_string(batch_sim.stats().batched)});
+    for (const char* backend : {"array", "batch"}) {
+      report.add()
+          .set("experiment", "fixed_budget")
+          .set("backend", backend)
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("interactions", budget)
+          .set("parallel_time", static_cast<double>(ptime_budget))
+          .set("wall_seconds",
+               backend == std::string("array") ? array_s : batch_s)
+          .set("speedup_vs_array", speedup);
+    }
   }
   t.print();
+  if (ns.size() < 2) return;
   const LinearFit f = fit_power_law(ns, speedups);
   std::cout << "speedup curve: speedup ~ n^" << fmt(f.slope, 2)
             << "  (R^2 = " << fmt(f.r2, 3) << ")\n";
@@ -87,15 +94,15 @@ void experiment_fixed_budget(const BenchScale& scale) {
               << "x)\n";
 }
 
-void experiment_run_to_silence(const BenchScale& scale) {
+void experiment_run_to_silence(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== run to stabilization: wall clock per backend ==\n";
   Table t({"n", "trials", "array s", "batch s", "fast s", "array E[time]",
            "batch E[time]", "fast E[time]"});
-  for (std::uint32_t n : {256u, 512u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({256, 512, 1024})) {
     const std::uint32_t trials = scale.trials(10);
     std::vector<double> at, bt, ft;
 
-    const auto t_array = std::chrono::steady_clock::now();
+    const WallTimer t_array;
     for (std::uint32_t i = 0; i < trials; ++i) {
       RunOptions opts;
       opts.max_interactions = 1ull << 62;
@@ -104,9 +111,9 @@ void experiment_run_to_silence(const BenchScale& scale) {
                                     derive_seed(100 + n, i), opts)
                        .stabilization_ptime);
     }
-    const double array_s = seconds_since(t_array);
+    const double array_s = t_array.seconds();
 
-    const auto t_batch = std::chrono::steady_clock::now();
+    const WallTimer t_batch;
     for (std::uint32_t i = 0; i < trials; ++i) {
       BatchSimulation<SilentNStateSSR> sim(
           SilentNStateSSR(n), silent_nstate_worst_config(n),
@@ -114,19 +121,26 @@ void experiment_run_to_silence(const BenchScale& scale) {
       sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 62);
       bt.push_back(sim.parallel_time());
     }
-    const double batch_s = seconds_since(t_batch);
+    const double batch_s = t_batch.seconds();
 
-    const auto t_fast = std::chrono::steady_clock::now();
+    const WallTimer t_fast;
     for (std::uint32_t i = 0; i < trials; ++i)
       ft.push_back(SilentNStateFast(n)
                        .run(silent_nstate_worst_counts(n),
                             derive_seed(300 + n, i))
                        .parallel_time);
-    const double fast_s = seconds_since(t_fast);
+    const double fast_s = t_fast.seconds();
 
     t.add_row({std::to_string(n), std::to_string(trials), fmt(array_s, 3),
                fmt(batch_s, 4), fmt(fast_s, 4), fmt(summarize(at).mean, 0),
                fmt(summarize(bt).mean, 0), fmt(summarize(ft).mean, 0)});
+    report.add()
+        .set("experiment", "run_to_silence")
+        .set("backend", "batch")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(bt).mean)
+        .set("wall_seconds", batch_s);
   }
   t.print();
   std::cout << "(the three E[time] columns agree within noise: same jump "
@@ -138,9 +152,13 @@ void experiment_run_to_silence(const BenchScale& scale) {
 
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  ppsim::BenchReport report("batch_vs_array");
   std::cout << "=== bench_batch_vs_array: count-based batched backend "
                "(ISSUE 1 tentpole) ===\n";
-  ppsim::experiment_fixed_budget(scale);
-  ppsim::experiment_run_to_silence(scale);
+  ppsim::experiment_fixed_budget(scale, report);
+  ppsim::experiment_run_to_silence(scale, report);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "analysis/bench_report.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
@@ -49,7 +50,7 @@ void render_tree(const std::vector<State>& states, std::uint32_t n) {
   }
 }
 
-void figure1_scenario() {
+void figure1_scenario(BenchReport& report) {
   constexpr std::uint32_t kN = 12;
   const auto params = OptimalSilentParams::standard(kN);
   OptimalSilentSSR proto(params);
@@ -86,20 +87,26 @@ void figure1_scenario() {
             << " parallel time units, all ranks are assigned:\n";
   render_tree(sim.states(), kN);
   std::cout << "resets triggered: "
-            << sim.protocol().counters().collision_triggers +
-                   sim.protocol().counters().timeout_triggers
+            << sim.counters().collision_triggers +
+                   sim.counters().timeout_triggers
             << " (expected 0: the figure's configuration completes "
                "directly)\n";
+  report.add()
+      .set("experiment", "figure1_scenario")
+      .set("backend", "array")
+      .set("n", static_cast<std::uint64_t>(kN))
+      .set("parallel_time", sim.parallel_time())
+      .set("interactions", sim.interactions());
 }
 
 // Lemma 4.1 dynamics: settled count over time from a single leader; each
 // doubling of the settled population should take roughly constant time
 // proportional to the level size (O(2^d) for level d).
-void level_dynamics(const BenchScale& scale) {
+void level_dynamics(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== F1/L4.1: settled-population growth from one leader ==\n";
   Table t({"n", "time to 25% settled", "to 50%", "to 75%", "to 100%",
            "total/n"});
-  for (std::uint32_t n : {256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({256, 1024, 4096})) {
     const auto trials = scale.trials(10);
     std::vector<double> q25, q50, q75, q100;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -135,6 +142,12 @@ void level_dynamics(const BenchScale& scale) {
                fmt(summarize(q50).mean, 1), fmt(summarize(q75).mean, 1),
                fmt(summarize(q100).mean, 1),
                fmt(summarize(q100).mean / n, 3)});
+    report.add()
+        .set("experiment", "level_dynamics")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(q100).mean);
   }
   t.print();
   std::cout << "paper (Lemma 4.1): total time O(n) (total/n ~ const); the "
@@ -167,8 +180,12 @@ BENCHMARK(BM_RankAssignmentFullRun)->Arg(256)->Arg(1024);
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_fig1_tree_ranking: Figure 1 / Lemma 4.1 ===\n";
-  ppsim::figure1_scenario();
-  ppsim::level_dynamics(scale);
+  ppsim::BenchReport report("fig1_tree_ranking");
+  ppsim::figure1_scenario(report);
+  ppsim::level_dynamics(scale, report);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -15,6 +15,7 @@
 #include "common/name.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
+#include "analysis/bench_report.h"
 #include "protocols/collision_tree.h"
 
 namespace ppsim {
@@ -59,15 +60,16 @@ void render_tree(const char* label, const HistoryTree& t, std::uint32_t h) {
   render(*t.root(), "  ", path, 0, static_cast<std::int64_t>(t.ops()), h);
 }
 
-std::uint64_t interact(CollisionDetector& det, HistoryTree& x,
+std::uint64_t interact(const CollisionDetector& det, HistoryTree& x,
                        HistoryTree& y, std::uint64_t step) {
+  CollisionDetectorStats det_stats;
   Rng rng(1000 + step * 7919);
-  const bool collision = det.detect_and_update(x, y, rng);
+  const bool collision = det.detect_and_update(x, y, rng, det_stats);
   if (collision) std::cout << "  !! collision declared\n";
   return x.root()->children.back().sync;
 }
 
-void figure2(bool right_variant) {
+void figure2(bool right_variant, BenchReport& report) {
   std::cout << "\n== F2: Figure 2, " << (right_variant ? "right" : "left")
             << " execution ==\n";
   CollisionDetectorParams p;
@@ -76,6 +78,7 @@ void figure2(bool right_variant) {
   p.th = 1000;
   p.direct_check = true;
   CollisionDetector det(p);
+  CollisionDetectorStats det_stats;
 
   HistoryTree a, b, c, d;
   a.reset(agent_name('a'));
@@ -110,10 +113,17 @@ void figure2(bool right_variant) {
   // Check-Path-Consistency(a, P) must return True (no false collision).
   std::cout << "\nd-a interact (the caption's consistency check):\n";
   Rng rng(4242);
-  const bool collision = det.detect_and_update(d, a, rng);
+  const bool collision = det.detect_and_update(d, a, rng, det_stats);
   std::cout << "  Detect-Name-Collision returned "
             << (collision ? "True (collision!)" : "False (consistent)")
             << "\n";
+  report.add()
+      .set("experiment",
+           right_variant ? "figure2_right" : "figure2_left")
+      .set("backend", "tree")
+      .set("false_collision", collision)
+      .set("paths_checked", det_stats.paths_checked)
+      .set("nodes_visited", det_stats.nodes_visited);
   if (right_variant) {
     std::cout << "  (the first reverse edge a->b carries the regenerated "
                  "sync and does not match; the second edge b->c does — "
@@ -133,6 +143,7 @@ void BM_Graft(benchmark::State& state) {
   p.th = 64;
   p.prune_window = 10 * p.th;
   CollisionDetector det(p);
+  CollisionDetectorStats det_stats;
   constexpr std::uint32_t kAgents = 64;
   std::vector<HistoryTree> trees(kAgents);
   for (std::uint32_t i = 0; i < kAgents; ++i)
@@ -142,29 +153,38 @@ void BM_Graft(benchmark::State& state) {
   for (auto _ : state) {
     const AgentPair pr = sched.next(rng);
     benchmark::DoNotOptimize(det.detect_and_update(
-        trees[pr.initiator], trees[pr.responder], rng));
+        trees[pr.initiator], trees[pr.responder], rng, det_stats));
   }
   state.counters["dfs_nodes_per_call"] =
-      static_cast<double>(det.stats().nodes_visited) /
-      std::max<std::uint64_t>(1, det.stats().calls);
+      static_cast<double>(det_stats.nodes_visited) /
+      std::max<std::uint64_t>(1, det_stats.calls);
 }
-BENCHMARK(BM_Graft)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+// Fixed iteration count: the trees grow as the benchmark runs (that growth
+// IS the measured phenomenon), so letting google-benchmark auto-scale the
+// iteration count makes deep-H runs quadratically slower with no extra
+// information.
+BENCHMARK(BM_Graft)->Arg(1)->Arg(2)->Iterations(2000);
+BENCHMARK(BM_Graft)->Arg(4)->Iterations(400);  // tree growth is super-linear
+BENCHMARK(BM_Graft)->Arg(8)->Iterations(100);  // ... and worse with depth
 
 void BM_LiveNodeCount(benchmark::State& state) {
   CollisionDetectorParams p;
   p.depth_h = 4;
   p.smax = 1 << 20;
   p.th = 64;
+  p.prune_window = 10 * p.th;  // bounded trees: the deployed configuration
   CollisionDetector det(p);
+  CollisionDetectorStats det_stats;
   constexpr std::uint32_t kAgents = 32;
   std::vector<HistoryTree> trees(kAgents);
   for (std::uint32_t i = 0; i < kAgents; ++i)
     trees[i].reset(Name::from_bits(i + 1, 18));
   Rng rng(7);
   UniformScheduler sched(kAgents);
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < 3000; ++i) {
     const AgentPair pr = sched.next(rng);
-    det.detect_and_update(trees[pr.initiator], trees[pr.responder], rng);
+    det.detect_and_update(trees[pr.initiator], trees[pr.responder], rng,
+                          det_stats);
   }
   for (auto _ : state)
     benchmark::DoNotOptimize(live_node_count(trees[0], 4));
@@ -176,8 +196,12 @@ BENCHMARK(BM_LiveNodeCount);
 
 int main(int argc, char** argv) {
   std::cout << "=== bench_fig2_history_trees: Figure 2 / Protocols 7-8 ===\n";
-  ppsim::figure2(/*right_variant=*/false);
-  ppsim::figure2(/*right_variant=*/true);
+  ppsim::BenchReport report("fig2_history_trees");
+  ppsim::figure2(/*right_variant=*/false, report);
+  ppsim::figure2(/*right_variant=*/true, report);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;
@@ -187,11 +211,20 @@ int main(int argc, char** argv) {
     }
   }
   // Default run includes a short micro section so the figure binary also
-  // reports kernel costs.
-  int bench_argc = 1;
+  // reports kernel costs; --smoke (and --quick) cap the measuring time so
+  // the CI gate finishes in seconds (BM_Graft's deepest trees cost ~25 ms
+  // per iteration).
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke" || a == "--quick") fast = true;
+  }
   char arg0[] = "bench_fig2";
-  char* bench_argv[] = {arg0};
-  benchmark::Initialize(&bench_argc, bench_argv);
+  char arg1[] = "--benchmark_min_time=0.01";
+  std::vector<char*> bench_argv = {arg0};
+  if (fast) bench_argv.push_back(arg1);
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

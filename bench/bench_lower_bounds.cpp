@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "analysis/adversary.h"
+#include "analysis/bench_report.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
 #include "protocols/optimal_silent.h"
@@ -50,15 +51,15 @@ double duplicate_meeting_time_optimal(std::uint32_t n, std::uint64_t seed) {
       optimal_silent_config(params, OsAdversary::kCorrectRanking, seed);
   init[1] = init[0];  // two copies of the rank-1 leader state
   Simulation<OptimalSilentSSR> sim(proto, std::move(init), seed + 1);
-  while (sim.protocol().counters().collision_triggers == 0) sim.step();
+  while (sim.counters().collision_triggers == 0) sim.step();
   return sim.parallel_time();
 }
 
-void experiment_obs26(const BenchScale& scale) {
+void experiment_obs26(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== O2.6: duplicated-leader recovery needs a direct meeting "
                "==\n";
   Table t({"protocol", "n", "mean time", "(n-1)/2", "ratio", "frac >= n/3"});
-  for (std::uint32_t n : {64u, 256u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto trials = scale.trials(60);
     std::vector<double> a, b;
     int tail_a = 0, tail_b = 0;
@@ -76,6 +77,13 @@ void experiment_obs26(const BenchScale& scale) {
     t.add_row({"Optimal-Silent", std::to_string(n), fmt(summarize(b).mean, 1),
                fmt(expect, 1), fmt(summarize(b).mean / expect, 3),
                fmt(static_cast<double>(tail_b) / trials, 2)});
+    report.add()
+        .set("experiment", "obs26_duplicate_meeting")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(b).mean)
+        .set("analytic_parallel_time", expect);
   }
   t.print();
   std::cout << "paper: expected time >= n/3 and P[time >= n lnn /3] >= "
@@ -83,11 +91,11 @@ void experiment_obs26(const BenchScale& scale) {
                "certifying the Omega(n) silent lower bound\n";
 }
 
-void experiment_log_lower_bound(const BenchScale& scale) {
+void experiment_log_lower_bound(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== Omega(log n): from all-leaders, n-1 agents must "
                "interact ==\n";
   Table t({"n", "mean time to <= 1 untouched", "ln(n)/2", "ratio"});
-  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024, 4096})) {
     const auto trials = scale.trials(100);
     std::vector<double> xs;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -115,6 +123,12 @@ void experiment_log_lower_bound(const BenchScale& scale) {
     const double expect = std::log(n) / 2.0;
     t.add_row({std::to_string(n), fmt(summarize(xs).mean, 2),
                fmt(expect, 2), fmt(summarize(xs).mean / expect, 3)});
+    report.add()
+        .set("experiment", "log_lower_bound")
+        .set("backend", "scheduler")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(xs).mean);
   }
   t.print();
   std::cout << "paper: any SSLE protocol needs Omega(log n) time from the "
@@ -125,7 +139,7 @@ void experiment_log_lower_bound(const BenchScale& scale) {
   std::cout << "\n== all-leaders start, Silent-n-state: time until the "
                "original rank has one holder ==\n";
   Table t2({"n", "mean time", "ln n", "mean/ln(n)"});
-  for (std::uint32_t n : {64u, 256u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto trials = scale.trials(40);
     std::vector<double> xs;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -167,8 +181,12 @@ int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_lower_bounds: Observation 2.6 and the Omega(log n) "
                "bound ===\n";
-  ppsim::experiment_obs26(scale);
-  ppsim::experiment_log_lower_bound(scale);
+  ppsim::BenchReport report("lower_bounds");
+  ppsim::experiment_obs26(scale, report);
+  ppsim::experiment_log_lower_bound(scale, report);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -3,7 +3,13 @@
 // experiment — an engineering dashboard for the simulator itself.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "analysis/adversary.h"
+#include "analysis/bench_report.h"
+#include "core/batch_simulation.h"
 #include "common/name.h"
 #include "common/roster.h"
 #include "core/rng.h"
@@ -89,6 +95,50 @@ void BM_SimulationStepOptimalSilent(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationStepOptimalSilent)->Arg(1024)->Arg(1 << 16);
 
+void BM_BatchStepSilentNState(benchmark::State& state) {
+  // The diagonal fast path: one geometric jump per effective interaction.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 2;
+  BatchSimulation<SilentNStateSSR> sim(SilentNStateSSR(n),
+                                       silent_nstate_random_config(n, 1),
+                                       seed);
+  for (auto _ : state) {
+    if (sim.step() == 0) {  // silent: restart from a fresh hostile config
+      state.PauseTiming();
+      ++seed;
+      sim = BatchSimulation<SilentNStateSSR>(
+          SilentNStateSSR(n), silent_nstate_random_config(n, seed), seed);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatchStepSilentNState)->Arg(1024)->Arg(1 << 16);
+
+void BM_BatchStepOptimalSilent(benchmark::State& state) {
+  // The keyed-passive path on a hostile (mostly-active) configuration.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  std::uint64_t seed = 2;
+  BatchSimulation<OptimalSilentSSR> sim(
+      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, 1),
+      seed);
+  for (auto _ : state) {
+    if (sim.step() == 0) {  // silent: restart from a fresh hostile config
+      state.PauseTiming();
+      ++seed;
+      sim = BatchSimulation<OptimalSilentSSR>(
+          proto,
+          optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
+          seed);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatchStepOptimalSilent)->Arg(1024)->Arg(1 << 16);
+
 void BM_SimulationStepSublinear(benchmark::State& state) {
   const auto h = static_cast<std::uint32_t>(state.range(0));
   const auto n = static_cast<std::uint32_t>(state.range(1));
@@ -101,8 +151,8 @@ void BM_SimulationStepSublinear(benchmark::State& state) {
   for (auto _ : state) sim.step();
   state.SetItemsProcessed(state.iterations());
   state.counters["dfs_nodes_per_call"] =
-      static_cast<double>(sim.protocol().detector_stats().nodes_visited) /
-      std::max<std::uint64_t>(1, sim.protocol().detector_stats().calls);
+      static_cast<double>(sim.counters().detector.nodes_visited) /
+      std::max<std::uint64_t>(1, sim.counters().detector.calls);
 }
 // The H = Theta(log n) configuration is excluded here: a single steady-state
 // step can cost seconds (the quasi-exponential live tree), which starves the
@@ -112,7 +162,55 @@ BENCHMARK(BM_SimulationStepSublinear)
     ->Args({2, 1024})
     ->Args({3, 256});
 
+// Tees every benchmark result into BENCH_micro.json next to the console
+// output, so the per-interaction cost trajectory is tracked across PRs.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchReport* report) : report_(report) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->add()
+          .set("experiment", run.benchmark_name())
+          .set("backend", "micro")
+          .set("time_per_op", run.GetAdjustedRealTime())
+          .set("iterations", static_cast<std::uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace ppsim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Accept the repo-wide bench flags (--smoke/--quick/--full/--threads=N)
+  // before handing the rest to google-benchmark; --smoke caps the measuring
+  // time so CI exercises every kernel in seconds.
+  std::vector<char*> passthrough;
+  std::string min_time = "--benchmark_min_time=0.01";
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (a == "--quick" || a == "--full" || a.rfind("--threads=", 0) == 0)
+      continue;
+    passthrough.push_back(argv[i]);
+  }
+  if (smoke) passthrough.push_back(min_time.data());
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  ppsim::BenchReport report("micro");
+  ppsim::JsonTeeReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::printf("machine-readable results: %s\n", path.c_str());
+  return 0;
+}

@@ -1,4 +1,7 @@
-// Experiments T4.3 / C4.4 / L4.1 / L4.2 (see DESIGN.md): Optimal-Silent-SSR.
+// Experiments T4.3 / C4.4 / L4.1 / L4.2 (see DESIGN.md): Optimal-Silent-SSR,
+// on the unified Engine API (stabilization sweeps run on the count-based
+// batched backend with parallel seed fan-out; the Lemma 4.1/4.2 microscopes
+// keep the agent array, whose explicit states they inspect).
 //
 //   * full stabilization from adversarial starts is Theta(n) expected and
 //     O(n log n) whp (log-log slope ~1; p99/mean stays bounded)
@@ -12,8 +15,10 @@
 #include <iostream>
 
 #include "analysis/adversary.h"
+#include "analysis/bench_report.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
+#include "core/batch_simulation.h"
 #include "core/simulation.h"
 #include "protocols/optimal_silent.h"
 
@@ -27,28 +32,36 @@ RunOptions options_for(std::uint32_t n) {
   return opts;
 }
 
-void experiment_stabilization(const BenchScale& scale) {
+void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
   for (auto kind : {OsAdversary::kUniformRandom, OsAdversary::kDuplicateRank,
                     OsAdversary::kAllLeaders}) {
     Sweep sweep;
-    for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-      const auto trials = scale.trials(n <= 512 ? 20 : 8);
-      std::vector<double> times;
-      for (std::uint32_t i = 0; i < trials; ++i) {
-        const auto params = OptimalSilentParams::standard(n);
-        OptimalSilentSSR proto(params);
-        auto init = optimal_silent_config(params, kind,
-                                          derive_seed(1000 + n, i));
-        const RunResult r = run_until_ranked(
-            proto, std::move(init), derive_seed(2000 + n, i),
-            options_for(n));
-        times.push_back(r.stabilized ? r.stabilization_ptime : -1);
-      }
+    // The batched backend extends the sweep beyond the agent array's
+    // practical range (4096 by default, 8192 under --full).
+    auto sizes = scale.sizes({64, 128, 256, 512, 1024, 2048, 4096});
+    if (scale.full) sizes.push_back(8192);
+    for (std::uint32_t n : sizes) {
+      const auto trials = scale.trials(n <= 512 ? 20 : (n <= 2048 ? 8 : 4));
+      const auto times = run_trials_parallel(
+          trials, 1000 + n,
+          [n, kind](std::uint64_t seed) {
+            const auto params = OptimalSilentParams::standard(n);
+            OptimalSilentSSR proto(params);
+            auto init = optimal_silent_config(params, kind,
+                                              derive_seed(seed, 1));
+            BatchSimulation<OptimalSilentSSR> sim(proto, init,
+                                                  derive_seed(seed, 2));
+            const RunResult r = run_engine_until_ranked(sim, options_for(n));
+            return r.stabilized ? r.stabilization_ptime : -1;
+          },
+          scale.threads);
       sweep.points.push_back({static_cast<double>(n), summarize(times)});
     }
     print_sweep(std::string("T4.3: stabilization time from '") +
-                    to_string(kind) + "' start",
+                    to_string(kind) + "' start (batched backend)",
                 sweep);
+    report_sweep(report, std::string("stabilization_") + to_string(kind),
+                 "batch", sweep);
     std::cout << "paper: Theta(n) expected (slope ~1); O(n log n) whp "
                  "(p99/mean grows at most logarithmically)\n";
     Table t({"n", "time/n (expected O(1))", "p99/mean"});
@@ -60,33 +73,36 @@ void experiment_stabilization(const BenchScale& scale) {
 }
 
 // Lemma 4.1: leader-driven binary-tree ranking from one Settled leader.
-void experiment_tree_ranking(const BenchScale& scale) {
+void experiment_tree_ranking(const BenchScale& scale, BenchReport& report) {
   Sweep sweep;
-  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024, 4096})) {
     const auto trials = scale.trials(n <= 1024 ? 30 : 10);
-    std::vector<double> times;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      const auto params = OptimalSilentParams::standard(n);
-      OptimalSilentSSR proto(params);
-      std::vector<OptimalSilentSSR::State> init(n);
-      init[0].role = OsRole::Settled;
-      init[0].rank = 1;
-      init[0].children = 0;
-      for (std::uint32_t j = 1; j < n; ++j) {
-        init[j].role = OsRole::Unsettled;
-        init[j].errorcount = params.emax;
-      }
-      const RunResult r = run_until_ranked(
-          proto, std::move(init), derive_seed(3000 + n, i), options_for(n));
-      times.push_back(r.stabilization_ptime);
-    }
+    const auto times = run_trials_parallel(
+        trials, 3000 + n,
+        [n](std::uint64_t seed) {
+          const auto params = OptimalSilentParams::standard(n);
+          OptimalSilentSSR proto(params);
+          std::vector<OptimalSilentSSR::State> init(n);
+          init[0].role = OsRole::Settled;
+          init[0].rank = 1;
+          init[0].children = 0;
+          for (std::uint32_t j = 1; j < n; ++j) {
+            init[j].role = OsRole::Unsettled;
+            init[j].errorcount = params.emax;
+          }
+          return run_until_ranked(proto, std::move(init), seed,
+                                  options_for(n))
+              .stabilization_ptime;
+        },
+        scale.threads);
     sweep.points.push_back({static_cast<double>(n), summarize(times)});
   }
   print_sweep("L4.1: binary-tree ranking time from a single leader", sweep);
+  report_sweep(report, "tree_ranking", "array", sweep);
   std::cout << "paper: expected O(n) (slope ~1)\n";
 
   // Per-level completion times at one size: level d should cost ~ 2^d.
-  constexpr std::uint32_t kN = 1024;
+  const std::uint32_t kN = scale.smoke ? 64 : 1024;
   const auto params = OptimalSilentParams::standard(kN);
   OptimalSilentSSR proto(params);
   std::vector<OptimalSilentSSR::State> init(kN);
@@ -138,10 +154,11 @@ void experiment_tree_ranking(const BenchScale& scale) {
 }
 
 // Lemma 4.2: probability that an awakening configuration has one leader.
-void experiment_awakening_leader(const BenchScale& scale) {
+void experiment_awakening_leader(const BenchScale& scale,
+                                 BenchReport& report) {
   std::cout << "\n== L4.2: unique leader at awakening (Dmax = 8n) ==\n";
   Table t({"n", "trials", "unique-leader fraction"});
-  for (std::uint32_t n : {64u, 256u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto trials = scale.trials(40);
     std::uint32_t unique = 0;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -151,7 +168,7 @@ void experiment_awakening_leader(const BenchScale& scale) {
                                         derive_seed(4000 + n, i));
       Simulation<OptimalSilentSSR> sim(proto, std::move(init),
                                        derive_seed(5000 + n, i));
-      while (sim.protocol().counters().resets_executed == 0 &&
+      while (sim.counters().resets_executed == 0 &&
              sim.interactions() < (1ull << 30))
         sim.step();
       std::uint32_t leaders = 0;
@@ -163,6 +180,12 @@ void experiment_awakening_leader(const BenchScale& scale) {
     }
     t.add_row({std::to_string(n), std::to_string(trials),
                fmt(static_cast<double>(unique) / trials, 3)});
+    report.add()
+        .set("experiment", "awakening_unique_leader")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("unique_fraction", static_cast<double>(unique) / trials);
   }
   t.print();
   std::cout << "paper: constant probability (epochs repeat on failure); the "
@@ -172,12 +195,13 @@ void experiment_awakening_leader(const BenchScale& scale) {
 void BM_OptimalSilentInteraction(benchmark::State& state) {
   const auto params = OptimalSilentParams::standard(1024);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters counters;
   Rng rng(1);
   auto states = optimal_silent_config(params, OsAdversary::kUniformRandom, 3);
   std::size_t i = 0;
   for (auto _ : state) {
     proto.interact(states[i % states.size()],
-                   states[(i + 7) % states.size()], rng);
+                   states[(i + 7) % states.size()], rng, counters);
     ++i;
   }
 }
@@ -188,11 +212,14 @@ BENCHMARK(BM_OptimalSilentInteraction);
 
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
+  ppsim::BenchReport report("optimal_silent");
   std::cout << "=== bench_optimal_silent: Protocols 3-4 / Theorem 4.3 "
                "(Table 1 row 2) ===\n";
-  ppsim::experiment_stabilization(scale);
-  ppsim::experiment_tree_ranking(scale);
-  ppsim::experiment_awakening_leader(scale);
+  ppsim::experiment_stabilization(scale, report);
+  ppsim::experiment_tree_ranking(scale, report);
+  ppsim::experiment_awakening_leader(scale, report);
+  const std::string path = report.write();
+  if (!path.empty()) std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "analysis/bench_report.h"
 #include "analysis/experiments.h"
 #include "core/stats.h"
 #include "core/table.h"
@@ -24,11 +25,11 @@
 namespace ppsim {
 namespace {
 
-void experiment_epidemic(const BenchScale& scale) {
+void experiment_epidemic(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== L2.7/C2.8: two-way epidemic completion time ==\n";
   Table t({"n", "mean T_n (inter.)", "(n-1)H_{n-1}", "ratio", "p99/nln(n)",
            "max/3nln(n)", "frac > 3n ln n"});
-  for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+  for (std::uint32_t n : scale.sizes({64, 128, 256, 512, 1024, 2048})) {
     const auto trials = scale.trials(n <= 256 ? 400 : 150);
     const auto xs = run_trials(trials, 1000 + n, [&](std::uint64_t seed) {
       return static_cast<double>(run_epidemic(n, seed).interactions);
@@ -43,6 +44,13 @@ void experiment_epidemic(const BenchScale& scale) {
                fmt(s.mean / exact, 3), fmt(s.p99 / nlogn, 2),
                fmt(s.max / (3 * nlogn), 2),
                fmt(static_cast<double>(exceed) / xs.size(), 4)});
+    report.add()
+        .set("experiment", "epidemic")
+        .set("backend", "process")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("interactions", s.mean)
+        .set("expected_interactions", exact);
   }
   t.print();
   std::cout << "paper: E[T_n] = (n-1)H_{n-1} (ratio -> 1); "
@@ -53,7 +61,7 @@ void experiment_roll_call(const BenchScale& scale) {
   std::cout << "\n== L2.9: roll call completion time ==\n";
   Table t({"n", "mean R_n (inter.)", "R_n / T_n(exact)", "R_n / (1.5 n ln n)",
            "frac > 3n ln n"});
-  for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 128, 256, 512, 1024})) {
     const auto trials = scale.trials(n <= 256 ? 200 : 60);
     const auto xs = run_trials(trials, 2000 + n, [&](std::uint64_t seed) {
       return static_cast<double>(run_roll_call(n, seed).interactions);
@@ -76,7 +84,7 @@ void experiment_roll_call(const BenchScale& scale) {
 void experiment_bounded_epidemic(const BenchScale& scale) {
   std::cout << "\n== L2.10: bounded epidemic tau_k vs k * n^{1/k} ==\n";
   Table t({"n", "k", "mean tau_k (time)", "k n^{1/k}", "ratio"});
-  for (std::uint32_t n : {256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({256, 1024, 4096})) {
     for (std::uint32_t k : {1u, 2u, 3u, 4u}) {
       if (k == 1 && n > 1024) continue;  // tau_1 ~ n/2: too slow at 4096
       const auto trials = scale.trials(k == 1 ? 40 : 80);
@@ -97,7 +105,7 @@ void experiment_bounded_epidemic(const BenchScale& scale) {
 
   std::cout << "\n== L2.11: tau_k for k = 3 log2 n vs 3 ln n ==\n";
   Table t2({"n", "k=3log2(n)", "mean tau_k", "p95", "3 ln n", "mean/3ln(n)"});
-  for (std::uint32_t n : {256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({256, 1024, 4096})) {
     std::uint32_t lg = 0;
     while ((1u << lg) < n) ++lg;
     const std::uint32_t k = 3 * lg;
@@ -118,7 +126,7 @@ void experiment_bounded_epidemic(const BenchScale& scale) {
 void experiment_recursive_tree(const BenchScale& scale) {
   std::cout << "\n== L2.11 substrate: epidemic infection-tree height ==\n";
   Table t({"n", "mean height", "e ln n", "ratio", "mean last-agent depth"});
-  for (std::uint32_t n : {256u, 1024u, 4096u, 16384u}) {
+  for (std::uint32_t n : scale.sizes({256, 1024, 4096, 16384})) {
     const auto trials = scale.trials(n <= 4096 ? 60 : 20);
     std::vector<double> hs, ds;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -138,7 +146,7 @@ void experiment_recursive_tree(const BenchScale& scale) {
 
   std::cout << "\n== coupon collector over scheduled pairs ==\n";
   Table t2({"n", "mean interactions", "0.5 n ln n", "ratio"});
-  for (std::uint32_t n : {256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({256, 1024, 4096})) {
     const auto trials = scale.trials(100);
     const auto xs = run_trials(trials, 6000 + n, [&](std::uint64_t seed) {
       return static_cast<double>(
@@ -188,10 +196,14 @@ int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_prob_tools: Section 2.1 probabilistic tools "
                "(Lemmas 2.7-2.11) ===\n";
-  ppsim::experiment_epidemic(scale);
+  ppsim::BenchReport report("prob_tools");
+  ppsim::experiment_epidemic(scale, report);
   ppsim::experiment_roll_call(scale);
   ppsim::experiment_bounded_epidemic(scale);
   ppsim::experiment_recursive_tree(scale);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
 
   // Microbenchmarks only when explicitly requested (keeps default runs fast).
   for (int i = 1; i < argc; ++i) {

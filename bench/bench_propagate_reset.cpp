@@ -11,6 +11,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "analysis/bench_report.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
 #include "reset/reset_process.h"
@@ -48,7 +49,7 @@ PhaseTimes run_phases(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
       out.fully_propagating = sim.parallel_time();
     if (out.fully_dormant < 0 && dormant == n)
       out.fully_dormant = sim.parallel_time();
-    if (out.awakening < 0 && sim.protocol().total_resets() > 0) {
+    if (out.awakening < 0 && sim.counters().resets_executed > 0) {
       out.awakening = sim.parallel_time();
       out.clean = computing == 1 && propagating == 0;
     }
@@ -60,12 +61,12 @@ PhaseTimes run_phases(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
   return out;
 }
 
-void experiment_phases(const BenchScale& scale) {
+void experiment_phases(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== T3.4: phase completion times (Rmax = 8 ln n, "
                "Dmax = 4 Rmax) ==\n";
   Table t({"n", "Rmax", "Dmax", "fully-propag.", "fully-dormant", "awakening",
            "all-computing", "clean frac", "awk/Dmax"});
-  for (std::uint32_t n : {64u, 256u, 1024u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024, 4096})) {
     const auto rmax =
         static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
     const std::uint32_t dmax = 4 * rmax;
@@ -85,6 +86,13 @@ void experiment_phases(const BenchScale& scale) {
                fmt(summarize(awk).mean, 1), fmt(summarize(comp).mean, 1),
                fmt(static_cast<double>(clean) / trials, 2),
                fmt(summarize(awk).mean / dmax, 3)});
+    report.add()
+        .set("experiment", "phases")
+        .set("backend", "array")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", summarize(comp).mean)
+        .set("awakening_time", summarize(awk).mean);
   }
   t.print();
   std::cout << "paper: propagation O(log n) (Lemma 3.2); dormancy O(log n + "
@@ -98,7 +106,7 @@ void experiment_scaling_in_dmax(const BenchScale& scale) {
   const auto rmax =
       static_cast<std::uint32_t>(std::ceil(8 * std::log(kN))) + 4;
   Table t({"Dmax", "mean awakening time", "awakening/Dmax"});
-  for (std::uint32_t factor : {2u, 4u, 8u, 16u, 32u}) {
+  for (std::uint32_t factor : scale.sizes({2, 4, 8, 16, 32})) {
     const std::uint32_t dmax = factor * rmax;
     const auto trials = scale.trials(12);
     std::vector<double> awk;
@@ -118,7 +126,7 @@ void experiment_scaling_in_dmax(const BenchScale& scale) {
 void experiment_debris(const BenchScale& scale) {
   std::cout << "\n== C3.5: drain time from arbitrary Resetting debris ==\n";
   Table t({"n", "mean drain time", "p95", "(log n + Dmax) scale"});
-  for (std::uint32_t n : {64u, 256u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto rmax =
         static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
     const std::uint32_t dmax = 4 * rmax;
@@ -157,11 +165,12 @@ void experiment_debris(const BenchScale& scale) {
 
 void BM_PropagateResetStep(benchmark::State& state) {
   ResetProcess proto(1024, 60, 240);
+  ResetProcess::Counters counters;
   Rng rng(1);
   ResetProcess::State a, b;
   proto.trigger(a);
   for (auto _ : state) {
-    proto.interact(a, b, rng);
+    proto.interact(a, b, rng, counters);
     if (!a.resetting) proto.trigger(a);
   }
 }
@@ -173,9 +182,13 @@ BENCHMARK(BM_PropagateResetStep);
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_propagate_reset: Protocol 2 / Section 3 ===\n";
-  ppsim::experiment_phases(scale);
+  ppsim::BenchReport report("propagate_reset");
+  ppsim::experiment_phases(scale, report);
   ppsim::experiment_scaling_in_dmax(scale);
   ppsim::experiment_debris(scale);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -13,6 +13,7 @@
 
 #include "analysis/adversary.h"
 #include "analysis/barrier.h"
+#include "analysis/bench_report.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "protocols/silent_nstate.h"
@@ -21,13 +22,13 @@
 namespace ppsim {
 namespace {
 
-void experiment_worst_case(const BenchScale& scale) {
+void experiment_worst_case(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== T2.4: worst-case stabilization time (accelerated exact "
                "simulator) ==\n";
   Table t({"n", "mean time", "p95 time", "mean inter.", "(n-1)C(n,2)",
            "ratio", "x vs n/2"});
   Sweep sweep;
-  for (std::uint32_t n : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+  for (std::uint32_t n : scale.sizes({64, 128, 256, 512, 1024, 2048, 4096})) {
     const auto trials = scale.trials(n <= 1024 ? 60 : 25);
     std::vector<double> times, inters;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -43,8 +44,17 @@ void experiment_worst_case(const BenchScale& scale) {
     t.add_row({std::to_string(n), fmt(st.mean, 0), fmt(st.p95, 0),
                fmt(si.mean, 0), fmt(exact, 0), fmt(si.mean / exact, 3),
                fmt(st.mean / (n / 2.0), 2)});
+    report.add()
+        .set("experiment", "worst_case")
+        .set("backend", "fast")
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("trials", static_cast<std::uint64_t>(trials))
+        .set("parallel_time", st.mean)
+        .set("interactions", si.mean)
+        .set("expected_interactions", exact);
   }
   t.print();
+  if (sweep.points.size() < 2) return;
   const LinearFit f = sweep.fit();
   std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
             << "  (paper: Theta(n^2), exponent 2)\n";
@@ -54,7 +64,7 @@ void experiment_random_configs(const BenchScale& scale) {
   std::cout << "\n== T2.4: stabilization from uniformly random "
                "configurations ==\n";
   Table t({"n", "mean time", "p95 time", "worst-case mean", "random/worst"});
-  for (std::uint32_t n : {64u, 256u, 1024u}) {
+  for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto trials = scale.trials(60);
     std::vector<double> times;
     for (std::uint32_t i = 0; i < trials; ++i) {
@@ -84,7 +94,7 @@ void experiment_validation(const BenchScale& scale) {
   std::cout << "\n== validation: direct vs accelerated simulator (exact "
                "distribution) ==\n";
   Table t({"n", "direct mean inter.", "fast mean inter.", "diff/ci"});
-  for (std::uint32_t n : {16u, 32u}) {
+  for (std::uint32_t n : scale.sizes({16, 32})) {
     const auto trials = scale.trials(200);
     RunOptions opts;
     opts.max_interactions = 1ull << 32;
@@ -136,9 +146,13 @@ int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_silent_nstate: Protocol 1 / Theorem 2.4 "
                "(Table 1 row 1) ===\n";
-  ppsim::experiment_worst_case(scale);
+  ppsim::BenchReport report("silent_nstate");
+  ppsim::experiment_worst_case(scale, report);
   ppsim::experiment_random_configs(scale);
   ppsim::experiment_validation(scale);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "analysis/adversary.h"
+#include "analysis/bench_report.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
@@ -44,20 +45,20 @@ double detection_latency(std::uint32_t n, std::uint32_t h,
   auto init = sublinear_config(p, SlAdversary::kDuplicateNames, seed);
   Simulation<SublinearTimeSSR> sim(proto, std::move(init),
                                    derive_seed(seed, 1));
-  while (sim.protocol().counters().collision_triggers == 0) {
+  while (sim.counters().collision_triggers == 0) {
     sim.step();
     if (sim.interactions() > (1ull << 34)) return -1;
   }
   return sim.parallel_time();
 }
 
-void experiment_detection_latency(const BenchScale& scale) {
+void experiment_detection_latency(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== L5.6: collision-detection latency (indirect only) ==\n";
   for (std::uint32_t h : {1u, 2u, 3u}) {
     Sweep sweep;
     std::vector<std::uint32_t> sizes =
-        h == 1 ? std::vector<std::uint32_t>{64, 128, 256, 512, 1024}
-               : std::vector<std::uint32_t>{64, 128, 256, 512};
+        h == 1 ? scale.sizes({64, 128, 256, 512, 1024})
+               : scale.sizes({64, 128, 256, 512});
     for (std::uint32_t n : sizes) {
       const auto trials = scale.trials(n <= 256 ? 12 : 6);
       std::vector<double> xs;
@@ -67,6 +68,8 @@ void experiment_detection_latency(const BenchScale& scale) {
     }
     print_sweep("detection latency, H = " + h_label(h), sweep,
                 "detect time");
+    report_sweep(report, "detection_latency_h" + std::to_string(h), "array",
+                 sweep, "detect_time");
     const double expect = 1.0 / (h + 1);
     std::cout << "paper: O(H n^{1/(H+1)}) -> exponent ~" << fmt(expect, 3)
               << "\n";
@@ -75,7 +78,7 @@ void experiment_detection_latency(const BenchScale& scale) {
   {
     Sweep sweep;
     Table t({"n", "mean detect time", "p95", "ln n", "mean/ln(n)"});
-    for (std::uint32_t n : {16u, 32u, 64u, 128u}) {
+    for (std::uint32_t n : scale.sizes({16, 32, 64, 128})) {
       const auto trials = scale.trials(n <= 64 ? 10 : 6);
       std::vector<double> xs;
       for (std::uint32_t i = 0; i < trials; ++i)
@@ -87,9 +90,13 @@ void experiment_detection_latency(const BenchScale& scale) {
     }
     std::cout << "\n== detection latency, H = Theta(log n) ==\n";
     t.print();
-    const LinearFit f = sweep.fit();
-    std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
-              << "  (paper: O(log n), exponent -> 0; mean/ln(n) ~ const)\n";
+    report_sweep(report, "detection_latency_hlog", "array", sweep,
+                 "detect_time");
+    if (sweep.points.size() >= 2) {
+      const LinearFit f = sweep.fit();
+      std::cout << "log-log fit: time ~ n^" << fmt(f.slope, 3)
+                << "  (paper: O(log n), exponent -> 0; mean/ln(n) ~ const)\n";
+    }
   }
 }
 
@@ -108,7 +115,7 @@ double stabilization_time(std::uint32_t n, std::uint32_t h,
   return r.stabilized ? r.stabilization_ptime : -1;
 }
 
-void experiment_stabilization(const BenchScale& scale) {
+void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== T5.7: full stabilization from adversarial starts ==\n";
   struct Config {
     std::uint32_t h;
@@ -118,12 +125,12 @@ void experiment_stabilization(const BenchScale& scale) {
   // keeps full lazy history (memory grows with the run), so sizes stay
   // moderate — see DESIGN.md's memory-model note.
   const std::vector<Config> configs = {
-      {1u, {32, 64, 128, 256, 512}},
-      {2u, {32, 64, 128}},
+      {1u, scale.sizes({32, 64, 128, 256, 512})},
+      {2u, scale.sizes({32, 64, 128})},
       // H = Theta(log n): per-interaction detection walks the
       // quasi-exponential live tree, so end-to-end runs stay tiny; the
       // detection-latency sweep above covers larger n for this row.
-      {0u, {8, 16}},
+      {0u, scale.sizes({8, 16})},
   };
   for (const auto& cfg : configs) {
     for (auto kind :
@@ -140,6 +147,10 @@ void experiment_stabilization(const BenchScale& scale) {
       print_sweep("stabilization, H = " + h_label(cfg.h) + ", start = " +
                       to_string(kind),
                   sweep);
+      report_sweep(report,
+                   "stabilization_h" + std::to_string(cfg.h) + "_" +
+                       to_string(kind),
+                   "array", sweep);
       if (cfg.h != 0) {
         std::cout << "paper: Theta(H n^{1/(H+1)}) -> exponent ~"
                   << fmt(1.0 / (cfg.h + 1), 3) << "\n";
@@ -163,19 +174,19 @@ void experiment_state_growth(const BenchScale& scale) {
     std::uint32_t h;
     std::uint32_t n;
   };
-  const std::vector<Probe> probes = {
-      {1, 64}, {1, 256}, {1, 1024}, {2, 64}, {2, 128},
-      {3, 64}, {0, 16},
-  };
+  const std::vector<Probe> probes =
+      scale.smoke ? std::vector<Probe>{{1, 64}, {0, 16}}
+                  : std::vector<Probe>{{1, 64}, {1, 256}, {1, 1024}, {2, 64},
+                                       {2, 128}, {3, 64}, {0, 16}};
   for (const auto& probe : probes) {
     const auto p = params_for(probe.n, probe.h);
     SublinearTimeSSR proto(p);
     auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 9000);
     Simulation<SublinearTimeSSR> sim(proto, std::move(init), 9001);
-    const std::uint64_t warmup = std::min<std::uint64_t>(
+    std::uint64_t warmup = std::min<std::uint64_t>(
         400000, static_cast<std::uint64_t>(probe.n) * (4ull * p.th + 50));
+    if (scale.smoke) warmup /= 10;
     sim.run(warmup);
-    (void)scale;
     double live_sum = 0, logical_sum = 0;
     std::uint64_t live_max = 0;
     // Counting caps: the live/logical portion of an H = Theta(log n) tree is
@@ -188,7 +199,7 @@ void experiment_state_growth(const BenchScale& scale) {
       logical_sum += static_cast<double>(
           logical_node_count(s.tree, std::min(p.depth_h, 4u)));
     }
-    const auto& ds = sim.protocol().detector_stats();
+    const auto& ds = sim.counters().detector;
       t.add_row({h_label(probe.h), std::to_string(probe.n),
                fmt(live_sum / probe.n, 1), std::to_string(live_max),
                fmt(logical_sum / probe.n, 1),
@@ -213,9 +224,10 @@ void experiment_safety(const BenchScale& scale) {
     SublinearTimeSSR proto(p);
     auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 10000 + h);
     Simulation<SublinearTimeSSR> sim(proto, std::move(init), 10001 + h);
-    sim.run(h == 1 ? 400000ull * scale.trials(1)
-                   : (h == 2 ? 150000ull : 20000ull));
-    const auto& c = sim.protocol().counters();
+    const std::uint64_t horizon = h == 1 ? 400000ull * scale.trials(1)
+                                         : (h == 2 ? 150000ull : 20000ull);
+    sim.run(scale.smoke ? horizon / 10 : horizon);
+    const auto& c = sim.counters();
     t.add_row({h_label(h), std::to_string(n),
                std::to_string(sim.interactions()),
                std::to_string(c.collision_triggers),
@@ -237,8 +249,8 @@ void BM_SublinearInteractionSteadyState(benchmark::State& state) {
   sim.run(20000);  // reach tree steady state
   for (auto _ : state) sim.step();
   state.counters["dfs_nodes_per_call"] =
-      static_cast<double>(sim.protocol().detector_stats().nodes_visited) /
-      std::max<std::uint64_t>(1, sim.protocol().detector_stats().calls);
+      static_cast<double>(sim.counters().detector.nodes_visited) /
+      std::max<std::uint64_t>(1, sim.counters().detector.calls);
 }
 BENCHMARK(BM_SublinearInteractionSteadyState)
     ->Args({1, 256})
@@ -252,10 +264,14 @@ int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_sublinear: Protocols 5-8 / Theorem 5.7 "
                "(Table 1 rows 3-4) ===\n";
-  ppsim::experiment_detection_latency(scale);
-  ppsim::experiment_stabilization(scale);
+  ppsim::BenchReport report("sublinear");
+  ppsim::experiment_detection_latency(scale, report);
+  ppsim::experiment_stabilization(scale, report);
   ppsim::experiment_state_growth(scale);
   ppsim::experiment_safety(scale);
+  const std::string path = report.write();
+  if (!path.empty())
+    std::cout << "\nmachine-readable results: " << path << "\n";
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--micro") {
       int bench_argc = 1;

@@ -87,11 +87,12 @@ int main() {
   agents[4].tree.reset(alice_name);  // the impostor
 
   Rng rng(20210712);
+  CollisionDetectorStats detector_stats;
   auto meet = [&](int i, int j) {
     std::printf("\n>>> %s meets %s\n", agents[i].label.c_str(),
                 agents[j].label.c_str());
-    const bool collision =
-        detector.detect_and_update(agents[i].tree, agents[j].tree, rng);
+    const bool collision = detector.detect_and_update(
+        agents[i].tree, agents[j].tree, rng, detector_stats);
     if (collision) {
       std::printf("    COLLISION DETECTED: the population would now "
                   "trigger Propagate-Reset and re-randomize names\n");

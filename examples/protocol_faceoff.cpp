@@ -1,17 +1,27 @@
 // Protocol face-off: all three self-stabilizing ranking protocols on the
-// same adversarial inputs — Table 1 in action.
+// same adversarial inputs — Table 1 in action, on your choice of backend.
 //
 // For a few population sizes, each protocol starts from an equally hostile
 // configuration and races to a stable ranking. The output shows the paper's
 // time hierarchy (Theta(n^2) vs Theta(n) vs sublinear) and the price paid
 // in state complexity.
 //
-// Build & run:  ./build/examples/protocol_faceoff
+// The unified Engine API makes the backend a flag: the enumerable protocols
+// (Silent-n-state, Optimal-Silent) race on either engine through the same
+// generic run_engine_until_ranked harness; Sublinear-Time-SSR always runs
+// on the agent array — its quasi-exponential state space is the textbook
+// example of a protocol the count-based backend cannot enumerate.
+//
+// Build & run:  ./build/protocol_faceoff                  # agent array
+//               ./build/protocol_faceoff --backend=batch  # batched engine
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "analysis/adversary.h"
 #include "analysis/convergence.h"
+#include "core/batch_simulation.h"
+#include "core/simulation.h"
 #include "protocols/optimal_silent.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/sublinear.h"
@@ -20,24 +30,34 @@ using namespace ppsim;
 
 namespace {
 
+bool use_batch = false;
+
+// One race on the chosen backend: both engines run the identical harness.
+template <class P>
+double race(P proto, std::vector<typename P::State> init, std::uint64_t seed,
+            const RunOptions& opts) {
+  if (use_batch) {
+    BatchSimulation<P> sim(std::move(proto), init, seed);
+    return run_engine_until_ranked(sim, opts).stabilization_ptime;
+  }
+  Simulation<P> sim(std::move(proto), std::move(init), seed);
+  return run_engine_until_ranked(sim, opts).stabilization_ptime;
+}
+
 double race_silent_nstate(std::uint32_t n, std::uint64_t seed) {
   RunOptions opts;
   opts.max_interactions = 1ull << 40;
-  const RunResult r = run_until_ranked(
-      SilentNStateSSR(n), silent_nstate_random_config(n, seed), seed + 1,
-      opts);
-  return r.stabilization_ptime;
+  return race(SilentNStateSSR(n), silent_nstate_random_config(n, seed),
+              seed + 1, opts);
 }
 
 double race_optimal_silent(std::uint32_t n, std::uint64_t seed) {
   const auto params = OptimalSilentParams::standard(n);
-  OptimalSilentSSR proto(params);
   RunOptions opts;
   opts.max_interactions = 1ull << 40;
-  const RunResult r = run_until_ranked(
-      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
-      seed + 1, opts);
-  return r.stabilization_ptime;
+  return race(OptimalSilentSSR(params),
+              optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
+              seed + 1, opts);
 }
 
 double race_sublinear(std::uint32_t n, std::uint32_t h, std::uint64_t seed) {
@@ -47,6 +67,7 @@ double race_sublinear(std::uint32_t n, std::uint32_t h, std::uint64_t seed) {
   RunOptions opts;
   opts.max_interactions = 1ull << 40;
   opts.tail_ptime = 0.75 * p.th + 10;
+  // Not enumerable: always the agent array, whatever the flag says.
   const RunResult r = run_until_ranked(
       proto, sublinear_config(p, SlAdversary::kUniformRandom, seed), seed + 1,
       opts);
@@ -55,9 +76,16 @@ double race_sublinear(std::uint32_t n, std::uint32_t h, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend=batch") == 0) use_batch = true;
+    else if (std::strcmp(argv[i], "--backend=array") == 0) use_batch = false;
+  }
   std::printf("self-stabilizing ranking face-off (stabilization parallel "
-              "time, one adversarial run each)\n\n");
+              "time, one adversarial run each)\n");
+  std::printf("backend: %s (Sublinear always runs on the agent array: its "
+              "state space is not enumerable)\n\n",
+              use_batch ? "count-based batched" : "agent array");
   std::printf("%6s %18s %18s %20s %22s\n", "n", "Silent-n-state",
               "Optimal-Silent", "Sublinear (H=1)", "Sublinear (H=log n)");
   std::printf("%6s %18s %18s %20s %22s\n", "", "n states, silent",

@@ -88,7 +88,7 @@ int main() {
                 b.label, latency, *leader);
   }
 
-  const auto& c = sim.protocol().counters();
+  const auto& c = sim.counters();
   std::printf("\nlifetime statistics: %llu collision triggers, %llu ghost "
               "triggers, %llu resets executed\n",
               static_cast<unsigned long long>(c.collision_triggers),

@@ -1,0 +1,161 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary emits a BENCH_<name>.json next to its human-readable
+// tables so the performance trajectory (wall time, interactions, parallel
+// time, backend, per-n sweeps) can be tracked across PRs by tooling instead
+// of by eyeball. The format is a flat list of records — one JSON object per
+// measurement — under a small envelope:
+//
+//   {
+//     "bench": "table1",
+//     "records": [
+//       {"experiment": "detection_latency", "n": 1000000,
+//        "backend": "batch", "wall_seconds": 0.31,
+//        "interactions": 499999500000, "parallel_time": 499999.5, ...},
+//       ...
+//     ]
+//   }
+//
+// Records are schema-free key/value rows (numbers, strings, booleans); the
+// conventional keys are "experiment", "n", "backend", "wall_seconds",
+// "interactions", "parallel_time", "trials".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppsim {
+
+class BenchRecord {
+ public:
+  BenchRecord& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+    return *this;
+  }
+  BenchRecord& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  BenchRecord& set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  BenchRecord& set(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchRecord& set(const std::string& key, std::uint32_t value) {
+    return set(key, static_cast<std::uint64_t>(value));
+  }
+  BenchRecord& set(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchRecord& set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> json
+};
+
+class BenchReport {
+ public:
+  // `name` is the bench's short name: BenchReport("table1") writes
+  // BENCH_table1.json in the current working directory on write().
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  BenchRecord& add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  // Writes BENCH_<name>.json; returns the path (empty on I/O failure).
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [\n", name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      std::fprintf(f, "  %s%s\n", records_[i].json().c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+};
+
+// Wall-clock stopwatch for bench records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Appends one record per sweep point (mean/ci95 of the measured metric).
+template <class SweepT>
+void report_sweep(BenchReport& report, const std::string& experiment,
+                  const std::string& backend, const SweepT& sweep,
+                  const std::string& metric = "parallel_time") {
+  for (const auto& p : sweep.points) {
+    report.add()
+        .set("experiment", experiment)
+        .set("backend", backend)
+        .set("n", static_cast<std::uint64_t>(p.n))
+        .set("trials", static_cast<std::uint64_t>(p.summary.count))
+        .set(metric + "_mean", p.summary.mean)
+        .set(metric + "_ci95", p.summary.ci95)
+        .set(metric + "_p99", p.summary.p99);
+  }
+}
+
+}  // namespace ppsim

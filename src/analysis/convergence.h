@@ -1,4 +1,5 @@
-// Run-until-stable harness.
+// Run-until-stable harness, retargeted onto the backend-agnostic Engine
+// contract (core/engine.h).
 //
 // Measures convergence/stabilization parallel time of a ranking protocol
 // exactly as the paper defines it: the number of interactions after which
@@ -11,6 +12,16 @@
 // configuration to stay correct for a caller-chosen tail window (>= 3*TH
 // parallel time: stale adversarial tree data can only cause a spurious reset
 // while its timers are alive, Lemma 5.5).
+//
+// Two engine families, one front door:
+//   * AgentArrayEngine (Simulation<P>): incremental RankTracker updates on
+//     the two agents each step touches — O(1) per interaction.
+//   * CountEngine (BatchSimulation<P>): incremental RankTracker updates on
+//     the <= 4 count deltas each effective step applies (last_deltas()) —
+//     O(1) per *effective* interaction, so whole geometric-skipped null
+//     stretches cost nothing.
+// A count engine that reports step() == 0 is provably stuck (silent): if the
+// configuration is correct at that point it is stabilized forever.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_simulation.h"
+#include "core/engine.h"
 #include "core/rank_tracker.h"
 #include "core/simulation.h"
 
@@ -37,77 +50,222 @@ struct RunResult {
   std::uint64_t correctness_breaks = 0;  // times correctness was lost again
 };
 
-template <RankingProtocol P>
-RunResult run_until_ranked(P protocol, std::vector<typename P::State> initial,
-                           std::uint64_t seed, const RunOptions& opts) {
-  if (opts.max_interactions == 0)
-    throw std::invalid_argument("max_interactions must be set");
-  const std::uint32_t n = protocol.population_size();
-  Simulation<P> sim(std::move(protocol), std::move(initial), seed);
+namespace detail {
 
-  std::vector<std::uint32_t> shadow(n);
-  RankTracker tracker(n);
-  for (std::uint32_t i = 0; i < n; ++i)
-    shadow[i] = sim.protocol().rank_of(sim.states()[i]);
-  tracker.reset(sim.states(), [&](const typename P::State& s) {
-    return sim.protocol().rank_of(s);
-  });
+// Entry/exit bookkeeping for "correct and has stayed correct for the tail
+// window", shared by both engine harnesses.
+class StabilizationClock {
+ public:
+  StabilizationClock(const RunOptions& opts, std::uint32_t n, RunResult& out)
+      : tail_ptime_(opts.tail_ptime),
+        tail_interactions_(
+            static_cast<std::uint64_t>(opts.tail_ptime * static_cast<double>(n))),
+        n_(n),
+        out_(out) {}
 
-  RunResult out;
-  bool was_correct = tracker.is_permutation();
-  double last_entry = was_correct ? 0.0 : -1.0;
-  if (was_correct) out.first_correct_ptime = 0.0;
-
-  const std::uint64_t tail_interactions = static_cast<std::uint64_t>(
-      opts.tail_ptime * static_cast<double>(n));
-
-  while (sim.interactions() < opts.max_interactions) {
-    const AgentPair pair = sim.step();
-    for (std::uint32_t agent : {pair.initiator, pair.responder}) {
-      const std::uint32_t r = sim.protocol().rank_of(sim.states()[agent]);
-      if (r != shadow[agent]) {
-        tracker.on_change(shadow[agent], r);
-        shadow[agent] = r;
-      }
+  void init(bool correct) {
+    was_correct_ = correct;
+    if (correct) {
+      last_entry_ = 0.0;
+      out_.first_correct_ptime = 0.0;
     }
-    const bool correct = tracker.is_permutation();
-    if (correct && !was_correct) {
-      last_entry = sim.parallel_time();
-      if (out.first_correct_ptime < 0)
-        out.first_correct_ptime = last_entry;
-    } else if (!correct && was_correct) {
-      ++out.correctness_breaks;
+  }
+
+  // Records the correctness state after one (effective) interaction at
+  // parallel time `ptime`; returns true iff the run has stabilized and the
+  // harness should stop.
+  bool on_state(bool correct, double ptime) {
+    if (correct && !was_correct_) {
+      last_entry_ = ptime;
+      if (out_.first_correct_ptime < 0) out_.first_correct_ptime = last_entry_;
+    } else if (!correct && was_correct_) {
+      ++out_.correctness_breaks;
     }
-    was_correct = correct;
+    was_correct_ = correct;
     if (correct) {
       const auto since_entry = static_cast<std::uint64_t>(
-          (sim.parallel_time() - last_entry) * static_cast<double>(n));
-      if (opts.tail_ptime == 0.0 || since_entry >= tail_interactions) {
-        out.stabilized = true;
-        break;
+          (ptime - last_entry_) * static_cast<double>(n_));
+      if (tail_ptime_ == 0.0 || since_entry >= tail_interactions_) return true;
+    }
+    return false;
+  }
+
+  bool was_correct() const { return was_correct_; }
+  double last_entry() const { return last_entry_; }
+
+ private:
+  double tail_ptime_;
+  std::uint64_t tail_interactions_;
+  std::uint32_t n_;
+  RunResult& out_;
+  bool was_correct_ = false;
+  double last_entry_ = -1.0;
+};
+
+template <class E>
+void verify_silent_or_throw(const E& engine) {
+  const auto& protocol = engine.protocol();
+  if constexpr (AgentArrayEngine<E>) {
+    const auto& states = engine.states();
+    const std::uint32_t n = engine.population_size();
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = 0; j < n; ++j)
+        if (i != j && !protocol.is_null_pair(states[i], states[j]))
+          throw std::logic_error(
+              "configuration reported stable is not silent");
+  } else {
+    // Count engine: check every ordered pair of occupied states (a state
+    // with count >= 2 must also be null against itself). Decode each
+    // occupied code once — the pair loop is O(occupied^2) already.
+    const auto& counts = engine.state_counts();
+    std::vector<std::uint32_t> occupied;
+    std::vector<typename E::State> decoded;
+    for (std::uint32_t q = 0; q < counts.size(); ++q)
+      if (counts[q] > 0) {
+        occupied.push_back(q);
+        decoded.push_back(protocol.decode(q));
+      }
+    for (std::size_t i = 0; i < occupied.size(); ++i) {
+      for (std::size_t j = 0; j < occupied.size(); ++j) {
+        if (i == j && counts[occupied[i]] < 2) continue;
+        if (!protocol.is_null_pair(decoded[i], decoded[j]))
+          throw std::logic_error(
+              "configuration reported stable is not silent");
       }
     }
   }
-  out.interactions = sim.interactions();
-  if (out.stabilized) out.stabilization_ptime = last_entry;
+}
 
-  if constexpr (requires(const P& p, const typename P::State& s) {
-                  p.is_null_pair(s, s);
+template <class E>
+void maybe_verify_silent(const E& engine, const RunOptions& opts,
+                         const RunResult& out) {
+  using State = typename E::State;
+  if constexpr (requires(const E& e, const State& s) {
+                  e.protocol().is_null_pair(s, s);
                 }) {
-    if (out.stabilized && opts.verify_silent) {
-      const auto& states = sim.states();
-      for (std::uint32_t i = 0; i < n; ++i)
-        for (std::uint32_t j = 0; j < n; ++j)
-          if (i != j && !sim.protocol().is_null_pair(states[i], states[j]))
-            throw std::logic_error(
-                "configuration reported stable is not silent");
-    }
+    if (out.stabilized && opts.verify_silent) verify_silent_or_throw(engine);
   } else {
     if (opts.verify_silent)
       throw std::invalid_argument(
           "verify_silent requires the protocol to expose is_null_pair");
   }
+}
+
+}  // namespace detail
+
+// Backend-agnostic ranked-run harness: drives any Engine whose protocol is a
+// RankingProtocol until the ranking is stably correct (see file comment).
+
+template <AgentArrayEngine E>
+RunResult run_engine_until_ranked(E& sim, const RunOptions& opts) {
+  if (opts.max_interactions == 0)
+    throw std::invalid_argument("max_interactions must be set");
+  const std::uint32_t n = sim.population_size();
+  const auto& protocol = sim.protocol();
+
+  std::vector<std::uint32_t> shadow(n);
+  RankTracker tracker(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    shadow[i] = protocol.rank_of(sim.states()[i]);
+  tracker.reset(sim.states(), [&](const typename E::State& s) {
+    return protocol.rank_of(s);
+  });
+
+  RunResult out;
+  detail::StabilizationClock clock(opts, n, out);
+  clock.init(tracker.is_permutation());
+
+  while (sim.interactions() < opts.max_interactions) {
+    const AgentPair pair = sim.step();
+    for (std::uint32_t agent : {pair.initiator, pair.responder}) {
+      const std::uint32_t r = protocol.rank_of(sim.states()[agent]);
+      if (r != shadow[agent]) {
+        tracker.on_change(shadow[agent], r);
+        shadow[agent] = r;
+      }
+    }
+    if (clock.on_state(tracker.is_permutation(), sim.parallel_time())) {
+      out.stabilized = true;
+      break;
+    }
+  }
+  out.interactions = sim.interactions();
+  if (out.stabilized) out.stabilization_ptime = clock.last_entry();
+  detail::maybe_verify_silent(sim, opts, out);
   return out;
+}
+
+template <CountEngine E>
+RunResult run_engine_until_ranked(E& sim, const RunOptions& opts) {
+  if (opts.max_interactions == 0)
+    throw std::invalid_argument("max_interactions must be set");
+  const std::uint32_t n = sim.population_size();
+  const auto& protocol = sim.protocol();
+
+  RankTracker tracker(n);
+  {
+    const auto& counts = sim.state_counts();
+    for (std::uint32_t q = 0; q < counts.size(); ++q)
+      if (counts[q] > 0)
+        tracker.apply_delta(protocol.rank_of(protocol.decode(q)),
+                            static_cast<std::int64_t>(counts[q]));
+  }
+
+  RunResult out;
+  detail::StabilizationClock clock(opts, n, out);
+  clock.init(tracker.is_permutation());
+
+  bool stuck = false;
+  while (sim.interactions() < opts.max_interactions) {
+    if (sim.step() == 0) {
+      stuck = true;  // provably silent: correctness is frozen forever
+      break;
+    }
+    // A batched null stretch precedes the effective interaction the step
+    // ends on; the configuration (and so correctness) was unchanged through
+    // it. If a tail window is armed and closed inside the stretch — i.e. by
+    // the interaction just before the effective one — stabilization happened
+    // there, exactly as the per-interaction agent-array harness would see.
+    if (opts.tail_ptime > 0.0 && clock.was_correct()) {
+      const double before_effective =
+          static_cast<double>(sim.interactions() - 1) / static_cast<double>(n);
+      if (clock.on_state(true, before_effective)) {
+        out.stabilized = true;
+        break;
+      }
+    }
+    for (const CountDelta& d : sim.last_deltas())
+      tracker.apply_delta(protocol.rank_of(protocol.decode(d.code)), d.delta);
+    if (clock.on_state(tracker.is_permutation(), sim.parallel_time())) {
+      out.stabilized = true;
+      break;
+    }
+  }
+  if (stuck && clock.was_correct()) out.stabilized = true;
+  out.interactions = sim.interactions();
+  if (out.stabilized) out.stabilization_ptime = clock.last_entry();
+  detail::maybe_verify_silent(sim, opts, out);
+  return out;
+}
+
+// Convenience front-ends that build the engine from (protocol, initial
+// configuration, seed). The agent-array form is the historical API used
+// throughout the tests; the batched form is its count-based twin.
+
+template <RankingProtocol P>
+RunResult run_until_ranked(P protocol, std::vector<typename P::State> initial,
+                           std::uint64_t seed, const RunOptions& opts) {
+  Simulation<P> sim(std::move(protocol), std::move(initial), seed);
+  return run_engine_until_ranked(sim, opts);
+}
+
+template <class P>
+  requires RankingProtocol<P> && EnumerableProtocol<P>
+RunResult run_until_ranked_batched(P protocol,
+                                   std::vector<std::uint64_t> counts,
+                                   std::uint64_t seed, const RunOptions& opts) {
+  BatchSimulation<P> sim(std::move(protocol), std::move(counts), seed);
+  return run_engine_until_ranked(sim, opts);
 }
 
 }  // namespace ppsim

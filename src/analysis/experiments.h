@@ -1,11 +1,16 @@
-// Shared helpers for the benchmark harness: seeded trial loops, sweep
-// tables, and scaling-exponent reports.
+// Shared helpers for the benchmark harness: seeded trial loops (serial and
+// multi-threaded), sweep tables, and scaling-exponent reports.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.h"
@@ -22,6 +27,65 @@ std::vector<double> run_trials(std::uint32_t trials, std::uint64_t base_seed,
   xs.reserve(trials);
   for (std::uint32_t t = 0; t < trials; ++t)
     xs.push_back(one(derive_seed(base_seed, t)));
+  return xs;
+}
+
+// Thread count for run_trials_parallel: explicit argument, else the
+// PPSIM_THREADS environment variable, else the hardware concurrency.
+inline std::uint32_t resolve_thread_count(std::uint32_t requested = 0) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PPSIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Multi-threaded seed fan-out. Deterministic by construction: trial t always
+// runs with derive_seed(base_seed, t) — an independent derived RNG stream —
+// and lands in slot t of the result vector, so the measurements are
+// bit-identical regardless of the thread count (validated in
+// tests/engine_equivalence_test.cpp). `one` must be self-contained: each
+// invocation constructs its own protocol and engine and shares no mutable
+// state with other trials. Threads defaults to resolve_thread_count()
+// (PPSIM_THREADS env var / hardware concurrency; benches plumb --threads).
+template <class F>
+std::vector<double> run_trials_parallel(std::uint32_t trials,
+                                        std::uint64_t base_seed, F&& one,
+                                        std::uint32_t threads = 0) {
+  threads = resolve_thread_count(threads);
+  if (threads > trials) threads = trials;
+  std::vector<double> xs(trials, 0.0);
+  if (threads <= 1) {
+    for (std::uint32_t t = 0; t < trials; ++t)
+      xs[t] = one(derive_seed(base_seed, t));
+    return xs;
+  }
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;  // fail fast
+      const std::uint32_t t = next.fetch_add(1);
+      if (t >= trials) return;
+      try {
+        xs[t] = one(derive_seed(base_seed, t));
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
   return xs;
 }
 
@@ -71,13 +135,20 @@ inline void print_sweep(const std::string& title, const Sweep& sweep,
   }
 }
 
-// Tiny flag parser for the bench binaries: --quick / --full scale the trial
-// counts; everything else is ignored (so the binaries also tolerate being
-// invoked by generic runners).
+// Tiny flag parser for the bench binaries:
+//   --quick / --full   scale the trial counts down / up
+//   --smoke            CI mode: 1 trial, smallest population only (see
+//                      sizes()) — exercises every code path in seconds
+//   --threads=N        thread count for run_trials_parallel (also
+//                      PPSIM_THREADS; 0 = hardware concurrency)
+// Everything else is ignored (so the binaries also tolerate being invoked by
+// generic runners).
 struct BenchScale {
   double factor = 1.0;  // multiplies trial counts
   bool quick = false;
   bool full = false;
+  bool smoke = false;
+  std::uint32_t threads = 0;  // 0 = auto (env / hardware)
 
   static BenchScale from_args(int argc, char** argv) {
     BenchScale s;
@@ -89,14 +160,38 @@ struct BenchScale {
       } else if (a == "--full") {
         s.full = true;
         s.factor = 4.0;
+      } else if (a == "--smoke") {
+        s.smoke = true;
+        s.quick = true;
+        s.factor = 0.0;
+      } else if (a.rfind("--threads=", 0) == 0) {
+        const long v = std::strtol(a.c_str() + 10, nullptr, 10);
+        if (v > 0) s.threads = static_cast<std::uint32_t>(v);
       }
     }
     return s;
   }
 
   std::uint32_t trials(std::uint32_t base) const {
+    if (smoke) return 1;
     const auto t = static_cast<std::uint32_t>(base * factor);
     return t < 3 ? 3 : t;
+  }
+
+  // Sweep points for this run: the full list normally, only the first
+  // (smallest) entry under --smoke. Works for any point type (population
+  // sizes, ablation factors, Smax values, ...).
+  template <class T>
+  std::vector<T> points(std::initializer_list<T> all) const {
+    if (smoke) return {*all.begin()};
+    return all;
+  }
+
+  // The common case: population sizes (keeps integer literals deducing to
+  // std::uint32_t at every call site).
+  std::vector<std::uint32_t> sizes(
+      std::initializer_list<std::uint32_t> all) const {
+    return points<std::uint32_t>(all);
   }
 };
 

@@ -10,7 +10,7 @@
 // which is precisely the pushforward of the uniform ordered-agent-pair
 // scheduler. The simulated interaction-count process therefore has the same
 // distribution as Simulation<P>'s, projected onto counts (validated in
-// tests/batch_simulation_test.cpp).
+// tests/batch_simulation_test.cpp and tests/engine_equivalence_test.cpp).
 //
 // Batching. Protocols that expose a deterministic null-pair predicate
 // (NullPairProtocol) let the backend skip runs of identical-outcome draws:
@@ -21,6 +21,17 @@
 //    wait until the next effective interaction is Geometric(W / n(n-1)),
 //    and whole Theta(n^2)-step null stretches cost O(1). This generalizes
 //    the hand-rolled SilentNStateFast accelerator to any diagonal protocol.
+//  * If the protocol declares the keyed-passive structure (null iff both
+//    agents are "passive" with distinct keys — Optimal-Silent-SSR: passive
+//    = Settled, key = rank), the active weight decomposes exactly as
+//      W = A (n - 1) + S A + sum_k s_k (s_k - 1),
+//    with A restless agents, S = n - A passive agents and s_k passive
+//    agents at key k. All three terms are maintained incrementally, the
+//    wait until the next active interaction is Geometric(W / n(n-1)), and
+//    the active pair is sampled from the exact conditional distribution by
+//    case-splitting on the three terms. A mostly-Settled population (the
+//    regime of the Observation 2.6 detection experiments) fast-forwards
+//    through Theta(n^2) null interactions in O(1).
 //  * Otherwise, when a drawn pair (a, b) is null, the run of consecutive
 //    identical (a, b) draws is Geometric too; the backend samples its
 //    length, accounts the whole run at once, and then redraws from the
@@ -28,45 +39,23 @@
 //    pair), which pays off whenever counts are concentrated on few states.
 //
 // Weighted state sampling uses a Fenwick (binary indexed) tree: O(log |Q|)
-// per draw and per count update, so even |Q| = n = 10^6 state spaces
-// (Silent-n-state-SSR) sample efficiently.
+// per draw and per count update, so even |Q| = 35 n = 3.5e8 state spaces
+// (Optimal-Silent-SSR at n = 10^7) sample efficiently.
+//
+// BatchSimulation<P> satisfies the Engine and CountEngine concepts of
+// core/engine.h; protocol event counters live engine-side (counters()).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "core/protocol.h"
 #include "core/rng.h"  // sample_geometric
-#include "core/simulation.h"
 
 namespace ppsim {
-
-// A protocol whose finite state space can be enumerated: states are coded
-// as integers in [0, num_states()), with encode/decode the bijection.
-template <class P>
-concept EnumerableProtocol =
-    Protocol<P> && requires(const P p, const typename P::State& s,
-                            std::uint32_t code) {
-      { p.num_states() } -> std::convertible_to<std::uint32_t>;
-      { p.encode(s) } -> std::convertible_to<std::uint32_t>;
-      { p.decode(code) } -> std::same_as<typename P::State>;
-    };
-
-// Protocols that can tell, deterministically and without consuming
-// randomness, whether interact(a, b, .) would leave (a, b) unchanged.
-template <class P>
-concept NullPairProtocol =
-    requires(const P p, const typename P::State& a, const typename P::State& b) {
-      { p.is_null_pair(a, b) } -> std::convertible_to<bool>;
-    };
-
-// Protocols asserting that every non-null ordered pair has equal states
-// (all progress happens on the diagonal of Q x Q). Enables the exact
-// geometric fast-forward between effective interactions.
-template <class P>
-concept DiagonalActiveProtocol =
-    NullPairProtocol<P> && P::kActiveRequiresEqualStates;
 
 // Fenwick tree over per-state weights, supporting O(log |Q|) point update
 // and O(log |Q|) sampling of an index with probability weight/total.
@@ -123,10 +112,20 @@ struct BatchStepStats {
   std::uint64_t batched = 0;    // null interactions accounted in bulk
 };
 
+// One count change applied by the last effective step: counts()[code]
+// moved by delta. At most four entries per step (two agents, two states
+// each). Lets analysis code (e.g. the generic ranked-run harness) keep
+// incremental trackers without rescanning O(|Q|) counts.
+struct CountDelta {
+  std::uint32_t code;
+  std::int32_t delta;
+};
+
 template <EnumerableProtocol P>
 class BatchSimulation {
  public:
   using State = typename P::State;
+  using Counters = ProtocolCounters<P>;
 
   // Member-initialization order (declaration order) makes counts_of safe
   // here: protocol_ is fully constructed before counts_ is initialized.
@@ -135,7 +134,9 @@ class BatchSimulation {
       : protocol_(std::move(protocol)),
         counts_(counts_of(protocol_, initial)),
         count_sampler_(protocol_.num_states()),
-        diag_sampler_(protocol_.num_states()),
+        diag_sampler_(DiagonalActiveProtocol<P> ? protocol_.num_states() : 0),
+        restless_sampler_(keyed_only(protocol_.num_states())),
+        key_sampler_(keyed_only_keys()),
         rng_(seed) {
     init_samplers();
   }
@@ -145,7 +146,9 @@ class BatchSimulation {
       : protocol_(std::move(protocol)),
         counts_(std::move(counts)),
         count_sampler_(protocol_.num_states()),
-        diag_sampler_(protocol_.num_states()),
+        diag_sampler_(DiagonalActiveProtocol<P> ? protocol_.num_states() : 0),
+        restless_sampler_(keyed_only(protocol_.num_states())),
+        key_sampler_(keyed_only_keys()),
         rng_(seed) {
     init_samplers();
   }
@@ -154,9 +157,15 @@ class BatchSimulation {
     return protocol_.population_size();
   }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
+  // Engine-contract name for the same snapshot.
+  const std::vector<std::uint64_t>& state_counts() const { return counts_; }
   const P& protocol() const { return protocol_; }
   P& protocol() { return protocol_; }
   Rng& rng() { return rng_; }
+
+  // Engine-side observer: per-interaction events reported by observable
+  // protocols (empty for plain protocols).
+  const Counters& counters() const { return counters_; }
 
   std::uint64_t interactions() const { return interactions_; }
   double parallel_time() const {
@@ -165,22 +174,32 @@ class BatchSimulation {
   }
   const BatchStepStats& stats() const { return stats_; }
 
-  // For diagonal protocols: true iff no future interaction can change the
-  // configuration (the configuration is silent).
+  // Count changes applied by the most recent effective step (empty right
+  // after construction and after a step() that returned 0).
+  const std::vector<CountDelta>& last_deltas() const { return last_deltas_; }
+
+  // For diagonal and keyed-passive protocols: true iff no future interaction
+  // can change the configuration (the configuration is silent).
   bool silent() const
-    requires DiagonalActiveProtocol<P>
+    requires DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P>
   {
-    return diag_sampler_.total() == 0;
+    if constexpr (DiagonalActiveProtocol<P>) {
+      return diag_sampler_.total() == 0;
+    } else {
+      return active_weight_keyed() == 0;
+    }
   }
 
   // Advances the simulation by at least one interaction (a whole batched
   // null run counts as its true number of interactions). Returns the number
   // of interactions consumed, 0 iff the configuration is provably stuck:
-  // zero active weight (diagonal protocols), or every agent in one null
-  // self-pairing state (null-aware general protocols).
+  // zero active weight (diagonal/keyed protocols), or every agent in one
+  // null self-pairing state (null-aware general protocols).
   std::uint64_t step() {
     if constexpr (DiagonalActiveProtocol<P>) {
       return step_diagonal();
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      return step_keyed();
     } else {
       return step_general();
     }
@@ -208,6 +227,16 @@ class BatchSimulation {
   }
 
  private:
+  static constexpr std::uint32_t keyed_only(std::uint32_t size) {
+    return KeyedPassiveProtocol<P> ? size : 0;
+  }
+  std::uint32_t keyed_only_keys() const {
+    if constexpr (KeyedPassiveProtocol<P>)
+      return protocol_.num_passive_keys();
+    else
+      return 0;
+  }
+
   void init_samplers() {
     const std::uint32_t q = protocol_.num_states();
     if (counts_.size() != q)
@@ -226,6 +255,25 @@ class BatchSimulation {
         if (diag_active_[s]) diag[s] = diag_weight(s);
       }
       diag_sampler_.build(diag);
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      key_counts_.assign(protocol_.num_passive_keys(), 0);
+      // Point-adds over occupied states only: at most n of the |Q| codes
+      // are occupied, so this beats a dense O(|Q|) weight-vector build
+      // (and avoids allocating a second |Q|-sized temporary — |Q| = 35n
+      // for Optimal-Silent-SSR, so construction cost matters at n = 10^6+).
+      for (std::uint32_t s = 0; s < q; ++s) {
+        if (counts_[s] == 0) continue;
+        const State st = protocol_.decode(s);
+        if (protocol_.is_passive(st)) {
+          key_counts_[protocol_.passive_key(st)] += counts_[s];
+        } else {
+          restless_sampler_.add(s, static_cast<std::int64_t>(counts_[s]));
+        }
+      }
+      std::vector<std::uint64_t> key_w(key_counts_.size(), 0);
+      for (std::uint32_t k = 0; k < key_counts_.size(); ++k)
+        key_w[k] = pair_weight(key_counts_[k]);
+      key_sampler_.build(key_w);
     }
   }
 
@@ -244,8 +292,12 @@ class BatchSimulation {
     return counts;
   }
 
+  static std::uint64_t pair_weight(std::uint64_t m) {
+    return m * (m > 0 ? m - 1 : 0);
+  }
+
   std::uint64_t diag_weight(std::uint32_t s) const {
-    return counts_[s] * (counts_[s] > 0 ? counts_[s] - 1 : 0);
+    return pair_weight(counts_[s]);
   }
 
   double ordered_pairs() const {
@@ -264,15 +316,30 @@ class BatchSimulation {
     if constexpr (DiagonalActiveProtocol<P>) {
       if (diag_active_[s])
         diag_sampler_.add(s, static_cast<std::int64_t>(diag_weight(s)));
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      const State st = protocol_.decode(s);
+      if (protocol_.is_passive(st)) {
+        const std::uint32_t k = protocol_.passive_key(st);
+        key_sampler_.add(
+            k, -static_cast<std::int64_t>(pair_weight(key_counts_[k])));
+        key_counts_[k] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(key_counts_[k]) + delta);
+        key_sampler_.add(
+            k, static_cast<std::int64_t>(pair_weight(key_counts_[k])));
+      } else {
+        restless_sampler_.add(s, delta);
+      }
     }
+    last_deltas_.push_back(CountDelta{s, static_cast<std::int32_t>(delta)});
   }
 
   // Applies interact() to one (a, b) state pair drawn by the scheduler and
   // folds the result back into the counts.
   void apply_interaction(std::uint32_t a, std::uint32_t b) {
+    last_deltas_.clear();
     State sa = protocol_.decode(a);
     State sb = protocol_.decode(b);
-    protocol_.interact(sa, sb, rng_);
+    invoke_interact(protocol_, sa, sb, rng_, counters_);
     const std::uint32_t na = protocol_.encode(sa);
     const std::uint32_t nb = protocol_.encode(sb);
     if (na != a) {
@@ -292,7 +359,10 @@ class BatchSimulation {
   // interaction at a time (compare SilentNStateFast).
   std::uint64_t step_diagonal() {
     const std::uint64_t w = diag_sampler_.total();
-    if (w == 0) return 0;  // silent forever
+    if (w == 0) {  // silent forever
+      last_deltas_.clear();
+      return 0;
+    }
     const double p = static_cast<double>(w) / ordered_pairs();
     const std::uint64_t wait = sample_geometric(rng_, p);
     interactions_ += wait;
@@ -301,6 +371,117 @@ class BatchSimulation {
     const std::uint32_t q = diag_sampler_.find(rng_.below(w));
     apply_interaction(q, q);
     return wait;
+  }
+
+  // --- Keyed-passive fast path ---------------------------------------------
+  //
+  // Ordered active pairs partition exactly into
+  //   (1) restless initiator, any responder:        A (n - 1)
+  //   (2) passive initiator, restless responder:    S A
+  //   (3) both passive with the same key:           D = sum_k s_k (s_k - 1)
+  // (check: n(n-1) - [passive pairs with distinct keys] = A(n-1) + SA + D).
+  // The wait until the next active interaction is Geometric(W / n(n-1)) and
+  // the active pair is drawn by case-splitting on the three weights; each
+  // case samples its conditional distribution exactly.
+
+  // The three-term active-weight partition, computed in one place so that
+  // silent() and step_keyed() can never drift apart.
+  struct KeyedWeights {
+    std::uint64_t restless = 0;  // A
+    std::uint64_t diag = 0;      // D = sum_k s_k (s_k - 1)
+    std::uint64_t w1 = 0;        // A (n - 1)
+    std::uint64_t w2 = 0;        // S A
+    std::uint64_t total = 0;     // W = w1 + w2 + D
+  };
+
+  KeyedWeights keyed_weights() const {
+    const std::uint64_t n = population_size();
+    KeyedWeights kw;
+    kw.restless = restless_sampler_.total();
+    kw.diag = key_sampler_.total();
+    kw.w1 = kw.restless * (n - 1);
+    kw.w2 = (n - kw.restless) * kw.restless;
+    kw.total = kw.w1 + kw.w2 + kw.diag;
+    return kw;
+  }
+
+  std::uint64_t active_weight_keyed() const { return keyed_weights().total; }
+
+  std::uint64_t step_keyed() {
+    const std::uint64_t n = population_size();
+    const KeyedWeights kw = keyed_weights();
+    const std::uint64_t restless = kw.restless;
+    const std::uint64_t d = kw.diag;
+    const std::uint64_t w1 = kw.w1;
+    const std::uint64_t w2 = kw.w2;
+    const std::uint64_t w = kw.total;
+    if (w == 0) {  // every pair is passive-distinct-key: silent forever
+      last_deltas_.clear();
+      return 0;
+    }
+    std::uint64_t wait = 1;
+    if (w < n * (n - 1)) {
+      const double p = static_cast<double>(w) / ordered_pairs();
+      wait = sample_geometric(rng_, p);
+    }
+    interactions_ += wait;
+    stats_.batched += wait - 1;
+    ++stats_.effective;
+
+    const std::uint64_t x = rng_.below(w);
+    std::uint32_t a_code, b_code;
+    if (x < w1) {
+      // (1) restless initiator; responder uniform over the other n-1 agents
+      // (same count vector with one agent in the initiator's state removed).
+      a_code = restless_sampler_.find(rng_.below(restless));
+      count_sampler_.add(a_code, -1);
+      b_code = count_sampler_.find(rng_.below(n - 1));
+      count_sampler_.add(a_code, +1);
+    } else if (x < w1 + w2) {
+      // (2) passive initiator by rejection against the full count vector
+      // (P[passive] = S/n per try; this branch is drawn with probability
+      // ∝ S, so the expected rejection work per step is O(1)); restless
+      // responder directly.
+      for (;;) {
+        a_code = count_sampler_.find(rng_.below(n));
+        if (protocol_.is_passive(protocol_.decode(a_code))) break;
+      }
+      b_code = restless_sampler_.find(rng_.below(restless));
+    } else {
+      // (3) a same-key passive pair: key ∝ s_k (s_k - 1), then the ordered
+      // pair inside the key's fiber ∝ m_q (m_q' - [q = q']).
+      const std::uint32_t k = key_sampler_.find(rng_.below(d));
+      const std::vector<std::uint32_t> fiber = protocol_.passive_fiber(k);
+      a_code = pick_in_fiber(fiber, rng_.below(key_counts_[k]),
+                             /*exclude=*/fiber.size(), 0);
+      b_code = pick_in_fiber(fiber, rng_.below(key_counts_[k] - 1),
+                             /*exclude_pos=*/find_pos(fiber, a_code), 1);
+    }
+    apply_interaction(a_code, b_code);
+    return wait;
+  }
+
+  static std::size_t find_pos(const std::vector<std::uint32_t>& fiber,
+                              std::uint32_t code) {
+    for (std::size_t i = 0; i < fiber.size(); ++i)
+      if (fiber[i] == code) return i;
+    return fiber.size();
+  }
+
+  // Samples a code from `fiber` with weight counts_[code], minus `discount`
+  // on the entry at `exclude_pos` (used to remove the already-chosen
+  // initiator agent from the responder draw).
+  std::uint32_t pick_in_fiber(const std::vector<std::uint32_t>& fiber,
+                              std::uint64_t target, std::size_t exclude_pos,
+                              std::uint64_t discount) const {
+    for (std::size_t i = 0; i < fiber.size(); ++i) {
+      std::uint64_t weight = counts_[fiber[i]];
+      if (i == exclude_pos) weight -= discount;
+      if (target < weight) return fiber[i];
+      target -= weight;
+    }
+    throw std::logic_error(
+        "passive_fiber inconsistent with counts: fiber weight exhausted");
   }
 
   // General path: draw the ordered state pair exactly; when the protocol
@@ -328,6 +509,7 @@ class BatchSimulation {
           // (a, b) is the only drawable pair (all agents share one state)
           // and it is null: the configuration can never change again.
           // Signal silence exactly like the diagonal path does.
+          last_deltas_.clear();
           return 0;
         }
         // Run of consecutive (a, b) draws, first included: Geometric in
@@ -363,9 +545,15 @@ class BatchSimulation {
   WeightedSampler count_sampler_;  // weight m_q: scheduler state draws
   WeightedSampler diag_sampler_;   // weight m_q (m_q - 1) on active states
   std::vector<char> diag_active_;  // diagonal protocols only
+  // Keyed-passive protocols only:
+  WeightedSampler restless_sampler_;        // weight m_q on non-passive states
+  WeightedSampler key_sampler_;             // weight s_k (s_k - 1) per key
+  std::vector<std::uint64_t> key_counts_;   // s_k: passive agents per key
   Rng rng_;
   std::uint64_t interactions_ = 0;
   BatchStepStats stats_;
+  std::vector<CountDelta> last_deltas_;
+  [[no_unique_address]] Counters counters_{};
 };
 
 }  // namespace ppsim

@@ -1,0 +1,67 @@
+// The backend-agnostic Engine contract.
+//
+// Both simulation backends — the agent-array Simulation<P> and the
+// count-based BatchSimulation<P> — satisfy the same structural concept:
+// run / run_until / interactions / parallel_time / state_counts snapshot /
+// counters. Analysis code (analysis/convergence.h, analysis/experiments.h)
+// is written against these concepts, so every harness, bench and example
+// can pick a backend per protocol and per population size instead of being
+// hard-wired to one engine.
+//
+// The refinements capture what each backend can do *beyond* the shared
+// contract:
+//   AgentArrayEngine - exposes the explicit agent array and per-step
+//                      (initiator, responder) pairs; works for every
+//                      protocol and is the ground truth.
+//   CountEngine      - the configuration IS the state-count vector; exposes
+//                      the per-step count deltas so trackers can stay
+//                      incremental, and step() returns the number of
+//                      interactions consumed (0 = provably stuck/silent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/scheduler.h"
+
+namespace ppsim {
+
+// Concept-probe predicate (requires-expressions cannot contain lambdas).
+struct NeverDone {
+  template <class E>
+  bool operator()(const E&) const {
+    return false;
+  }
+};
+
+template <class E>
+concept Engine = requires(E e, const E ce, std::uint64_t k) {
+  typename E::State;
+  { ce.population_size() } -> std::convertible_to<std::uint32_t>;
+  { ce.interactions() } -> std::convertible_to<std::uint64_t>;
+  { ce.parallel_time() } -> std::convertible_to<double>;
+  { ce.protocol() };
+  { ce.counters() };
+  { e.run(k) };
+  { e.run_until(NeverDone{}, k) } -> std::convertible_to<bool>;
+};
+
+// Engines whose configuration snapshot is the state-count vector and that
+// report which counts the last effective step changed.
+template <class E>
+concept CountEngine = Engine<E> && requires(E e, const E ce) {
+  { ce.state_counts() } -> std::convertible_to<const std::vector<std::uint64_t>&>;
+  { ce.last_deltas() };
+  { e.step() } -> std::convertible_to<std::uint64_t>;
+};
+
+// Engines that own an explicit agent array and schedule one ordered agent
+// pair per step.
+template <class E>
+concept AgentArrayEngine = Engine<E> && requires(E e, const E ce) {
+  { ce.states() };
+  { e.step() } -> std::same_as<AgentPair>;
+};
+
+}  // namespace ppsim

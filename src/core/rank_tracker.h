@@ -31,6 +31,13 @@ class RankTracker {
     add(new_rank);
   }
 
+  // Count-engine form: `delta` agents entered (+) or left (-) `rank`.
+  // Mirrors the CountDelta stream of BatchSimulation::last_deltas().
+  void apply_delta(std::uint32_t rank, std::int64_t delta) {
+    for (; delta > 0; --delta) add(rank);
+    for (; delta < 0; ++delta) remove(rank);
+  }
+
   // True iff every rank in 1..n is held by exactly one agent.
   bool is_permutation() const { return singletons_ == n_; }
 

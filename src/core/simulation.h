@@ -1,42 +1,31 @@
 // Generic agent-array simulation engine.
 //
-// A Protocol supplies a State type and an interact(initiator, responder, rng)
-// transition; the engine owns the agent array, the scheduler and the RNG, and
-// accounts parallel time = interactions / n exactly as the paper defines it.
+// A Protocol supplies a State type and a const interact(initiator,
+// responder, rng[, counters]) transition; the engine owns the agent array,
+// the scheduler, the RNG and the protocol's event counters, and accounts
+// parallel time = interactions / n exactly as the paper defines it.
+//
+// Simulation<P> satisfies the Engine concept of core/engine.h (and
+// AgentArrayEngine); it works for every protocol and is the ground truth
+// the count-based backend is validated against.
 #pragma once
 
-#include <concepts>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/protocol.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
 
 namespace ppsim {
 
-// Minimal contract a protocol must satisfy to be simulated.
-template <class P>
-concept Protocol = requires(P p, typename P::State& s, typename P::State& t,
-                            Rng& rng) {
-  typename P::State;
-  { p.population_size() } -> std::convertible_to<std::uint32_t>;
-  { p.interact(s, t, rng) };
-};
-
-// Protocols that expose a ranking output (all protocols in this repo do;
-// rank_of returns 0 for "no rank assigned yet").
-template <class P>
-concept RankingProtocol =
-    Protocol<P> && requires(const P p, const typename P::State& s) {
-      { p.rank_of(s) } -> std::convertible_to<std::uint32_t>;
-    };
-
 template <Protocol P>
 class Simulation {
  public:
   using State = typename P::State;
+  using Counters = ProtocolCounters<P>;
 
   Simulation(P protocol, std::vector<State> initial, std::uint64_t seed)
       : protocol_(std::move(protocol)),
@@ -57,16 +46,32 @@ class Simulation {
   const P& protocol() const { return protocol_; }
   Rng& rng() { return rng_; }
 
+  // Engine-side observer: per-interaction events reported by observable
+  // protocols (empty for plain protocols).
+  const Counters& counters() const { return counters_; }
+
   std::uint64_t interactions() const { return interactions_; }
   double parallel_time() const {
     return static_cast<double>(interactions_) /
            static_cast<double>(population_size());
   }
 
+  // State-count snapshot in the enumerable protocol's coding — the bridge
+  // to the count-based backend (O(n) scan; BatchSimulation keeps this
+  // vector as its configuration).
+  std::vector<std::uint64_t> state_counts() const
+    requires EnumerableProtocol<P>
+  {
+    std::vector<std::uint64_t> counts(protocol_.num_states(), 0);
+    for (const State& s : states_) ++counts[protocol_.encode(s)];
+    return counts;
+  }
+
   // Executes one interaction and returns the pair that interacted.
   AgentPair step() {
     const AgentPair pair = scheduler_.next(rng_);
-    protocol_.interact(states_[pair.initiator], states_[pair.responder], rng_);
+    invoke_interact(protocol_, states_[pair.initiator],
+                    states_[pair.responder], rng_, counters_);
     ++interactions_;
     return pair;
   }
@@ -93,6 +98,7 @@ class Simulation {
   UniformScheduler scheduler_;
   Rng rng_;
   std::uint64_t interactions_ = 0;
+  [[no_unique_address]] Counters counters_{};
 };
 
 }  // namespace ppsim

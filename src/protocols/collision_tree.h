@@ -199,37 +199,41 @@ struct CollisionDetectorStats {
   std::uint64_t collisions_reported = 0;
 };
 
-// Stateless with respect to agents; owns parameters and instrumentation.
+// Stateless with respect to agents; owns parameters only. Instrumentation is
+// reported into a caller-owned CollisionDetectorStats (engine-side observer),
+// which keeps detect_and_update const — required for const protocol
+// transition functions. The DFS scratch buffers are mutable workspace, so a
+// detector instance must not be shared across concurrently running engines
+// (each trial of run_trials_parallel constructs its own protocol).
 class CollisionDetector {
  public:
   explicit CollisionDetector(CollisionDetectorParams params)
       : params_(params) {}
 
   const CollisionDetectorParams& params() const { return params_; }
-  const CollisionDetectorStats& stats() const { return stats_; }
 
   // Protocol 7, Detect-Name-Collision(a, b). Returns true iff a collision is
   // detected; otherwise performs the mutual tree exchange and timer tick.
   // Both trees must be initialized.
-  bool detect_and_update(HistoryTree& a, HistoryTree& b, Rng& rng) {
-    ++stats_.calls;
+  bool detect_and_update(HistoryTree& a, HistoryTree& b, Rng& rng,
+                         CollisionDetectorStats& stats) const {
+    ++stats.calls;
     std::uint64_t call_nodes = 0;
     if (params_.direct_check && a.own_name() == b.own_name()) {
-      ++stats_.collisions_reported;
+      ++stats.collisions_reported;
       return true;
     }
     // Lines 1-4: check all of a's live histories about b and vice versa.
-    if (has_inconsistent_path(a, b, call_nodes) ||
-        has_inconsistent_path(b, a, call_nodes)) {
-      stats_.nodes_visited += call_nodes;
-      stats_.max_nodes_one_call =
-          std::max(stats_.max_nodes_one_call, call_nodes);
-      ++stats_.collisions_reported;
+    if (has_inconsistent_path(a, b, call_nodes, stats) ||
+        has_inconsistent_path(b, a, call_nodes, stats)) {
+      stats.nodes_visited += call_nodes;
+      stats.max_nodes_one_call =
+          std::max(stats.max_nodes_one_call, call_nodes);
+      ++stats.collisions_reported;
       return true;
     }
-    stats_.nodes_visited += call_nodes;
-    stats_.max_nodes_one_call =
-        std::max(stats_.max_nodes_one_call, call_nodes);
+    stats.nodes_visited += call_nodes;
+    stats.max_nodes_one_call = std::max(stats.max_nodes_one_call, call_nodes);
     // Line 5: the shared fresh sync value.
     const std::uint64_t x = rng.range(1, params_.smax);
     // Lines 6-10: mutual graft of pre-interaction snapshots, trimmed to
@@ -293,7 +297,8 @@ class CollisionDetector {
   // j.name; returns true iff any fails Check-Path-Consistency against j.
   bool has_inconsistent_path(const HistoryTree& i_tree,
                              const HistoryTree& j_tree,
-                             std::uint64_t& nodes_visited) {
+                             std::uint64_t& nodes_visited,
+                             CollisionDetectorStats& stats) const {
     const Name target = j_tree.own_name();
     path_names_.clear();
     path_syncs_.clear();
@@ -301,12 +306,12 @@ class CollisionDetector {
     path_syncs_.push_back(0);
     return dfs(*i_tree.root(), /*sigma=*/0,
                static_cast<std::int64_t>(i_tree.ops()), /*depth=*/0, target,
-               j_tree, nodes_visited);
+               j_tree, nodes_visited, stats);
   }
 
   bool dfs(const HistoryNode& node, std::int64_t sigma, std::int64_t ops,
-           std::uint32_t depth, const Name& target,
-           const HistoryTree& j_tree, std::uint64_t& nodes_visited) {
+           std::uint32_t depth, const Name& target, const HistoryTree& j_tree,
+           std::uint64_t& nodes_visited, CollisionDetectorStats& stats) const {
     if (depth >= params_.depth_h) return false;
     for (const auto& e : node.children) {
       ++nodes_visited;
@@ -324,12 +329,12 @@ class CollisionDetector {
       path_syncs_.push_back(e.sync);
       bool bad = false;
       if (cn == target) {
-        ++stats_.paths_checked;
+        ++stats.paths_checked;
         bad = !check_path_consistency(j_tree, path_names_, path_syncs_);
       }
       if (!bad)
         bad = dfs(*e.child, sigma + e.shift, ops, depth + 1, target, j_tree,
-                  nodes_visited);
+                  nodes_visited, stats);
       path_names_.pop_back();
       path_syncs_.pop_back();
       if (bad) return true;
@@ -338,10 +343,10 @@ class CollisionDetector {
   }
 
   CollisionDetectorParams params_;
-  CollisionDetectorStats stats_;
-  // Scratch buffers reused across calls to avoid per-interaction allocation.
-  std::vector<Name> path_names_;
-  std::vector<std::uint64_t> path_syncs_;
+  // Scratch buffers reused across calls to avoid per-interaction allocation;
+  // mutable workspace only (never read across calls), not observable state.
+  mutable std::vector<Name> path_names_;
+  mutable std::vector<std::uint64_t> path_syncs_;
 };
 
 // --- Introspection helpers (tests, state accounting, demos). ---

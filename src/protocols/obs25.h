@@ -56,7 +56,17 @@ class Obs25SSLE {
 
   bool is_leader(const State& s) const { return s.v == 0; }
 
- private:
+  // EnumerableProtocol: Q = {l, f0..f4}, coded by the value itself, so the
+  // protocol runs on the count-based backend too (cross-validated against
+  // the agent array in tests/engine_equivalence_test.cpp).
+  std::uint32_t num_states() const { return kStates; }
+  std::uint32_t encode(const State& s) const {
+    if (s.v >= kStates) throw std::invalid_argument("invalid Obs25 state");
+    return s.v;
+  }
+  State decode(std::uint32_t code) const {
+    return State{static_cast<std::uint8_t>(code)};
+  }
 };
 
 }  // namespace ppsim

@@ -16,6 +16,17 @@
 //     binary tree of ranks (children of rank i are 2i and 2i+1), which
 //     completes in O(n) time (Lemma 4.1, Figure 1).
 //
+// interact() is a pure (const) transition function; per-interaction events
+// are reported into an engine-owned Counters instance (ObservableProtocol).
+//
+// The protocol is enumerable: the state space is coded canonically into
+// 3n + (Emax+1) + 2 Rmax + 2 (Dmax+1) = 35n + O(log n) codes (with the
+// standard constants), and it exposes the keyed-passive structure
+// (passive = Settled, key = rank) that lets BatchSimulation geometric-skip
+// the null stretches of mostly-Settled configurations — the regime that
+// dominates both the stable phase and the Observation 2.6 detection-latency
+// experiments.
+//
 // Erratum note: Protocol 3 line 9 reads "2*i.rank + i.children < n", which
 // with 1-based ranks would never assign rank n (contradicting Figure 1, where
 // rank 12 is assigned for n = 12). We use <= n; see DESIGN.md.
@@ -24,6 +35,7 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "core/rng.h"
 #include "reset/propagate_reset.h"
@@ -69,6 +81,7 @@ class OptimalSilentSSR {
     std::uint32_t delaytimer = 0;  // {0..Dmax}, meaningful when resetcount=0
   };
 
+  // Engine-owned per-interaction event counters (ObservableProtocol).
   struct Counters {
     std::uint64_t collision_triggers = 0;  // line 5: two Settled, same rank
     std::uint64_t timeout_triggers = 0;    // line 16: errorcount hit 0
@@ -84,13 +97,13 @@ class OptimalSilentSSR {
 
   std::uint32_t population_size() const { return params_.n; }
   const OptimalSilentParams& params() const { return params_; }
-  const Counters& counters() const { return counters_; }
 
   // Protocol 3, for initiator a and responder b.
-  void interact(State& a, State& b, Rng&) {
+  void interact(State& a, State& b, Rng&, Counters& c) const {
     // Lines 1-4: resetting machinery plus the slow leader election.
     if (a.role == OsRole::Resetting || b.role == OsRole::Resetting) {
-      propagate_reset_step(*this, a, b);
+      ResetView<OptimalSilentSSR, Counters> host{*this, c};
+      propagate_reset_step(host, a, b);
       if (a.role == OsRole::Resetting && b.role == OsRole::Resetting &&
           a.leader && b.leader) {
         b.leader = false;  // L,L -> L,F
@@ -99,13 +112,13 @@ class OptimalSilentSSR {
     // Lines 5-7: rank-collision detection between Settled agents.
     if (a.role == OsRole::Settled && b.role == OsRole::Settled &&
         a.rank == b.rank) {
-      ++counters_.collision_triggers;
+      ++c.collision_triggers;
       trigger_reset(a);
       trigger_reset(b);
     }
     // Lines 8-12: binary-tree rank assignment.
-    assign_rank(a, b);
-    assign_rank(b, a);
+    assign_rank(a, b, c);
+    assign_rank(b, a, c);
     // Lines 13-18: Unsettled patience countdown.
     for (State* i : {&a, &b}) {
       if (i->role != OsRole::Unsettled) continue;
@@ -113,7 +126,7 @@ class OptimalSilentSSR {
       if (i->errorcount == 0) {
         // Lines 16-18 re-trigger both agents unconditionally (even one
         // already Resetting): a fresh error restarts the wave.
-        ++counters_.timeout_triggers;
+        ++c.timeout_triggers;
         trigger_reset(a);
         trigger_reset(b);
       }
@@ -131,6 +144,87 @@ class OptimalSilentSSR {
            a.rank != b.rank;
   }
 
+  // --- EnumerableProtocol: canonical state coding ---------------------------
+  //
+  // Codes normalize away every field the state's role provably never reads
+  // before rewriting it: Settled keeps (rank, children); Unsettled keeps
+  // errorcount; Resetting keeps (leader, resetcount) plus delaytimer only
+  // when dormant (resetcount = 0) — while the wave is propagating
+  // (resetcount > 0) the timer is dead state, always reinitialized to Dmax
+  // on the transition to dormancy (Protocol 2 line 7). The projected
+  // dynamics are therefore exactly the agent-array dynamics (cross-validated
+  // in tests/engine_equivalence_test.cpp).
+
+  std::uint32_t num_states() const {
+    return settled_codes() + unsettled_codes() + 2 * params_.rmax +
+           2 * (params_.dmax + 1);
+  }
+
+  std::uint32_t encode(const State& s) const {
+    switch (s.role) {
+      case OsRole::Settled:
+        if (s.rank < 1 || s.rank > params_.n || s.children > 2)
+          throw std::invalid_argument("invalid Settled state");
+        return (s.rank - 1) * 3 + s.children;
+      case OsRole::Unsettled:
+        if (s.errorcount > params_.emax)
+          throw std::invalid_argument("invalid Unsettled state");
+        return settled_codes() + s.errorcount;
+      case OsRole::Resetting: {
+        if (s.resetcount > params_.rmax)
+          throw std::invalid_argument("invalid Resetting state");
+        const std::uint32_t base = settled_codes() + unsettled_codes();
+        if (s.resetcount > 0)  // propagating: delaytimer is dead state
+          return base + 2 * (s.resetcount - 1) + (s.leader ? 1u : 0u);
+        if (s.delaytimer > params_.dmax)
+          throw std::invalid_argument("invalid dormant Resetting state");
+        return base + 2 * params_.rmax + 2 * s.delaytimer +
+               (s.leader ? 1u : 0u);
+      }
+    }
+    throw std::invalid_argument("invalid role");
+  }
+
+  State decode(std::uint32_t code) const {
+    State s;
+    if (code < settled_codes()) {
+      s.role = OsRole::Settled;
+      s.rank = code / 3 + 1;
+      s.children = static_cast<std::uint8_t>(code % 3);
+      return s;
+    }
+    code -= settled_codes();
+    if (code < unsettled_codes()) {
+      s.role = OsRole::Unsettled;
+      s.errorcount = code;
+      return s;
+    }
+    code -= unsettled_codes();
+    s.role = OsRole::Resetting;
+    if (code < 2 * params_.rmax) {
+      s.resetcount = code / 2 + 1;
+      s.leader = (code % 2) != 0;
+      s.delaytimer = 0;
+    } else {
+      code -= 2 * params_.rmax;
+      if (code >= 2 * (params_.dmax + 1))
+        throw std::invalid_argument("state code out of range");
+      s.resetcount = 0;
+      s.delaytimer = code / 2;
+      s.leader = (code % 2) != 0;
+    }
+    return s;
+  }
+
+  // --- KeyedPassiveProtocol: null iff both Settled with distinct ranks. ----
+  bool is_passive(const State& s) const { return s.role == OsRole::Settled; }
+  std::uint32_t passive_key(const State& s) const { return s.rank - 1; }
+  std::uint32_t num_passive_keys() const { return params_.n; }
+  std::vector<std::uint32_t> passive_fiber(std::uint32_t key) const {
+    // The three Settled states with rank key+1 (children 0, 1, 2).
+    return {3 * key, 3 * key + 1, 3 * key + 2};
+  }
+
   // --- ResetHost hooks for propagate_reset_step (Protocol 2). ---
   bool is_resetting(const State& s) const {
     return s.role == OsRole::Resetting;
@@ -146,8 +240,8 @@ class OptimalSilentSSR {
     s.leader = true;
   }
   // Protocol 4: Reset(a).
-  void reset_agent(State& s) {
-    ++counters_.resets_executed;
+  void reset_agent(State& s, Counters& c) const {
+    ++c.resets_executed;
     if (s.leader) {
       s.role = OsRole::Settled;
       s.rank = 1;
@@ -160,8 +254,11 @@ class OptimalSilentSSR {
   std::uint32_t dmax() const { return params_.dmax; }
 
  private:
+  std::uint32_t settled_codes() const { return 3 * params_.n; }
+  std::uint32_t unsettled_codes() const { return params_.emax + 1; }
+
   // Lines 8-12 for the ordered role pair (settled recruiter i, candidate j).
-  void assign_rank(State& i, State& j) {
+  void assign_rank(State& i, State& j, Counters& c) const {
     if (i.role == OsRole::Settled && j.role == OsRole::Unsettled &&
         i.children < 2 &&
         2ull * i.rank + i.children <= params_.n) {  // erratum: <= (see above)
@@ -169,11 +266,11 @@ class OptimalSilentSSR {
       j.children = 0;
       j.rank = 2 * i.rank + i.children;
       ++i.children;
-      ++counters_.recruits;
+      ++c.recruits;
     }
   }
 
-  void trigger_reset(State& s) {
+  void trigger_reset(State& s) const {
     s.role = OsRole::Resetting;
     s.resetcount = params_.rmax;
     s.delaytimer = 0;
@@ -181,7 +278,6 @@ class OptimalSilentSSR {
   }
 
   OptimalSilentParams params_;
-  Counters counters_;
 };
 
 }  // namespace ppsim

@@ -116,6 +116,8 @@ class SublinearTimeSSR {
     CoinPhase coin;
   };
 
+  // Engine-owned per-interaction event counters (ObservableProtocol); the
+  // collision detector's instrumentation rides along in `detector`.
   struct Counters {
     std::uint64_t collision_triggers = 0;
     std::uint64_t ghost_triggers = 0;
@@ -123,6 +125,7 @@ class SublinearTimeSSR {
     std::uint64_t rank_updates = 0;
     std::uint64_t coin_bits = 0;
     std::uint64_t coin_waits = 0;  // interactions a bit-needing agent waited
+    CollisionDetectorStats detector;
   };
 
   explicit SublinearTimeSSR(SublinearParams params)
@@ -135,10 +138,6 @@ class SublinearTimeSSR {
 
   std::uint32_t population_size() const { return params_.n; }
   const SublinearParams& params() const { return params_; }
-  const Counters& counters() const { return counters_; }
-  const CollisionDetectorStats& detector_stats() const {
-    return detector_.stats();
-  }
 
   // A fully-initialized Collecting state, as produced by Reset.
   State make_collecting(const Name& name) const {
@@ -151,17 +150,18 @@ class SublinearTimeSSR {
   }
 
   // Protocol 5, for agent a interacting with agent b.
-  void interact(State& a, State& b, Rng& rng) {
+  void interact(State& a, State& b, Rng& rng, Counters& c) const {
     if (a.role == SlRole::Collecting && b.role == SlRole::Collecting) {
       assert(a.tree.initialized() && b.tree.initialized());
       // Line 2: collision detection (which also performs the tree exchange
       // when no collision is found) and the ghost-name cardinality check.
-      const bool collision = detector_.detect_and_update(a.tree, b.tree, rng);
-      if (collision) ++counters_.collision_triggers;
+      const bool collision =
+          detector_.detect_and_update(a.tree, b.tree, rng, c.detector);
+      if (collision) ++c.collision_triggers;
       bool ghost = false;
       if (!collision) {
         ghost = Roster::union_size(a.roster, b.roster) > params_.n;
-        if (ghost) ++counters_.ghost_triggers;
+        if (ghost) ++c.ghost_triggers;
       }
       if (collision || ghost) {
         trigger_reset(a);  // line 3
@@ -175,12 +175,13 @@ class SublinearTimeSSR {
         if (a.roster.size() == params_.n) {
           a.rank = a.roster.lexicographic_rank(a.name);
           b.rank = b.roster.lexicographic_rank(b.name);
-          counters_.rank_updates += 2;
+          c.rank_updates += 2;
         }
       }
     } else {
       // Line 10: some agent is Resetting.
-      propagate_reset_step(*this, a, b);
+      ResetView<SublinearTimeSSR, Counters> host{*this, c};
+      propagate_reset_step(host, a, b);
       // Lines 11-12: clear names while the reset wave is propagating.
       for (State* i : {&a, &b})
         if (i->role == SlRole::Resetting && i->resetcount > 0)
@@ -191,13 +192,13 @@ class SublinearTimeSSR {
             i->name.length() >= params_.name_len)
           continue;
         if (params_.use_synthetic_coin) {
-          ++counters_.coin_waits;  // bit arrives only on an Alg-Flip meeting
+          ++c.coin_waits;  // bit arrives only on an Alg-Flip meeting
         } else {
           i->name.append_bit(rng.coin());
-          ++counters_.coin_bits;
+          ++c.coin_bits;
         }
       }
-      if (params_.use_synthetic_coin) harvest_coin_bits(a, b);
+      if (params_.use_synthetic_coin) harvest_coin_bits(a, b, c);
     }
     // Section 6 time multiplexing: every agent alternates Alg/Flip on every
     // interaction, regardless of role.
@@ -229,8 +230,8 @@ class SublinearTimeSSR {
   // Protocol 6: Reset(a). The history tree restarts from the bare root —
   // required by the safety argument (Lemma 5.4 reasons from agents that
   // "start with an empty tree" after awakening).
-  void reset_agent(State& s) {
-    ++counters_.resets_executed;
+  void reset_agent(State& s, Counters& c) const {
+    ++c.resets_executed;
     s.role = SlRole::Collecting;
     s.roster = Roster::singleton(s.name);
     s.tree.reset(s.name);
@@ -258,7 +259,7 @@ class SublinearTimeSSR {
     return d;
   }
 
-  void trigger_reset(State& s) {
+  void trigger_reset(State& s) const {
     s.role = SlRole::Resetting;
     s.resetcount = params_.rmax;
     s.delaytimer = 0;
@@ -266,7 +267,7 @@ class SublinearTimeSSR {
 
   // Section 6: an agent in role Alg whose partner is in role Flip harvests
   // one unbiased bit (heads iff it initiated). `a` is the initiator.
-  void harvest_coin_bits(State& a, State& b) {
+  void harvest_coin_bits(State& a, State& b, Counters& c) const {
     auto needs_bit = [&](const State& s) {
       return s.role == SlRole::Resetting && s.resetcount == 0 &&
              s.name.length() < params_.name_len;
@@ -275,17 +276,16 @@ class SublinearTimeSSR {
     const bool b_alg = !b.coin.flip_phase;
     if (a_alg && !b_alg && needs_bit(a)) {
       a.name.append_bit(true);  // Alg initiated: heads
-      ++counters_.coin_bits;
+      ++c.coin_bits;
     }
     if (b_alg && !a_alg && needs_bit(b)) {
       b.name.append_bit(false);  // Alg responded: tails
-      ++counters_.coin_bits;
+      ++c.coin_bits;
     }
   }
 
   SublinearParams params_;
   CollisionDetector detector_;
-  Counters counters_;
 };
 
 }  // namespace ppsim

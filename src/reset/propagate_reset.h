@@ -40,6 +40,30 @@ concept ResetHost = requires(H h, State& s, const State& cs) {
   { h.dmax() } -> std::convertible_to<std::uint32_t>;
 };
 
+// Satisfies ResetHost by binding a pure (const) protocol to an engine-owned
+// counters instance for the duration of one propagate_reset_step call: the
+// protocol's reset_agent(state, counters) hook is the only one that reports
+// an event, so it is the only one that needs the binding. Used by every
+// protocol that embeds Propagate-Reset (Optimal-Silent-SSR,
+// Sublinear-Time-SSR, ResetProcess).
+template <class P, class Counters>
+struct ResetView {
+  using State = typename P::State;
+  const P& protocol;
+  Counters& counters;
+
+  bool is_resetting(const State& s) const { return protocol.is_resetting(s); }
+  std::uint32_t& reset_count(State& s) const {
+    return protocol.reset_count(s);
+  }
+  std::uint32_t& delay_timer(State& s) const {
+    return protocol.delay_timer(s);
+  }
+  void recruit(State& s) const { protocol.recruit(s); }
+  void reset_agent(State& s) const { protocol.reset_agent(s, counters); }
+  std::uint32_t dmax() const { return protocol.dmax(); }
+};
+
 // Executes Propagate-Reset for an interacting pair where at least one agent
 // is in the Resetting role. Follows Protocol 2 line by line; the "other
 // agent is computing" awakening test uses pre-interaction roles, so the first

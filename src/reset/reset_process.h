@@ -23,6 +23,11 @@ class ResetProcess {
     std::uint32_t resets_executed = 0;  // per-agent Reset() invocations
   };
 
+  // Engine-owned per-interaction event counters (ObservableProtocol).
+  struct Counters {
+    std::uint64_t resets_executed = 0;  // population-wide Reset() count
+  };
+
   ResetProcess(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax)
       : n_(n), rmax_(rmax), dmax_(dmax) {
     if (n < 2) throw std::invalid_argument("population size must be >= 2");
@@ -31,8 +36,11 @@ class ResetProcess {
   std::uint32_t population_size() const { return n_; }
   std::uint32_t rmax() const { return rmax_; }
 
-  void interact(State& a, State& b, Rng&) {
-    if (a.resetting || b.resetting) propagate_reset_step(*this, a, b);
+  void interact(State& a, State& b, Rng&, Counters& c) const {
+    if (a.resetting || b.resetting) {
+      ResetView<ResetProcess, Counters> host{*this, c};
+      propagate_reset_step(host, a, b);
+    }
   }
 
   std::uint32_t rank_of(const State&) const { return 0; }
@@ -54,20 +62,17 @@ class ResetProcess {
     s.resetcount = 0;
     s.delaytimer = dmax_;
   }
-  void reset_agent(State& s) {
+  void reset_agent(State& s, Counters& c) const {
     s.resetting = false;
     ++s.resets_executed;
-    ++total_resets_;
+    ++c.resets_executed;
   }
   std::uint32_t dmax() const { return dmax_; }
-
-  std::uint64_t total_resets() const { return total_resets_; }
 
  private:
   std::uint32_t n_;
   std::uint32_t rmax_;
   std::uint32_t dmax_;
-  std::uint64_t total_resets_ = 0;
 };
 
 }  // namespace ppsim

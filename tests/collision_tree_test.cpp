@@ -90,11 +90,12 @@ CollisionDetectorParams basic_params(std::uint32_t h, std::uint32_t th = 100,
 // A detector whose sync draws we control (deterministic seed per call).
 std::uint64_t interact_with_sync(CollisionDetector& det, HistoryTree& a,
                                  HistoryTree& b, std::uint64_t want_sync) {
+  CollisionDetectorStats det_stats;
   // Drive the rng until it would produce `want_sync`; simpler: use a detector
   // API-level approach — emulate by grafting manually. Instead we just use
   // the real call and read back the sync from the fresh edge.
   Rng rng(want_sync * 7919 + 13);
-  const bool collision = det.detect_and_update(a, b, rng);
+  const bool collision = det.detect_and_update(a, b, rng, det_stats);
   EXPECT_FALSE(collision);
   return a.root()->children.back().sync;
 }
@@ -113,8 +114,9 @@ TEST(HistoryTree, MutualGraftCreatesDepthOneEntries) {
   a.reset(nm(1));
   b.reset(nm(2));
   CollisionDetector det(basic_params(2));
+  CollisionDetectorStats det_stats;
   Rng rng(5);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   const auto ab = visible_child(a, {}, nm(2));
   const auto ba = visible_child(b, {}, nm(1));
   ASSERT_TRUE(ab.has_value());
@@ -130,10 +132,11 @@ TEST(HistoryTree, RepeatMeetingReplacesDepthOneSubtree) {
   a.reset(nm(1));
   b.reset(nm(2));
   CollisionDetector det(basic_params(2));
+  CollisionDetectorStats det_stats;
   Rng r1(5), r2(6);
-  ASSERT_FALSE(det.detect_and_update(a, b, r1));
+  ASSERT_FALSE(det.detect_and_update(a, b, r1, det_stats));
   const auto first = visible_child(a, {}, nm(2))->sync;
-  ASSERT_FALSE(det.detect_and_update(a, b, r2));
+  ASSERT_FALSE(det.detect_and_update(a, b, r2, det_stats));
   const auto children = visible_children(a, {});
   EXPECT_EQ(children.size(), 1u);  // replaced, not duplicated
   EXPECT_NE(children[0].sync, first);
@@ -144,8 +147,9 @@ TEST(HistoryTree, TimersAgeWithOwnerOperations) {
   a.reset(nm(1));
   b.reset(nm(2));
   CollisionDetector det(basic_params(2, /*th=*/5));
+  CollisionDetectorStats det_stats;
   Rng rng(5);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   EXPECT_EQ(visible_child(a, {}, nm(2))->timer, 4);
   a.tick();
   a.tick();
@@ -166,12 +170,13 @@ TEST(HistoryTree, FrameShiftTransfersTimersAcrossOwners) {
   b.reset(nm(2));
   c.reset(nm(3));
   CollisionDetector det(basic_params(3, /*th=*/10));
+  CollisionDetectorStats det_stats;
   Rng rng(7);
   // Age b's frame by 4 before it meets anyone.
   for (int i = 0; i < 4; ++i) b.tick();
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));  // a-b, timer now 9
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));  // a-b, timer now 9
   EXPECT_EQ(visible_child(b, {}, nm(1))->timer, 9);
-  ASSERT_FALSE(det.detect_and_update(c, b, rng));  // c grafts b's tree
+  ASSERT_FALSE(det.detect_and_update(c, b, rng, det_stats));  // c grafts b's tree
   // c sees b at depth 1 (timer 9) and a at depth 2 under b. The a-edge was
   // at 9 in b's frame when grafted, then c ticked once: effective 8.
   EXPECT_EQ(visible_child(c, {}, nm(2))->timer, 9);
@@ -191,24 +196,26 @@ TEST(HistoryTree, SimpleLabelingHidesOwnNameInGraftedSubtrees) {
   b.reset(nm(2));
   c.reset(nm(3));
   CollisionDetector det(basic_params(3));
+  CollisionDetectorStats det_stats;
   Rng rng(11);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
-  ASSERT_FALSE(det.detect_and_update(b, c, rng));
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(b, c, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   const auto under_b = visible_children(a, {nm(2)});
   ASSERT_EQ(under_b.size(), 1u);  // only c; the a-edge is filtered
   EXPECT_EQ(under_b[0].name, nm(3));
 }
 
 TEST(HistoryTree, DepthLimitHidesDeepNodes) {
+  CollisionDetectorStats det_stats;
   HistoryTree a, b, c;
   a.reset(nm(1));
   b.reset(nm(2));
   c.reset(nm(3));
   CollisionDetector det(basic_params(1));  // H = 1: depth-1 dictionary
   Rng rng(13);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
-  ASSERT_FALSE(det.detect_and_update(b, c, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(b, c, rng, det_stats));
   // b's tree structurally contains a and c at depth 1; fine. c's graft of
   // b's tree would put a at depth 2 — invisible at H=1.
   EXPECT_EQ(logical_node_count(c, 1), 2u);  // root + b
@@ -222,6 +229,7 @@ TEST(Figure2, LeftExecutionBuildsPaperTrees) {
   c.reset(nm(0xC));
   d.reset(nm(0xD));
   CollisionDetector det(basic_params(3, /*th=*/1000));
+  CollisionDetectorStats det_stats;
 
   const auto s1 = interact_with_sync(det, a, b, 1);  // a-b
   const auto s2 = interact_with_sync(det, b, c, 2);  // b-c
@@ -249,7 +257,7 @@ TEST(Figure2, LeftExecutionBuildsPaperTrees) {
   EXPECT_TRUE(det.check_path_consistency(a, names, syncs));
   // And a full detection pass between d and a reports no collision.
   Rng rng(99);
-  EXPECT_FALSE(det.detect_and_update(d, a, rng));
+  EXPECT_FALSE(det.detect_and_update(d, a, rng, det_stats));
 }
 
 // --- Figure 2, right execution. ---
@@ -260,6 +268,7 @@ TEST(Figure2, RightExecutionConsistencyViaSecondEdge) {
   c.reset(nm(0xC));
   d.reset(nm(0xD));
   CollisionDetector det(basic_params(3, /*th=*/1000));
+  CollisionDetectorStats det_stats;
 
   const auto s1 = interact_with_sync(det, a, b, 1);  // a-b
   const auto s2 = interact_with_sync(det, b, c, 2);  // b-c
@@ -284,7 +293,7 @@ TEST(Figure2, RightExecutionConsistencyViaSecondEdge) {
   const std::vector<std::uint64_t> syncs = {0, s3, s2, s1};
   EXPECT_TRUE(det.check_path_consistency(a, names, syncs));
   Rng rng(99);
-  EXPECT_FALSE(det.detect_and_update(d, a, rng));
+  EXPECT_FALSE(det.detect_and_update(d, a, rng, det_stats));
 }
 
 // --- Collision detection. ---
@@ -297,9 +306,10 @@ TEST(Detection, ThirdPartyDetectsDuplicateNames) {
   a2.reset(nm(0xA));  // duplicate name
   b.reset(nm(0xB));
   CollisionDetector det(basic_params(2, 100, /*direct=*/false));
+  CollisionDetectorStats det_stats;
   Rng rng(17);
-  ASSERT_FALSE(det.detect_and_update(b, a, rng));
-  EXPECT_TRUE(det.detect_and_update(b, a2, rng));
+  ASSERT_FALSE(det.detect_and_update(b, a, rng, det_stats));
+  EXPECT_TRUE(det.detect_and_update(b, a2, rng, det_stats));
 }
 
 TEST(Detection, DuplicateDetectionThroughTwoHops) {
@@ -310,10 +320,11 @@ TEST(Detection, DuplicateDetectionThroughTwoHops) {
   x.reset(nm(1));
   y.reset(nm(2));
   CollisionDetector det(basic_params(3, 1000, false));
+  CollisionDetectorStats det_stats;
   Rng rng(19);
-  ASSERT_FALSE(det.detect_and_update(a, x, rng));
-  ASSERT_FALSE(det.detect_and_update(x, y, rng));
-  EXPECT_TRUE(det.detect_and_update(y, a2, rng));
+  ASSERT_FALSE(det.detect_and_update(a, x, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(x, y, rng, det_stats));
+  EXPECT_TRUE(det.detect_and_update(y, a2, rng, det_stats));
 }
 
 TEST(Detection, TooShallowTreeCannotSeeFarCollisions) {
@@ -325,10 +336,11 @@ TEST(Detection, TooShallowTreeCannotSeeFarCollisions) {
   x.reset(nm(1));
   y.reset(nm(2));
   CollisionDetector det(basic_params(1, 1000, false));
+  CollisionDetectorStats det_stats;
   Rng rng(23);
-  ASSERT_FALSE(det.detect_and_update(a, x, rng));
-  ASSERT_FALSE(det.detect_and_update(x, y, rng));
-  EXPECT_FALSE(det.detect_and_update(y, a2, rng));
+  ASSERT_FALSE(det.detect_and_update(a, x, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(x, y, rng, det_stats));
+  EXPECT_FALSE(det.detect_and_update(y, a2, rng, det_stats));
 }
 
 TEST(Detection, ExpiredTimersSuppressDetectionPaths) {
@@ -339,10 +351,11 @@ TEST(Detection, ExpiredTimersSuppressDetectionPaths) {
   a2.reset(nm(0xA));
   b.reset(nm(0xB));
   CollisionDetector det(basic_params(2, /*th=*/3, false));
+  CollisionDetectorStats det_stats;
   Rng rng(29);
-  ASSERT_FALSE(det.detect_and_update(b, a, rng));
+  ASSERT_FALSE(det.detect_and_update(b, a, rng, det_stats));
   for (int i = 0; i < 5; ++i) b.tick();  // outlive TH
-  EXPECT_FALSE(det.detect_and_update(b, a2, rng));
+  EXPECT_FALSE(det.detect_and_update(b, a2, rng, det_stats));
 }
 
 TEST(Detection, DirectCheckCatchesEqualNamesImmediately) {
@@ -350,8 +363,9 @@ TEST(Detection, DirectCheckCatchesEqualNamesImmediately) {
   a.reset(nm(0xA));
   a2.reset(nm(0xA));
   CollisionDetector det(basic_params(2, 100, /*direct=*/true));
+  CollisionDetectorStats det_stats;
   Rng rng(31);
-  EXPECT_TRUE(det.detect_and_update(a, a2, rng));
+  EXPECT_TRUE(det.detect_and_update(a, a2, rng, det_stats));
 }
 
 TEST(Detection, NoDirectCheckMeansBlindDirectMeeting) {
@@ -361,8 +375,9 @@ TEST(Detection, NoDirectCheckMeansBlindDirectMeeting) {
   a.reset(nm(0xA));
   a2.reset(nm(0xA));
   CollisionDetector det(basic_params(2, 100, /*direct=*/false));
+  CollisionDetectorStats det_stats;
   Rng rng(31);
-  EXPECT_FALSE(det.detect_and_update(a, a2, rng));
+  EXPECT_FALSE(det.detect_and_update(a, a2, rng, det_stats));
 }
 
 // Safety (Lemma 5.4): from a clean start with unique names, no interaction
@@ -371,6 +386,7 @@ TEST(Detection, NoFalsePositivesFromCleanStart) {
   constexpr std::uint32_t kAgents = 8;
   for (std::uint32_t h : {1u, 2u, 4u}) {
     CollisionDetector det(basic_params(h, /*th=*/20, true));
+  CollisionDetectorStats det_stats;
     std::vector<HistoryTree> trees(kAgents);
     for (std::uint32_t i = 0; i < kAgents; ++i) trees[i].reset(nm(i + 1));
     Rng rng(1000 + h);
@@ -378,10 +394,10 @@ TEST(Detection, NoFalsePositivesFromCleanStart) {
     for (int step = 0; step < 30000; ++step) {
       const AgentPair p = sched.next(rng);
       ASSERT_FALSE(
-          det.detect_and_update(trees[p.initiator], trees[p.responder], rng))
+          det.detect_and_update(trees[p.initiator], trees[p.responder], rng, det_stats))
           << "false positive at step " << step << " H=" << h;
     }
-    EXPECT_EQ(det.stats().collisions_reported, 0u);
+    EXPECT_EQ(det_stats.collisions_reported, 0u);
   }
 }
 
@@ -415,10 +431,11 @@ TEST(NodeCounts, LiveIsSubsetOfLogical) {
   b.reset(nm(2));
   c.reset(nm(3));
   CollisionDetector det(basic_params(3, /*th=*/2));
+  CollisionDetectorStats det_stats;
   Rng rng(47);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
-  ASSERT_FALSE(det.detect_and_update(b, c, rng));
-  ASSERT_FALSE(det.detect_and_update(a, c, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(b, c, rng, det_stats));
+  ASSERT_FALSE(det.detect_and_update(a, c, rng, det_stats));
   for (int i = 0; i < 3; ++i) a.tick();
   EXPECT_LE(live_node_count(a, 3), logical_node_count(a, 3));
   EXPECT_EQ(live_node_count(a, 3), 1u);  // everything expired; root remains
@@ -431,9 +448,10 @@ TEST(HistoryNode, LongGraftChainsDestructSafely) {
   a.reset(nm(1));
   b.reset(nm(2));
   CollisionDetector det(basic_params(2, /*th=*/4));
+  CollisionDetectorStats det_stats;
   Rng rng(53);
   for (int i = 0; i < 200000; ++i)
-    ASSERT_FALSE(det.detect_and_update(a, b, rng));
+    ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   // Drop both trees; the chained snapshots unwind iteratively.
   a.reset(nm(1));
   b.reset(nm(2));

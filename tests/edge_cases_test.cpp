@@ -56,6 +56,7 @@ TEST(EdgeN2, BinaryTreeHasExactlyOneChild) {
   // n = 2: rank 1's children would be 2 and 3; only 2 exists.
   const auto params = OptimalSilentParams::standard(2);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   OptimalSilentSSR::State leader;
   leader.role = OsRole::Settled;
@@ -63,12 +64,12 @@ TEST(EdgeN2, BinaryTreeHasExactlyOneChild) {
   OptimalSilentSSR::State follower;
   follower.role = OsRole::Unsettled;
   follower.errorcount = params.emax;
-  proto.interact(leader, follower, rng);
+  proto.interact(leader, follower, rng, cnt);
   EXPECT_EQ(follower.rank, 2u);
   OptimalSilentSSR::State extra;
   extra.role = OsRole::Unsettled;
   extra.errorcount = params.emax;
-  proto.interact(leader, extra, rng);
+  proto.interact(leader, extra, rng, cnt);
   EXPECT_EQ(extra.role, OsRole::Unsettled);  // rank 3 > n: not assigned
 }
 
@@ -78,6 +79,7 @@ TEST(EdgeTree, PowerOfTwoBoundary) {
   // n = 8: rank 4's children are 8 and (9 > 8 rejected).
   const auto params = OptimalSilentParams::standard(8);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   OptimalSilentSSR::State four;
   four.role = OsRole::Settled;
@@ -85,9 +87,9 @@ TEST(EdgeTree, PowerOfTwoBoundary) {
   OptimalSilentSSR::State u1, u2;
   u1.role = u2.role = OsRole::Unsettled;
   u1.errorcount = u2.errorcount = params.emax;
-  proto.interact(four, u1, rng);
+  proto.interact(four, u1, rng, cnt);
   EXPECT_EQ(u1.rank, 8u);
-  proto.interact(four, u2, rng);
+  proto.interact(four, u2, rng, cnt);
   EXPECT_EQ(u2.role, OsRole::Unsettled);
   EXPECT_EQ(four.children, 1u);
 }
@@ -95,6 +97,7 @@ TEST(EdgeTree, PowerOfTwoBoundary) {
 TEST(EdgeTree, ChildrenFieldSaturatesAtTwo) {
   const auto params = OptimalSilentParams::standard(32);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   OptimalSilentSSR::State r1;
   r1.role = OsRole::Settled;
@@ -103,7 +106,7 @@ TEST(EdgeTree, ChildrenFieldSaturatesAtTwo) {
     OptimalSilentSSR::State u;
     u.role = OsRole::Unsettled;
     u.errorcount = params.emax;
-    proto.interact(r1, u, rng);
+    proto.interact(r1, u, rng, cnt);
   }
   EXPECT_EQ(r1.children, 2u);  // never exceeds 2
 }
@@ -113,13 +116,14 @@ TEST(EdgeTree, ChildrenFieldSaturatesAtTwo) {
 TEST(EdgeCounters, ErrorcountStopsAtZero) {
   const auto params = OptimalSilentParams::standard(4);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   OptimalSilentSSR::State a, b;
   a.role = OsRole::Unsettled;
   a.errorcount = 0;  // adversarial: already exhausted
   b.role = OsRole::Unsettled;
   b.errorcount = 0;
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   // Both trigger immediately (no underflow).
   EXPECT_EQ(a.role, OsRole::Resetting);
   EXPECT_EQ(b.role, OsRole::Resetting);
@@ -128,6 +132,7 @@ TEST(EdgeCounters, ErrorcountStopsAtZero) {
 TEST(EdgeCounters, DelayTimerZeroAwakensImmediately) {
   const auto params = OptimalSilentParams::standard(4);
   OptimalSilentSSR proto(params);
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   OptimalSilentSSR::State a, b;
   for (auto* s : {&a, &b}) {
@@ -136,7 +141,7 @@ TEST(EdgeCounters, DelayTimerZeroAwakensImmediately) {
     s->resetcount = 0;
     s->delaytimer = 0;  // adversarial
   }
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, OsRole::Unsettled);
   EXPECT_EQ(b.role, OsRole::Unsettled);
 }
@@ -224,6 +229,7 @@ TEST(EdgeProcesses, BoundedEpidemicTwoAgents) {
 TEST(EdgeSublinear, RosterAtExactlyNMinusOneDoesNotRank) {
   const auto p = SublinearParams::constant_h(4, 1);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   auto names = [&] {
     Rng g(5);
@@ -232,8 +238,8 @@ TEST(EdgeSublinear, RosterAtExactlyNMinusOneDoesNotRank) {
   auto a = proto.make_collecting(names[0]);
   auto b = proto.make_collecting(names[1]);
   auto c = proto.make_collecting(names[2]);
-  proto.interact(a, b, rng);
-  proto.interact(a, c, rng);
+  proto.interact(a, b, rng, cnt);
+  proto.interact(a, c, rng, cnt);
   EXPECT_EQ(a.roster.size(), 3u);  // n-1
   EXPECT_EQ(a.rank, 0u);           // no rank until all n names are present
 }
@@ -242,13 +248,14 @@ TEST(EdgeSublinear, GhostAtExactBoundaryDoesNotTrigger) {
   // union == n must NOT trigger (only > n does).
   const auto p = SublinearParams::constant_h(3, 1);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   Rng g(7);
   auto names = distinct_names(3, p.name_len, g);
   auto a = proto.make_collecting(names[0]);
   auto b = proto.make_collecting(names[1]);
   a.roster.insert(names[2]);  // third real name already known
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, SlRole::Collecting);
   EXPECT_EQ(a.roster.size(), 3u);
   EXPECT_NE(a.rank, 0u);  // full roster: ranked
@@ -259,10 +266,11 @@ TEST(EdgeSublinear, EmptyNamesCompareAndDetect) {
   // check treats equal empty names as a collision, which is sound.
   const auto p = SublinearParams::constant_h(4, 1);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   auto a = proto.make_collecting(Name());
   auto b = proto.make_collecting(Name());
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, SlRole::Resetting);
 }
 

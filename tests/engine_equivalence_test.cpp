@@ -1,0 +1,402 @@
+// Tests for the unified Engine API (core/engine.h) and for the newly
+// enumerable protocols on the count-based backend:
+//
+//  * compile-time contract checks: both backends satisfy Engine, every
+//    protocol in the repo satisfies the (const-asserting) Protocol concept,
+//    Optimal-Silent-SSR is keyed-passive, Obs25 is enumerable;
+//  * Optimal-Silent-SSR canonical coding: encode/decode bijection,
+//    dead-field canonicalization, keyed structure == null-pair predicate;
+//  * cross-backend statistical equivalence on stabilization time for
+//    OptimalSilentSSR (n in {8, 64, 512}, 30 seeds, overlapping 95% CIs,
+//    mirroring tests/batch_simulation_test.cpp) and Obs25SSLE (n = 3 by
+//    definition of the Observation 2.5 protocol);
+//  * the keyed-passive geometric skip against the analytic detection
+//    latency of a duplicated rank (Observation 2.6's quantity);
+//  * run_trials_parallel determinism: bit-identical per-seed measurements
+//    for every thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/adversary.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "core/batch_simulation.h"
+#include "core/engine.h"
+#include "core/simulation.h"
+#include "core/stats.h"
+#include "protocols/leader.h"
+#include "protocols/obs25.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/sublinear.h"
+#include "reset/reset_process.h"
+
+namespace ppsim {
+namespace {
+
+// --- Compile-time contract checks ------------------------------------------
+
+static_assert(Protocol<SilentNStateSSR>);
+static_assert(Protocol<OptimalSilentSSR>);
+static_assert(Protocol<Obs25SSLE>);
+static_assert(Protocol<SublinearTimeSSR>);
+static_assert(Protocol<ResetProcess>);
+
+static_assert(ObservableProtocol<OptimalSilentSSR>);
+static_assert(ObservableProtocol<SublinearTimeSSR>);
+static_assert(ObservableProtocol<ResetProcess>);
+static_assert(!ObservableProtocol<SilentNStateSSR>);
+
+static_assert(EnumerableProtocol<SilentNStateSSR>);
+static_assert(EnumerableProtocol<OptimalSilentSSR>);
+static_assert(EnumerableProtocol<Obs25SSLE>);
+static_assert(!EnumerableProtocol<SublinearTimeSSR>);
+
+static_assert(DiagonalActiveProtocol<SilentNStateSSR>);
+static_assert(KeyedPassiveProtocol<OptimalSilentSSR>);
+static_assert(!KeyedPassiveProtocol<SilentNStateSSR>);
+
+static_assert(Engine<Simulation<SilentNStateSSR>>);
+static_assert(Engine<Simulation<OptimalSilentSSR>>);
+static_assert(Engine<Simulation<SublinearTimeSSR>>);
+static_assert(Engine<BatchSimulation<SilentNStateSSR>>);
+static_assert(Engine<BatchSimulation<OptimalSilentSSR>>);
+static_assert(Engine<BatchSimulation<Obs25SSLE>>);
+
+static_assert(AgentArrayEngine<Simulation<OptimalSilentSSR>>);
+static_assert(!AgentArrayEngine<BatchSimulation<OptimalSilentSSR>>);
+static_assert(CountEngine<BatchSimulation<OptimalSilentSSR>>);
+static_assert(!CountEngine<Simulation<OptimalSilentSSR>>);
+
+// --- Optimal-Silent-SSR canonical coding -----------------------------------
+
+TEST(OptimalSilentCoding, DecodeEncodeIsIdentityOnAllCodes) {
+  for (std::uint32_t n : {2u, 5u, 16u}) {
+    const OptimalSilentSSR proto(OptimalSilentParams::standard(n));
+    const auto p = proto.params();
+    EXPECT_EQ(proto.num_states(),
+              3 * n + (p.emax + 1) + 2 * p.rmax + 2 * (p.dmax + 1));
+    for (std::uint32_t code = 0; code < proto.num_states(); ++code)
+      EXPECT_EQ(proto.encode(proto.decode(code)), code) << "n=" << n;
+  }
+}
+
+TEST(OptimalSilentCoding, CanonicalizesDeadFields) {
+  const OptimalSilentSSR proto(OptimalSilentParams::standard(8));
+  // Settled ignores errorcount/leader/timers.
+  OptimalSilentSSR::State s;
+  s.role = OsRole::Settled;
+  s.rank = 3;
+  s.children = 1;
+  const std::uint32_t clean = proto.encode(s);
+  s.errorcount = 77;
+  s.leader = true;
+  s.delaytimer = 5;
+  s.resetcount = 9;
+  EXPECT_EQ(proto.encode(s), clean);
+  // Propagating Resetting ignores delaytimer (dead until dormancy, when
+  // Protocol 2 line 7 rewrites it).
+  OptimalSilentSSR::State r;
+  r.role = OsRole::Resetting;
+  r.resetcount = 4;
+  r.leader = false;
+  r.delaytimer = 0;
+  const std::uint32_t canon = proto.encode(r);
+  r.delaytimer = 123;
+  EXPECT_EQ(proto.encode(r), canon);
+}
+
+TEST(OptimalSilentCoding, KeyedStructureMatchesNullPairPredicate) {
+  const OptimalSilentSSR proto(OptimalSilentParams::standard(5));
+  const std::uint32_t q = proto.num_states();
+  // The keyed-passive contract: null iff both passive with distinct keys.
+  for (std::uint32_t a = 0; a < q; ++a) {
+    const auto sa = proto.decode(a);
+    for (std::uint32_t b = 0; b < q; ++b) {
+      const auto sb = proto.decode(b);
+      const bool structured = proto.is_passive(sa) && proto.is_passive(sb) &&
+                              proto.passive_key(sa) != proto.passive_key(sb);
+      EXPECT_EQ(proto.is_null_pair(sa, sb), structured)
+          << "codes " << a << ", " << b;
+    }
+  }
+  // Fibers enumerate exactly the passive codes of each key.
+  std::vector<std::vector<std::uint32_t>> expected(proto.num_passive_keys());
+  for (std::uint32_t c = 0; c < q; ++c) {
+    const auto s = proto.decode(c);
+    if (proto.is_passive(s)) expected[proto.passive_key(s)].push_back(c);
+  }
+  for (std::uint32_t k = 0; k < proto.num_passive_keys(); ++k)
+    EXPECT_EQ(proto.passive_fiber(k), expected[k]) << "key " << k;
+}
+
+// --- Cross-backend equivalence: OptimalSilentSSR ---------------------------
+//
+// The two backends consume randomness differently, so only distributional
+// agreement is meaningful: stabilization-time summaries across independent
+// seeds must have overlapping 95% confidence intervals.
+
+void expect_overlapping_ci(const Summary& a, const Summary& b) {
+  const double lo_a = a.mean - a.ci95, hi_a = a.mean + a.ci95;
+  const double lo_b = b.mean - b.ci95, hi_b = b.mean + b.ci95;
+  EXPECT_LE(lo_a, hi_b) << "CIs disjoint: [" << lo_a << ", " << hi_a
+                        << "] vs [" << lo_b << ", " << hi_b << "]";
+  EXPECT_LE(lo_b, hi_a) << "CIs disjoint: [" << lo_a << ", " << hi_a
+                        << "] vs [" << lo_b << ", " << hi_b << "]";
+}
+
+RunOptions optimal_silent_opts(std::uint32_t n) {
+  RunOptions opts;
+  opts.max_interactions =
+      static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
+  return opts;
+}
+
+double optimal_array_time(std::uint32_t n, std::uint64_t seed) {
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  auto init = optimal_silent_config(params, OsAdversary::kUniformRandom, seed);
+  Simulation<OptimalSilentSSR> sim(proto, std::move(init),
+                                   derive_seed(seed, 1));
+  const RunResult r = run_engine_until_ranked(sim, optimal_silent_opts(n));
+  EXPECT_TRUE(r.stabilized);
+  return r.stabilization_ptime;
+}
+
+double optimal_batch_time(std::uint32_t n, std::uint64_t seed) {
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  auto init = optimal_silent_config(params, OsAdversary::kUniformRandom, seed);
+  BatchSimulation<OptimalSilentSSR> sim(proto, init, derive_seed(seed, 1));
+  const RunResult r = run_engine_until_ranked(sim, optimal_silent_opts(n));
+  EXPECT_TRUE(r.stabilized);
+  return r.stabilization_ptime;
+}
+
+class OptimalSilentBackendEquivalence
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OptimalSilentBackendEquivalence, OverlappingStabilizationCIs) {
+  const std::uint32_t n = GetParam();
+  const std::uint32_t seeds = 30;
+  std::vector<double> array_times, batch_times;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    array_times.push_back(optimal_array_time(n, derive_seed(5000 + n, i)));
+    batch_times.push_back(optimal_batch_time(n, derive_seed(6000 + n, i)));
+  }
+  expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+}
+
+INSTANTIATE_TEST_SUITE_P(OptimalSilent, OptimalSilentBackendEquivalence,
+                         ::testing::Values(8u, 64u, 512u));
+
+// The generic ranked harness agrees across backends starting from the
+// deterministic duplicate-rank configuration too (exercises the keyed skip,
+// the reset pipeline, and the recruit phase end to end).
+TEST(OptimalSilentBackendEquivalence, DuplicateRankStartAgrees) {
+  const std::uint32_t n = 64;
+  const std::uint32_t seeds = 30;
+  std::vector<double> array_times, batch_times;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    const auto params = OptimalSilentParams::standard(n);
+    OptimalSilentSSR proto(params);
+    auto init =
+        optimal_silent_config(params, OsAdversary::kDuplicateRank, 1);
+    {
+      Simulation<OptimalSilentSSR> sim(proto, init, derive_seed(7000, i));
+      const RunResult r = run_engine_until_ranked(sim, optimal_silent_opts(n));
+      EXPECT_TRUE(r.stabilized);
+      array_times.push_back(r.stabilization_ptime);
+    }
+    {
+      BatchSimulation<OptimalSilentSSR> sim(proto, init,
+                                            derive_seed(8000, i));
+      const RunResult r = run_engine_until_ranked(sim, optimal_silent_opts(n));
+      EXPECT_TRUE(r.stabilized);
+      batch_times.push_back(r.stabilization_ptime);
+    }
+  }
+  expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+}
+
+// Observation 2.6's detection latency: from the duplicate-rank start the
+// error is detectable only when the two duplicates meet directly, an
+// expected n(n-1)/2 interactions = (n-1)/2 parallel time. The keyed path
+// simulates the whole wait as one geometric jump; its mean must match both
+// the analytic value and the agent-array engine.
+TEST(OptimalSilentBackendEquivalence, DetectionLatencyMatchesAnalytic) {
+  const std::uint32_t n = 64;
+  const std::uint32_t seeds = 400;
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  const auto init =
+      optimal_silent_config(params, OsAdversary::kDuplicateRank, 1);
+  auto detect_batch = [&](std::uint64_t seed) {
+    BatchSimulation<OptimalSilentSSR> sim(proto, init, seed);
+    EXPECT_TRUE(sim.run_until(
+        [](const auto& s) { return s.counters().collision_triggers > 0; },
+        1ull << 40));
+    return sim.parallel_time();
+  };
+  auto detect_array = [&](std::uint64_t seed) {
+    Simulation<OptimalSilentSSR> sim(proto, init, seed);
+    EXPECT_TRUE(sim.run_until(
+        [](const auto& s) { return s.counters().collision_triggers > 0; },
+        1ull << 40));
+    return sim.parallel_time();
+  };
+  const Summary batch =
+      summarize(run_trials(seeds, 901, detect_batch));
+  const Summary array =
+      summarize(run_trials(seeds / 4, 902, detect_array));
+  const double analytic = (n - 1) / 2.0;
+  EXPECT_NEAR(batch.mean, analytic, 3 * batch.ci95 + 1e-9);
+  expect_overlapping_ci(batch, array);
+  // The silent stretch before the collision costs O(1) effective steps.
+  BatchSimulation<OptimalSilentSSR> sim(proto, init, 99);
+  sim.run_until(
+      [](const auto& s) { return s.counters().collision_triggers > 0; },
+      1ull << 40);
+  EXPECT_LE(sim.stats().effective, 2u);
+  EXPECT_GT(sim.interactions(), static_cast<std::uint64_t>(n));
+}
+
+// A correct ranking is silent under the keyed path: zero active weight.
+TEST(OptimalSilentBackendEquivalence, CorrectRankingIsKeyedSilent) {
+  const std::uint32_t n = 32;
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  const auto init =
+      optimal_silent_config(params, OsAdversary::kCorrectRanking, 1);
+  BatchSimulation<OptimalSilentSSR> sim(proto, init, 3);
+  EXPECT_TRUE(sim.silent());
+  EXPECT_EQ(sim.step(), 0u);
+  EXPECT_EQ(sim.interactions(), 0u);
+  RunOptions opts;
+  opts.max_interactions = 1ull << 30;
+  opts.verify_silent = true;
+  BatchSimulation<OptimalSilentSSR> sim2(proto, init, 4);
+  const RunResult r = run_engine_until_ranked(sim2, opts);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.stabilization_ptime, 0.0);
+}
+
+// --- Cross-backend equivalence: Obs25SSLE ----------------------------------
+//
+// The Observation 2.5 protocol is defined only for n = 3 (it exists to show
+// SSLE does not imply SSR); the cross-backend check compares the time to
+// reach a silent configuration {l, f_i, f_j}, |i-j| = 1 (mod 5).
+
+bool obs25_states_silent(const Obs25SSLE& proto,
+                         const std::vector<Obs25SSLE::State>& states) {
+  for (std::size_t i = 0; i < states.size(); ++i)
+    for (std::size_t j = 0; j < states.size(); ++j)
+      if (i != j && !proto.is_null_pair(states[i], states[j])) return false;
+  return true;
+}
+
+bool obs25_counts_silent(const Obs25SSLE& proto,
+                         const std::vector<std::uint64_t>& counts) {
+  for (std::uint32_t a = 0; a < counts.size(); ++a) {
+    if (counts[a] == 0) continue;
+    if (counts[a] > 1 &&
+        !proto.is_null_pair(proto.decode(a), proto.decode(a)))
+      return false;
+    for (std::uint32_t b = a + 1; b < counts.size(); ++b)
+      if (counts[b] > 0 &&
+          !proto.is_null_pair(proto.decode(a), proto.decode(b)))
+        return false;
+  }
+  return true;
+}
+
+TEST(Obs25BackendEquivalence, OverlappingTimeToSilenceCIs) {
+  const Obs25SSLE proto(3);
+  const std::uint32_t seeds = 60;
+  std::vector<double> array_times, batch_times;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    {
+      // All-leaders start: an active configuration.
+      std::vector<Obs25SSLE::State> init(3);
+      Simulation<Obs25SSLE> sim(proto, init, derive_seed(1100, i));
+      EXPECT_TRUE(sim.run_until(
+          [&](const auto& s) {
+            return obs25_states_silent(s.protocol(), s.states());
+          },
+          1ull << 30));
+      array_times.push_back(sim.parallel_time());
+    }
+    {
+      std::vector<std::uint64_t> counts = {3, 0, 0, 0, 0, 0};
+      BatchSimulation<Obs25SSLE> sim(proto, counts, derive_seed(1200, i));
+      EXPECT_TRUE(sim.run_until(
+          [&](const auto& s) {
+            return obs25_counts_silent(s.protocol(), s.counts());
+          },
+          1ull << 30));
+      batch_times.push_back(sim.parallel_time());
+    }
+  }
+  expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+}
+
+// --- run_trials_parallel ----------------------------------------------------
+
+TEST(RunTrialsParallel, BitIdenticalAcrossThreadCounts) {
+  auto one = [](std::uint64_t seed) {
+    BatchSimulation<SilentNStateSSR> sim(
+        SilentNStateSSR(64), silent_nstate_worst_config(64), seed);
+    sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 40);
+    return sim.parallel_time();
+  };
+  const auto serial = run_trials(12, 42, one);
+  for (std::uint32_t threads : {1u, 2u, 3u, 8u}) {
+    const auto parallel = run_trials_parallel(12, 42, one, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(parallel[i], serial[i])  // bitwise: same seed, same stream
+          << "trial " << i << " with " << threads << " threads";
+  }
+}
+
+TEST(RunTrialsParallel, PropagatesExceptions) {
+  auto boom = [](std::uint64_t seed) -> double {
+    if (seed % 2 == 0 || true) throw std::runtime_error("trial failed");
+    return 0.0;
+  };
+  EXPECT_THROW(run_trials_parallel(8, 7, boom, 4), std::runtime_error);
+}
+
+// --- Generic harness on both backends --------------------------------------
+
+TEST(RunEngineUntilRanked, BackendsAgreeOnSilentNState) {
+  const std::uint32_t n = 128;
+  const std::uint32_t seeds = 30;
+  std::vector<double> array_times, batch_times;
+  RunOptions opts;
+  opts.max_interactions = 1ull << 50;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    {
+      Simulation<SilentNStateSSR> sim(SilentNStateSSR(n),
+                                      silent_nstate_worst_config(n),
+                                      derive_seed(1300, i));
+      const RunResult r = run_engine_until_ranked(sim, opts);
+      EXPECT_TRUE(r.stabilized);
+      array_times.push_back(r.stabilization_ptime);
+    }
+    {
+      BatchSimulation<SilentNStateSSR> sim(SilentNStateSSR(n),
+                                           silent_nstate_worst_config(n),
+                                           derive_seed(1400, i));
+      const RunResult r = run_engine_until_ranked(sim, opts);
+      EXPECT_TRUE(r.stabilized);
+      batch_times.push_back(r.stabilization_ptime);
+    }
+  }
+  expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -142,17 +142,18 @@ TEST(Pruning, LongDeadRootEdgesAreDropped) {
   params.th = 4;
   params.prune_window = 10;
   CollisionDetector det(params);
+  CollisionDetectorStats det_stats;
   HistoryTree a, b, c;
   a.reset(Name::from_bits(1, 8));
   b.reset(Name::from_bits(2, 8));
   c.reset(Name::from_bits(3, 8));
   Rng rng(1);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   EXPECT_EQ(a.root()->children.size(), 1u);
   // Age a far beyond th + prune_window, then meet c: the b edge (expired
   // for > prune_window) must be pruned at the graft.
   for (int i = 0; i < 40; ++i) a.tick();
-  ASSERT_FALSE(det.detect_and_update(a, c, rng));
+  ASSERT_FALSE(det.detect_and_update(a, c, rng, det_stats));
   ASSERT_EQ(a.root()->children.size(), 1u);
   EXPECT_EQ(a.root()->children[0].child->name, Name::from_bits(3, 8));
 }
@@ -164,14 +165,15 @@ TEST(Pruning, RecentlyDeadEdgesSurviveAsVerificationMaterial) {
   params.th = 4;
   params.prune_window = 100;
   CollisionDetector det(params);
+  CollisionDetectorStats det_stats;
   HistoryTree a, b, c;
   a.reset(Name::from_bits(1, 8));
   b.reset(Name::from_bits(2, 8));
   c.reset(Name::from_bits(3, 8));
   Rng rng(1);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   for (int i = 0; i < 20; ++i) a.tick();  // dead (>th) but inside window
-  ASSERT_FALSE(det.detect_and_update(a, c, rng));
+  ASSERT_FALSE(det.detect_and_update(a, c, rng, det_stats));
   EXPECT_EQ(a.root()->children.size(), 2u);
 }
 
@@ -182,14 +184,15 @@ TEST(Pruning, ZeroWindowKeepsEverything) {
   params.th = 2;
   params.prune_window = 0;
   CollisionDetector det(params);
+  CollisionDetectorStats det_stats;
   HistoryTree a, b, c;
   a.reset(Name::from_bits(1, 8));
   b.reset(Name::from_bits(2, 8));
   c.reset(Name::from_bits(3, 8));
   Rng rng(1);
-  ASSERT_FALSE(det.detect_and_update(a, b, rng));
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
   for (int i = 0; i < 1000; ++i) a.tick();
-  ASSERT_FALSE(det.detect_and_update(a, c, rng));
+  ASSERT_FALSE(det.detect_and_update(a, c, rng, det_stats));
   EXPECT_EQ(a.root()->children.size(), 2u);
 }
 
@@ -201,8 +204,8 @@ TEST(Pruning, StabilityPreservedUnderPruning) {
   auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 11);
   Simulation<SublinearTimeSSR> sim(proto, std::move(init), 13);
   sim.run(500000);
-  EXPECT_EQ(sim.protocol().counters().collision_triggers, 0u);
-  EXPECT_EQ(sim.protocol().counters().resets_executed, 0u);
+  EXPECT_EQ(sim.counters().collision_triggers, 0u);
+  EXPECT_EQ(sim.counters().resets_executed, 0u);
 }
 
 }  // namespace

@@ -39,32 +39,35 @@ State unsettled(std::uint32_t errorcount) {
 
 TEST(OptimalSilent, RankCollisionTriggersReset) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = settled(3), b = settled(3);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, OsRole::Resetting);
   EXPECT_EQ(b.role, OsRole::Resetting);
   EXPECT_EQ(a.resetcount, proto.params().rmax);
   EXPECT_EQ(b.resetcount, proto.params().rmax);
   EXPECT_TRUE(a.leader);  // line 7: both become L
   EXPECT_TRUE(b.leader);
-  EXPECT_EQ(proto.counters().collision_triggers, 1u);
+  EXPECT_EQ(cnt.collision_triggers, 1u);
 }
 
 TEST(OptimalSilent, DistinctRanksDoNotTrigger) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = settled(3), b = settled(4);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, OsRole::Settled);
   EXPECT_EQ(b.role, OsRole::Settled);
 }
 
 TEST(OptimalSilent, SettledRecruitsUnsettledWithTreeRanks) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = settled(1, 0), b = unsettled(100);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   // First child of rank 1 gets rank 2 = 2*1 + 0.
   EXPECT_EQ(b.role, OsRole::Settled);
   EXPECT_EQ(b.rank, 2u);
@@ -72,20 +75,21 @@ TEST(OptimalSilent, SettledRecruitsUnsettledWithTreeRanks) {
   EXPECT_EQ(a.children, 1u);
 
   State c = unsettled(100);
-  proto.interact(a, c, rng);
+  proto.interact(a, c, rng, cnt);
   EXPECT_EQ(c.rank, 3u);  // second child: 2*1 + 1
   EXPECT_EQ(a.children, 2u);
 
   State d = unsettled(100);
-  proto.interact(a, d, rng);
+  proto.interact(a, d, rng, cnt);
   EXPECT_EQ(d.role, OsRole::Unsettled);  // full: no third child
 }
 
 TEST(OptimalSilent, RecruitWorksInBothDirections) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = unsettled(100), b = settled(2, 0);
-  proto.interact(a, b, rng);  // unsettled initiator, settled responder
+  proto.interact(a, b, rng, cnt);  // unsettled initiator, settled responder
   EXPECT_EQ(a.role, OsRole::Settled);
   EXPECT_EQ(a.rank, 4u);
 }
@@ -93,9 +97,10 @@ TEST(OptimalSilent, RecruitWorksInBothDirections) {
 TEST(OptimalSilent, LeafRanksDoNotRecruit) {
   // n = 8: rank 5 has children 10, 11 > 8 -> none.
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = settled(5, 0), b = unsettled(100);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(b.role, OsRole::Unsettled);
   EXPECT_EQ(a.children, 0u);
 }
@@ -103,38 +108,41 @@ TEST(OptimalSilent, LeafRanksDoNotRecruit) {
 TEST(OptimalSilent, BoundaryRankAssignsExactlyN) {
   // Erratum check (Figure 1): with n = 12, rank 6's first child is 12.
   OptimalSilentSSR proto(params_for(12));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = settled(6, 0), b = unsettled(100);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(b.role, OsRole::Settled);
   EXPECT_EQ(b.rank, 12u);
   // Second child would be 13 > 12: not assigned.
   State c = unsettled(100);
-  proto.interact(a, c, rng);
+  proto.interact(a, c, rng, cnt);
   EXPECT_EQ(c.role, OsRole::Unsettled);
 }
 
 TEST(OptimalSilent, UnsettledPatienceCountsDownAndTriggers) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a = unsettled(2);
   State b = unsettled(proto.params().emax);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, OsRole::Unsettled);
   EXPECT_EQ(a.errorcount, 1u);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   // a's count hit 0: both trigger.
   EXPECT_EQ(a.role, OsRole::Resetting);
   EXPECT_EQ(b.role, OsRole::Resetting);
-  EXPECT_EQ(proto.counters().timeout_triggers, 1u);
+  EXPECT_EQ(cnt.timeout_triggers, 1u);
 }
 
 TEST(OptimalSilent, ResetMapsLeaderAndFollowerCorrectly) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   State l;
   l.role = OsRole::Resetting;
   l.leader = true;
-  proto.reset_agent(l);
+  proto.reset_agent(l, cnt);
   EXPECT_EQ(l.role, OsRole::Settled);
   EXPECT_EQ(l.rank, 1u);
   EXPECT_EQ(l.children, 0u);
@@ -142,13 +150,14 @@ TEST(OptimalSilent, ResetMapsLeaderAndFollowerCorrectly) {
   State f;
   f.role = OsRole::Resetting;
   f.leader = false;
-  proto.reset_agent(f);
+  proto.reset_agent(f, cnt);
   EXPECT_EQ(f.role, OsRole::Unsettled);
   EXPECT_EQ(f.errorcount, proto.params().emax);
 }
 
 TEST(OptimalSilent, SlowLeaderElectionRunsAmongResetting) {
   OptimalSilentSSR proto(params_for(8));
+  OptimalSilentSSR::Counters cnt;
   Rng rng(1);
   State a, b;
   for (State* s : {&a, &b}) {
@@ -156,7 +165,7 @@ TEST(OptimalSilent, SlowLeaderElectionRunsAmongResetting) {
     s->leader = true;
     s->resetcount = 5;
   }
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_TRUE(a.leader);   // initiator survives
   EXPECT_FALSE(b.leader);  // responder demoted (L,L -> L,F)
 }
@@ -238,8 +247,8 @@ TEST(OptimalSilent, CorrectConfigurationIsSilent) {
                                     OsAdversary::kCorrectRanking, 1);
   Simulation<OptimalSilentSSR> sim(proto, std::move(init), 5);
   sim.run(200000);
-  EXPECT_EQ(sim.protocol().counters().collision_triggers, 0u);
-  EXPECT_EQ(sim.protocol().counters().timeout_triggers, 0u);
+  EXPECT_EQ(sim.counters().collision_triggers, 0u);
+  EXPECT_EQ(sim.counters().timeout_triggers, 0u);
   EXPECT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
 }
 
@@ -258,10 +267,10 @@ TEST(OptimalSilent, AwakeningUsuallyHasUniqueLeader) {
                                      derive_seed(300, trial));
     // Run until the first Reset executes; then count leaders = Settled
     // agents with rank 1 plus Resetting agents still marked L.
-    while (sim.protocol().counters().resets_executed == 0 &&
+    while (sim.counters().resets_executed == 0 &&
            sim.interactions() < (1ull << 26))
       sim.step();
-    ASSERT_GT(sim.protocol().counters().resets_executed, 0u);
+    ASSERT_GT(sim.counters().resets_executed, 0u);
     std::uint32_t leaders = 0;
     for (const auto& s : sim.states()) {
       if (s.role == OsRole::Resetting && s.leader) ++leaders;

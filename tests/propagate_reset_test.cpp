@@ -27,10 +27,11 @@ State resetting(std::uint32_t rc, std::uint32_t delay = 0) {
 
 TEST(PropagateReset, PropagatingAgentRecruitsComputingPartner) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(10);
   State b = computing();
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_TRUE(b.resetting);
   // Line 4: both become max(10-1, 0-1, 0) = 9.
   EXPECT_EQ(a.resetcount, 9u);
@@ -40,20 +41,22 @@ TEST(PropagateReset, PropagatingAgentRecruitsComputingPartner) {
 
 TEST(PropagateReset, MaxRuleBetweenTwoResetting) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(7);
   State b = resetting(3);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_EQ(a.resetcount, 6u);
   EXPECT_EQ(b.resetcount, 6u);
 }
 
 TEST(PropagateReset, MaxRuleClampsAtZero) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(1, 0);
   State b = resetting(1, 0);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   // Both just became 0: delaytimer initialized to Dmax (line 7), no reset.
   EXPECT_EQ(a.resetcount, 0u);
   EXPECT_EQ(b.resetcount, 0u);
@@ -65,10 +68,11 @@ TEST(PropagateReset, MaxRuleClampsAtZero) {
 
 TEST(PropagateReset, DormantPairDecrementsDelayTimers) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(0, 50);
   State b = resetting(0, 70);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_EQ(a.delaytimer, 49u);
   EXPECT_EQ(b.delaytimer, 69u);
   EXPECT_EQ(a.resets_executed, 0u);
@@ -77,10 +81,11 @@ TEST(PropagateReset, DormantPairDecrementsDelayTimers) {
 
 TEST(PropagateReset, DormantAwakensWhenDelayHitsZero) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(0, 1);
   State b = resetting(0, 50);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_FALSE(a.resetting);  // awakened: Reset executed
   EXPECT_EQ(a.resets_executed, 1u);
   EXPECT_TRUE(b.resetting);  // partner saw a pre-interaction Resetting agent
@@ -89,10 +94,11 @@ TEST(PropagateReset, DormantAwakensWhenDelayHitsZero) {
 
 TEST(PropagateReset, DormantAwakensByEpidemicFromComputingPartner) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(0, 99);
   State b = computing();
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   // Line 10: the partner's (pre-interaction) role is not Resetting.
   EXPECT_FALSE(a.resetting);
   EXPECT_EQ(a.resets_executed, 1u);
@@ -101,20 +107,22 @@ TEST(PropagateReset, DormantAwakensByEpidemicFromComputingPartner) {
 
 TEST(PropagateReset, DormantDoesNotRecruitComputingPartner) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(0, 99);
   State b = computing();
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_FALSE(b.resetting);  // recruitment requires resetcount > 0 (line 1)
   EXPECT_EQ(b.resets_executed, 0u);
 }
 
 TEST(PropagateReset, PropagatingPairDoesNotAwaken) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(5);
   State b = resetting(9);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_TRUE(a.resetting);
   EXPECT_TRUE(b.resetting);
   EXPECT_EQ(a.resets_executed + b.resets_executed, 0u);
@@ -122,20 +130,22 @@ TEST(PropagateReset, PropagatingPairDoesNotAwaken) {
 
 TEST(PropagateReset, PropagatingPullsDormantBackIntoPropagation) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(5);
   State b = resetting(0, 3);
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   EXPECT_EQ(b.resetcount, 4u);  // dormancy cancelled by the max rule
   EXPECT_EQ(b.resets_executed, 0u);
 }
 
 TEST(PropagateReset, FreshRecruitDelayDecrementsNotReinitialized) {
   ResetProcess proc(4, 10, 100);
+  ResetProcess::Counters cnt;
   Rng rng(1);
   State a = resetting(1);  // becomes 0 this interaction
   State b = computing();
-  proc.interact(a, b, rng);
+  proc.interact(a, b, rng, cnt);
   // a just became 0 -> delay=Dmax. b was recruited at rc=0 (not "just became
   // 0" through the max rule), so its recruit-assigned Dmax decrements once.
   EXPECT_EQ(a.resetcount, 0u);
@@ -163,7 +173,7 @@ WaveOutcome run_wave(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
   WaveOutcome out;
   while (sim.interactions() < max_interactions) {
     sim.step();
-    if (out.awakening_ptime < 0 && sim.protocol().total_resets() > 0) {
+    if (out.awakening_ptime < 0 && sim.counters().resets_executed > 0) {
       out.awakening_ptime = sim.parallel_time();
       bool clean = true;
       std::uint32_t computing_count = 0;

@@ -65,10 +65,11 @@ TEST(Sublinear, MakeCollectingEstablishesInvariant) {
 TEST(Sublinear, RosterUnionSpreadsOnInteraction) {
   const auto p = small_params(8);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   State a = proto.make_collecting(Name::from_bits(1, p.name_len));
   State b = proto.make_collecting(Name::from_bits(2, p.name_len));
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.roster.size(), 2u);
   EXPECT_EQ(b.roster.size(), 2u);
   EXPECT_EQ(a.roster, b.roster);
@@ -77,58 +78,62 @@ TEST(Sublinear, RosterUnionSpreadsOnInteraction) {
 TEST(Sublinear, RanksAssignedOnlyWithFullRoster) {
   const auto p = small_params(3);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   State a = proto.make_collecting(Name::from_bits(1, p.name_len));
   State b = proto.make_collecting(Name::from_bits(2, p.name_len));
   State c = proto.make_collecting(Name::from_bits(4, p.name_len));
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.rank, 0u);  // |roster| = 2 < 3
-  proto.interact(a, c, rng);
+  proto.interact(a, c, rng, cnt);
   // a and c now have all 3 names: ranks by lexicographic position.
   EXPECT_EQ(a.rank, 1u);
   EXPECT_EQ(c.rank, 3u);
   EXPECT_EQ(b.rank, 0u);  // b hasn't seen c yet
-  proto.interact(b, c, rng);
+  proto.interact(b, c, rng, cnt);
   EXPECT_EQ(b.rank, 2u);
 }
 
 TEST(Sublinear, GhostRosterTriggersReset) {
   const auto p = small_params(2);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   State a = proto.make_collecting(Name::from_bits(1, p.name_len));
   State b = proto.make_collecting(Name::from_bits(2, p.name_len));
   // Plant a ghost: a's roster already holds two names; union will be 3 > n.
   a.roster.insert(Name::from_bits(5, p.name_len));
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, SlRole::Resetting);
   EXPECT_EQ(b.role, SlRole::Resetting);
   EXPECT_EQ(a.resetcount, p.rmax);
-  EXPECT_EQ(proto.counters().ghost_triggers, 1u);
+  EXPECT_EQ(cnt.ghost_triggers, 1u);
 }
 
 TEST(Sublinear, EqualNamesTriggerViaDirectCheck) {
   const auto p = small_params(4);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   const Name shared = Name::from_bits(3, p.name_len);
   State a = proto.make_collecting(shared);
   State b = proto.make_collecting(shared);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.role, SlRole::Resetting);
-  EXPECT_EQ(proto.counters().collision_triggers, 1u);
+  EXPECT_EQ(cnt.collision_triggers, 1u);
 }
 
 TEST(Sublinear, PropagatingAgentsClearNames) {
   const auto p = small_params(4);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   State a = proto.make_collecting(Name::from_bits(1, p.name_len));
   State b;
   b.role = SlRole::Resetting;
   b.resetcount = p.rmax;
   b.name = Name::from_bits(2, p.name_len);
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   // b propagates (rc > 0): name cleared; a recruited and, at rc = rmax-1 > 0,
   // cleared too.
   EXPECT_TRUE(b.name.empty());
@@ -140,6 +145,7 @@ TEST(Sublinear, PropagatingAgentsClearNames) {
 TEST(Sublinear, DormantAgentsGrowNamesBitByBit) {
   const auto p = small_params(4);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   Rng rng(1);
   State a, b;
   for (State* s : {&a, &b}) {
@@ -148,7 +154,7 @@ TEST(Sublinear, DormantAgentsGrowNamesBitByBit) {
     s->delaytimer = p.dmax;
   }
   const auto before_a = a.name.length();
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_EQ(a.name.length(), before_a + 1);
   EXPECT_EQ(b.name.length(), 1u);
 }
@@ -156,10 +162,11 @@ TEST(Sublinear, DormantAgentsGrowNamesBitByBit) {
 TEST(Sublinear, ResetRestartsRosterAndTree) {
   const auto p = small_params(4);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   State s;
   s.role = SlRole::Resetting;
   s.name = Name::from_bits(6, p.name_len);
-  proto.reset_agent(s);
+  proto.reset_agent(s, cnt);
   EXPECT_EQ(s.role, SlRole::Collecting);
   EXPECT_EQ(s.roster.size(), 1u);
   EXPECT_TRUE(s.roster.contains(s.name));
@@ -181,13 +188,14 @@ TEST(Sublinear, RankOfIgnoresResettingAgents) {
 TEST(Sublinear, NeverSilent) {
   const auto p = small_params(4);
   SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
   State a = proto.make_collecting(Name::from_bits(1, p.name_len));
   State b = proto.make_collecting(Name::from_bits(2, p.name_len));
   EXPECT_FALSE(proto.is_null_pair(a, b));
   // Even a correctly-ranked pair keeps exchanging trees.
   Rng rng(1);
   const auto root_before = a.tree.root();
-  proto.interact(a, b, rng);
+  proto.interact(a, b, rng, cnt);
   EXPECT_NE(a.tree.root(), root_before);
 }
 
@@ -211,9 +219,9 @@ TEST(Sublinear, CorrectRankedStartStaysStable) {
   auto init = sublinear_config(p, SlAdversary::kCorrectRanked, 3);
   Simulation<SublinearTimeSSR> sim(proto, std::move(init), 5);
   sim.run(400000);
-  EXPECT_EQ(sim.protocol().counters().collision_triggers, 0u);
-  EXPECT_EQ(sim.protocol().counters().ghost_triggers, 0u);
-  EXPECT_EQ(sim.protocol().counters().resets_executed, 0u);
+  EXPECT_EQ(sim.counters().collision_triggers, 0u);
+  EXPECT_EQ(sim.counters().ghost_triggers, 0u);
+  EXPECT_EQ(sim.counters().resets_executed, 0u);
   EXPECT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
 }
 
@@ -230,9 +238,9 @@ TEST(Sublinear, NoFalseCollisionsAfterStabilization) {
     sim.step();
     ASSERT_LT(++guard, 80ull * 1000 * 1000) << "never ranked";
   }
-  const auto resets_at_rank = sim.protocol().counters().resets_executed;
+  const auto resets_at_rank = sim.counters().resets_executed;
   sim.run(2ull * 1000 * 1000);
-  EXPECT_EQ(sim.protocol().counters().resets_executed, resets_at_rank);
+  EXPECT_EQ(sim.counters().resets_executed, resets_at_rank);
   EXPECT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
 }
 
@@ -262,8 +270,8 @@ TEST(Sublinear, SyntheticCoinVariantStabilizes) {
   ASSERT_TRUE(is_correctly_ranked(sim.protocol(), sim.states()));
   // The duplicate pair forced a reset, whose dormant phase regenerated
   // names from harvested coin bits.
-  EXPECT_GT(sim.protocol().counters().coin_bits, 0u);
-  EXPECT_GT(sim.protocol().counters().resets_executed, 0u);
+  EXPECT_GT(sim.counters().coin_bits, 0u);
+  EXPECT_GT(sim.counters().resets_executed, 0u);
 }
 
 TEST(Sublinear, SyntheticCoinNamesAreUnbiased) {
