@@ -23,6 +23,7 @@
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/batch_simulation.h"
+#include "core/engine.h"
 #include "core/stats.h"
 #include "core/table.h"
 #include "protocols/silent_nstate.h"
@@ -32,8 +33,14 @@ namespace ppsim {
 namespace {
 
 void experiment_fixed_budget(const BenchScale& scale, BenchReport& report) {
+  // --strategy= pins the batched engine's path (default: geometric skip,
+  // the configuration ISSUE 1's >= 10x acceptance was measured on); the
+  // choice lands in every record so bench_compare keys on it.
+  const BatchStrategy strategy =
+      scale.strategy_or(BatchStrategy::kGeometricSkip);
   std::cout << "\n== fixed parallel-time budget: array vs batched backend "
-               "(worst-case config) ==\n";
+               "(worst-case config, strategy "
+            << to_string(strategy) << ") ==\n";
   // Equal *parallel time* per n is the apples-to-apples workload: the
   // model's time unit is interactions/n, and every paper experiment runs
   // Omega(n)..Omega(n^2) parallel time, far beyond this budget.
@@ -55,7 +62,7 @@ void experiment_fixed_budget(const BenchScale& scale, BenchReport& report) {
 
     const WallTimer t_batch;
     BatchSimulation<SilentNStateSSR> batch_sim(
-        SilentNStateSSR(n), silent_nstate_worst_config(n), seed);
+        SilentNStateSSR(n), silent_nstate_worst_config(n), seed, strategy);
     batch_sim.run(budget);
     const double batch_s = t_batch.seconds();
 
@@ -67,8 +74,10 @@ void experiment_fixed_budget(const BenchScale& scale, BenchReport& report) {
                std::to_string(batch_sim.stats().effective),
                std::to_string(batch_sim.stats().batched)});
     for (const char* backend : {"array", "batch"}) {
-      report.add()
-          .set("experiment", "fixed_budget")
+      BenchRecord& rec = report.add();
+      if (backend == std::string("batch"))
+        rec.set("strategy", to_string(strategy));
+      rec.set("experiment", "fixed_budget")
           .set("backend", backend)
           .set("n", static_cast<std::uint64_t>(n))
           .set("interactions", budget)
@@ -95,10 +104,24 @@ void experiment_fixed_budget(const BenchScale& scale, BenchReport& report) {
 }
 
 void experiment_run_to_silence(const BenchScale& scale, BenchReport& report) {
-  std::cout << "\n== run to stabilization: wall clock per backend ==\n";
+  const BatchStrategy strategy =
+      scale.strategy_or(BatchStrategy::kGeometricSkip);
+  std::cout << "\n== run to stabilization: wall clock per backend (batch "
+               "strategy "
+            << to_string(strategy) << ") ==\n";
   Table t({"n", "trials", "array s", "batch s", "fast s", "array E[time]",
            "batch E[time]", "fast E[time]"});
-  for (std::uint32_t n : scale.sizes({256, 512, 1024})) {
+  // This workload is the multinomial strategy's textbook worst case —
+  // Theta(n^3) interactions, nearly all null, which it must grind through
+  // batch by batch while the diagonal skip jumps them — so a forced
+  // --strategy=multinomial A/B keeps only the smallest size.
+  auto sizes = scale.sizes({256, 512, 1024});
+  if (strategy == BatchStrategy::kMultinomial && sizes.size() > 1) {
+    sizes.resize(1);
+    std::cout << "(multinomial forced on a silent-heavy Theta(n^3) "
+                 "workload: larger sizes skipped)\n";
+  }
+  for (std::uint32_t n : sizes) {
     const std::uint32_t trials = scale.trials(10);
     std::vector<double> at, bt, ft;
 
@@ -117,7 +140,7 @@ void experiment_run_to_silence(const BenchScale& scale, BenchReport& report) {
     for (std::uint32_t i = 0; i < trials; ++i) {
       BatchSimulation<SilentNStateSSR> sim(
           SilentNStateSSR(n), silent_nstate_worst_config(n),
-          derive_seed(200 + n, i));
+          derive_seed(200 + n, i), strategy);
       sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 62);
       bt.push_back(sim.parallel_time());
     }
@@ -137,6 +160,7 @@ void experiment_run_to_silence(const BenchScale& scale, BenchReport& report) {
     report.add()
         .set("experiment", "run_to_silence")
         .set("backend", "batch")
+        .set("strategy", to_string(strategy))
         .set("n", static_cast<std::uint64_t>(n))
         .set("trials", static_cast<std::uint64_t>(trials))
         .set("parallel_time", summarize(bt).mean)

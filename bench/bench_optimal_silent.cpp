@@ -33,6 +33,12 @@ RunOptions options_for(std::uint32_t n) {
 }
 
 void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
+  // Engine strategy: kAuto by default (the run crosses timer-heavy reset
+  // epochs and silent-heavy endgames, so the density switch pays on both);
+  // --strategy= pins one path for A/B runs, and the choice is recorded in
+  // every BENCH record so bench_compare never mixes configurations.
+  const BatchStrategy strategy = scale.strategy_or(BatchStrategy::kAuto);
+  std::cout << "(batched backend strategy: " << to_string(strategy) << ")\n";
   for (auto kind : {OsAdversary::kUniformRandom, OsAdversary::kDuplicateRank,
                     OsAdversary::kAllLeaders}) {
     Sweep sweep;
@@ -44,13 +50,14 @@ void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
       const auto trials = scale.trials(n <= 512 ? 20 : (n <= 2048 ? 8 : 4));
       const auto times = run_trials_parallel(
           trials, 1000 + n,
-          [n, kind](std::uint64_t seed) {
+          [n, kind, strategy](std::uint64_t seed) {
             const auto params = OptimalSilentParams::standard(n);
             OptimalSilentSSR proto(params);
             auto init = optimal_silent_config(params, kind,
                                               derive_seed(seed, 1));
             BatchSimulation<OptimalSilentSSR> sim(proto, init,
-                                                  derive_seed(seed, 2));
+                                                  derive_seed(seed, 2),
+                                                  strategy);
             const RunResult r = run_engine_until_ranked(sim, options_for(n));
             return r.stabilized ? r.stabilization_ptime : -1;
           },
@@ -60,8 +67,9 @@ void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
     print_sweep(std::string("T4.3: stabilization time from '") +
                     to_string(kind) + "' start (batched backend)",
                 sweep);
-    report_sweep(report, std::string("stabilization_") + to_string(kind),
-                 "batch", sweep);
+    report_sweep_strategy(report,
+                          std::string("stabilization_") + to_string(kind),
+                          "batch", to_string(strategy), sweep);
     std::cout << "paper: Theta(n) expected (slope ~1); O(n log n) whp "
                  "(p99/mean grows at most logarithmically)\n";
     Table t({"n", "time/n (expected O(1))", "p99/mean"});

@@ -147,6 +147,29 @@ inline std::vector<OptimalSilentSSR::State> optimal_silent_config(
   return states;
 }
 
+// Count-vector configuration for the batched backend: the post-wave
+// configuration of a successful reset epoch — every agent dormant with a
+// full delay timer (delaytimer = Dmax), `leaders` of them still holding the
+// leader bit. This is the paper's timer-heavy regime: every interaction
+// decrements two delay timers, so every interaction is effective and the
+// geometric skip degenerates to one-by-one simulation (the multinomial
+// batch strategy's target workload). O(|Q|) to build, no agent array.
+inline std::vector<std::uint64_t> optimal_silent_dormant_counts(
+    const OptimalSilentParams& p, std::uint32_t leaders = 1) {
+  if (leaders > p.n) throw std::invalid_argument("leaders > population");
+  const OptimalSilentSSR proto(p);
+  std::vector<std::uint64_t> counts(proto.num_states(), 0);
+  OptimalSilentSSR::State s;
+  s.role = OsRole::Resetting;
+  s.resetcount = 0;
+  s.delaytimer = p.dmax;
+  s.leader = true;
+  counts[proto.encode(s)] = leaders;
+  s.leader = false;
+  counts[proto.encode(s)] = p.n - leaders;
+  return counts;
+}
+
 // ------------------------------------------------------- Sublinear-Time-SSR
 
 enum class SlAdversary {

@@ -142,20 +142,32 @@ class WallTimer {
 };
 
 // Appends one record per sweep point (mean/ci95 of the measured metric).
+// Count-engine sweeps pass the batching strategy that produced the numbers
+// (recorded in every record so perf tooling like tools/bench_compare never
+// compares records from different strategies as one configuration); an
+// empty strategy emits no field.
 template <class SweepT>
-void report_sweep(BenchReport& report, const std::string& experiment,
-                  const std::string& backend, const SweepT& sweep,
-                  const std::string& metric = "parallel_time") {
+void report_sweep_strategy(BenchReport& report, const std::string& experiment,
+                           const std::string& backend,
+                           const std::string& strategy, const SweepT& sweep,
+                           const std::string& metric = "parallel_time") {
   for (const auto& p : sweep.points) {
-    report.add()
-        .set("experiment", experiment)
-        .set("backend", backend)
-        .set("n", static_cast<std::uint64_t>(p.n))
+    BenchRecord& rec = report.add();
+    rec.set("experiment", experiment).set("backend", backend);
+    if (!strategy.empty()) rec.set("strategy", strategy);
+    rec.set("n", static_cast<std::uint64_t>(p.n))
         .set("trials", static_cast<std::uint64_t>(p.summary.count))
         .set(metric + "_mean", p.summary.mean)
         .set(metric + "_ci95", p.summary.ci95)
         .set(metric + "_p99", p.summary.p99);
   }
+}
+
+template <class SweepT>
+void report_sweep(BenchReport& report, const std::string& experiment,
+                  const std::string& backend, const SweepT& sweep,
+                  const std::string& metric = "parallel_time") {
+  report_sweep_strategy(report, experiment, backend, "", sweep, metric);
 }
 
 }  // namespace ppsim

@@ -17,9 +17,12 @@
 //   * AgentArrayEngine (Simulation<P>): incremental RankTracker updates on
 //     the two agents each step touches — O(1) per interaction.
 //   * CountEngine (BatchSimulation<P>): incremental RankTracker updates on
-//     the <= 4 count deltas each effective step applies (last_deltas()) —
-//     O(1) per *effective* interaction, so whole geometric-skipped null
-//     stretches cost nothing.
+//     the count deltas each step reports (last_deltas()) — O(1) per
+//     configuration change, so whole geometric-skipped null stretches cost
+//     nothing. A multinomial batch step reports the whole batch's net
+//     deltas, so correctness is observed at batch granularity; tail-window
+//     runs (tail_ptime > 0) therefore require the geometric_skip strategy,
+//     whose batched stretches are provably null — enforced below.
 // A count engine that reports step() == 0 is provably stuck (silent): if the
 // configuration is correct at that point it is stabilized forever.
 #pragma once
@@ -199,6 +202,18 @@ template <CountEngine E>
 RunResult run_engine_until_ranked(E& sim, const RunOptions& opts) {
   if (opts.max_interactions == 0)
     throw std::invalid_argument("max_interactions must be set");
+  if constexpr (StrategyEngine<E>) {
+    // The tail-window bookkeeping below credits a whole batched stretch as
+    // "correctness unchanged", which only the geometric paths guarantee
+    // (their stretches are provably null); a multinomial batch can break
+    // and re-enter correctness invisibly inside one step.
+    if (opts.tail_ptime > 0.0 &&
+        sim.strategy() != BatchStrategy::kGeometricSkip)
+      throw std::invalid_argument(
+          "tail_ptime windows on a count engine require the geometric_skip "
+          "strategy (multinomial batches hide intra-batch correctness "
+          "breaks)");
+  }
   const std::uint32_t n = sim.population_size();
   const auto& protocol = sim.protocol();
 

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/engine.h"  // BatchStrategy, parse_strategy
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/table.h"
@@ -141,6 +142,10 @@ inline void print_sweep(const std::string& title, const Sweep& sweep,
 //                      sizes()) — exercises every code path in seconds
 //   --threads=N        thread count for run_trials_parallel (also
 //                      PPSIM_THREADS; 0 = hardware concurrency)
+//   --strategy=S       batching strategy for the count-based engine
+//                      (geometric_skip | multinomial | auto); benches that
+//                      honor it call strategy_or() and record the choice in
+//                      their BENCH_*.json metadata
 // Everything else is ignored (so the binaries also tolerate being invoked by
 // generic runners).
 struct BenchScale {
@@ -148,7 +153,8 @@ struct BenchScale {
   bool quick = false;
   bool full = false;
   bool smoke = false;
-  std::uint32_t threads = 0;  // 0 = auto (env / hardware)
+  std::uint32_t threads = 0;   // 0 = auto (env / hardware)
+  std::string strategy_name;   // empty = bench default
 
   static BenchScale from_args(int argc, char** argv) {
     BenchScale s;
@@ -167,8 +173,24 @@ struct BenchScale {
       } else if (a.rfind("--threads=", 0) == 0) {
         const long v = std::strtol(a.c_str() + 10, nullptr, 10);
         if (v > 0) s.threads = static_cast<std::uint32_t>(v);
+      } else if (a.rfind("--strategy=", 0) == 0) {
+        s.strategy_name = a.substr(11);
+        BatchStrategy ignored;
+        if (!parse_strategy(s.strategy_name, ignored)) {
+          std::cerr << "unknown --strategy value '" << s.strategy_name
+                    << "' (want geometric_skip | multinomial | auto)\n";
+          std::exit(2);
+        }
       }
     }
+    return s;
+  }
+
+  // The engine strategy this run should use: the --strategy flag if given,
+  // else the bench's own default.
+  BatchStrategy strategy_or(BatchStrategy fallback) const {
+    BatchStrategy s = fallback;
+    if (!strategy_name.empty()) parse_strategy(strategy_name, s);
     return s;
   }
 

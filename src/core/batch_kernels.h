@@ -1,0 +1,1085 @@
+// Reusable sampling kernels for the count-based batched backend.
+//
+// BatchSimulation (core/batch_simulation.h) is assembled from the kernels
+// in this file; each kernel is an independently testable piece of the
+// count-vector machinery:
+//
+//   WeightedSampler       - Fenwick tree over per-state weights
+//                           (O(log |Q|) point update and weighted draw)
+//   FlatMap64             - open-addressing uint64 -> uint64 map used for
+//                           pair grouping, touched-multiset bookkeeping and
+//                           the per-(s1,s2) transition cache
+//   sample_ordered_state_pair
+//                         - the scheduler's exact ordered state-pair draw
+//   DiagonalKernel        - geometric skip for protocols whose non-null
+//                           pairs all have equal states
+//   KeyedPassiveKernel    - geometric skip for "null iff both passive with
+//                           distinct keys" (Optimal-Silent-SSR)
+//   UnkeyedPassiveKernel  - geometric skip for "both passive => null" with
+//                           no key (ResetProcess, one-way epidemics)
+//   OccupiedPool          - weighted pool over the *occupied* subset of a
+//                           huge code space: the multinomial kernel's
+//                           sampling substrate (cache-resident where the
+//                           full-|Q| Fenwick tree is hundreds of MB)
+//   sample_collision_free_prefix
+//                         - exact birthday-problem draw of how many
+//                           consecutive interactions touch fresh agents
+//   MultinomialKernel     - the ppsim-style batch step: simulate a whole
+//                           Theta(sqrt(n))-interaction collision-free
+//                           prefix at once by sampling its sender/receiver
+//                           state multisets hypergeometrically, applying
+//                           transitions per (s1, s2) pair in bulk through a
+//                           cached delta table, then replaying the single
+//                           colliding interaction exactly
+//
+// The three geometric-skip kernels each maintain their active weight both
+// as an incremental scalar and inside Fenwick trees. The scalar is always
+// current (silent() and the auto-strategy density test read it); the
+// Fenwick trees may be updated lazily while the multinomial kernel is
+// driving the run (it never reads them), and are brought back in sync by
+// the engine before the next geometric-skip step.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/discrete_samplers.h"
+#include "core/protocol.h"
+#include "core/rng.h"
+
+namespace ppsim {
+
+// Fenwick tree over per-state weights, supporting O(log |Q|) point update
+// and O(log |Q|) sampling of an index with probability weight/total.
+class WeightedSampler {
+ public:
+  WeightedSampler() : tree_(1, 0) {}
+  explicit WeightedSampler(std::uint32_t size) : tree_(size + 1, 0) {}
+
+  // O(size) bulk construction from a full weight vector (replaces any
+  // existing content) — point-adds would cost O(size log size).
+  void build(const std::vector<std::uint64_t>& weights) {
+    tree_.assign(weights.size() + 1, 0);
+    for (std::uint32_t i = 1; i < tree_.size(); ++i) {
+      tree_[i] += weights[i - 1];
+      const std::uint32_t parent = i + (i & (~i + 1));
+      if (parent < tree_.size()) tree_[parent] += tree_[i];
+    }
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(tree_.size()) - 1;
+  }
+
+  void add(std::uint32_t index, std::int64_t delta) {
+    for (std::uint32_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+      tree_[i] += static_cast<std::uint64_t>(delta);
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = static_cast<std::uint32_t>(tree_.size()) - 1; i > 0;
+         i -= i & (~i + 1))
+      sum += tree_[i];
+    return sum;
+  }
+
+  // Returns the smallest index such that the prefix sum through it exceeds
+  // `target` (target in [0, total())): samples index ∝ weight.
+  std::uint32_t find(std::uint64_t target) const {
+    std::uint32_t pos = 0;
+    std::uint32_t mask = 1;
+    while ((mask << 1) < tree_.size()) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      const std::uint32_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    return pos;  // 0-based index
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;  // 1-based internal indexing
+};
+
+// One count change applied by the last effective step (or batch):
+// counts()[code] moved by delta. Lets analysis code (e.g. the generic
+// ranked-run harness) keep incremental trackers without rescanning O(|Q|)
+// counts.
+struct CountDelta {
+  std::uint32_t code;
+  std::int32_t delta;
+};
+
+// Open-addressing hash map uint64 -> uint64 (linear probing, power-of-two
+// capacity, insertion-ordered iteration). The batched engine's hot maps —
+// pair grouping, touched multisets, net deltas, the transition cache — all
+// live on this: no per-node allocation, O(1) clear, deterministic
+// iteration order (so every consumer of the map is reproducible from the
+// seed).
+class FlatMap64 {
+ public:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t value;
+  };
+
+  FlatMap64() { rehash(16); }
+
+  void clear() {
+    entries_.clear();
+    ++epoch_;
+    if (epoch_ == 0) {  // epoch counter wrapped: hard reset the stamps
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Insertion-ordered live entries. Values are indices into the slot
+  // table's value storage; use value_at / entry iteration below.
+  const std::vector<std::uint32_t>& entry_slots() const { return entries_; }
+  std::uint64_t key_at(std::uint32_t slot) const { return keys_[slot]; }
+  std::uint64_t value_at(std::uint32_t slot) const { return values_[slot]; }
+  std::uint64_t& value_ref(std::uint32_t slot) { return values_[slot]; }
+
+  // Returns the value slot for `key`, inserting value `init` if absent;
+  // sets `inserted` accordingly.
+  std::uint32_t find_or_insert(std::uint64_t key, std::uint64_t init,
+                               bool* inserted = nullptr) {
+    if (entries_.size() * 2 >= capacity()) grow();
+    std::uint32_t slot = probe(key);
+    if (stamps_[slot] != epoch_) {
+      stamps_[slot] = epoch_;
+      keys_[slot] = key;
+      values_[slot] = init;
+      entries_.push_back(slot);
+      if (inserted != nullptr) *inserted = true;
+    } else if (inserted != nullptr) {
+      *inserted = false;
+    }
+    return slot;
+  }
+
+  // Returns a pointer to the value for `key`, or nullptr when absent.
+  std::uint64_t* find(std::uint64_t key) {
+    const std::uint32_t slot = probe(key);
+    return stamps_[slot] == epoch_ ? &values_[slot] : nullptr;
+  }
+  const std::uint64_t* find(std::uint64_t key) const {
+    const std::uint32_t slot = probe(key);
+    return stamps_[slot] == epoch_ ? &values_[slot] : nullptr;
+  }
+
+  void add(std::uint64_t key, std::int64_t delta) {
+    const std::uint32_t slot = find_or_insert(key, 0);
+    values_[slot] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(values_[slot]) + delta);
+  }
+
+ private:
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(keys_.size());
+  }
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::uint32_t probe(std::uint64_t key) const {
+    std::uint32_t slot = static_cast<std::uint32_t>(mix(key)) & mask_;
+    while (stamps_[slot] == epoch_ && keys_[slot] != key)
+      slot = (slot + 1) & mask_;
+    return slot;
+  }
+
+  void rehash(std::uint32_t cap) {
+    keys_.assign(cap, 0);
+    values_.assign(cap, 0);
+    stamps_.assign(cap, 0);
+    mask_ = cap - 1;
+    epoch_ = 1;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys;
+    std::vector<std::uint64_t> old_values;
+    old_keys.reserve(entries_.size());
+    old_values.reserve(entries_.size());
+    for (std::uint32_t slot : entries_) {
+      old_keys.push_back(keys_[slot]);
+      old_values.push_back(values_[slot]);
+    }
+    entries_.clear();
+    rehash(capacity() * 2);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      const std::uint32_t slot = find_or_insert(old_keys[i], old_values[i]);
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint32_t> stamps_;  // slot live iff stamp == epoch_
+  std::vector<std::uint32_t> entries_;
+  std::uint32_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
+};
+
+inline std::uint64_t pair_code_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// The scheduler's exact ordered state-pair draw from a count Fenwick:
+// initiator ∝ counts, responder uniform over the other n-1 agents (the
+// same count vector with one agent in the initiator's state removed).
+inline std::pair<std::uint32_t, std::uint32_t> sample_ordered_state_pair(
+    Rng& rng, WeightedSampler& count_sampler, std::uint64_t n) {
+  const std::uint32_t a = count_sampler.find(rng.below(n));
+  count_sampler.add(a, -1);
+  const std::uint32_t b = count_sampler.find(rng.below(n - 1));
+  count_sampler.add(a, +1);
+  return {a, b};
+}
+
+inline std::uint64_t pair_weight(std::uint64_t m) {
+  return m * (m > 0 ? m - 1 : 0);
+}
+
+// --- Geometric-skip kernels -------------------------------------------------
+
+// Diagonal fast path: every non-null pair has equal states, so the active
+// weight is W = sum over active q of m_q (m_q - 1) and the colliding state
+// is drawn ∝ m_q (m_q - 1).
+template <EnumerableProtocol P>
+class DiagonalKernel {
+ public:
+  void build(const P& protocol, const std::vector<std::uint64_t>& counts) {
+    const std::uint32_t q = protocol.num_states();
+    active_.resize(q);
+    std::vector<std::uint64_t> weights(q, 0);
+    total_ = 0;
+    for (std::uint32_t s = 0; s < q; ++s) {
+      const typename P::State st = protocol.decode(s);
+      active_[s] = !protocol.is_null_pair(st, st);
+      if (active_[s]) {
+        weights[s] = pair_weight(counts[s]);
+        total_ += weights[s];
+      }
+    }
+    sampler_.build(weights);
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  // counts[s] moved old_count -> new_count. When `lazy`, only the scalar is
+  // maintained; resync_code() repairs the Fenwick tree later.
+  void on_count_change(std::uint32_t s, std::uint64_t old_count,
+                       std::uint64_t new_count, bool lazy) {
+    if (!active_[s]) return;
+    const std::int64_t dw = static_cast<std::int64_t>(pair_weight(new_count)) -
+                            static_cast<std::int64_t>(pair_weight(old_count));
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) + dw);
+    if (!lazy && dw != 0) sampler_.add(s, dw);
+  }
+
+  void resync_code(std::uint32_t s, std::uint64_t old_count,
+                   std::uint64_t new_count) {
+    if (!active_[s]) return;
+    const std::int64_t dw = static_cast<std::int64_t>(pair_weight(new_count)) -
+                            static_cast<std::int64_t>(pair_weight(old_count));
+    if (dw != 0) sampler_.add(s, dw);
+  }
+
+  std::uint32_t sample(Rng& rng) const {
+    return sampler_.find(rng.below(total_));
+  }
+
+ private:
+  WeightedSampler sampler_;
+  std::vector<char> active_;
+  std::uint64_t total_ = 0;
+};
+
+// Keyed-passive fast path. Ordered active pairs partition exactly into
+//   (1) restless initiator, any responder:        A (n - 1)
+//   (2) passive initiator, restless responder:    S A
+//   (3) both passive with the same key:           D = sum_k s_k (s_k - 1)
+// (check: n(n-1) - [passive pairs with distinct keys] = A(n-1) + SA + D).
+// The active pair is drawn by case-splitting on the three weights; each
+// case samples its conditional distribution exactly.
+template <EnumerableProtocol P>
+class KeyedPassiveKernel {
+ public:
+  // The three-term active-weight partition, computed in one place so that
+  // silent(), the auto-strategy density test and the step can never drift.
+  struct Weights {
+    std::uint64_t restless = 0;  // A
+    std::uint64_t diag = 0;      // D = sum_k s_k (s_k - 1)
+    std::uint64_t w1 = 0;        // A (n - 1)
+    std::uint64_t w2 = 0;        // S A
+    std::uint64_t total = 0;     // W = w1 + w2 + D
+  };
+
+  void build(const P& protocol, const std::vector<std::uint64_t>& counts) {
+    const std::uint32_t q = protocol.num_states();
+    restless_ = WeightedSampler(q);
+    key_counts_.assign(protocol.num_passive_keys(), 0);
+    restless_count_ = 0;
+    diag_total_ = 0;
+    // Point-adds over occupied states only: at most n of the |Q| codes are
+    // occupied, so this beats a dense O(|Q|) weight-vector build.
+    for (std::uint32_t s = 0; s < q; ++s) {
+      if (counts[s] == 0) continue;
+      const typename P::State st = protocol.decode(s);
+      if (protocol.is_passive(st)) {
+        key_counts_[protocol.passive_key(st)] += counts[s];
+      } else {
+        restless_.add(s, static_cast<std::int64_t>(counts[s]));
+        restless_count_ += counts[s];
+      }
+    }
+    std::vector<std::uint64_t> key_w(key_counts_.size(), 0);
+    for (std::uint32_t k = 0; k < key_counts_.size(); ++k) {
+      key_w[k] = pair_weight(key_counts_[k]);
+      diag_total_ += key_w[k];
+    }
+    key_sampler_.build(key_w);
+    dirty_keys_.clear();
+  }
+
+  Weights weights(std::uint64_t n) const {
+    Weights w;
+    w.restless = restless_count_;
+    w.diag = diag_total_;
+    w.w1 = w.restless * (n - 1);
+    w.w2 = (n - w.restless) * w.restless;
+    w.total = w.w1 + w.w2 + w.diag;
+    return w;
+  }
+
+  void on_count_change(const P& protocol, std::uint32_t code,
+                       std::int64_t delta, bool lazy) {
+    const typename P::State st = protocol.decode(code);
+    if (protocol.is_passive(st)) {
+      const std::uint32_t k = protocol.passive_key(st);
+      const std::uint64_t old_kc = key_counts_[k];
+      if (lazy) dirty_keys_.find_or_insert(k, old_kc);  // first old value wins
+      key_counts_[k] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(old_kc) + delta);
+      diag_total_ = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(diag_total_) +
+          static_cast<std::int64_t>(pair_weight(key_counts_[k])) -
+          static_cast<std::int64_t>(pair_weight(old_kc)));
+      if (!lazy) {
+        key_sampler_.add(k,
+                         static_cast<std::int64_t>(pair_weight(key_counts_[k])) -
+                             static_cast<std::int64_t>(pair_weight(old_kc)));
+      }
+    } else {
+      restless_count_ = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(restless_count_) + delta);
+      if (!lazy) restless_.add(code, delta);
+    }
+  }
+
+  // Repairs the restless Fenwick for one dirtied code (the engine tracks
+  // old counts); key Fenwick repairs happen in resync_keys().
+  void resync_code(const P& protocol, std::uint32_t code,
+                   std::uint64_t old_count, std::uint64_t new_count) {
+    if (protocol.is_passive(protocol.decode(code))) return;
+    const std::int64_t d = static_cast<std::int64_t>(new_count) -
+                           static_cast<std::int64_t>(old_count);
+    if (d != 0) restless_.add(code, d);
+  }
+
+  void resync_keys() {
+    for (std::uint32_t slot : dirty_keys_.entry_slots()) {
+      const auto k = static_cast<std::uint32_t>(dirty_keys_.key_at(slot));
+      const std::uint64_t old_kc = dirty_keys_.value_at(slot);
+      const std::int64_t dw =
+          static_cast<std::int64_t>(pair_weight(key_counts_[k])) -
+          static_cast<std::int64_t>(pair_weight(old_kc));
+      if (dw != 0) key_sampler_.add(k, dw);
+    }
+    dirty_keys_.clear();
+  }
+
+  // Samples the active ordered pair given precomputed weights (total > 0).
+  // Consumes randomness in the exact order of the pre-refactor engine.
+  std::pair<std::uint32_t, std::uint32_t> sample_pair(
+      Rng& rng, const P& protocol, WeightedSampler& count_sampler,
+      const std::vector<std::uint64_t>& counts, std::uint64_t n,
+      const Weights& kw) const {
+    const std::uint64_t x = rng.below(kw.total);
+    std::uint32_t a_code, b_code;
+    if (x < kw.w1) {
+      // (1) restless initiator; responder uniform over the other n-1 agents
+      // (same count vector with one agent in the initiator's state removed).
+      a_code = restless_.find(rng.below(kw.restless));
+      count_sampler.add(a_code, -1);
+      b_code = count_sampler.find(rng.below(n - 1));
+      count_sampler.add(a_code, +1);
+    } else if (x < kw.w1 + kw.w2) {
+      // (2) passive initiator by rejection against the full count vector
+      // (P[passive] = S/n per try; this branch is drawn with probability
+      // ∝ S, so the expected rejection work per step is O(1)); restless
+      // responder directly.
+      for (;;) {
+        a_code = count_sampler.find(rng.below(n));
+        if (protocol.is_passive(protocol.decode(a_code))) break;
+      }
+      b_code = restless_.find(rng.below(kw.restless));
+    } else {
+      // (3) a same-key passive pair: key ∝ s_k (s_k - 1), then the ordered
+      // pair inside the key's fiber ∝ m_q (m_q' - [q = q']).
+      const std::uint32_t k = key_sampler_.find(rng.below(kw.diag));
+      const std::vector<std::uint32_t> fiber = protocol.passive_fiber(k);
+      a_code = pick_in_fiber(counts, fiber, rng.below(key_counts_[k]),
+                             /*exclude_pos=*/fiber.size(), 0);
+      b_code = pick_in_fiber(counts, fiber, rng.below(key_counts_[k] - 1),
+                             /*exclude_pos=*/find_pos(fiber, a_code), 1);
+    }
+    return {a_code, b_code};
+  }
+
+ private:
+  static std::size_t find_pos(const std::vector<std::uint32_t>& fiber,
+                              std::uint32_t code) {
+    for (std::size_t i = 0; i < fiber.size(); ++i)
+      if (fiber[i] == code) return i;
+    return fiber.size();
+  }
+
+  // Samples a code from `fiber` with weight counts[code], minus `discount`
+  // on the entry at `exclude_pos` (used to remove the already-chosen
+  // initiator agent from the responder draw).
+  static std::uint32_t pick_in_fiber(const std::vector<std::uint64_t>& counts,
+                                     const std::vector<std::uint32_t>& fiber,
+                                     std::uint64_t target,
+                                     std::size_t exclude_pos,
+                                     std::uint64_t discount) {
+    for (std::size_t i = 0; i < fiber.size(); ++i) {
+      std::uint64_t weight = counts[fiber[i]];
+      if (i == exclude_pos) weight -= discount;
+      if (target < weight) return fiber[i];
+      target -= weight;
+    }
+    throw std::logic_error(
+        "passive_fiber inconsistent with counts: fiber weight exhausted");
+  }
+
+  WeightedSampler restless_;                // weight m_q on non-passive states
+  WeightedSampler key_sampler_;             // weight s_k (s_k - 1) per key
+  std::vector<std::uint64_t> key_counts_;   // s_k: passive agents per key
+  std::uint64_t restless_count_ = 0;        // A (scalar mirror, always live)
+  std::uint64_t diag_total_ = 0;            // D (scalar mirror, always live)
+  FlatMap64 dirty_keys_;                    // key -> key_count at dirtying
+};
+
+// Unkeyed passive fast path: the protocol guarantees that a pair of two
+// passive agents is null (kPassivePairsAreNull); pairs involving at least
+// one non-passive agent may or may not be null and are simulated
+// individually. Ordered candidate pairs partition into
+//   (1) restless initiator, any responder:      A (n - 1)
+//   (2) passive initiator, restless responder:  S A
+// with W = A (n - 1) + S A = A (2n - 1 - A); W = 0 iff every agent is
+// passive, which is silent by the structure guarantee.
+template <EnumerableProtocol P>
+class UnkeyedPassiveKernel {
+ public:
+  struct Weights {
+    std::uint64_t restless = 0;  // A
+    std::uint64_t w1 = 0;        // A (n - 1)
+    std::uint64_t w2 = 0;        // S A
+    std::uint64_t total = 0;
+  };
+
+  void build(const P& protocol, const std::vector<std::uint64_t>& counts) {
+    const std::uint32_t q = protocol.num_states();
+    restless_ = WeightedSampler(q);
+    restless_count_ = 0;
+    for (std::uint32_t s = 0; s < q; ++s) {
+      if (counts[s] == 0) continue;
+      if (!protocol.is_passive(protocol.decode(s))) {
+        restless_.add(s, static_cast<std::int64_t>(counts[s]));
+        restless_count_ += counts[s];
+      }
+    }
+  }
+
+  Weights weights(std::uint64_t n) const {
+    Weights w;
+    w.restless = restless_count_;
+    w.w1 = w.restless * (n - 1);
+    w.w2 = (n - w.restless) * w.restless;
+    w.total = w.w1 + w.w2;
+    return w;
+  }
+
+  void on_count_change(const P& protocol, std::uint32_t code,
+                       std::int64_t delta, bool lazy) {
+    if (protocol.is_passive(protocol.decode(code))) return;
+    restless_count_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(restless_count_) + delta);
+    if (!lazy) restless_.add(code, delta);
+  }
+
+  void resync_code(const P& protocol, std::uint32_t code,
+                   std::uint64_t old_count, std::uint64_t new_count) {
+    if (protocol.is_passive(protocol.decode(code))) return;
+    const std::int64_t d = static_cast<std::int64_t>(new_count) -
+                           static_cast<std::int64_t>(old_count);
+    if (d != 0) restless_.add(code, d);
+  }
+
+  std::pair<std::uint32_t, std::uint32_t> sample_pair(
+      Rng& rng, const P& protocol, WeightedSampler& count_sampler,
+      std::uint64_t n, const Weights& kw) const {
+    const std::uint64_t x = rng.below(kw.total);
+    std::uint32_t a_code, b_code;
+    if (x < kw.w1) {
+      a_code = restless_.find(rng.below(kw.restless));
+      count_sampler.add(a_code, -1);
+      b_code = count_sampler.find(rng.below(n - 1));
+      count_sampler.add(a_code, +1);
+    } else {
+      for (;;) {
+        a_code = count_sampler.find(rng.below(n));
+        if (protocol.is_passive(protocol.decode(a_code))) break;
+      }
+      b_code = restless_.find(rng.below(kw.restless));
+    }
+    return {a_code, b_code};
+  }
+
+ private:
+  WeightedSampler restless_;
+  std::uint64_t restless_count_ = 0;
+};
+
+// --- Multinomial batch kernel -----------------------------------------------
+
+// Weighted pool over the occupied subset of a huge code space. Where the
+// full-|Q| Fenwick tree of the geometric-skip paths is O(|Q|) memory (280 MB
+// for Optimal-Silent-SSR at n = 10^6, so every draw is ~25 DRAM misses),
+// this pool indexes only the occupied codes — O(min(n, |Q|)) slots, usually
+// cache-resident — and supports weighted without-replacement draws with a
+// restore step, which is exactly the access pattern of a multinomial batch.
+class OccupiedPool {
+ public:
+  bool built() const { return built_; }
+
+  void build(const std::vector<std::uint64_t>& counts) {
+    codes_.clear();
+    weights_.clear();
+    slot_of_.clear();
+    total_ = 0;
+    zero_slots_ = 0;
+    for (std::uint32_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] == 0) continue;
+      slot_of_.find_or_insert(code, codes_.size());
+      codes_.push_back(code);
+      weights_.push_back(counts[code]);
+      total_ += counts[code];
+    }
+    rebuild_fenwick();
+    built_ = true;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint32_t slots() const {
+    return static_cast<std::uint32_t>(codes_.size());
+  }
+  std::uint32_t occupied() const {
+    return static_cast<std::uint32_t>(codes_.size()) - zero_slots_;
+  }
+  std::uint32_t code_at(std::uint32_t slot) const { return codes_[slot]; }
+  std::uint64_t weight_at(std::uint32_t slot) const { return weights_[slot]; }
+
+  // When exactly one code holds the whole population, writes it to `code`.
+  // Only meaningful with no outstanding removals.
+  bool single_occupied(std::uint32_t& code) const {
+    if (occupied() != 1) return false;
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+      if (weights_[i] != 0) {
+        code = codes_[i];
+        return true;
+      }
+    return false;
+  }
+
+  // Draws a slot ∝ weight and removes one unit from it (recorded for
+  // restore_removed()).
+  std::uint32_t draw_remove(Rng& rng) {
+    const std::uint32_t slot = fenwick_.find(rng.below(total_));
+    fenwick_.add(slot, -1);
+    --weights_[slot];
+    --total_;
+    removed_.push_back(Removed{slot, 1});
+    return slot;
+  }
+
+  // Removes `k` units at `slot` (recorded for restore_removed()).
+  void remove_bulk(std::uint32_t slot, std::uint64_t k) {
+    if (k == 0) return;
+    fenwick_.add(slot, -static_cast<std::int64_t>(k));
+    weights_[slot] -= k;
+    total_ -= k;
+    removed_.push_back(Removed{slot, k});
+  }
+
+  // Restores every unit removed since the last restore, returning the pool
+  // to "weights == counts" state.
+  void restore_removed() {
+    for (const Removed& r : removed_) {
+      fenwick_.add(r.slot, static_cast<std::int64_t>(r.k));
+      weights_[r.slot] += r.k;
+      total_ += r.k;
+    }
+    removed_.clear();
+  }
+
+  // Permanent count change (counts[code] += delta), creating the slot on
+  // demand. Must not be called while removals are outstanding.
+  void apply_delta(std::uint32_t code, std::int64_t delta) {
+    if (delta == 0) return;
+    bool inserted = false;
+    const std::uint32_t map_slot =
+        slot_of_.find_or_insert(code, codes_.size(), &inserted);
+    std::uint32_t slot;
+    if (inserted) {
+      slot = static_cast<std::uint32_t>(codes_.size());
+      codes_.push_back(code);
+      weights_.push_back(0);
+      if (codes_.size() > fenwick_.size()) grow_fenwick();
+    } else {
+      slot = static_cast<std::uint32_t>(slot_of_.value_at(map_slot));
+    }
+    const std::uint64_t old = weights_[slot];
+    weights_[slot] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(old) + delta);
+    total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
+                                        delta);
+    fenwick_.add(slot, delta);
+    if (old == 0 && weights_[slot] != 0 && !inserted) --zero_slots_;
+    if (old != 0 && weights_[slot] == 0) ++zero_slots_;
+    maybe_compact();
+  }
+
+ private:
+  struct Removed {
+    std::uint32_t slot;
+    std::uint64_t k;
+  };
+
+  void rebuild_fenwick() {
+    std::uint32_t cap = 16;
+    while (cap < codes_.size()) cap *= 2;
+    std::vector<std::uint64_t> w(cap, 0);
+    for (std::size_t i = 0; i < weights_.size(); ++i) w[i] = weights_[i];
+    fenwick_ = WeightedSampler(cap);
+    fenwick_.build(w);
+  }
+
+  void grow_fenwick() { rebuild_fenwick(); }
+
+  void maybe_compact() {
+    if (codes_.size() < 64 || zero_slots_ * 2 < codes_.size()) return;
+    std::vector<std::uint32_t> codes;
+    std::vector<std::uint64_t> weights;
+    codes.reserve(codes_.size() - zero_slots_);
+    weights.reserve(codes_.size() - zero_slots_);
+    slot_of_.clear();
+    for (std::size_t i = 0; i < codes_.size(); ++i) {
+      if (weights_[i] == 0) continue;
+      slot_of_.find_or_insert(codes_[i], codes.size());
+      codes.push_back(codes_[i]);
+      weights.push_back(weights_[i]);
+    }
+    codes_ = std::move(codes);
+    weights_ = std::move(weights);
+    zero_slots_ = 0;
+    rebuild_fenwick();
+  }
+
+  std::vector<std::uint32_t> codes_;    // slot -> code
+  std::vector<std::uint64_t> weights_;  // slot -> current weight
+  FlatMap64 slot_of_;                   // code -> slot
+  WeightedSampler fenwick_;             // over slots (power-of-two capacity)
+  std::uint64_t total_ = 0;
+  std::uint32_t zero_slots_ = 0;
+  std::vector<Removed> removed_;
+  bool built_ = false;
+};
+
+// The distribution of the number L >= 1 of consecutive interactions whose
+// 2L participants are all distinct (the birthday-problem prefix): with
+// p_j = (n - 2j)(n - 2j - 1) / (n (n - 1)) the probability that interaction
+// j+1 avoids the 2j agents already touched,
+//   P[L >= i] = prod_{j < i} p_j,
+// inverted against one uniform. p_0 = 1, so L >= 1; the product reaches 0
+// at 2L >= n - 1, so L < n/2 + 1 and the interaction after the prefix
+// provably touches an already-touched agent. E[L] ~ sqrt(pi n / 8) ~
+// 0.63 sqrt(n).
+//
+// The tail products depend only on n, so they are computed once (down to
+// underflow, ~sqrt(710 n) entries) and each draw is a binary search —
+// O(log n) instead of O(sqrt(n)) multiplications per batch.
+class CollisionPrefixSampler {
+ public:
+  void build(std::uint64_t n) {
+    n_ = n;
+    tail_.clear();
+    tail_.push_back(1.0);  // P[L >= 0]
+    const double inv_pairs =
+        1.0 / (static_cast<double>(n) * static_cast<double>(n - 1));
+    double g = 1.0;
+    for (std::uint64_t l = 0;; ++l) {
+      const double fresh =
+          static_cast<double>(n) - 2.0 * static_cast<double>(l);
+      if (fresh < 2.0) break;
+      g *= fresh * (fresh - 1.0) * inv_pairs;
+      if (g <= 0.0) break;  // underflow: P[L > l] is exactly 0 in doubles
+      tail_.push_back(g);   // P[L >= l + 1]
+    }
+  }
+
+  bool built_for(std::uint64_t n) const { return n_ == n && !tail_.empty(); }
+
+  // L = max{i : P[L >= i] > u} for one uniform u; identical in value to the
+  // sequential product inversion.
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.unit();
+    // First index with tail_[i] <= u over the descending table — the same
+    // "stop at the first product <= u" rule as the sequential inversion.
+    const auto it = std::lower_bound(tail_.begin(), tail_.end(), u,
+                                     [](double a, double b) { return a > b; });
+    const auto l = static_cast<std::uint64_t>(it - tail_.begin()) - 1;
+    return l == 0 ? 1 : l;  // p_0 = 1: unreachable guard for rounding
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  std::vector<double> tail_;  // tail_[i] = P[L >= i], strictly descending
+};
+
+// The ppsim-style multinomial batch step. One call simulates, exactly:
+//   * a collision-free prefix of L interactions, by drawing the 2L
+//     participants' state multiset from the counts (sequential
+//     without-replacement draws from the occupied pool, or bulk
+//     multivariate-hypergeometric splits when few states are occupied —
+//     both are the same distribution by exchangeability), pairing sender
+//     and receiver multisets uniformly, and applying transitions per
+//     distinct ordered (s1, s2) pair in bulk through a cached delta table;
+//   * the single interaction that ends the batch by touching an
+//     already-touched agent, replayed individually against the touched
+//     agents' post-batch states (ppsim's collision handling).
+//
+// Transitions are cached only for DeterministicProtocol protocols (and, if
+// observable, only when the Counters support add_scaled); otherwise every
+// repetition invokes interact() — still correct, just without the bulk
+// application savings.
+template <EnumerableProtocol P>
+class MultinomialKernel {
+ public:
+  using State = typename P::State;
+  using Counters = ProtocolCounters<P>;
+
+  static constexpr bool kCacheable =
+      DeterministicProtocol<P> &&
+      (!ObservableProtocol<P> || ScalableCounters<ProtocolCounters<P>>);
+
+  bool built() const { return pool_.built(); }
+
+  void ensure_built(const std::vector<std::uint64_t>& counts) {
+    if (!pool_.built()) pool_.build(counts);
+  }
+
+  // Keeps the occupied pool current while another strategy drives the run.
+  void on_external_change(std::uint32_t code, std::int64_t delta) {
+    if (pool_.built()) pool_.apply_delta(code, delta);
+  }
+
+  // True iff every agent sits in one state code (written to `code`); the
+  // engine uses this with is_null_pair to certify stuck configurations.
+  bool single_occupied_code(std::uint32_t& code) const {
+    return pool_.built() && pool_.single_occupied(code);
+  }
+
+  // Runs one batch: mutates `counts`, accumulates protocol counters,
+  // appends the net per-code deltas to `out_deltas`, and returns the number
+  // of interactions consumed (L + 1). Requires n >= 2.
+  std::uint64_t run_batch(const P& protocol, std::vector<std::uint64_t>& counts,
+                          Rng& rng, Counters& counters,
+                          std::vector<CountDelta>& out_deltas) {
+    ensure_built(counts);
+    const std::uint64_t n = protocol.population_size();
+    if (!prefix_.built_for(n)) prefix_.build(n);
+    const std::uint64_t l = prefix_.sample(rng);
+
+    net_.clear();
+    touched_.clear();
+    pair_list_.clear();
+
+    // --- Prefix participants: 2l states drawn without replacement. The
+    // ordered tuple of distinct agents is exchangeable, so drawing the l
+    // initiators first and the l responders second, then pairing by index,
+    // has exactly the scheduler's distribution.
+    if (pool_.occupied() <= kBulkMaxCategories) {
+      sample_prefix_bulk(rng, l);
+    } else {
+      sample_prefix_per_draw(rng, l);
+    }
+
+    // --- Apply the prefix per distinct ordered pair.
+    for (const PairCount& pc : pair_list_)
+      apply_pair(protocol, pc.a, pc.b, pc.k, rng, counters);
+
+    // --- The colliding interaction. Conditioned on the prefix ending at
+    // length l, the first colliding pick is either the initiator (weight
+    // r/n, r = 2l touched agents) or the responder after a fresh initiator
+    // (weight (n-r)/n * r/(n-1)); scaled by n(n-1):
+    const std::uint64_t r = 2 * l;
+    const std::uint64_t w_init = r * (n - 1);
+    const std::uint64_t w_resp = (n - r) * r;
+    const std::uint64_t x = rng.below(w_init + w_resp);
+    std::uint32_t ca, cb;
+    if (x < w_init) {
+      // Initiator is uniform among the touched agents (their *current*,
+      // post-batch states); responder uniform over the other n - 1 agents.
+      ca = pick_touched(rng.below(r), /*exclude=*/0, 0);
+      const std::uint64_t y = rng.below(n - 1);
+      if (y < r - 1) {
+        cb = pick_touched(y, ca, 1);
+      } else {
+        cb = pool_.code_at(pool_.draw_remove(rng));  // untouched agent
+      }
+    } else {
+      ca = pool_.code_at(pool_.draw_remove(rng));  // fresh initiator
+      cb = pick_touched(rng.below(r), /*exclude=*/0, 0);
+    }
+    {
+      State sa = protocol.decode(ca);
+      State sb = protocol.decode(cb);
+      invoke_interact(protocol, sa, sb, rng, counters);
+      const std::uint32_t na = protocol.encode(sa);
+      const std::uint32_t nb = protocol.encode(sb);
+      net_.add(ca, -1);
+      net_.add(na, +1);
+      net_.add(cb, -1);
+      net_.add(nb, +1);
+    }
+
+    // --- Fold the batch back into the counts and the pool.
+    pool_.restore_removed();
+    for (std::uint32_t slot : net_.entry_slots()) {
+      const auto code = static_cast<std::uint32_t>(net_.key_at(slot));
+      const auto d = static_cast<std::int64_t>(net_.value_at(slot));
+      if (d == 0) continue;
+      counts[code] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(counts[code]) + d);
+      pool_.apply_delta(code, d);
+      out_deltas.push_back(CountDelta{code, static_cast<std::int32_t>(d)});
+    }
+    return l + 1;
+  }
+
+ private:
+  // Dense pairing matrices are limited to this many occupied categories
+  // (64 x 64 x 4 bytes = 16 KB of scratch).
+  static constexpr std::uint32_t kBulkMaxCategories = 64;
+
+  struct PairCount {
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint64_t k;
+  };
+
+  // Sequential without-replacement draws from the occupied pool: initiators
+  // draws_[0..l), responders draws_[l..2l), paired by index and grouped.
+  void sample_prefix_per_draw(Rng& rng, std::uint64_t l) {
+    draws_.clear();
+    draws_.reserve(2 * l);
+    for (std::uint64_t i = 0; i < 2 * l; ++i)
+      draws_.push_back(pool_.code_at(pool_.draw_remove(rng)));
+    pairs_.clear();
+    for (std::uint64_t i = 0; i < l; ++i)
+      pairs_.add(pair_code_key(draws_[i], draws_[l + i]), 1);
+    for (std::uint32_t slot : pairs_.entry_slots()) {
+      const std::uint64_t key = pairs_.key_at(slot);
+      pair_list_.push_back(PairCount{static_cast<std::uint32_t>(key >> 32),
+                                     static_cast<std::uint32_t>(key),
+                                     pairs_.value_at(slot)});
+    }
+  }
+
+  // Bulk path for few occupied states: split the initiator and responder
+  // multisets off the counts with chained hypergeometric draws (O(occ)
+  // univariate draws, independent of l), then realize the uniform
+  // initiator-responder bijection by Fisher-Yates-shuffling the expanded
+  // responder sequence against the initiators in fixed category order —
+  // O(l) cheap operations, no per-cell hypergeometrics — and group through
+  // a dense occ x occ category matrix.
+  void sample_prefix_bulk(Rng& rng, std::uint64_t l) {
+    cats_.clear();
+    for (std::uint32_t slot = 0; slot < pool_.slots(); ++slot)
+      if (pool_.weight_at(slot) > 0) cats_.push_back(slot);
+    const std::size_t occ = cats_.size();
+
+    auto split = [&](std::uint64_t want, std::vector<std::uint64_t>& out) {
+      out.assign(occ, 0);
+      std::uint64_t remaining = pool_.total();
+      std::uint64_t left = want;
+      for (std::size_t i = 0; i < occ && left > 0; ++i) {
+        const std::uint64_t w = pool_.weight_at(cats_[i]);
+        const std::uint64_t x =
+            sample_hypergeometric(rng, w, remaining - w, left);
+        out[i] = x;
+        left -= x;
+        remaining -= w;
+      }
+      for (std::size_t i = 0; i < occ; ++i)
+        pool_.remove_bulk(cats_[i], out[i]);
+    };
+    split(l, sender_k_);
+    split(l, recv_k_);
+
+    recv_expand_.clear();
+    for (std::size_t j = 0; j < occ; ++j)
+      for (std::uint64_t rep = 0; rep < recv_k_[j]; ++rep)
+        recv_expand_.push_back(static_cast<std::uint32_t>(j));
+    for (std::uint64_t i = l - 1; i > 0; --i) {
+      const std::uint64_t j = rng.below(i + 1);
+      std::swap(recv_expand_[i], recv_expand_[j]);
+    }
+
+    pair_matrix_.assign(occ * occ, 0);
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < occ; ++i)
+      for (std::uint64_t rep = 0; rep < sender_k_[i]; ++rep)
+        ++pair_matrix_[i * occ + recv_expand_[idx++]];
+    for (std::size_t i = 0; i < occ; ++i) {
+      if (sender_k_[i] == 0) continue;
+      const std::uint32_t code_a = pool_.code_at(cats_[i]);
+      for (std::size_t j = 0; j < occ; ++j) {
+        const std::uint32_t k = pair_matrix_[i * occ + j];
+        if (k != 0)
+          pair_list_.push_back(
+              PairCount{code_a, pool_.code_at(cats_[j]), k});
+      }
+    }
+  }
+
+  // Applies k repetitions of the ordered pair (a, b): net count deltas,
+  // touched-multiset bookkeeping, counters.
+  void apply_pair(const P& protocol, std::uint32_t a, std::uint32_t b,
+                  std::uint64_t k, Rng& rng, Counters& counters) {
+    if constexpr (kCacheable) {
+      bool inserted = false;
+      std::uint32_t slot =
+          cache_.find_or_insert(pair_code_key(a, b), 0, &inserted);
+      if (inserted) {
+        if (cache_entries_.size() >= (1u << 22)) {
+          // Huge state spaces could make the cache grow without limit;
+          // dropping it is always safe (it is a pure memoization).
+          cache_.clear();
+          cache_entries_.clear();
+          slot = cache_.find_or_insert(pair_code_key(a, b), 0);
+        }
+        CacheEntry e;
+        State sa = protocol.decode(a);
+        State sb = protocol.decode(b);
+        if constexpr (ObservableProtocol<P>) {
+          Counters delta{};
+          protocol.interact(sa, sb, rng, delta);
+          e.counters_delta = delta;
+        } else {
+          protocol.interact(sa, sb, rng);
+        }
+        e.na = protocol.encode(sa);
+        e.nb = protocol.encode(sb);
+        cache_.value_ref(slot) = cache_entries_.size();
+        cache_entries_.push_back(e);
+      }
+      const CacheEntry& e = cache_entries_[cache_.value_at(slot)];
+      if constexpr (ObservableProtocol<P>) {
+        counters.add_scaled(e.counters_delta, k);
+      }
+      record_transition(a, b, e.na, e.nb, k);
+    } else {
+      // Randomized (or unscalable-counters) protocol: every repetition must
+      // consume its own randomness / report its own events.
+      const State base_a = protocol.decode(a);
+      const State base_b = protocol.decode(b);
+      for (std::uint64_t rep = 0; rep < k; ++rep) {
+        State sa = base_a;
+        State sb = base_b;
+        invoke_interact(protocol, sa, sb, rng, counters);
+        record_transition(a, b, protocol.encode(sa), protocol.encode(sb), 1);
+      }
+    }
+  }
+
+  void record_transition(std::uint32_t a, std::uint32_t b, std::uint32_t na,
+                         std::uint32_t nb, std::uint64_t k) {
+    const auto dk = static_cast<std::int64_t>(k);
+    net_.add(a, -dk);
+    net_.add(b, -dk);
+    net_.add(na, +dk);
+    net_.add(nb, +dk);
+    touched_.add(na, dk);
+    touched_.add(nb, dk);
+  }
+
+  // Uniform draw over the touched agents' current states (weight = multiset
+  // count, `discount` subtracted at `exclude` — used to remove the chosen
+  // collision initiator from the responder draw). Deterministic iteration
+  // order (FlatMap64 preserves insertion order).
+  std::uint32_t pick_touched(std::uint64_t target, std::uint32_t exclude,
+                             std::uint64_t discount) const {
+    for (std::uint32_t slot : touched_.entry_slots()) {
+      const auto code = static_cast<std::uint32_t>(touched_.key_at(slot));
+      std::uint64_t w = touched_.value_at(slot);
+      if (discount > 0 && code == exclude) w -= discount;
+      if (target < w) return code;
+      target -= w;
+    }
+    throw std::logic_error("touched multiset exhausted in collision draw");
+  }
+
+  struct CacheEntry {
+    std::uint32_t na = 0;
+    std::uint32_t nb = 0;
+    [[no_unique_address]] Counters counters_delta{};
+  };
+
+  OccupiedPool pool_;
+  CollisionPrefixSampler prefix_;
+  FlatMap64 pairs_;    // (a << 32 | b) -> repetitions (per-draw grouping)
+  FlatMap64 net_;      // code -> net count delta (int64 bits)
+  FlatMap64 touched_;  // code -> touched agents currently in that state
+  FlatMap64 cache_;    // (a << 32 | b) -> index into cache_entries_
+  std::vector<CacheEntry> cache_entries_;
+  std::vector<PairCount> pair_list_;    // this batch's (s1, s2, k) groups
+  std::vector<std::uint32_t> draws_;
+  std::vector<std::uint32_t> cats_;
+  std::vector<std::uint64_t> sender_k_;
+  std::vector<std::uint64_t> recv_k_;
+  std::vector<std::uint32_t> recv_expand_;  // shuffled receiver categories
+  std::vector<std::uint32_t> pair_matrix_;  // occ x occ grouping scratch
+};
+
+}  // namespace ppsim

@@ -4,46 +4,57 @@
 // configuration is fully described by the vector of state counts
 // (m_q)_{q in Q} — the scheduler of Section 2 is anonymous, so agent
 // identities carry no information. This backend keeps exactly that vector:
-// O(|Q|) memory instead of the O(n) agent array, and each step samples the
-// ordered (initiator, responder) *state pair* from the count distribution,
+// O(|Q|) memory instead of the O(n) agent array, and every step simulates
+// draws of the ordered (initiator, responder) *state pair* from the count
+// distribution,
 //   P[(a, b)] = m_a (m_b - [a = b]) / (n (n - 1)),
 // which is precisely the pushforward of the uniform ordered-agent-pair
 // scheduler. The simulated interaction-count process therefore has the same
 // distribution as Simulation<P>'s, projected onto counts (validated in
 // tests/batch_simulation_test.cpp and tests/engine_equivalence_test.cpp).
 //
-// Batching. Protocols that expose a deterministic null-pair predicate
-// (NullPairProtocol) let the backend skip runs of identical-outcome draws:
-//  * If the protocol further declares that only equal-state pairs can be
-//    non-null (DiagonalActiveProtocol — true for Silent-n-state-SSR, whose
-//    transition fires only on rank collisions), the total non-null weight
-//    W = sum_q active(q) m_q (m_q - 1) is maintained incrementally, the
-//    wait until the next effective interaction is Geometric(W / n(n-1)),
-//    and whole Theta(n^2)-step null stretches cost O(1). This generalizes
-//    the hand-rolled SilentNStateFast accelerator to any diagonal protocol.
-//  * If the protocol declares the keyed-passive structure (null iff both
-//    agents are "passive" with distinct keys — Optimal-Silent-SSR: passive
-//    = Settled, key = rank), the active weight decomposes exactly as
-//      W = A (n - 1) + S A + sum_k s_k (s_k - 1),
-//    with A restless agents, S = n - A passive agents and s_k passive
-//    agents at key k. All three terms are maintained incrementally, the
-//    wait until the next active interaction is Geometric(W / n(n-1)), and
-//    the active pair is sampled from the exact conditional distribution by
-//    case-splitting on the three terms. A mostly-Settled population (the
-//    regime of the Observation 2.6 detection experiments) fast-forwards
-//    through Theta(n^2) null interactions in O(1).
-//  * Otherwise, when a drawn pair (a, b) is null, the run of consecutive
-//    identical (a, b) draws is Geometric too; the backend samples its
-//    length, accounts the whole run at once, and then redraws from the
-//    exact conditional distribution (rejection against the just-finished
-//    pair), which pays off whenever counts are concentrated on few states.
+// The engine is assembled from the sampling kernels in
+// core/batch_kernels.h and advances with a runtime-selectable strategy
+// (core/engine.h's BatchStrategy):
 //
-// Weighted state sampling uses a Fenwick (binary indexed) tree: O(log |Q|)
-// per draw and per count update, so even |Q| = 35 n = 3.5e8 state spaces
-// (Optimal-Silent-SSR at n = 10^7) sample efficiently.
+//  * kGeometricSkip — skip runs of provably-null draws in one geometric
+//    jump, then simulate the next candidate interaction individually.
+//    Which jumps are available depends on the protocol's declared
+//    structure, checked in order:
+//      - DiagonalActiveProtocol (non-null pairs have equal states, e.g.
+//        Silent-n-state-SSR): W = sum_q active(q) m_q (m_q - 1), whole
+//        Theta(n^2)-step null stretches cost O(1);
+//      - KeyedPassiveProtocol (null iff both passive with distinct keys,
+//        e.g. Optimal-Silent-SSR with passive = Settled, key = rank):
+//        W = A(n-1) + SA + sum_k s_k (s_k - 1), maintained incrementally,
+//        with exact 3-case conditional pair sampling;
+//      - UnkeyedPassiveProtocol (both passive => null, no key, e.g.
+//        ResetProcess with passive = computing, one-way epidemics with
+//        passive = infected): W = A(n-1) + SA with 2-case sampling;
+//      - otherwise (NullPairProtocol) runs of one identical null pair are
+//        geometric in that pair's own probability.
+//  * kMultinomial — the ppsim-style batch step (Berenbrink et al.; Doty &
+//    Severson's ppsim): simulate a whole collision-free prefix of
+//    ~sqrt(pi n / 8) interactions at once by sampling its sender/receiver
+//    state multisets hypergeometrically from the counts and applying
+//    transitions per ordered (s1, s2) pair in bulk through a cached delta
+//    table, then replay the one colliding interaction exactly. Optimal in
+//    timer-heavy regimes where nearly every interaction is effective and
+//    the geometric skip degenerates to one-by-one simulation.
+//  * kAuto — pick per step from the exact active-weight density
+//    W / n(n-1) when the protocol exposes an active weight (diagonal /
+//    keyed / unkeyed structures); multinomial above 1/16, geometric below.
 //
-// BatchSimulation<P> satisfies the Engine and CountEngine concepts of
-// core/engine.h; protocol event counters live engine-side (counters()).
+// While the multinomial kernel drives the run it never touches the
+// geometric paths' Fenwick trees (the full-|Q| count tree is hundreds of MB
+// for Optimal-Silent-SSR at n >= 10^6, so per-delta updates there would
+// dominate); the engine instead keeps the active-weight *scalars* current,
+// records which codes diverged, and replays them into the trees before the
+// next geometric-skip step.
+//
+// BatchSimulation<P> satisfies the Engine, CountEngine and StrategyEngine
+// concepts of core/engine.h; protocol event counters live engine-side
+// (counters()).
 #pragma once
 
 #include <algorithm>
@@ -52,73 +63,17 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_kernels.h"
+#include "core/engine.h"
 #include "core/protocol.h"
 #include "core/rng.h"  // sample_geometric
 
 namespace ppsim {
 
-// Fenwick tree over per-state weights, supporting O(log |Q|) point update
-// and O(log |Q|) sampling of an index with probability weight/total.
-class WeightedSampler {
- public:
-  explicit WeightedSampler(std::uint32_t size) : tree_(size + 1, 0) {}
-
-  // O(size) bulk construction from a full weight vector (replaces any
-  // existing content) — point-adds would cost O(size log size).
-  void build(const std::vector<std::uint64_t>& weights) {
-    std::fill(tree_.begin(), tree_.end(), 0);
-    for (std::uint32_t i = 1; i < tree_.size(); ++i) {
-      tree_[i] += weights[i - 1];
-      const std::uint32_t parent = i + (i & (~i + 1));
-      if (parent < tree_.size()) tree_[parent] += tree_[i];
-    }
-  }
-
-  void add(std::uint32_t index, std::int64_t delta) {
-    for (std::uint32_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
-      tree_[i] += static_cast<std::uint64_t>(delta);
-  }
-
-  std::uint64_t total() const {
-    std::uint64_t sum = 0;
-    for (std::uint32_t i = static_cast<std::uint32_t>(tree_.size()) - 1; i > 0;
-         i -= i & (~i + 1))
-      sum += tree_[i];
-    return sum;
-  }
-
-  // Returns the smallest index such that the prefix sum through it exceeds
-  // `target` (target in [0, total())): samples index ∝ weight.
-  std::uint32_t find(std::uint64_t target) const {
-    std::uint32_t pos = 0;
-    std::uint32_t mask = 1;
-    while ((mask << 1) < tree_.size()) mask <<= 1;
-    for (; mask > 0; mask >>= 1) {
-      const std::uint32_t next = pos + mask;
-      if (next < tree_.size() && tree_[next] <= target) {
-        target -= tree_[next];
-        pos = next;
-      }
-    }
-    return pos;  // 0-based index
-  }
-
- private:
-  std::vector<std::uint64_t> tree_;  // 1-based internal indexing
-};
-
 struct BatchStepStats {
   std::uint64_t effective = 0;  // interactions simulated individually
-  std::uint64_t batched = 0;    // null interactions accounted in bulk
-};
-
-// One count change applied by the last effective step: counts()[code]
-// moved by delta. At most four entries per step (two agents, two states
-// each). Lets analysis code (e.g. the generic ranked-run harness) keep
-// incremental trackers without rescanning O(|Q|) counts.
-struct CountDelta {
-  std::uint32_t code;
-  std::int32_t delta;
+  std::uint64_t batched = 0;    // interactions accounted in bulk
+  std::uint64_t multinomial_batches = 0;  // multinomial batch steps taken
 };
 
 template <EnumerableProtocol P>
@@ -130,26 +85,22 @@ class BatchSimulation {
   // Member-initialization order (declaration order) makes counts_of safe
   // here: protocol_ is fully constructed before counts_ is initialized.
   BatchSimulation(P protocol, const std::vector<State>& initial,
-                  std::uint64_t seed)
+                  std::uint64_t seed,
+                  BatchStrategy strategy = BatchStrategy::kGeometricSkip)
       : protocol_(std::move(protocol)),
         counts_(counts_of(protocol_, initial)),
-        count_sampler_(protocol_.num_states()),
-        diag_sampler_(DiagonalActiveProtocol<P> ? protocol_.num_states() : 0),
-        restless_sampler_(keyed_only(protocol_.num_states())),
-        key_sampler_(keyed_only_keys()),
-        rng_(seed) {
+        rng_(seed),
+        strategy_(strategy) {
     init_samplers();
   }
 
   BatchSimulation(P protocol, std::vector<std::uint64_t> counts,
-                  std::uint64_t seed)
+                  std::uint64_t seed,
+                  BatchStrategy strategy = BatchStrategy::kGeometricSkip)
       : protocol_(std::move(protocol)),
         counts_(std::move(counts)),
-        count_sampler_(protocol_.num_states()),
-        diag_sampler_(DiagonalActiveProtocol<P> ? protocol_.num_states() : 0),
-        restless_sampler_(keyed_only(protocol_.num_states())),
-        key_sampler_(keyed_only_keys()),
-        rng_(seed) {
+        rng_(seed),
+        strategy_(strategy) {
     init_samplers();
   }
 
@@ -175,31 +126,58 @@ class BatchSimulation {
   const BatchStepStats& stats() const { return stats_; }
 
   // Count changes applied by the most recent effective step (empty right
-  // after construction and after a step() that returned 0).
+  // after construction and after a step() that returned 0). A multinomial
+  // step reports the whole batch's net change per code.
   const std::vector<CountDelta>& last_deltas() const { return last_deltas_; }
 
-  // For diagonal and keyed-passive protocols: true iff no future interaction
-  // can change the configuration (the configuration is silent).
-  bool silent() const
-    requires DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P>
-  {
-    if constexpr (DiagonalActiveProtocol<P>) {
-      return diag_sampler_.total() == 0;
+  BatchStrategy strategy() const { return strategy_; }
+  void set_strategy(BatchStrategy s) { strategy_ = s; }
+
+  // The strategy the next step will actually run: resolves kAuto from the
+  // exact active-weight density when the protocol exposes one (protocols
+  // with only the generic null-pair predicate stay on the geometric path;
+  // protocols with no null knowledge always batch multinomially).
+  BatchStrategy resolved_strategy() const {
+    if (strategy_ != BatchStrategy::kAuto) return strategy_;
+    if constexpr (DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P> ||
+                  UnkeyedPassiveProtocol<P>) {
+      if (population_size() < kAutoMinPopulation)
+        return BatchStrategy::kGeometricSkip;
+      const double density =
+          static_cast<double>(active_weight()) / ordered_pairs();
+      return density >= kAutoDensityThreshold ? BatchStrategy::kMultinomial
+                                              : BatchStrategy::kGeometricSkip;
+    } else if constexpr (NullPairProtocol<P>) {
+      return BatchStrategy::kGeometricSkip;
     } else {
-      return active_weight_keyed() == 0;
+      return BatchStrategy::kMultinomial;
     }
   }
 
+  // For diagonal and passive-structured protocols: true iff no future
+  // interaction can change the configuration (the configuration is silent).
+  bool silent() const
+    requires DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P> ||
+             UnkeyedPassiveProtocol<P>
+  {
+    return active_weight() == 0;
+  }
+
   // Advances the simulation by at least one interaction (a whole batched
-  // null run counts as its true number of interactions). Returns the number
+  // stretch counts as its true number of interactions). Returns the number
   // of interactions consumed, 0 iff the configuration is provably stuck:
-  // zero active weight (diagonal/keyed protocols), or every agent in one
-  // null self-pairing state (null-aware general protocols).
+  // zero active weight (structured protocols), or every agent in one null
+  // self-pairing state (null-aware general protocols).
   std::uint64_t step() {
+    if (resolved_strategy() == BatchStrategy::kMultinomial)
+      return step_multinomial();
+    resync_fenwicks();
     if constexpr (DiagonalActiveProtocol<P>) {
       return step_diagonal();
     } else if constexpr (KeyedPassiveProtocol<P>) {
       return step_keyed();
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      return step_unkeyed();
     } else {
       return step_general();
     }
@@ -214,8 +192,9 @@ class BatchSimulation {
   }
 
   // Runs until done(*this) is true, checking after every configuration
-  // change (null runs cannot flip a configuration predicate). Returns true
-  // iff the predicate fired before `max_interactions`.
+  // change (null runs cannot flip a configuration predicate; a multinomial
+  // batch is checked at its end). Returns true iff the predicate fired
+  // before `max_interactions`.
   template <class Done>
   bool run_until(Done&& done, std::uint64_t max_interactions) {
     if (done(*this)) return true;
@@ -227,15 +206,17 @@ class BatchSimulation {
   }
 
  private:
-  static constexpr std::uint32_t keyed_only(std::uint32_t size) {
-    return KeyedPassiveProtocol<P> ? size : 0;
-  }
-  std::uint32_t keyed_only_keys() const {
-    if constexpr (KeyedPassiveProtocol<P>)
-      return protocol_.num_passive_keys();
-    else
-      return 0;
-  }
+  // kAuto switches to the multinomial batch once at least 1/16 of ordered
+  // pairs are active: below that, the geometric skip pays one cheap jump
+  // per effective interaction; above it, its jumps degenerate to wait = 1
+  // while the multinomial batch amortizes ~sqrt(n) interactions per step.
+  static constexpr double kAutoDensityThreshold = 1.0 / 16.0;
+  // ...but only when the population is large enough for ~0.63 sqrt(n)-
+  // interaction batches to amortize their fixed cost: measured crossover on
+  // the Optimal-Silent dormant countdown is n ~ 1-2e4 (bench_table1's
+  // strategy head-to-head), below which the geometric path's cache-hot
+  // Fenwick walks win even at density 1.
+  static constexpr std::uint32_t kAutoMinPopulation = 16'384;
 
   void init_samplers() {
     const std::uint32_t q = protocol_.num_states();
@@ -247,34 +228,31 @@ class BatchSimulation {
       throw std::invalid_argument("counts must sum to population size");
     count_sampler_.build(counts_);
     if constexpr (DiagonalActiveProtocol<P>) {
-      diag_active_.resize(q);
-      std::vector<std::uint64_t> diag(q, 0);
-      for (std::uint32_t s = 0; s < q; ++s) {
-        const State st = protocol_.decode(s);
-        diag_active_[s] = !protocol_.is_null_pair(st, st);
-        if (diag_active_[s]) diag[s] = diag_weight(s);
-      }
-      diag_sampler_.build(diag);
+      diag_kernel_.build(protocol_, counts_);
     } else if constexpr (KeyedPassiveProtocol<P>) {
-      key_counts_.assign(protocol_.num_passive_keys(), 0);
-      // Point-adds over occupied states only: at most n of the |Q| codes
-      // are occupied, so this beats a dense O(|Q|) weight-vector build
-      // (and avoids allocating a second |Q|-sized temporary — |Q| = 35n
-      // for Optimal-Silent-SSR, so construction cost matters at n = 10^6+).
-      for (std::uint32_t s = 0; s < q; ++s) {
-        if (counts_[s] == 0) continue;
-        const State st = protocol_.decode(s);
-        if (protocol_.is_passive(st)) {
-          key_counts_[protocol_.passive_key(st)] += counts_[s];
-        } else {
-          restless_sampler_.add(s, static_cast<std::int64_t>(counts_[s]));
-        }
-      }
-      std::vector<std::uint64_t> key_w(key_counts_.size(), 0);
-      for (std::uint32_t k = 0; k < key_counts_.size(); ++k)
-        key_w[k] = pair_weight(key_counts_[k]);
-      key_sampler_.build(key_w);
+      keyed_kernel_.build(protocol_, counts_);
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      unkeyed_kernel_.build(protocol_, counts_);
     }
+    // The occupied pool costs one O(|Q|) scan to build and O(log occ) per
+    // count change to maintain; pay that at construction (like the Fenwick
+    // builds above) only when some step can actually resolve to the
+    // multinomial batch. Under kAuto with a structured protocol below the
+    // population floor that never happens, and an engine pinned to the
+    // geometric path never batches either; both skip the pool entirely.
+    // (A later set_strategy() is still safe: run_batch builds lazily.)
+    constexpr bool structured = DiagonalActiveProtocol<P> ||
+                                KeyedPassiveProtocol<P> ||
+                                UnkeyedPassiveProtocol<P>;
+    // Mirror of resolved_strategy(): under kAuto, structured protocols can
+    // batch only above the population floor, and unstructured protocols
+    // only when they have no null-pair predicate at all.
+    constexpr bool auto_can_batch = structured || !NullPairProtocol<P>;
+    const bool may_batch =
+        strategy_ == BatchStrategy::kMultinomial ||
+        (strategy_ == BatchStrategy::kAuto && auto_can_batch &&
+         (!structured || population_size() >= kAutoMinPopulation));
+    if (may_batch) multi_kernel_.ensure_built(counts_);
   }
 
   static std::vector<std::uint64_t> counts_of(const P& protocol,
@@ -292,45 +270,80 @@ class BatchSimulation {
     return counts;
   }
 
-  static std::uint64_t pair_weight(std::uint64_t m) {
-    return m * (m > 0 ? m - 1 : 0);
-  }
-
-  std::uint64_t diag_weight(std::uint32_t s) const {
-    return pair_weight(counts_[s]);
-  }
-
   double ordered_pairs() const {
     const double n = static_cast<double>(population_size());
     return n * (n - 1.0);
   }
 
-  void apply_count_delta(std::uint32_t s, std::int64_t delta) {
+  std::uint64_t active_weight() const {
     if constexpr (DiagonalActiveProtocol<P>) {
-      if (diag_active_[s])
-        diag_sampler_.add(s, -static_cast<std::int64_t>(diag_weight(s)));
+      return diag_kernel_.total();
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      return keyed_kernel_.weights(population_size()).total;
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      return unkeyed_kernel_.weights(population_size()).total;
+    } else {
+      return 0;  // unreachable: callers are constrained to structured P
     }
+  }
+
+  // Eager count change: counts, the full-|Q| count tree, the structure
+  // kernel's trees and scalars, and the multinomial pool all move together.
+  // Used by every individually-simulated interaction.
+  void apply_count_delta(std::uint32_t s, std::int64_t delta) {
+    const std::uint64_t old_count = counts_[s];
     counts_[s] = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(counts_[s]) + delta);
+        static_cast<std::int64_t>(old_count) + delta);
     count_sampler_.add(s, delta);
     if constexpr (DiagonalActiveProtocol<P>) {
-      if (diag_active_[s])
-        diag_sampler_.add(s, static_cast<std::int64_t>(diag_weight(s)));
+      diag_kernel_.on_count_change(s, old_count, counts_[s], /*lazy=*/false);
     } else if constexpr (KeyedPassiveProtocol<P>) {
-      const State st = protocol_.decode(s);
-      if (protocol_.is_passive(st)) {
-        const std::uint32_t k = protocol_.passive_key(st);
-        key_sampler_.add(
-            k, -static_cast<std::int64_t>(pair_weight(key_counts_[k])));
-        key_counts_[k] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(key_counts_[k]) + delta);
-        key_sampler_.add(
-            k, static_cast<std::int64_t>(pair_weight(key_counts_[k])));
-      } else {
-        restless_sampler_.add(s, delta);
+      keyed_kernel_.on_count_change(protocol_, s, delta, /*lazy=*/false);
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      unkeyed_kernel_.on_count_change(protocol_, s, delta, /*lazy=*/false);
+    }
+    multi_kernel_.on_external_change(s, delta);
+    last_deltas_.push_back(CountDelta{s, static_cast<std::int32_t>(delta)});
+  }
+
+  // Lazy count change: the multinomial kernel already updated counts_ and
+  // its own pool; here the active-weight scalars are kept current and the
+  // Fenwick divergence is recorded for resync_fenwicks().
+  void note_lazy_delta(std::uint32_t code, std::int32_t delta) {
+    fenwicks_dirty_ = true;
+    const std::uint64_t now = counts_[code];
+    const std::uint64_t old_count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(now) - delta);
+    dirty_codes_.find_or_insert(code, old_count);  // first old value wins
+    if constexpr (DiagonalActiveProtocol<P>) {
+      diag_kernel_.on_count_change(code, old_count, now, /*lazy=*/true);
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      keyed_kernel_.on_count_change(protocol_, code, delta, /*lazy=*/true);
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      unkeyed_kernel_.on_count_change(protocol_, code, delta, /*lazy=*/true);
+    }
+  }
+
+  void resync_fenwicks() {
+    if (!fenwicks_dirty_) return;
+    for (std::uint32_t slot : dirty_codes_.entry_slots()) {
+      const auto code = static_cast<std::uint32_t>(dirty_codes_.key_at(slot));
+      const std::uint64_t old_count = dirty_codes_.value_at(slot);
+      const std::uint64_t now = counts_[code];
+      const std::int64_t d = static_cast<std::int64_t>(now) -
+                             static_cast<std::int64_t>(old_count);
+      if (d != 0) count_sampler_.add(code, d);
+      if constexpr (DiagonalActiveProtocol<P>) {
+        diag_kernel_.resync_code(code, old_count, now);
+      } else if constexpr (KeyedPassiveProtocol<P>) {
+        keyed_kernel_.resync_code(protocol_, code, old_count, now);
+      } else if constexpr (UnkeyedPassiveProtocol<P>) {
+        unkeyed_kernel_.resync_code(protocol_, code, old_count, now);
       }
     }
-    last_deltas_.push_back(CountDelta{s, static_cast<std::int32_t>(delta)});
+    if constexpr (KeyedPassiveProtocol<P>) keyed_kernel_.resync_keys();
+    dirty_codes_.clear();
+    fenwicks_dirty_ = false;
   }
 
   // Applies interact() to one (a, b) state pair drawn by the scheduler and
@@ -352,13 +365,48 @@ class BatchSimulation {
     }
   }
 
+  // --- Multinomial batch step ----------------------------------------------
+
+  std::uint64_t step_multinomial() {
+    if constexpr (DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P> ||
+                  UnkeyedPassiveProtocol<P>) {
+      if (active_weight() == 0) {  // silent forever
+        last_deltas_.clear();
+        return 0;
+      }
+    } else if constexpr (NullPairProtocol<P>) {
+      // The only stuck configuration a structureless protocol can certify:
+      // every agent in one state whose self-pairing is null.
+      multi_kernel_.ensure_built(counts_);
+      std::uint32_t only;
+      if (multi_kernel_.single_occupied_code(only)) {
+        const State s = protocol_.decode(only);
+        if (protocol_.is_null_pair(s, s)) {
+          last_deltas_.clear();
+          return 0;
+        }
+      }
+    }
+    last_deltas_.clear();
+    const std::uint64_t consumed = multi_kernel_.run_batch(
+        protocol_, counts_, rng_, counters_, last_deltas_);
+    for (const CountDelta& d : last_deltas_) note_lazy_delta(d.code, d.delta);
+    interactions_ += consumed;
+    stats_.batched += consumed - 1;
+    ++stats_.effective;
+    ++stats_.multinomial_batches;
+    return consumed;
+  }
+
+  // --- Geometric-skip steps ------------------------------------------------
+
   // Diagonal fast path: every non-null pair has equal states, so the wait
   // until the next effective interaction is Geometric(W / n(n-1)) with
   // W = sum over active q of m_q (m_q - 1), and the colliding state is
   // drawn ∝ m_q (m_q - 1). Identical in distribution to stepping one
   // interaction at a time (compare SilentNStateFast).
   std::uint64_t step_diagonal() {
-    const std::uint64_t w = diag_sampler_.total();
+    const std::uint64_t w = diag_kernel_.total();
     if (w == 0) {  // silent forever
       last_deltas_.clear();
       return 0;
@@ -368,120 +416,59 @@ class BatchSimulation {
     interactions_ += wait;
     stats_.batched += wait - 1;
     ++stats_.effective;
-    const std::uint32_t q = diag_sampler_.find(rng_.below(w));
+    const std::uint32_t q = diag_kernel_.sample(rng_);
     apply_interaction(q, q);
     return wait;
   }
 
-  // --- Keyed-passive fast path ---------------------------------------------
-  //
-  // Ordered active pairs partition exactly into
-  //   (1) restless initiator, any responder:        A (n - 1)
-  //   (2) passive initiator, restless responder:    S A
-  //   (3) both passive with the same key:           D = sum_k s_k (s_k - 1)
-  // (check: n(n-1) - [passive pairs with distinct keys] = A(n-1) + SA + D).
-  // The wait until the next active interaction is Geometric(W / n(n-1)) and
-  // the active pair is drawn by case-splitting on the three weights; each
-  // case samples its conditional distribution exactly.
-
-  // The three-term active-weight partition, computed in one place so that
-  // silent() and step_keyed() can never drift apart.
-  struct KeyedWeights {
-    std::uint64_t restless = 0;  // A
-    std::uint64_t diag = 0;      // D = sum_k s_k (s_k - 1)
-    std::uint64_t w1 = 0;        // A (n - 1)
-    std::uint64_t w2 = 0;        // S A
-    std::uint64_t total = 0;     // W = w1 + w2 + D
-  };
-
-  KeyedWeights keyed_weights() const {
-    const std::uint64_t n = population_size();
-    KeyedWeights kw;
-    kw.restless = restless_sampler_.total();
-    kw.diag = key_sampler_.total();
-    kw.w1 = kw.restless * (n - 1);
-    kw.w2 = (n - kw.restless) * kw.restless;
-    kw.total = kw.w1 + kw.w2 + kw.diag;
-    return kw;
-  }
-
-  std::uint64_t active_weight_keyed() const { return keyed_weights().total; }
-
+  // Keyed-passive fast path: the wait until the next active interaction is
+  // Geometric(W / n(n-1)) and the active pair is drawn by case-splitting on
+  // the kernel's three-term weight partition (see batch_kernels.h).
   std::uint64_t step_keyed() {
     const std::uint64_t n = population_size();
-    const KeyedWeights kw = keyed_weights();
-    const std::uint64_t restless = kw.restless;
-    const std::uint64_t d = kw.diag;
-    const std::uint64_t w1 = kw.w1;
-    const std::uint64_t w2 = kw.w2;
-    const std::uint64_t w = kw.total;
-    if (w == 0) {  // every pair is passive-distinct-key: silent forever
+    const auto kw = keyed_kernel_.weights(n);
+    if (kw.total == 0) {  // every pair is passive-distinct-key: silent
       last_deltas_.clear();
       return 0;
     }
     std::uint64_t wait = 1;
-    if (w < n * (n - 1)) {
-      const double p = static_cast<double>(w) / ordered_pairs();
+    if (kw.total < n * (n - 1)) {
+      const double p = static_cast<double>(kw.total) / ordered_pairs();
       wait = sample_geometric(rng_, p);
     }
     interactions_ += wait;
     stats_.batched += wait - 1;
     ++stats_.effective;
-
-    const std::uint64_t x = rng_.below(w);
-    std::uint32_t a_code, b_code;
-    if (x < w1) {
-      // (1) restless initiator; responder uniform over the other n-1 agents
-      // (same count vector with one agent in the initiator's state removed).
-      a_code = restless_sampler_.find(rng_.below(restless));
-      count_sampler_.add(a_code, -1);
-      b_code = count_sampler_.find(rng_.below(n - 1));
-      count_sampler_.add(a_code, +1);
-    } else if (x < w1 + w2) {
-      // (2) passive initiator by rejection against the full count vector
-      // (P[passive] = S/n per try; this branch is drawn with probability
-      // ∝ S, so the expected rejection work per step is O(1)); restless
-      // responder directly.
-      for (;;) {
-        a_code = count_sampler_.find(rng_.below(n));
-        if (protocol_.is_passive(protocol_.decode(a_code))) break;
-      }
-      b_code = restless_sampler_.find(rng_.below(restless));
-    } else {
-      // (3) a same-key passive pair: key ∝ s_k (s_k - 1), then the ordered
-      // pair inside the key's fiber ∝ m_q (m_q' - [q = q']).
-      const std::uint32_t k = key_sampler_.find(rng_.below(d));
-      const std::vector<std::uint32_t> fiber = protocol_.passive_fiber(k);
-      a_code = pick_in_fiber(fiber, rng_.below(key_counts_[k]),
-                             /*exclude=*/fiber.size(), 0);
-      b_code = pick_in_fiber(fiber, rng_.below(key_counts_[k] - 1),
-                             /*exclude_pos=*/find_pos(fiber, a_code), 1);
-    }
-    apply_interaction(a_code, b_code);
+    const auto [a, b] = keyed_kernel_.sample_pair(rng_, protocol_,
+                                                  count_sampler_, counts_, n,
+                                                  kw);
+    apply_interaction(a, b);
     return wait;
   }
 
-  static std::size_t find_pos(const std::vector<std::uint32_t>& fiber,
-                              std::uint32_t code) {
-    for (std::size_t i = 0; i < fiber.size(); ++i)
-      if (fiber[i] == code) return i;
-    return fiber.size();
-  }
-
-  // Samples a code from `fiber` with weight counts_[code], minus `discount`
-  // on the entry at `exclude_pos` (used to remove the already-chosen
-  // initiator agent from the responder draw).
-  std::uint32_t pick_in_fiber(const std::vector<std::uint32_t>& fiber,
-                              std::uint64_t target, std::size_t exclude_pos,
-                              std::uint64_t discount) const {
-    for (std::size_t i = 0; i < fiber.size(); ++i) {
-      std::uint64_t weight = counts_[fiber[i]];
-      if (i == exclude_pos) weight -= discount;
-      if (target < weight) return fiber[i];
-      target -= weight;
+  // Unkeyed-passive fast path: both-passive pairs are null by the declared
+  // structure, so candidate pairs (at least one restless agent) arrive at
+  // rate W / n(n-1) and are simulated individually (they may still turn out
+  // null — that costs one simulated interaction, not a missed skip).
+  std::uint64_t step_unkeyed() {
+    const std::uint64_t n = population_size();
+    const auto kw = unkeyed_kernel_.weights(n);
+    if (kw.total == 0) {  // every agent passive: silent forever
+      last_deltas_.clear();
+      return 0;
     }
-    throw std::logic_error(
-        "passive_fiber inconsistent with counts: fiber weight exhausted");
+    std::uint64_t wait = 1;
+    if (kw.total < n * (n - 1)) {
+      const double p = static_cast<double>(kw.total) / ordered_pairs();
+      wait = sample_geometric(rng_, p);
+    }
+    interactions_ += wait;
+    stats_.batched += wait - 1;
+    ++stats_.effective;
+    const auto [a, b] = unkeyed_kernel_.sample_pair(rng_, protocol_,
+                                                    count_sampler_, n, kw);
+    apply_interaction(a, b);
+    return wait;
   }
 
   // General path: draw the ordered state pair exactly; when the protocol
@@ -490,12 +477,7 @@ class BatchSimulation {
   // redraw conditioned on "not that pair again" by rejection.
   std::uint64_t step_general() {
     const std::uint64_t n = population_size();
-    std::uint32_t a = count_sampler_.find(rng_.below(n));
-    // Responder is uniform over the other n-1 agents: same count vector
-    // with one agent in state a removed.
-    count_sampler_.add(a, -1);
-    std::uint32_t b = count_sampler_.find(rng_.below(n - 1));
-    count_sampler_.add(a, +1);
+    const auto [a, b] = sample_ordered_state_pair(rng_, count_sampler_, n);
 
     if constexpr (NullPairProtocol<P>) {
       const State sa = protocol_.decode(a);
@@ -522,10 +504,8 @@ class BatchSimulation {
         // The next draw is conditioned != (a, b); rejection is exact and
         // terminates fast because P[reject] = pq < 1.
         for (;;) {
-          std::uint32_t a2 = count_sampler_.find(rng_.below(n));
-          count_sampler_.add(a2, -1);
-          std::uint32_t b2 = count_sampler_.find(rng_.below(n - 1));
-          count_sampler_.add(a2, +1);
+          const auto [a2, b2] =
+              sample_ordered_state_pair(rng_, count_sampler_, n);
           if (a2 == a && b2 == b) continue;
           ++interactions_;
           ++stats_.effective;
@@ -542,17 +522,18 @@ class BatchSimulation {
 
   P protocol_;
   std::vector<std::uint64_t> counts_;
-  WeightedSampler count_sampler_;  // weight m_q: scheduler state draws
-  WeightedSampler diag_sampler_;   // weight m_q (m_q - 1) on active states
-  std::vector<char> diag_active_;  // diagonal protocols only
-  // Keyed-passive protocols only:
-  WeightedSampler restless_sampler_;        // weight m_q on non-passive states
-  WeightedSampler key_sampler_;             // weight s_k (s_k - 1) per key
-  std::vector<std::uint64_t> key_counts_;   // s_k: passive agents per key
+  WeightedSampler count_sampler_;           // weight m_q: scheduler draws
+  DiagonalKernel<P> diag_kernel_;           // diagonal protocols only
+  KeyedPassiveKernel<P> keyed_kernel_;      // keyed-passive protocols only
+  UnkeyedPassiveKernel<P> unkeyed_kernel_;  // unkeyed-passive protocols only
+  MultinomialKernel<P> multi_kernel_;       // built lazily on first use
   Rng rng_;
+  BatchStrategy strategy_ = BatchStrategy::kGeometricSkip;
   std::uint64_t interactions_ = 0;
   BatchStepStats stats_;
   std::vector<CountDelta> last_deltas_;
+  FlatMap64 dirty_codes_;  // code -> count the Fenwick trees still reflect
+  bool fenwicks_dirty_ = false;
   [[no_unique_address]] Counters counters_{};
 };
 

@@ -20,12 +20,55 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/protocol.h"
 #include "core/scheduler.h"
 
 namespace ppsim {
+
+// How a count engine advances time between configuration changes:
+//   kGeometricSkip - jump over provably-null stretches with one geometric
+//                    draw, then simulate the next candidate interaction
+//                    individually (optimal when effective interactions are
+//                    rare: silent-heavy regimes, detection waits)
+//   kMultinomial   - simulate a whole Theta(sqrt(n))-interaction
+//                    collision-free batch at once by sampling its state
+//                    multiset hypergeometrically (ppsim-style; optimal when
+//                    nearly every interaction is effective: timer-driven
+//                    countdowns)
+//   kAuto          - pick per step from the measured effective-interaction
+//                    density (the active-weight fraction W / n(n-1) when the
+//                    protocol exposes an exact active weight)
+enum class BatchStrategy : std::uint8_t {
+  kGeometricSkip,
+  kMultinomial,
+  kAuto,
+};
+
+inline const char* to_string(BatchStrategy s) {
+  switch (s) {
+    case BatchStrategy::kGeometricSkip: return "geometric_skip";
+    case BatchStrategy::kMultinomial: return "multinomial";
+    case BatchStrategy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+// Parses the --strategy= spelling used by the bench binaries.
+inline bool parse_strategy(const std::string& name, BatchStrategy& out) {
+  if (name == "geometric_skip" || name == "geometric") {
+    out = BatchStrategy::kGeometricSkip;
+  } else if (name == "multinomial") {
+    out = BatchStrategy::kMultinomial;
+  } else if (name == "auto") {
+    out = BatchStrategy::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 // Concept-probe predicate (requires-expressions cannot contain lambdas).
 struct NeverDone {
@@ -62,6 +105,18 @@ template <class E>
 concept AgentArrayEngine = Engine<E> && requires(E e, const E ce) {
   { ce.states() };
   { e.step() } -> std::same_as<AgentPair>;
+};
+
+// Count engines with a runtime-selectable batching strategy. strategy() is
+// the requested strategy; resolved_strategy() is what the next step will
+// actually run (they differ only under kAuto, which switches on the
+// measured effective-interaction density).
+template <class E>
+concept StrategyEngine = CountEngine<E> && requires(E e, const E ce,
+                                                    BatchStrategy s) {
+  { ce.strategy() } -> std::same_as<BatchStrategy>;
+  { ce.resolved_strategy() } -> std::same_as<BatchStrategy>;
+  { e.set_strategy(s) };
 };
 
 }  // namespace ppsim

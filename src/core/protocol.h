@@ -11,8 +11,14 @@
 //   RankingProtocol     - exposes rank_of() (the paper's SSR output)
 //   EnumerableProtocol  - finite state space coded as [0, num_states())
 //   NullPairProtocol    - can certify a pair as a no-op without randomness
+//   DeterministicProtocol  - interact() never consumes randomness, so the
+//                            batched engine may cache transitions per
+//                            ordered state pair and apply them in bulk
 //   DiagonalActiveProtocol - non-null pairs all have equal states
 //   KeyedPassiveProtocol   - null pairs are exactly "both passive, keys differ"
+//   UnkeyedPassiveProtocol - "both passive" is a *sufficient* condition for
+//                            null (no key); all-passive configurations are
+//                            silent
 #pragma once
 
 #include <concepts>
@@ -76,6 +82,13 @@ concept NullPairProtocol =
       { p.is_null_pair(a, b) } -> std::convertible_to<bool>;
     };
 
+// Protocols declaring (kDeterministicInteract = true) that interact() is a
+// deterministic function of the two input states: it never reads the Rng.
+// The multinomial batch kernel relies on this to memoize transitions per
+// ordered (s1, s2) code pair and apply k repetitions as one count update.
+template <class P>
+concept DeterministicProtocol = Protocol<P> && bool(P::kDeterministicInteract);
+
 // Protocols asserting that every non-null ordered pair has equal states
 // (all progress happens on the diagonal of Q x Q). Enables the exact
 // geometric fast-forward between effective interactions.
@@ -104,6 +117,21 @@ concept KeyedPassiveProtocol =
       { p.passive_fiber(k) } -> std::convertible_to<std::vector<std::uint32_t>>;
     };
 
+// Protocols declaring (kPassivePairsAreNull = true) the keyless passive
+// structure: any interaction between two passive agents is null, and a
+// configuration in which every agent is passive is therefore silent. Unlike
+// the keyed structure this is only a *sufficient* null condition — pairs
+// involving a non-passive agent may still be null and are simulated
+// individually (exact either way). ResetProcess (passive = computing, an
+// iff) and one-way epidemics (passive = infected, sufficient only) use it.
+template <class P>
+concept UnkeyedPassiveProtocol =
+    NullPairProtocol<P> && EnumerableProtocol<P> &&
+    bool(P::kPassivePairsAreNull) &&
+    requires(const P p, const typename P::State& s) {
+      { p.is_passive(s) } -> std::convertible_to<bool>;
+    };
+
 // --- Engine-side counters plumbing -----------------------------------------
 
 // Placeholder counters type for plain protocols (zero size in the engine).
@@ -123,6 +151,14 @@ struct ProtocolCountersImpl<P> {
 // The counters struct an engine must own for protocol P.
 template <class P>
 using ProtocolCounters = typename detail::ProtocolCountersImpl<P>::type;
+
+// Counters that support bulk accumulation: c.add_scaled(delta, k) must be
+// equivalent to adding `delta` into `c` k times. Required for the
+// multinomial batch kernel to cache the counter increments of a
+// deterministic transition alongside its state outputs.
+template <class C>
+concept ScalableCounters =
+    requires(C c, const C& delta, std::uint64_t k) { c.add_scaled(delta, k); };
 
 // Applies one transition, routing counters to observable protocols.
 template <Protocol P>

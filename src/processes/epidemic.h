@@ -1,10 +1,19 @@
-// The two-way epidemic process (Section 2.1).
+// The epidemic processes (Section 2.1).
 //
-// Agents hold infected ∈ {true,false} and update
+// Two-way: agents hold infected ∈ {true,false} and update
 //   a.infected, b.infected <- a.infected OR b.infected.
 // T_n is the number of interactions until everyone is infected; Lemma 2.7 /
 // Corollary 2.8 give E[T_n] = (n-1) * H_{n-1} ~ n ln n and
 // P[T_n > 3 n ln n] < 1/n^2.
+//
+// One-way: only the initiator transmits (b.infected <- b.infected OR
+// a.infected), the variant the paper's propagating-variable arguments
+// (Observation 3.1) are phrased over. OneWayEpidemic below is a proper
+// Protocol — enumerable (2 states) and declaring the unkeyed passive
+// structure (passive = infected: two infected agents never change), so the
+// count-based batched backend can geometric-skip the infected-infected
+// stretches that dominate endgame and residual-susceptibility workloads at
+// scale (bench_propagate_reset exercises it at n = 10^6+).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,50 @@
 #include "core/scheduler.h"
 
 namespace ppsim {
+
+class OneWayEpidemic {
+ public:
+  struct State {
+    bool infected = false;
+  };
+
+  // interact() never reads the Rng.
+  static constexpr bool kDeterministicInteract = true;
+  // Unkeyed passive structure: two infected agents are always null. (This
+  // is a sufficient condition only — pairs with a susceptible initiator are
+  // also null and are simulated individually, which is exact either way.)
+  static constexpr bool kPassivePairsAreNull = true;
+
+  explicit OneWayEpidemic(std::uint32_t n) : n_(n) {
+    if (n < 2) throw std::invalid_argument("population size must be >= 2");
+  }
+
+  std::uint32_t population_size() const { return n_; }
+
+  void interact(State& initiator, State& responder, Rng&) const {
+    if (initiator.infected) responder.infected = true;
+  }
+
+  // EnumerableProtocol: Q = {susceptible = 0, infected = 1}.
+  std::uint32_t num_states() const { return 2; }
+  std::uint32_t encode(const State& s) const { return s.infected ? 1 : 0; }
+  State decode(std::uint32_t code) const { return State{code != 0}; }
+
+  bool is_null_pair(const State& a, const State& b) const {
+    return !a.infected || b.infected;
+  }
+  bool is_passive(const State& s) const { return s.infected; }
+
+ private:
+  std::uint32_t n_;
+};
+
+// Count vector for a one-way epidemic with `infected` infected agents.
+inline std::vector<std::uint64_t> one_way_epidemic_counts(
+    std::uint32_t n, std::uint64_t infected) {
+  if (infected > n) throw std::invalid_argument("infected > population");
+  return {n - infected, infected};
+}
 
 struct EpidemicResult {
   std::uint64_t interactions = 0;

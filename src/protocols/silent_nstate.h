@@ -26,6 +26,10 @@ class SilentNStateSSR {
   // geometric-skip every unequal-rank draw (core/batch_simulation.h).
   static constexpr bool kActiveRequiresEqualStates = true;
 
+  // interact() never reads the Rng: transitions are cacheable per ordered
+  // state-code pair (multinomial batch strategy).
+  static constexpr bool kDeterministicInteract = true;
+
   explicit SilentNStateSSR(std::uint32_t n) : n_(n) {
     if (n < 2) throw std::invalid_argument("population size must be >= 2");
   }

@@ -1,0 +1,276 @@
+// Unit tests for the sampling kernels of core/batch_kernels.h: the flat
+// hash map, the occupied-code pool, the exact birthday-problem prefix
+// sampler, the extracted pair sampler, and the multinomial batch kernel's
+// conservation/bookkeeping invariants (its distributional exactness is
+// cross-validated against the other engines in
+// tests/engine_equivalence_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/batch_kernels.h"
+#include "core/batch_simulation.h"
+#include "core/rng.h"
+#include "processes/epidemic.h"
+#include "protocols/optimal_silent.h"
+
+namespace ppsim {
+namespace {
+
+// --- FlatMap64 --------------------------------------------------------------
+
+TEST(FlatMap64, InsertFindAddClear) {
+  FlatMap64 m;
+  EXPECT_TRUE(m.empty());
+  bool inserted = false;
+  const std::uint32_t slot = m.find_or_insert(42, 7, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(m.value_at(slot), 7u);
+  m.find_or_insert(42, 99, &inserted);
+  EXPECT_FALSE(inserted);  // existing value kept
+  EXPECT_EQ(*m.find(42), 7u);
+  EXPECT_EQ(m.find(43), nullptr);
+  m.add(42, -3);
+  EXPECT_EQ(static_cast<std::int64_t>(*m.find(42)), 4);
+  m.add(1000, 5);
+  EXPECT_EQ(m.size(), 2u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(42), nullptr);
+}
+
+TEST(FlatMap64, GrowsAndKeepsInsertionOrder) {
+  FlatMap64 m;
+  const std::uint64_t n = 1000;
+  for (std::uint64_t k = 0; k < n; ++k) m.find_or_insert(k * 977 + 3, k);
+  ASSERT_EQ(m.size(), n);
+  // Iteration follows insertion order even across growth rehashes.
+  std::uint64_t expect = 0;
+  for (std::uint32_t slot : m.entry_slots()) {
+    EXPECT_EQ(m.key_at(slot), expect * 977 + 3);
+    EXPECT_EQ(m.value_at(slot), expect);
+    ++expect;
+  }
+  for (std::uint64_t k = 0; k < n; ++k)
+    ASSERT_NE(m.find(k * 977 + 3), nullptr);
+}
+
+// --- OccupiedPool -----------------------------------------------------------
+
+TEST(OccupiedPool, BuildDrawRestoreConserves) {
+  std::vector<std::uint64_t> counts = {0, 5, 0, 3, 2, 0};
+  OccupiedPool pool;
+  EXPECT_FALSE(pool.built());
+  pool.build(counts);
+  EXPECT_TRUE(pool.built());
+  EXPECT_EQ(pool.total(), 10u);
+  EXPECT_EQ(pool.occupied(), 3u);
+
+  Rng rng(3);
+  std::vector<std::uint64_t> drawn(6, 0);
+  for (int i = 0; i < 10; ++i) ++drawn[pool.code_at(pool.draw_remove(rng))];
+  EXPECT_EQ(pool.total(), 0u);  // everything removed
+  EXPECT_EQ(drawn[1], 5u);      // without replacement: exact multiset
+  EXPECT_EQ(drawn[3], 3u);
+  EXPECT_EQ(drawn[4], 2u);
+  pool.restore_removed();
+  EXPECT_EQ(pool.total(), 10u);
+}
+
+TEST(OccupiedPool, ApplyDeltaCreatesSlotsAndCompacts) {
+  std::vector<std::uint64_t> counts(300, 0);
+  for (std::uint32_t c = 0; c < 150; ++c) counts[c] = 1;
+  OccupiedPool pool;
+  pool.build(counts);
+  EXPECT_EQ(pool.occupied(), 150u);
+  // Move everything onto a single fresh code: lots of zero slots, then a
+  // compaction.
+  for (std::uint32_t c = 0; c < 150; ++c) {
+    pool.apply_delta(c, -1);
+    pool.apply_delta(200 + (c % 3), +1);
+  }
+  EXPECT_EQ(pool.total(), 150u);
+  EXPECT_EQ(pool.occupied(), 3u);
+  // Compaction halves the dead slots repeatedly until the 64-slot floor.
+  EXPECT_LE(pool.slots(), 64u);
+  std::uint32_t code = 0;
+  EXPECT_FALSE(pool.single_occupied(code));
+  pool.apply_delta(200, +0);  // no-op
+  Rng rng(5);
+  std::vector<std::uint64_t> drawn(300, 0);
+  for (int i = 0; i < 150; ++i) ++drawn[pool.code_at(pool.draw_remove(rng))];
+  EXPECT_EQ(drawn[200] + drawn[201] + drawn[202], 150u);
+  pool.restore_removed();
+}
+
+TEST(OccupiedPool, SingleOccupied) {
+  std::vector<std::uint64_t> counts = {0, 0, 8};
+  OccupiedPool pool;
+  pool.build(counts);
+  std::uint32_t code = 0;
+  ASSERT_TRUE(pool.single_occupied(code));
+  EXPECT_EQ(code, 2u);
+  pool.apply_delta(0, +1);
+  EXPECT_FALSE(pool.single_occupied(code));
+}
+
+// --- Collision-free prefix --------------------------------------------------
+
+TEST(CollisionPrefix, ExactPmfAtN4) {
+  // n = 4: p_0 = 1, p_1 = (2)(1)/12 = 1/6, p_2 = 0, so
+  // P[L = 1] = 5/6, P[L = 2] = 1/6.
+  Rng rng(17);
+  CollisionPrefixSampler prefix;
+  prefix.build(4);
+  EXPECT_TRUE(prefix.built_for(4));
+  EXPECT_FALSE(prefix.built_for(5));
+  const std::uint32_t trials = 120'000;
+  std::uint32_t ones = 0, twos = 0;
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    const std::uint64_t l = prefix.sample(rng);
+    ASSERT_GE(l, 1u);
+    ASSERT_LE(l, 2u);
+    if (l == 1)
+      ++ones;
+    else
+      ++twos;
+  }
+  const double f1 = static_cast<double>(ones) / trials;
+  EXPECT_NEAR(f1, 5.0 / 6.0, 5.0 * std::sqrt((5.0 / 36.0) / trials));
+  EXPECT_EQ(ones + twos, trials);
+}
+
+TEST(CollisionPrefix, MeanMatchesAnalyticAtN10000) {
+  // E[L] = sum_i P[L >= i] = sum_i prod_{j<i} p_j, computed directly.
+  const std::uint64_t n = 10'000;
+  double expect = 0.0, g = 1.0;
+  for (std::uint64_t l = 0;; ++l) {
+    const double fresh = static_cast<double>(n) - 2.0 * l;
+    if (fresh < 2.0) break;
+    g *= fresh * (fresh - 1.0) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+    if (g < 1e-16) break;
+    expect += g;  // adds P[L >= l+1]
+  }
+  Rng rng(19);
+  CollisionPrefixSampler prefix;
+  prefix.build(n);
+  const std::uint32_t trials = 40'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    const double l = static_cast<double>(prefix.sample(rng));
+    sum += l;
+    sum2 += l * l;
+  }
+  const double mean = sum / trials;
+  const double sd = std::sqrt(sum2 / trials - mean * mean);
+  EXPECT_NEAR(mean, expect, 5.0 * sd / std::sqrt(trials));
+  // Sanity: the prefix is Theta(sqrt(n)).
+  EXPECT_GT(expect, 0.3 * std::sqrt(static_cast<double>(n)));
+  EXPECT_LT(expect, 1.0 * std::sqrt(static_cast<double>(n)));
+}
+
+// --- sample_ordered_state_pair ----------------------------------------------
+
+TEST(PairSampler, MatchesSchedulerPushforward) {
+  // counts = {2, 3}, n = 5: P[(0,0)] = 2*1/20, P[(0,1)] = 2*3/20,
+  // P[(1,0)] = 3*2/20, P[(1,1)] = 3*2/20.
+  WeightedSampler s(2);
+  s.add(0, 2);
+  s.add(1, 3);
+  Rng rng(23);
+  const std::uint32_t trials = 200'000;
+  std::uint32_t freq[2][2] = {{0, 0}, {0, 0}};
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    const auto [a, b] = sample_ordered_state_pair(rng, s, 5);
+    ++freq[a][b];
+  }
+  const double expect[2][2] = {{2.0 / 20, 6.0 / 20}, {6.0 / 20, 6.0 / 20}};
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b) {
+      const double f = static_cast<double>(freq[a][b]) / trials;
+      const double e = expect[a][b];
+      EXPECT_NEAR(f, e, 5.0 * std::sqrt(e * (1 - e) / trials))
+          << "(" << a << "," << b << ")";
+    }
+  // The sampler is restored after each draw.
+  EXPECT_EQ(s.total(), 5u);
+}
+
+// --- MultinomialKernel ------------------------------------------------------
+
+TEST(MultinomialKernel, OneWayEpidemicConservesAndProgresses) {
+  const std::uint32_t n = 64;
+  OneWayEpidemic proto(n);
+  std::vector<std::uint64_t> counts = one_way_epidemic_counts(n, 1);
+  MultinomialKernel<OneWayEpidemic> kernel;
+  Rng rng(29);
+  NoCounters nc;
+  std::vector<CountDelta> deltas;
+  std::uint64_t interactions = 0;
+  std::uint64_t prev_infected = 1;
+  while (counts[1] < n && interactions < (1u << 22)) {
+    deltas.clear();
+    interactions += kernel.run_batch(proto, counts, rng, nc, deltas);
+    ASSERT_EQ(counts[0] + counts[1], n);  // population conserved
+    ASSERT_GE(counts[1], prev_infected);  // infections never undone
+    prev_infected = counts[1];
+    for (const CountDelta& d : deltas) ASSERT_LT(d.code, 2u);
+  }
+  EXPECT_EQ(counts[1], n);  // completed
+  // ~n ln n interactions, not wildly off.
+  const double expect = n * std::log(n);
+  EXPECT_GT(static_cast<double>(interactions), 0.2 * expect);
+  EXPECT_LT(static_cast<double>(interactions), 30.0 * expect);
+}
+
+TEST(MultinomialKernel, OptimalSilentBatchesPreserveInvariants) {
+  const std::uint32_t n = 256;
+  // Small timer constants so the countdown machinery (timeouts, resets,
+  // recruits) actually fires within the test's batch budget.
+  OptimalSilentParams params;
+  params.n = n;
+  params.emax = 64;
+  params.dmax = 64;
+  params.rmax = 8;
+  OptimalSilentSSR proto(params);
+  // All-Unsettled start: the timer-heavy regime (every pair active).
+  std::vector<std::uint64_t> counts(proto.num_states(), 0);
+  OptimalSilentSSR::State u;
+  u.role = OsRole::Unsettled;
+  u.errorcount = params.emax;
+  counts[proto.encode(u)] = n;
+
+  MultinomialKernel<OptimalSilentSSR> kernel;
+  Rng rng(31);
+  OptimalSilentSSR::Counters c{};
+  std::vector<CountDelta> deltas;
+  std::uint64_t interactions = 0;
+  for (int batch = 0; batch < 2000; ++batch) {
+    deltas.clear();
+    const std::uint64_t consumed =
+        kernel.run_batch(proto, counts, rng, c, deltas);
+    ASSERT_GE(consumed, 2u);  // prefix >= 1 plus the collision
+    interactions += consumed;
+    std::uint64_t total = 0;
+    std::int64_t delta_sum = 0;
+    for (std::uint64_t m : counts) total += m;
+    for (const CountDelta& d : deltas) delta_sum += d.delta;
+    ASSERT_EQ(total, n);        // population conserved
+    ASSERT_EQ(delta_sum, 0);    // deltas are a closed rearrangement
+  }
+  // Batches amortize ~sqrt(n)+ interactions each.
+  EXPECT_GT(interactions, 2000ull * 5);
+  // The countdown ticked: timeout triggers eventually fire at errorcount 0
+  // after ~emax ticks per agent; at least *some* protocol events were
+  // counted through the scaled cache path.
+  EXPECT_GT(c.timeout_triggers + c.resets_executed + c.recruits, 0u);
+}
+
+static_assert(MultinomialKernel<OptimalSilentSSR>::kCacheable);
+static_assert(MultinomialKernel<OneWayEpidemic>::kCacheable);
+
+}  // namespace
+}  // namespace ppsim

@@ -1,0 +1,321 @@
+// Statistical exactness tests for core/discrete_samplers.h.
+//
+// Every sampler is compared against its closed-form pmf with a chi-square
+// goodness-of-fit test at significance ~1e-3 (Wilson-Hilferty critical
+// value), on fixed seeds so the suite is deterministic. The binomial cases
+// straddle the inversion/BTPE dispatch boundary n * min(p, 1-p) = 10 from
+// both sides, and the hypergeometric cases cover the sequential-inversion
+// branch, the HRUA branch, and the large-sample reflection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/discrete_samplers.h"
+#include "core/rng.h"
+
+namespace ppsim {
+namespace {
+
+// Upper ~0.001 quantile of chi-square with df degrees of freedom
+// (Wilson-Hilferty approximation; accurate to a few percent for df >= 3,
+// which only makes the tests slightly conservative or slightly lax — fixed
+// seeds keep them deterministic either way).
+double chi2_critical(double df) {
+  const double z = 3.09;  // standard normal upper 0.001 quantile
+  const double t = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  return df * t * t * t;
+}
+
+double log_choose(double n, double k) {
+  return log_gamma(n + 1.0) - log_gamma(k + 1.0) - log_gamma(n - k + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return std::exp(log_choose(nd, kd) + kd * std::log(p) +
+                  (nd - kd) * std::log1p(-p));
+}
+
+double hypergeometric_pmf(std::uint64_t good, std::uint64_t bad,
+                          std::uint64_t sample, std::uint64_t k) {
+  if (k > good || k > sample || sample - k > bad) return 0.0;
+  const double g = static_cast<double>(good);
+  const double b = static_cast<double>(bad);
+  const double s = static_cast<double>(sample);
+  const double kd = static_cast<double>(k);
+  return std::exp(log_choose(g, kd) + log_choose(b, s - kd) -
+                  log_choose(g + b, s));
+}
+
+// Chi-square against an arbitrary pmf over [0, support]: bins with expected
+// count < 8 are merged into their neighbor toward the mode, so the
+// asymptotic chi-square approximation holds.
+void expect_matches_pmf(const std::vector<std::uint64_t>& samples,
+                        std::uint64_t support_max,
+                        const std::function<double(std::uint64_t)>& pmf,
+                        const char* label) {
+  const double n = static_cast<double>(samples.size());
+  std::vector<double> observed(support_max + 2, 0.0);
+  for (std::uint64_t s : samples) {
+    ASSERT_LE(s, support_max) << label << ": sample beyond support";
+    observed[s] += 1.0;
+  }
+  std::vector<double> expected(support_max + 2, 0.0);
+  double mass = 0.0;
+  for (std::uint64_t k = 0; k <= support_max; ++k) {
+    expected[k] = n * pmf(k);
+    mass += pmf(k);
+  }
+  ASSERT_NEAR(mass, 1.0, 1e-9) << label << ": pmf does not sum to 1";
+
+  // Merge small-expectation bins left to right, then fold the remainder
+  // into the last kept bin.
+  std::vector<double> obs_bins, exp_bins;
+  double o = 0.0, e = 0.0;
+  for (std::uint64_t k = 0; k <= support_max; ++k) {
+    o += observed[k];
+    e += expected[k];
+    if (e >= 8.0) {
+      obs_bins.push_back(o);
+      exp_bins.push_back(e);
+      o = e = 0.0;
+    }
+  }
+  if (e > 0.0 && !exp_bins.empty()) {
+    obs_bins.back() += o;
+    exp_bins.back() += e;
+  }
+  ASSERT_GE(exp_bins.size(), 3u) << label << ": too few bins";
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < exp_bins.size(); ++i) {
+    const double d = obs_bins[i] - exp_bins[i];
+    chi2 += d * d / exp_bins[i];
+  }
+  const double df = static_cast<double>(exp_bins.size()) - 1.0;
+  EXPECT_LE(chi2, chi2_critical(df))
+      << label << ": chi2 = " << chi2 << " over " << exp_bins.size()
+      << " bins (critical " << chi2_critical(df) << ")";
+}
+
+// --- log_gamma --------------------------------------------------------------
+
+TEST(LogGamma, MatchesStdLgamma) {
+  for (double x : {0.5, 1.0, 1.5, 2.0, 3.25, 7.0, 7.5, 10.0, 123.4, 1e4,
+                   3.5e7}) {
+    const double expect = std::lgamma(x);
+    const double got = log_gamma(x);
+    EXPECT_NEAR(got, expect, 1e-10 * std::max(1.0, std::fabs(expect)))
+        << "x = " << x;
+  }
+}
+
+// --- binomial ---------------------------------------------------------------
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.3), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 1.0), 100u);
+  EXPECT_THROW(sample_binomial(rng, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(sample_binomial(rng, 10, 1.1), std::invalid_argument);
+  EXPECT_EQ(sample_binomial(rng, 1, 0.5) <= 1, true);
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+  const char* label;
+};
+
+class BinomialPmf : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialPmf, ChiSquareAgainstExactPmf) {
+  const auto& c = GetParam();
+  Rng rng(0xb1a5 + c.n);
+  const std::uint32_t trials = 200'000;
+  std::vector<std::uint64_t> xs(trials);
+  for (auto& x : xs) x = sample_binomial(rng, c.n, c.p);
+  expect_matches_pmf(
+      xs, c.n, [&](std::uint64_t k) { return binomial_pmf(c.n, c.p, k); },
+      c.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Branches, BinomialPmf,
+    ::testing::Values(
+        // Inversion branch, small mean.
+        BinomialCase{25, 0.3, "inversion n=25 p=0.3"},
+        // Boundary: n * p = 9.96 stays on inversion...
+        BinomialCase{119, 0.0837, "inversion boundary np=9.96"},
+        // ...and n * p = 10.2 crosses into BTPE.
+        BinomialCase{120, 0.085, "btpe boundary np=10.2"},
+        // Deep BTPE.
+        BinomialCase{1000, 0.37, "btpe n=1000 p=0.37"},
+        // p > 1/2: the reflected inversion branch (n q = 6.8).
+        BinomialCase{40, 0.83, "inversion reflected n=40 p=0.83"},
+        // p > 1/2 reflected BTPE.
+        BinomialCase{500, 0.9, "btpe reflected n=500 p=0.9"},
+        // Symmetric center.
+        BinomialCase{64, 0.5, "btpe n=64 p=0.5"}));
+
+TEST(Binomial, LargeNMeanAndVariance) {
+  Rng rng(7);
+  const std::uint64_t n = 1'000'000;
+  const double p = 0.3;
+  const std::uint32_t trials = 20'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    const double x = static_cast<double>(sample_binomial(rng, n, p));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sum2 / trials - mean * mean;
+  const double expect_mean = static_cast<double>(n) * p;
+  const double expect_var = expect_mean * (1.0 - p);
+  const double se_mean = std::sqrt(expect_var / trials);
+  EXPECT_NEAR(mean, expect_mean, 5.0 * se_mean);
+  EXPECT_NEAR(var, expect_var, 0.05 * expect_var);
+}
+
+// --- hypergeometric ---------------------------------------------------------
+
+TEST(Hypergeometric, EdgeCases) {
+  Rng rng(2);
+  EXPECT_EQ(sample_hypergeometric(rng, 5, 5, 0), 0u);
+  EXPECT_EQ(sample_hypergeometric(rng, 0, 9, 4), 0u);
+  EXPECT_EQ(sample_hypergeometric(rng, 9, 0, 4), 4u);
+  EXPECT_EQ(sample_hypergeometric(rng, 6, 4, 10), 6u);
+  EXPECT_THROW(sample_hypergeometric(rng, 3, 3, 7), std::invalid_argument);
+}
+
+struct HyperCase {
+  std::uint64_t good, bad, sample;
+  const char* label;
+};
+
+class HypergeometricPmf : public ::testing::TestWithParam<HyperCase> {};
+
+TEST_P(HypergeometricPmf, ChiSquareAgainstExactPmf) {
+  const auto& c = GetParam();
+  Rng rng(0x9e0 + c.good * 31 + c.sample);
+  const std::uint32_t trials = 200'000;
+  std::vector<std::uint64_t> xs(trials);
+  for (auto& x : xs) x = sample_hypergeometric(rng, c.good, c.bad, c.sample);
+  const std::uint64_t hi = c.good < c.sample ? c.good : c.sample;
+  expect_matches_pmf(
+      xs, hi,
+      [&](std::uint64_t k) {
+        return hypergeometric_pmf(c.good, c.bad, c.sample, k);
+      },
+      c.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Branches, HypergeometricPmf,
+    ::testing::Values(
+        // Sequential-inversion branch (sample < 10).
+        HyperCase{7, 9, 5, "hyp good=7 bad=9 sample=5"},
+        HyperCase{40, 3, 6, "hyp minority bad"},
+        // HRUA branch.
+        HyperCase{120, 200, 90, "hrua 120/200/90"},
+        HyperCase{60, 30, 40, "hrua good majority"},
+        // Reflection: sample > popsize/2.
+        HyperCase{50, 40, 70, "reflected 50/40/70"},
+        // Large population, batch-sized draw (the engine's regime).
+        HyperCase{5000, 95000, 600, "hrua 5000/95000/600"}));
+
+// --- multivariate hypergeometric --------------------------------------------
+
+TEST(MultivariateHypergeometric, SumsAndEmptyCategories) {
+  Rng rng(11);
+  const std::vector<std::uint64_t> counts = {3, 0, 25, 12, 60};
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < 2000; ++i) {
+    sample_multivariate_hypergeometric(rng, counts, 40, out);
+    ASSERT_EQ(out.size(), counts.size());
+    std::uint64_t sum = 0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      ASSERT_LE(out[j], counts[j]);
+      sum += out[j];
+    }
+    ASSERT_EQ(sum, 40u);
+    ASSERT_EQ(out[1], 0u);
+  }
+  EXPECT_THROW(sample_multivariate_hypergeometric(rng, counts, 1000, out),
+               std::invalid_argument);
+}
+
+TEST(MultivariateHypergeometric, MarginalMatchesUnivariatePmf) {
+  Rng rng(12);
+  const std::vector<std::uint64_t> counts = {3, 0, 25, 12, 60};
+  const std::uint64_t total = 100, k = 40;
+  const std::uint32_t trials = 100'000;
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> cat2(trials), cat4(trials);
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    sample_multivariate_hypergeometric(rng, counts, k, out);
+    cat2[i] = out[2];
+    cat4[i] = out[4];
+  }
+  expect_matches_pmf(
+      cat2, counts[2],
+      [&](std::uint64_t x) {
+        return hypergeometric_pmf(counts[2], total - counts[2], k, x);
+      },
+      "mvh marginal category 2");
+  expect_matches_pmf(
+      cat4, k,
+      [&](std::uint64_t x) {
+        return hypergeometric_pmf(counts[4], total - counts[4], k, x);
+      },
+      "mvh marginal category 4 (chained)");
+}
+
+// --- multinomial ------------------------------------------------------------
+
+TEST(Multinomial, SumsAndValidation) {
+  Rng rng(13);
+  std::vector<std::uint64_t> out;
+  sample_multinomial(rng, 100, {2.0, 1.0, 1.0}, out);
+  EXPECT_EQ(out[0] + out[1] + out[2], 100u);
+  sample_multinomial(rng, 0, {1.0, 1.0}, out);
+  EXPECT_EQ(out[0] + out[1], 0u);
+  EXPECT_THROW(sample_multinomial(rng, 5, {1.0, -1.0}, out),
+               std::invalid_argument);
+  EXPECT_THROW(sample_multinomial(rng, 5, {0.0, 0.0}, out),
+               std::invalid_argument);
+}
+
+TEST(Multinomial, MarginalsMatchBinomialPmf) {
+  Rng rng(14);
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  const std::uint64_t k = 64;
+  const std::uint32_t trials = 100'000;
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> cat0(trials), cat3(trials);
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    sample_multinomial(rng, k, probs, out);
+    std::uint64_t sum = 0;
+    for (auto v : out) sum += v;
+    ASSERT_EQ(sum, k);
+    cat0[i] = out[0];
+    cat3[i] = out[3];
+  }
+  expect_matches_pmf(
+      cat0, k, [&](std::uint64_t x) { return binomial_pmf(k, 0.5, x); },
+      "multinomial marginal 0");
+  expect_matches_pmf(
+      cat3, k, [&](std::uint64_t x) { return binomial_pmf(k, 0.125, x); },
+      "multinomial marginal 3 (last category remainder)");
+}
+
+}  // namespace
+}  // namespace ppsim

@@ -26,6 +26,7 @@
 #include "core/engine.h"
 #include "core/simulation.h"
 #include "core/stats.h"
+#include "processes/epidemic.h"
 #include "protocols/leader.h"
 #include "protocols/obs25.h"
 #include "protocols/optimal_silent.h"
@@ -57,6 +58,31 @@ static_assert(!EnumerableProtocol<SublinearTimeSSR>);
 static_assert(DiagonalActiveProtocol<SilentNStateSSR>);
 static_assert(KeyedPassiveProtocol<OptimalSilentSSR>);
 static_assert(!KeyedPassiveProtocol<SilentNStateSSR>);
+
+// ISSUE 3: ResetProcess is enumerable (Section 3 phase experiments run
+// batched), both it and OneWayEpidemic expose the unkeyed passive
+// structure, and the deterministic-transition flag gates the multinomial
+// kernel's delta cache.
+static_assert(EnumerableProtocol<ResetProcess>);
+static_assert(UnkeyedPassiveProtocol<ResetProcess>);
+static_assert(EnumerableProtocol<OneWayEpidemic>);
+static_assert(UnkeyedPassiveProtocol<OneWayEpidemic>);
+static_assert(!UnkeyedPassiveProtocol<OptimalSilentSSR>);  // keyed, not unkeyed
+static_assert(!KeyedPassiveProtocol<ResetProcess>);
+
+static_assert(DeterministicProtocol<SilentNStateSSR>);
+static_assert(DeterministicProtocol<OptimalSilentSSR>);
+static_assert(DeterministicProtocol<ResetProcess>);
+static_assert(DeterministicProtocol<OneWayEpidemic>);
+static_assert(!DeterministicProtocol<Obs25SSLE>);  // interact() draws Rng
+
+static_assert(ScalableCounters<OptimalSilentSSR::Counters>);
+static_assert(ScalableCounters<ResetProcess::Counters>);
+
+static_assert(StrategyEngine<BatchSimulation<OptimalSilentSSR>>);
+static_assert(StrategyEngine<BatchSimulation<SilentNStateSSR>>);
+static_assert(StrategyEngine<BatchSimulation<ResetProcess>>);
+static_assert(!StrategyEngine<Simulation<OptimalSilentSSR>>);
 
 static_assert(Engine<Simulation<SilentNStateSSR>>);
 static_assert(Engine<Simulation<OptimalSilentSSR>>);
@@ -165,11 +191,13 @@ double optimal_array_time(std::uint32_t n, std::uint64_t seed) {
   return r.stabilization_ptime;
 }
 
-double optimal_batch_time(std::uint32_t n, std::uint64_t seed) {
+double optimal_batch_time(std::uint32_t n, std::uint64_t seed,
+                          BatchStrategy strategy) {
   const auto params = OptimalSilentParams::standard(n);
   OptimalSilentSSR proto(params);
   auto init = optimal_silent_config(params, OsAdversary::kUniformRandom, seed);
-  BatchSimulation<OptimalSilentSSR> sim(proto, init, derive_seed(seed, 1));
+  BatchSimulation<OptimalSilentSSR> sim(proto, init, derive_seed(seed, 1),
+                                        strategy);
   const RunResult r = run_engine_until_ranked(sim, optimal_silent_opts(n));
   EXPECT_TRUE(r.stabilized);
   return r.stabilization_ptime;
@@ -178,19 +206,248 @@ double optimal_batch_time(std::uint32_t n, std::uint64_t seed) {
 class OptimalSilentBackendEquivalence
     : public ::testing::TestWithParam<std::uint32_t> {};
 
+// ISSUE 3 cross-strategy equivalence: agent array vs geometric skip vs
+// multinomial vs auto all measure the same stabilization-time distribution
+// (overlapping 95% CIs over 30 independent seeds per engine).
 TEST_P(OptimalSilentBackendEquivalence, OverlappingStabilizationCIs) {
   const std::uint32_t n = GetParam();
   const std::uint32_t seeds = 30;
-  std::vector<double> array_times, batch_times;
+  std::vector<double> array_times, skip_times, multi_times, auto_times;
   for (std::uint32_t i = 0; i < seeds; ++i) {
     array_times.push_back(optimal_array_time(n, derive_seed(5000 + n, i)));
-    batch_times.push_back(optimal_batch_time(n, derive_seed(6000 + n, i)));
+    skip_times.push_back(optimal_batch_time(n, derive_seed(6000 + n, i),
+                                            BatchStrategy::kGeometricSkip));
+    multi_times.push_back(optimal_batch_time(n, derive_seed(6500 + n, i),
+                                             BatchStrategy::kMultinomial));
+    auto_times.push_back(optimal_batch_time(n, derive_seed(6800 + n, i),
+                                            BatchStrategy::kAuto));
   }
-  expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+  const Summary array = summarize(array_times);
+  expect_overlapping_ci(array, summarize(skip_times));
+  expect_overlapping_ci(array, summarize(multi_times));
+  expect_overlapping_ci(array, summarize(auto_times));
+  expect_overlapping_ci(summarize(skip_times), summarize(multi_times));
 }
 
 INSTANTIATE_TEST_SUITE_P(OptimalSilent, OptimalSilentBackendEquivalence,
                          ::testing::Values(8u, 64u, 512u));
+
+// kAuto must be a pure function of (configuration, seed): two runs with the
+// same seed are bit-identical in interactions, parallel time and counts.
+// n is above the auto population floor and the run starts timer-heavy, so
+// auto genuinely exercises the multinomial path here.
+TEST(StrategyEquivalence, AutoIsBitStableForFixedSeed) {
+  const std::uint32_t n = 20'000;
+  const auto params = OptimalSilentParams::standard(n);
+  OptimalSilentSSR proto(params);
+  const auto init = optimal_silent_dormant_counts(params);
+  auto run_once = [&](BatchSimulation<OptimalSilentSSR>& sim) {
+    sim.run(200'000);
+  };
+  BatchSimulation<OptimalSilentSSR> a(proto, init, 1234,
+                                      BatchStrategy::kAuto);
+  BatchSimulation<OptimalSilentSSR> b(proto, init, 1234,
+                                      BatchStrategy::kAuto);
+  run_once(a);
+  run_once(b);
+  EXPECT_EQ(a.interactions(), b.interactions());
+  EXPECT_EQ(a.parallel_time(), b.parallel_time());
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_EQ(a.counters().resets_executed, b.counters().resets_executed);
+  EXPECT_EQ(a.stats().multinomial_batches, b.stats().multinomial_batches);
+  // The dormant countdown has active density 1: auto resolved to the
+  // multinomial batch.
+  EXPECT_GT(a.stats().multinomial_batches, 0u);
+}
+
+// The auto rule's two sides: silent-heavy configurations resolve to the
+// geometric skip, timer-heavy ones (above the population floor) to the
+// multinomial batch; small populations stay geometric at any density.
+TEST(StrategyEquivalence, AutoResolvesFromDensityAndScale) {
+  {
+    const auto params = OptimalSilentParams::standard(20'000);
+    OptimalSilentSSR proto(params);
+    BatchSimulation<OptimalSilentSSR> timer_heavy(
+        proto, optimal_silent_dormant_counts(params), 1,
+        BatchStrategy::kAuto);
+    EXPECT_EQ(timer_heavy.resolved_strategy(), BatchStrategy::kMultinomial);
+    BatchSimulation<OptimalSilentSSR> silent_heavy(
+        proto,
+        optimal_silent_config(params, OsAdversary::kDuplicateRank, 1), 1,
+        BatchStrategy::kAuto);
+    EXPECT_EQ(silent_heavy.resolved_strategy(),
+              BatchStrategy::kGeometricSkip);
+    EXPECT_EQ(silent_heavy.strategy(), BatchStrategy::kAuto);
+  }
+  {
+    const auto params = OptimalSilentParams::standard(256);
+    OptimalSilentSSR proto(params);
+    BatchSimulation<OptimalSilentSSR> small(
+        proto, optimal_silent_dormant_counts(params), 1,
+        BatchStrategy::kAuto);
+    EXPECT_EQ(small.resolved_strategy(), BatchStrategy::kGeometricSkip);
+  }
+}
+
+// --- Cross-strategy equivalence: ResetProcess -------------------------------
+//
+// The Section 3 harness protocol, now enumerable: time until the reset wave
+// started by one triggered agent has fully drained (everyone Computing),
+// across all four engines.
+
+double reset_array_time(std::uint32_t n, std::uint32_t rmax,
+                        std::uint32_t dmax, std::uint64_t seed) {
+  ResetProcess proto(n, rmax, dmax);
+  std::vector<ResetProcess::State> init(n);
+  proto.trigger(init[0]);
+  Simulation<ResetProcess> sim(proto, std::move(init), seed);
+  bool done = false;
+  while (sim.interactions() < (1ull << 34)) {
+    sim.step();
+    done = true;
+    for (const auto& s : sim.states())
+      if (s.resetting) {
+        done = false;
+        break;
+      }
+    if (done) break;
+  }
+  EXPECT_TRUE(done);
+  return sim.parallel_time();
+}
+
+double reset_batch_time(std::uint32_t n, std::uint32_t rmax,
+                        std::uint32_t dmax, std::uint64_t seed,
+                        BatchStrategy strategy) {
+  ResetProcess proto(n, rmax, dmax);
+  std::vector<std::uint64_t> counts(proto.num_states(), 0);
+  ResetProcess::State triggered;
+  proto.trigger(triggered);
+  counts[0] = n - 1;
+  counts[proto.encode(triggered)] = 1;
+  BatchSimulation<ResetProcess> sim(proto, std::move(counts), seed, strategy);
+  EXPECT_TRUE(sim.run_until([](const auto& s) { return s.silent(); },
+                            1ull << 34));
+  EXPECT_EQ(sim.counts()[0], n);  // silent == all Computing
+  return sim.parallel_time();
+}
+
+class ResetProcessStrategyEquivalence
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ResetProcessStrategyEquivalence, OverlappingDrainTimeCIs) {
+  const std::uint32_t n = GetParam();
+  const auto rmax = static_cast<std::uint32_t>(
+                        std::ceil(8.0 * std::log(static_cast<double>(n)))) +
+                    4;
+  const std::uint32_t dmax = 4 * rmax;
+  const std::uint32_t seeds = 30;
+  std::vector<double> array_times, skip_times, multi_times, auto_times;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    array_times.push_back(
+        reset_array_time(n, rmax, dmax, derive_seed(9100 + n, i)));
+    skip_times.push_back(reset_batch_time(n, rmax, dmax,
+                                          derive_seed(9200 + n, i),
+                                          BatchStrategy::kGeometricSkip));
+    multi_times.push_back(reset_batch_time(n, rmax, dmax,
+                                           derive_seed(9300 + n, i),
+                                           BatchStrategy::kMultinomial));
+    auto_times.push_back(reset_batch_time(n, rmax, dmax,
+                                          derive_seed(9400 + n, i),
+                                          BatchStrategy::kAuto));
+  }
+  const Summary array = summarize(array_times);
+  expect_overlapping_ci(array, summarize(skip_times));
+  expect_overlapping_ci(array, summarize(multi_times));
+  expect_overlapping_ci(array, summarize(auto_times));
+  expect_overlapping_ci(summarize(skip_times), summarize(multi_times));
+}
+
+INSTANTIATE_TEST_SUITE_P(ResetProcess, ResetProcessStrategyEquivalence,
+                         ::testing::Values(8u, 64u, 512u));
+
+TEST(ResetProcessCoding, DecodeEncodeIsIdentityOnAllCodes) {
+  const ResetProcess proto(16, 12, 48);
+  EXPECT_EQ(proto.num_states(), 1u + 12 + 48 + 1);
+  for (std::uint32_t code = 0; code < proto.num_states(); ++code)
+    EXPECT_EQ(proto.encode(proto.decode(code)), code);
+  // Instrumentation and dead fields are normalized away.
+  ResetProcess::State s;
+  s.resets_executed = 7;
+  EXPECT_EQ(proto.encode(s), 0u);
+  s.resetting = true;
+  s.resetcount = 3;
+  const std::uint32_t canon = proto.encode(s);
+  s.delaytimer = 40;  // dead while propagating (Protocol 2 line 7 rewrites)
+  EXPECT_EQ(proto.encode(s), canon);
+  // The unkeyed structure is an exact characterization for this protocol.
+  for (std::uint32_t a = 0; a < proto.num_states(); ++a)
+    for (std::uint32_t b = 0; b < proto.num_states(); ++b)
+      EXPECT_EQ(proto.is_null_pair(proto.decode(a), proto.decode(b)),
+                proto.is_passive(proto.decode(a)) &&
+                    proto.is_passive(proto.decode(b)));
+}
+
+// --- Cross-strategy equivalence: one-way epidemic ---------------------------
+
+TEST(OneWayEpidemicEquivalence, OverlappingCompletionCIs) {
+  const std::uint32_t n = 128;
+  const std::uint32_t seeds = 40;
+  OneWayEpidemic proto(n);
+  auto batch_time = [&](std::uint64_t seed, BatchStrategy strategy) {
+    BatchSimulation<OneWayEpidemic> sim(proto, one_way_epidemic_counts(n, 1),
+                                        seed, strategy);
+    EXPECT_TRUE(sim.run_until([](const auto& s) { return s.silent(); },
+                              1ull << 34));
+    return sim.parallel_time();
+  };
+  auto array_time = [&](std::uint64_t seed) {
+    std::vector<OneWayEpidemic::State> init(n);
+    init[0].infected = true;
+    Simulation<OneWayEpidemic> sim(proto, std::move(init), seed);
+    while (sim.interactions() < (1ull << 34)) {
+      sim.step();
+      std::uint32_t infected = 0;
+      for (const auto& s : sim.states()) infected += s.infected ? 1 : 0;
+      if (infected == n) break;
+    }
+    return sim.parallel_time();
+  };
+  std::vector<double> array_times, skip_times, multi_times;
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    array_times.push_back(array_time(derive_seed(9500, i)));
+    skip_times.push_back(
+        batch_time(derive_seed(9600, i), BatchStrategy::kGeometricSkip));
+    multi_times.push_back(
+        batch_time(derive_seed(9700, i), BatchStrategy::kMultinomial));
+  }
+  const Summary array = summarize(array_times);
+  expect_overlapping_ci(array, summarize(skip_times));
+  expect_overlapping_ci(array, summarize(multi_times));
+  // Analytic anchor (Lemma 2.7 is for the two-way epidemic; one-way runs at
+  // half the infection rate, E[T] = 2 (n-1) H_{n-1} interactions... sanity
+  // only: the mean parallel time is Theta(log n)).
+  EXPECT_GT(array.mean, 0.5 * std::log(static_cast<double>(n)));
+  EXPECT_LT(array.mean, 8.0 * std::log(static_cast<double>(n)));
+}
+
+// The unkeyed skip crushes the endgame: with one susceptible agent left,
+// the expected wait is ~n/2 parallel time but only O(1) candidate pairs
+// are simulated.
+TEST(OneWayEpidemicEquivalence, EndgameSkipsPassivePairs) {
+  const std::uint32_t n = 4096;
+  OneWayEpidemic proto(n);
+  BatchSimulation<OneWayEpidemic> sim(proto,
+                                      one_way_epidemic_counts(n, n - 1), 3);
+  EXPECT_TRUE(
+      sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 40));
+  // The wait is ~n interactions (the last susceptible is infected with
+  // probability 1/n per interaction) but only ~2 candidate pairs get
+  // simulated: everything between them is one geometric jump.
+  EXPECT_GT(sim.interactions(), static_cast<std::uint64_t>(n) / 8);
+  EXPECT_LE(sim.stats().effective, 16u);
+  EXPECT_GT(sim.stats().batched, 8 * sim.stats().effective);
+}
 
 // The generic ranked harness agrees across backends starting from the
 // deterministic duplicate-rank configuration too (exercises the keyed skip,
@@ -315,7 +572,7 @@ bool obs25_counts_silent(const Obs25SSLE& proto,
 TEST(Obs25BackendEquivalence, OverlappingTimeToSilenceCIs) {
   const Obs25SSLE proto(3);
   const std::uint32_t seeds = 60;
-  std::vector<double> array_times, batch_times;
+  std::vector<double> array_times, batch_times, multi_times;
   for (std::uint32_t i = 0; i < seeds; ++i) {
     {
       // All-leaders start: an active configuration.
@@ -338,8 +595,23 @@ TEST(Obs25BackendEquivalence, OverlappingTimeToSilenceCIs) {
           1ull << 30));
       batch_times.push_back(sim.parallel_time());
     }
+    {
+      // Randomized interact(): the multinomial kernel must replay every
+      // repetition individually (no delta cache) — the one protocol in the
+      // repo that exercises that branch.
+      std::vector<std::uint64_t> counts = {3, 0, 0, 0, 0, 0};
+      BatchSimulation<Obs25SSLE> sim(proto, counts, derive_seed(1300, i),
+                                     BatchStrategy::kMultinomial);
+      EXPECT_TRUE(sim.run_until(
+          [&](const auto& s) {
+            return obs25_counts_silent(s.protocol(), s.counts());
+          },
+          1ull << 30));
+      multi_times.push_back(sim.parallel_time());
+    }
   }
   expect_overlapping_ci(summarize(array_times), summarize(batch_times));
+  expect_overlapping_ci(summarize(array_times), summarize(multi_times));
 }
 
 // --- run_trials_parallel ----------------------------------------------------

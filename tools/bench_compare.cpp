@@ -1,0 +1,400 @@
+// bench_compare: the perf-trend gate over BENCH_*.json artifacts.
+//
+// Every bench binary emits a BENCH_<name>.json (analysis/bench_report.h);
+// this tool diffs two directories of them — a committed baseline (see
+// bench/baseline/) against a fresh run — and fails on wall-clock
+// regressions, closing the perf-tracking loop in CI:
+//
+//   bench_compare <baseline_dir> <candidate_dir>
+//       [--threshold=0.2]    relative wall_seconds growth that counts as a
+//                            regression (default 20%)
+//       [--min-seconds=0.05] absolute wall-clock growth a regression must
+//                            also exceed (keeps smoke-sized runs quiet)
+//       [--strict]           also flag drift in the deterministic fields
+//                            (interactions, parallel_time): same code +
+//                            same seeds must reproduce them bit-for-bit,
+//                            so any change means the simulated process
+//                            changed and the baseline needs a deliberate
+//                            refresh
+//
+// Records are matched by identity key (bench, experiment, backend,
+// strategy, n, mode — plus an occurrence index for repeated keys);
+// everything else is treated as measurement. Records present only on one
+// side are reported but are not failures (benches evolve). Exit status:
+// 0 clean, 1 regressions (or --strict drift), 2 usage/I-O error.
+//
+// CI runs this with a generous threshold (cross-machine wall-clock noise
+// between the baseline host and the runner); the default 20% is meant for
+// same-machine A/B runs while optimizing.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON parser (objects/arrays/strings/numbers/bools/null),
+// sufficient for the flat schema bench_report.h emits. -----------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') {
+      const bool is_true = c == 't';
+      const char* word = is_true ? "true" : "false";
+      const std::size_t len = is_true ? 4 : 5;
+      if (s_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      out.kind = JsonValue::Kind::kBool;
+      out.b = is_true;
+      return true;
+    }
+    if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") != 0) return false;
+      pos_ += 4;
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return false;
+          }
+          // The emitter only writes \u00XX control escapes; encode as-is.
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::strchr("+-.eE", s_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) return false;
+    try {
+      out.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.fields.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Record model ------------------------------------------------------------
+
+struct Record {
+  std::string key;  // identity: bench|experiment|backend|strategy|n|mode|#i
+  std::map<std::string, double> metrics;  // numeric fields
+};
+
+std::string identity_field(const JsonValue& rec, const char* name) {
+  const JsonValue* v = rec.get(name);
+  if (v == nullptr) return "";
+  if (v->kind == JsonValue::Kind::kString) return v->str;
+  if (v->kind == JsonValue::Kind::kNumber) {
+    std::ostringstream os;
+    os << v->num;
+    return os.str();
+  }
+  return "";
+}
+
+// Loads every BENCH_*.json in `dir` into keyed records.
+bool load_dir(const std::string& dir, std::map<std::string, Record>& out,
+              bool verbose) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    std::cerr << "bench_compare: not a directory: " << dir << "\n";
+    return false;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::map<std::string, int> occurrence;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    JsonValue root;
+    if (!JsonParser(text).parse(root) ||
+        root.kind != JsonValue::Kind::kObject) {
+      std::cerr << "bench_compare: cannot parse " << path << "\n";
+      return false;
+    }
+    const JsonValue* bench = root.get("bench");
+    const JsonValue* records = root.get("records");
+    if (bench == nullptr || records == nullptr ||
+        records->kind != JsonValue::Kind::kArray) {
+      std::cerr << "bench_compare: unexpected schema in " << path << "\n";
+      return false;
+    }
+    for (const JsonValue& r : records->items) {
+      if (r.kind != JsonValue::Kind::kObject) continue;
+      std::string key = bench->str;
+      for (const char* field :
+           {"experiment", "backend", "strategy", "n", "mode"}) {
+        key.push_back('|');
+        key.append(identity_field(r, field));
+      }
+      const int index = occurrence[key]++;
+      key.append("|#");
+      key.append(std::to_string(index));
+      Record rec;
+      rec.key = key;
+      for (const auto& [k, v] : r.fields) {
+        if (v.kind == JsonValue::Kind::kNumber) rec.metrics[k] = v.num;
+        if (v.kind == JsonValue::Kind::kBool) rec.metrics[k] = v.b ? 1 : 0;
+      }
+      out.emplace(key, std::move(rec));
+    }
+  }
+  if (verbose)
+    std::cout << "loaded " << out.size() << " records from " << files.size()
+              << " files in " << dir << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_dir, cand_dir;
+  double threshold = 0.20;
+  double min_seconds = 0.05;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--threshold=", 0) == 0) {
+      threshold = std::stod(a.substr(12));
+    } else if (a.rfind("--min-seconds=", 0) == 0) {
+      min_seconds = std::stod(a.substr(14));
+    } else if (a == "--strict") {
+      strict = true;
+    } else if (base_dir.empty()) {
+      base_dir = a;
+    } else if (cand_dir.empty()) {
+      cand_dir = a;
+    } else {
+      std::cerr << "bench_compare: unexpected argument " << a << "\n";
+      return 2;
+    }
+  }
+  if (base_dir.empty() || cand_dir.empty()) {
+    std::cerr << "usage: bench_compare <baseline_dir> <candidate_dir> "
+                 "[--threshold=0.2] [--min-seconds=0.05] [--strict]\n";
+    return 2;
+  }
+
+  std::map<std::string, Record> base, cand;
+  if (!load_dir(base_dir, base, true) || !load_dir(cand_dir, cand, true))
+    return 2;
+
+  int regressions = 0, improvements = 0, compared = 0, drift = 0;
+  int missing = 0, added = 0;
+  for (const auto& [key, b] : base) {
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      ++missing;
+      continue;
+    }
+    const Record& c = it->second;
+    const auto bw = b.metrics.find("wall_seconds");
+    const auto cw = c.metrics.find("wall_seconds");
+    if (bw != b.metrics.end() && cw != c.metrics.end()) {
+      // A regression must exceed the relative threshold AND an absolute
+      // min_seconds of growth: the absolute floor keeps sub-noise records
+      // (smoke runs) quiet without masking a large blowup from a tiny
+      // baseline.
+      ++compared;
+      const double ratio = cw->second / std::max(bw->second, 1e-12);
+      if (cw->second > bw->second * (1.0 + threshold) + min_seconds) {
+        ++regressions;
+        std::printf("REGRESSION  %-70s %8.3fs -> %8.3fs  (%.0f%%)\n",
+                    key.c_str(), bw->second, cw->second,
+                    (ratio - 1.0) * 100.0);
+      } else if (cw->second < bw->second * (1.0 - threshold) - min_seconds) {
+        ++improvements;
+        std::printf("improved    %-70s %8.3fs -> %8.3fs  (%.0f%%)\n",
+                    key.c_str(), bw->second, cw->second,
+                    (ratio - 1.0) * 100.0);
+      }
+    }
+    if (strict) {
+      for (const char* field : {"interactions", "parallel_time"}) {
+        const auto bf = b.metrics.find(field);
+        const auto cf = c.metrics.find(field);
+        if (bf == b.metrics.end() || cf == c.metrics.end()) continue;
+        const double denom = std::max(1.0, std::fabs(bf->second));
+        if (std::fabs(bf->second - cf->second) / denom > 1e-9) {
+          ++drift;
+          std::printf("DRIFT       %-70s %s %.17g -> %.17g\n", key.c_str(),
+                      field, bf->second, cf->second);
+        }
+      }
+    }
+  }
+  for (const auto& [key, c] : cand)
+    if (base.find(key) == base.end()) ++added;
+
+  std::printf(
+      "\nbench_compare: %d wall-clock comparisons, %d regressions "
+      "(> %.0f%% and > %.2fs growth), %d improvements, %d drifted, "
+      "%d baseline-only, %d new\n",
+      compared, regressions, threshold * 100.0, min_seconds, improvements,
+      drift, missing, added);
+  return regressions > 0 || drift > 0 ? 1 : 0;
+}
