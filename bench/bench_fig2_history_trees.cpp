@@ -12,10 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bench_report.h"
+#include "common/cli.h"
 #include "common/name.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
-#include "analysis/bench_report.h"
 #include "protocols/collision_tree.h"
 
 namespace ppsim {
@@ -195,6 +196,7 @@ BENCHMARK(BM_LiveNodeCount);
 }  // namespace ppsim
 
 int main(int argc, char** argv) {
+  const auto scale = ppsim::BenchScale::from_args(argc, argv);
   std::cout << "=== bench_fig2_history_trees: Figure 2 / Protocols 7-8 ===\n";
   ppsim::BenchReport report("fig2_history_trees");
   ppsim::figure2(/*right_variant=*/false, report);
@@ -202,27 +204,20 @@ int main(int argc, char** argv) {
   const std::string path = report.write();
   if (!path.empty())
     std::cout << "\nmachine-readable results: " << path << "\n";
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--micro") {
-      int bench_argc = 1;
-      benchmark::Initialize(&bench_argc, argv);
-      benchmark::RunSpecifiedBenchmarks();
-      return 0;
-    }
+  if (scale.micro) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
   }
   // Default run includes a short micro section so the figure binary also
   // reports kernel costs; --smoke (and --quick) cap the measuring time so
   // the CI gate finishes in seconds (BM_Graft's deepest trees cost ~25 ms
   // per iteration).
-  bool fast = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--smoke" || a == "--quick") fast = true;
-  }
   char arg0[] = "bench_fig2";
   char arg1[] = "--benchmark_min_time=0.01";
   std::vector<char*> bench_argv = {arg0};
-  if (fast) bench_argv.push_back(arg1);
+  if (scale.quick) bench_argv.push_back(arg1);
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   benchmark::RunSpecifiedBenchmarks();

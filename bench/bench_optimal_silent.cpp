@@ -1,7 +1,11 @@
-// Experiments T4.3 / C4.4 / L4.1 / L4.2 (see DESIGN.md): Optimal-Silent-SSR,
-// on the unified Engine API (stabilization sweeps run on the count-based
-// batched backend with parallel seed fan-out; the Lemma 4.1/4.2 microscopes
-// keep the agent array, whose explicit states they inspect).
+// Experiments T4.3 / C4.4 / L4.1 / L4.2 (see DESIGN.md): Optimal-Silent-SSR.
+//
+// The stabilization and tree-ranking sweeps are thin wrappers over the
+// Scenario API (one ScenarioSpec per cell, batched backend + parallel seed
+// fan-out for stabilization, agent array for Lemma 4.1); the Lemma 4.1
+// per-level microscope and the Lemma 4.2 awakening census keep custom
+// agent-array loops — they inspect individual agent states, which is
+// exactly what the count-based engine anonymizes away.
 //
 //   * full stabilization from adversarial starts is Theta(n) expected and
 //     O(n log n) whp (log-log slope ~1; p99/mean stays bounded)
@@ -14,62 +18,48 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/adversary.h"
 #include "analysis/bench_report.h"
-#include "analysis/convergence.h"
-#include "analysis/experiments.h"
-#include "core/batch_simulation.h"
+#include "analysis/scenarios.h"
+#include "common/cli.h"
 #include "core/simulation.h"
-#include "protocols/optimal_silent.h"
+#include "init/optimal_silent_init.h"
 
 namespace ppsim {
 namespace {
 
-RunOptions options_for(std::uint32_t n) {
-  RunOptions opts;
-  opts.max_interactions =
-      static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
-  return opts;
-}
-
 void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
-  // Engine strategy: kAuto by default (the run crosses timer-heavy reset
+  // Engine strategy: auto by default (the run crosses timer-heavy reset
   // epochs and silent-heavy endgames, so the density switch pays on both);
   // --strategy= pins one path for A/B runs, and the choice is recorded in
   // every BENCH record so bench_compare never mixes configurations.
-  const BatchStrategy strategy = scale.strategy_or(BatchStrategy::kAuto);
-  std::cout << "(batched backend strategy: " << to_string(strategy) << ")\n";
-  for (auto kind : {OsAdversary::kUniformRandom, OsAdversary::kDuplicateRank,
-                    OsAdversary::kAllLeaders}) {
+  const std::string strategy =
+      scale.strategy_name.empty() ? "auto" : scale.strategy_name;
+  std::cout << "(batched backend strategy: " << strategy << ")\n";
+  for (const char* init :
+       {"uniform-random", "duplicate-rank", "all-leaders"}) {
     Sweep sweep;
     // The batched backend extends the sweep beyond the agent array's
     // practical range (4096 by default, 8192 under --full).
     auto sizes = scale.sizes({64, 128, 256, 512, 1024, 2048, 4096});
     if (scale.full) sizes.push_back(8192);
     for (std::uint32_t n : sizes) {
-      const auto trials = scale.trials(n <= 512 ? 20 : (n <= 2048 ? 8 : 4));
-      const auto times = run_trials_parallel(
-          trials, 1000 + n,
-          [n, kind, strategy](std::uint64_t seed) {
-            const auto params = OptimalSilentParams::standard(n);
-            OptimalSilentSSR proto(params);
-            auto init = optimal_silent_config(params, kind,
-                                              derive_seed(seed, 1));
-            BatchSimulation<OptimalSilentSSR> sim(proto, init,
-                                                  derive_seed(seed, 2),
-                                                  strategy);
-            const RunResult r = run_engine_until_ranked(sim, options_for(n));
-            return r.stabilized ? r.stabilization_ptime : -1;
-          },
-          scale.threads);
-      sweep.points.push_back({static_cast<double>(n), summarize(times)});
+      ScenarioSpec spec;
+      spec.protocol = "optimal-silent";
+      spec.init = init;
+      spec.engine = "batch";
+      spec.strategy = strategy;
+      spec.trials = scale.trials(n <= 512 ? 20 : (n <= 2048 ? 8 : 4));
+      spec.n = n;
+      spec.seed = 1000 + n;
+      spec.threads = scale.threads;
+      sweep.points.push_back(
+          {static_cast<double>(n), run_scenario(spec).summary});
     }
-    print_sweep(std::string("T4.3: stabilization time from '") +
-                    to_string(kind) + "' start (batched backend)",
+    print_sweep(std::string("T4.3: stabilization time from '") + init +
+                    "' start (batched backend)",
                 sweep);
-    report_sweep_strategy(report,
-                          std::string("stabilization_") + to_string(kind),
-                          "batch", to_string(strategy), sweep);
+    report_sweep_strategy(report, std::string("stabilization_") + init,
+                          "batch", strategy, sweep);
     std::cout << "paper: Theta(n) expected (slope ~1); O(n log n) whp "
                  "(p99/mean grows at most logarithmically)\n";
     Table t({"n", "time/n (expected O(1))", "p99/mean"});
@@ -80,30 +70,21 @@ void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
   }
 }
 
-// Lemma 4.1: leader-driven binary-tree ranking from one Settled leader.
+// Lemma 4.1: leader-driven binary-tree ranking from one Settled leader
+// (the `single-leader` initial condition).
 void experiment_tree_ranking(const BenchScale& scale, BenchReport& report) {
   Sweep sweep;
   for (std::uint32_t n : scale.sizes({64, 256, 1024, 4096})) {
-    const auto trials = scale.trials(n <= 1024 ? 30 : 10);
-    const auto times = run_trials_parallel(
-        trials, 3000 + n,
-        [n](std::uint64_t seed) {
-          const auto params = OptimalSilentParams::standard(n);
-          OptimalSilentSSR proto(params);
-          std::vector<OptimalSilentSSR::State> init(n);
-          init[0].role = OsRole::Settled;
-          init[0].rank = 1;
-          init[0].children = 0;
-          for (std::uint32_t j = 1; j < n; ++j) {
-            init[j].role = OsRole::Unsettled;
-            init[j].errorcount = params.emax;
-          }
-          return run_until_ranked(proto, std::move(init), seed,
-                                  options_for(n))
-              .stabilization_ptime;
-        },
-        scale.threads);
-    sweep.points.push_back({static_cast<double>(n), summarize(times)});
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.init = "single-leader";
+    spec.engine = "array";
+    spec.trials = scale.trials(n <= 1024 ? 30 : 10);
+    spec.n = n;
+    spec.seed = 3000 + n;
+    spec.threads = scale.threads;
+    sweep.points.push_back(
+        {static_cast<double>(n), run_scenario(spec).summary});
   }
   print_sweep("L4.1: binary-tree ranking time from a single leader", sweep);
   report_sweep(report, "tree_ranking", "array", sweep);
@@ -113,14 +94,8 @@ void experiment_tree_ranking(const BenchScale& scale, BenchReport& report) {
   const std::uint32_t kN = scale.smoke ? 64 : 1024;
   const auto params = OptimalSilentParams::standard(kN);
   OptimalSilentSSR proto(params);
-  std::vector<OptimalSilentSSR::State> init(kN);
-  init[0].role = OsRole::Settled;
-  init[0].rank = 1;
-  for (std::uint32_t j = 1; j < kN; ++j) {
-    init[j].role = OsRole::Unsettled;
-    init[j].errorcount = params.emax;
-  }
-  Simulation<OptimalSilentSSR> sim(proto, std::move(init), 777);
+  Simulation<OptimalSilentSSR> sim(
+      proto, optimal_silent_inits().agents(proto, "single-leader", 0), 777);
   std::uint32_t levels = 0;
   while ((1u << (levels + 1)) <= kN) ++levels;
   std::vector<double> level_done(levels + 1, -1);
@@ -228,13 +203,10 @@ int main(int argc, char** argv) {
   ppsim::experiment_awakening_leader(scale, report);
   const std::string path = report.write();
   if (!path.empty()) std::cout << "\nmachine-readable results: " << path << "\n";
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--micro") {
-      int bench_argc = 1;
-      benchmark::Initialize(&bench_argc, argv);
-      benchmark::RunSpecifiedBenchmarks();
-      break;
-    }
+  if (scale.micro) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
   }
   return 0;
 }

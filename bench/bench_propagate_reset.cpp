@@ -6,17 +6,22 @@
 //   dormant -> awakening           O(Dmax)             (Theorem 3.4)
 //   awakening -> fully computing   O(log n) epidemic
 //   arbitrary debris -> computing  O(log n + Dmax)     (Corollary 3.5)
+//
+// The at-scale strategy face-off, the epidemic residual drain and the
+// debris drain are thin wrappers over the Scenario API (reset-process /
+// one-way-epidemic registry entries, `trigger-one` / `residual-16` /
+// `mid-reset-mix` initial conditions); the per-phase microscopes keep
+// custom agent-array loops — they census phases per interaction.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <iostream>
 
 #include "analysis/bench_report.h"
-#include "analysis/experiments.h"
-#include "core/batch_simulation.h"
-#include "core/engine.h"
+#include "analysis/scenarios.h"
+#include "common/cli.h"
 #include "core/simulation.h"
-#include "processes/epidemic.h"
+#include "init/reset_init.h"
 #include "reset/reset_process.h"
 
 namespace ppsim {
@@ -33,9 +38,8 @@ struct PhaseTimes {
 PhaseTimes run_phases(std::uint32_t n, std::uint32_t rmax, std::uint32_t dmax,
                       std::uint64_t seed) {
   ResetProcess proto(n, rmax, dmax);
-  std::vector<ResetProcess::State> init(n);
-  proto.trigger(init[0]);
-  Simulation<ResetProcess> sim(proto, std::move(init), seed);
+  Simulation<ResetProcess> sim(
+      proto, reset_process_inits().agents(proto, "trigger-one", 0), seed);
   PhaseTimes out;
   while (sim.interactions() < (1ull << 32)) {
     sim.step();
@@ -125,105 +129,77 @@ void experiment_scaling_in_dmax(const BenchScale& scale) {
                "interactions, ~2 per parallel-time unit\n";
 }
 
-// Corollary 3.5: arbitrary Resetting debris drains quickly.
+// Corollary 3.5: arbitrary Resetting debris drains quickly. One
+// ScenarioSpec per n: the `mid-reset-mix` initial condition on the agent
+// array, run until drained.
 void experiment_debris(const BenchScale& scale) {
-  std::cout << "\n== C3.5: drain time from arbitrary Resetting debris ==\n";
+  std::cout << "\n== C3.5: drain time from arbitrary Resetting debris "
+               "(scenario: reset-process / mid-reset-mix / drained) ==\n";
   Table t({"n", "mean drain time", "p95", "(log n + Dmax) scale"});
   for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto rmax =
         static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
-    const std::uint32_t dmax = 4 * rmax;
-    const auto trials = scale.trials(20);
-    std::vector<double> xs;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      Rng gen(derive_seed(100 + n, i));
-      ResetProcess proto(n, rmax, dmax);
-      std::vector<ResetProcess::State> init(n);
-      for (auto& s : init) {
-        if (gen.coin()) continue;
-        s.resetting = true;
-        s.resetcount = static_cast<std::uint32_t>(gen.below(rmax));
-        s.delaytimer = static_cast<std::uint32_t>(gen.below(dmax + 1));
-      }
-      Simulation<ResetProcess> sim(proto, std::move(init),
-                                   derive_seed(200 + n, i));
-      while (sim.interactions() < (1ull << 30)) {
-        sim.step();
-        bool all = true;
-        for (const auto& s : sim.states())
-          if (s.resetting) {
-            all = false;
-            break;
-          }
-        if (all) break;
-      }
-      xs.push_back(sim.parallel_time());
-    }
-    const Summary s = summarize(xs);
-    t.add_row({std::to_string(n), fmt(s.mean, 1), fmt(s.p95, 1),
-               fmt(std::log(n) + dmax, 1)});
+    ScenarioSpec spec;
+    spec.protocol = "reset-process";
+    spec.init = "mid-reset-mix";
+    spec.engine = "array";
+    spec.trials = scale.trials(20);
+    spec.n = n;
+    spec.seed = 100 + n;
+    spec.threads = scale.threads;
+    const ScenarioResult r = run_scenario(spec);
+    t.add_row({std::to_string(n), fmt(r.summary.mean, 1),
+               fmt(r.summary.p95, 1), fmt(std::log(n) + 4.0 * rmax, 1)});
   }
   t.print();
 }
 
 // ISSUE 3: the Section 3 phase experiments past n = 10^6, on the batched
-// backend (ResetProcess is now enumerable). A full trigger -> drain cycle
-// is Theta(n (log n + Dmax)) interactions, nearly all of them effective
+// backend (ResetProcess is enumerable). A full trigger -> drain cycle is
+// Theta(n (log n + Dmax)) interactions, nearly all of them effective
 // (resetcount waves and delaytimer countdowns tick on every contact) — the
-// multinomial batch strategy's regime; kAuto additionally drops to the
+// multinomial batch strategy's regime; auto additionally drops to the
 // unkeyed-passive geometric skip while the wave is still small and most
-// pairs are Computing-Computing. Head-to-head wall clock per strategy, with
-// the kAuto wall-vs-n slope recorded (~1: near-constant amortized cost per
-// interaction, i.e. the sweep scales like the interaction count itself).
+// pairs are Computing-Computing. Head-to-head wall clock per strategy via
+// one ScenarioSpec per cell, with the auto wall-vs-n slope recorded (~1:
+// near-constant amortized cost per interaction).
 void experiment_phases_at_scale(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== T3.4 at scale (batched backend): trigger -> all "
                "computing, Rmax = 8 ln n, Dmax = 4 Rmax ==\n";
   std::vector<std::uint32_t> sizes = scale.sizes({100'000, 1'000'000});
   if (scale.full) sizes.push_back(10'000'000);
-  const BatchStrategy strategies[] = {BatchStrategy::kGeometricSkip,
-                                      BatchStrategy::kMultinomial,
-                                      BatchStrategy::kAuto};
-  Table t({"n", "strategy", "wall s", "drain time", "interactions",
-           "eff. events", "mn. batches"});
+  Table t({"n", "strategy", "wall s", "drain time", "interactions"});
   std::vector<double> ns, auto_walls;
   for (std::uint32_t n : sizes) {
-    const auto rmax =
-        static_cast<std::uint32_t>(std::ceil(8 * std::log(n))) + 4;
-    const std::uint32_t dmax = 4 * rmax;
-    ResetProcess proto(n, rmax, dmax);
-    std::vector<std::uint64_t> counts(proto.num_states(), 0);
-    ResetProcess::State triggered;
-    proto.trigger(triggered);
-    counts[0] = n - 1;
-    counts[proto.encode(triggered)] = 1;
-    for (BatchStrategy strategy : strategies) {
+    for (const char* strategy : {"geometric_skip", "multinomial", "auto"}) {
       // The pure geometric skip simulates every candidate pair one by one;
       // past 10^6 that is the slow baseline the batch strategies replace —
       // skip it there outside --full to keep the default run short.
-      if (strategy == BatchStrategy::kGeometricSkip && n > 1'000'000 &&
+      if (strategy == std::string("geometric_skip") && n > 1'000'000 &&
           !scale.full)
         continue;
-      BatchSimulation<ResetProcess> sim(proto, counts, derive_seed(373, n),
-                                        strategy);
-      const WallTimer timer;
-      sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 50);
-      const double wall = timer.seconds();
-      t.add_row({std::to_string(n), to_string(strategy), fmt(wall, 2),
-                 fmt(sim.parallel_time(), 1),
-                 std::to_string(sim.interactions()),
-                 std::to_string(sim.stats().effective),
-                 std::to_string(sim.stats().multinomial_batches)});
+      ScenarioSpec spec;
+      spec.protocol = "reset-process";
+      spec.init = "trigger-one";
+      spec.engine = "batch";
+      spec.strategy = strategy;
+      spec.n = n;
+      spec.seed = 373 + n;
+      const ScenarioResult r = run_scenario(spec);
+      t.add_row({std::to_string(n), strategy, fmt(r.wall_seconds, 2),
+                 fmt(r.summary.mean, 1), fmt_sci(r.interactions_mean)});
       report.add()
           .set("experiment", "phases_at_scale")
           .set("backend", "batch")
-          .set("strategy", to_string(strategy))
+          .set("strategy", strategy)
           .set("n", static_cast<std::uint64_t>(n))
-          .set("parallel_time", sim.parallel_time())
-          .set("interactions", sim.interactions())
-          .set("wall_seconds", wall);
-      if (strategy == BatchStrategy::kAuto) {
+          .set("parallel_time", r.summary.mean)
+          .set("interactions",
+               static_cast<std::uint64_t>(r.interactions_mean))
+          .set("wall_seconds", r.wall_seconds);
+      if (strategy == std::string("auto")) {
         ns.push_back(static_cast<double>(n));
-        auto_walls.push_back(wall);
+        auto_walls.push_back(r.wall_seconds);
       }
     }
   }
@@ -243,61 +219,49 @@ void experiment_phases_at_scale(const BenchScale& scale, BenchReport& report) {
 }
 
 // The unkeyed passive structure on a one-way epidemic: residual-infection
-// drain (all but k agents already infected). Completion needs ~n H_k / 2
-// more interactions, but almost all pairs are infected-infected (null by
-// the passive structure), so the batched engine simulates only the O(k)
-// candidate pairs between geometric jumps; the agent array must grind
-// through every interaction.
+// drain (all but 16 agents already infected, the `residual-16` initial
+// condition). Completion needs ~n H_16 / 2 more interactions, but almost
+// all pairs are infected-infected (null by the passive structure), so the
+// batched engine simulates only O(16 log 16) candidate pairs between
+// geometric jumps; the agent array must grind through every interaction.
+// Two ScenarioSpecs per n, differing only in the engine field.
 void experiment_epidemic_residual(const BenchScale& scale,
                                   BenchReport& report) {
-  std::cout << "\n== one-way epidemic, residual drain (k = 16 susceptible "
-               "left): unkeyed passive skip vs agent array ==\n";
+  std::cout << "\n== one-way epidemic, residual drain (residual-16): "
+               "unkeyed passive skip vs agent array ==\n";
   std::vector<std::uint32_t> sizes = scale.sizes({1'000'000, 10'000'000});
   if (scale.full) sizes.push_back(100'000'000);
-  const std::uint32_t k = 16;
-  Table t({"n", "array s", "batch s", "speedup", "interactions",
-           "batch eff. events"});
+  Table t({"n", "array s", "batch s", "speedup", "batch interactions"});
   for (std::uint32_t n : sizes) {
-    OneWayEpidemic proto(n);
+    ScenarioSpec spec;
+    spec.protocol = "one-way-epidemic";
+    spec.init = "residual-16";
+    spec.n = n;
+    spec.seed = 571 + n;
 
-    const WallTimer t_array;
-    std::vector<OneWayEpidemic::State> init(n);
-    for (std::uint32_t i = k; i < n; ++i) init[i].infected = true;
-    Simulation<OneWayEpidemic> array_sim(proto, std::move(init),
-                                         derive_seed(571, n));
-    for (;;) {
-      // Check the k candidate agents every 1024 steps: O(k/1024) amortized
-      // bookkeeping per interaction, <= 1024 interactions of overshoot on a
-      // ~n H_k / 2 run — the per-step cost stays the honest baseline.
-      array_sim.run(1024);
-      std::uint32_t susceptible = 0;
-      for (std::uint32_t i = 0; i < k; ++i)
-        if (!array_sim.states()[i].infected) ++susceptible;
-      if (susceptible == 0) break;
-    }
-    const double array_s = t_array.seconds();
+    spec.engine = "array";
+    const ScenarioResult array_r = run_scenario(spec);
+    spec.engine = "batch";
+    spec.strategy = "geometric_skip";
+    const ScenarioResult batch_r = run_scenario(spec);
 
-    const WallTimer t_batch;
-    BatchSimulation<OneWayEpidemic> batch_sim(
-        proto, one_way_epidemic_counts(n, n - k), derive_seed(572, n));
-    batch_sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 62);
-    const double batch_s = t_batch.seconds();
-
-    t.add_row({std::to_string(n), fmt(array_s, 3), fmt(batch_s, 5),
-               fmt(array_s / batch_s, 0),
-               std::to_string(batch_sim.interactions()),
-               std::to_string(batch_sim.stats().effective)});
+    const double speedup = array_r.wall_seconds / batch_r.wall_seconds;
+    t.add_row({std::to_string(n), fmt(array_r.wall_seconds, 3),
+               fmt(batch_r.wall_seconds, 5), fmt(speedup, 0),
+               fmt_sci(batch_r.interactions_mean)});
     for (const char* backend : {"array", "batch"}) {
+      const bool is_batch = backend == std::string("batch");
       BenchRecord& rec = report.add();
       rec.set("experiment", "epidemic_residual")
           .set("backend", backend)
           .set("n", static_cast<std::uint64_t>(n))
           .set("wall_seconds",
-               backend == std::string("array") ? array_s : batch_s);
-      if (backend == std::string("batch"))
+               is_batch ? batch_r.wall_seconds : array_r.wall_seconds);
+      if (is_batch)
         rec.set("strategy", "geometric_skip")
-            .set("interactions", batch_sim.interactions())
-            .set("speedup_vs_array", array_s / batch_s);
+            .set("interactions",
+                 static_cast<std::uint64_t>(batch_r.interactions_mean))
+            .set("speedup_vs_array", speedup);
     }
   }
   t.print();
@@ -333,13 +297,10 @@ int main(int argc, char** argv) {
   const std::string path = report.write();
   if (!path.empty())
     std::cout << "\nmachine-readable results: " << path << "\n";
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--micro") {
-      int bench_argc = 1;
-      benchmark::Initialize(&bench_argc, argv);
-      benchmark::RunSpecifiedBenchmarks();
-      break;
-    }
+  if (scale.micro) {
+    int bench_argc = 1;
+    benchmark::Initialize(&bench_argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
   }
   return 0;
 }

@@ -1,7 +1,10 @@
 // Experiment T1 (see DESIGN.md): the paper's Table 1 — time and space of
-// every self-stabilizing ranking protocol, side by side — rebuilt on the
-// unified Engine API so every enumerable protocol runs on the count-based
-// batched backend and trials fan out across threads.
+// every self-stabilizing ranking protocol, side by side — now a thin
+// wrapper over the Scenario API (core/registry.h, analysis/scenarios.h):
+// every measurement below is a declarative ScenarioSpec executed by the
+// protocol registry, the same specs `ppsle_run --scenario` takes on the
+// command line (bench/scenarios/table1_row1.json reproduces the row-1
+// sweep standalone).
 //
 //   protocol                    expected time   WHP time        states  silent
 //   Silent-n-state-SSR [21]     Theta(n^2)      Theta(n^2)      n       yes
@@ -25,16 +28,11 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/adversary.h"
 #include "analysis/bench_report.h"
-#include "analysis/convergence.h"
-#include "analysis/experiments.h"
-#include "core/batch_simulation.h"
-#include "core/engine.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/silent_nstate.h"
-#include "protocols/silent_nstate_fast.h"
-#include "protocols/sublinear.h"
+#include "analysis/scenarios.h"
+#include "common/cli.h"
+#include "core/stats.h"
+#include "core/table.h"
 
 namespace ppsim {
 namespace {
@@ -45,23 +43,31 @@ struct RowResult {
   std::string silent;
 };
 
+// One Table-1 sweep: the same spec at each n, summaries into a Sweep.
+Sweep sweep_scenario(const BenchScale& scale, ScenarioSpec spec,
+                     const std::vector<std::uint32_t>& sizes,
+                     std::uint64_t seed_base) {
+  Sweep sweep;
+  spec.threads = scale.threads;
+  for (std::uint32_t n : sizes) {
+    spec.n = n;
+    spec.seed = seed_base + n;
+    sweep.points.push_back(
+        {static_cast<double>(n), run_scenario(spec).summary});
+  }
+  return sweep;
+}
+
 RowResult measure_silent_nstate(const BenchScale& scale,
                                 const std::vector<std::uint32_t>& sizes) {
+  ScenarioSpec spec;
+  spec.protocol = "silent-nstate";
+  spec.init = "worst-case";
+  spec.engine = "batch";
+  spec.strategy = "geometric_skip";
+  spec.trials = scale.trials(30);
   RowResult row;
-  for (std::uint32_t n : sizes) {
-    const auto trials = scale.trials(30);
-    const auto xs = run_trials_parallel(
-        trials, 11 + n,
-        [n](std::uint64_t seed) {
-          BatchSimulation<SilentNStateSSR> sim(
-              SilentNStateSSR(n), silent_nstate_worst_config(n), seed);
-          RunOptions opts;
-          opts.max_interactions = 1ull << 62;
-          return run_engine_until_ranked(sim, opts).stabilization_ptime;
-        },
-        scale.threads);
-    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
-  }
+  row.sweep = sweep_scenario(scale, spec, sizes, 11);
   row.states = "n (exact)";
   row.silent = "yes";
   return row;
@@ -71,23 +77,17 @@ RowResult measure_optimal_silent(const BenchScale& scale,
                                  const std::vector<std::uint32_t>& sizes) {
   RowResult row;
   for (std::uint32_t n : sizes) {
-    const auto trials = scale.trials(n <= 256 ? 8 : 5);
-    const auto xs = run_trials_parallel(
-        trials, 21 + n,
-        [n](std::uint64_t seed) {
-          const auto params = OptimalSilentParams::standard(n);
-          OptimalSilentSSR proto(params);
-          auto init = optimal_silent_config(
-              params, OsAdversary::kUniformRandom, derive_seed(seed, 1));
-          BatchSimulation<OptimalSilentSSR> sim(proto, init,
-                                                derive_seed(seed, 2));
-          RunOptions opts;
-          opts.max_interactions =
-              static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
-          return run_engine_until_ranked(sim, opts).stabilization_ptime;
-        },
-        scale.threads);
-    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.init = "uniform-random";
+    spec.engine = "batch";
+    spec.strategy = "geometric_skip";
+    spec.trials = scale.trials(n <= 256 ? 8 : 5);
+    spec.n = n;
+    spec.seed = 21 + n;
+    spec.threads = scale.threads;
+    row.sweep.points.push_back(
+        {static_cast<double>(n), run_scenario(spec).summary});
   }
   const auto p = OptimalSilentParams::standard(1024);
   row.states = "~" + std::to_string((3 * 1024 + p.emax + 1 +
@@ -104,26 +104,16 @@ RowResult measure_sublinear(const BenchScale& scale, std::uint32_t h,
   for (std::uint32_t n : sizes) {
     // The H = Theta(log n) row's trees make single interactions expensive
     // to simulate at larger n (the quasi-exponential state is real).
-    const auto trials = scale.trials(h == 0 ? 3 : (n <= 64 ? 5 : 3));
-    const auto xs = run_trials_parallel(
-        trials, 31 + n + h,
-        [n, h](std::uint64_t seed) {
-          const auto p = h == 0 ? SublinearParams::log_time(n)
-                                : SublinearParams::constant_h(n, h);
-          SublinearTimeSSR proto(p);
-          auto init = sublinear_config(p, SlAdversary::kUniformRandom,
-                                       derive_seed(seed, 1));
-          RunOptions opts;
-          const std::uint64_t per_epoch = static_cast<std::uint64_t>(p.n) *
-                                          (6ull * p.th + 6ull * p.dmax + 400);
-          opts.max_interactions = 120ull * per_epoch + (1ull << 22);
-          opts.tail_ptime = 0.75 * p.th + 10;
-          return run_until_ranked(proto, std::move(init),
-                                  derive_seed(seed, 2), opts)
-              .stabilization_ptime;
-        },
-        scale.threads);
-    row.sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+    ScenarioSpec spec;
+    spec.protocol = h == 0 ? "sublinear-hlog" : "sublinear-h1";
+    spec.init = "uniform-random";
+    spec.engine = "array";
+    spec.trials = scale.trials(h == 0 ? 3 : (n <= 64 ? 5 : 3));
+    spec.n = n;
+    spec.seed = 31 + n + h;
+    spec.threads = scale.threads;
+    row.sweep.points.push_back(
+        {static_cast<double>(n), run_scenario(spec).summary});
   }
   row.states = h == 0 ? "exp(O(n^log n) log n)" : "exp(O(n^H) log n)";
   row.silent = "no";
@@ -135,7 +125,7 @@ void print_table1(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== Table 1 (measured): stabilization parallel time from "
                "adversarial starts ==\n";
   std::cout << "(rows 1-2: batched backend + parallel seed fan-out; rows "
-               "3-4: agent array)\n";
+               "3-4: agent array; every cell one ScenarioSpec)\n";
 
   const RowResult r1 = measure_silent_nstate(scale, common);
   const RowResult r2 = measure_optimal_silent(scale, common);
@@ -202,39 +192,37 @@ void print_table1(const BenchScale& scale, BenchReport& report) {
 void experiment_row1_scale(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== row 1 at scale (batched backend): Silent-n-state-SSR "
                "full stabilization ==\n";
-  Table t({"n", "trials", "E[time] (~n^2/2)", "wall s/run", "interactions",
-           "eff. events"});
+  Table t({"n", "trials", "E[time] (~n^2/2)", "wall s/run",
+           "interactions/run"});
   std::vector<std::uint32_t> sizes =
       scale.sizes({100'000, 1'000'000, 10'000'000});
   if (!scale.full && !scale.smoke) sizes.pop_back();  // 10^7: --full only
   Sweep sweep;
   for (std::uint32_t n : sizes) {
-    const std::uint32_t trials = scale.smoke ? 1 : (n >= 1'000'000 ? 2 : 3);
-    std::vector<double> xs;
-    WallTimer timer;
-    std::uint64_t interactions = 0, effective = 0;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      BatchSimulation<SilentNStateSSR> sim(SilentNStateSSR(n),
-                                           silent_nstate_worst_config(n),
-                                           derive_seed(41 + n, i));
-      sim.run_until([](const auto& s) { return s.silent(); }, 1ull << 62);
-      xs.push_back(sim.parallel_time());
-      interactions = sim.interactions();
-      effective = sim.stats().effective;
-    }
-    const double wall = timer.seconds() / trials;
-    sweep.points.push_back({static_cast<double>(n), summarize(xs)});
-    t.add_row({std::to_string(n), std::to_string(trials),
-               fmt_sci(summarize(xs).mean), fmt(wall, 2),
-               std::to_string(interactions), std::to_string(effective)});
+    ScenarioSpec spec;
+    spec.protocol = "silent-nstate";
+    spec.init = "worst-case";
+    spec.engine = "batch";
+    spec.strategy = "geometric_skip";
+    spec.trials = scale.smoke ? 1 : (n >= 1'000'000 ? 2 : 3);
+    spec.n = n;
+    spec.seed = 41 + n;
+    spec.threads = 1;  // serial: wall s/run is a measurement here
+    const ScenarioResult r = run_scenario(spec);
+    const double wall = r.wall_seconds / static_cast<double>(r.trials);
+    sweep.points.push_back({static_cast<double>(n), r.summary});
+    t.add_row({std::to_string(n), std::to_string(r.trials),
+               fmt_sci(r.summary.mean), fmt(wall, 2),
+               fmt_sci(r.interactions_mean)});
     report.add()
         .set("experiment", "row1_scale")
         .set("backend", "batch")
         .set("strategy", "geometric_skip")
         .set("n", static_cast<std::uint64_t>(n))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(xs).mean)
-        .set("interactions", interactions)
+        .set("trials", r.trials)
+        .set("parallel_time", r.summary.mean)
+        .set("interactions",
+             static_cast<std::uint64_t>(r.interactions_mean))
         .set("wall_seconds", wall);
   }
   t.print();
@@ -252,39 +240,32 @@ void experiment_detection_scale(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== Observation 2.6 at scale (batched backend): "
                "duplicate-rank detection latency, Optimal-Silent-SSR ==\n";
   Table t({"n", "trials", "E[detect] measured", "analytic (n-1)/2",
-           "wall s/run", "eff. events"});
+           "wall s/run"});
   const std::vector<std::uint32_t> sizes =
       scale.sizes({10'000, 100'000, 1'000'000, 10'000'000});
   for (std::uint32_t n : sizes) {
-    const std::uint32_t trials = scale.smoke ? 1 : (n >= 10'000'000 ? 2 : 5);
-    std::vector<double> xs;
-    WallTimer timer;
-    std::uint64_t effective = 0;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      const auto params = OptimalSilentParams::standard(n);
-      OptimalSilentSSR proto(params);
-      auto init = optimal_silent_config(params, OsAdversary::kDuplicateRank,
-                                        derive_seed(51 + n, i));
-      BatchSimulation<OptimalSilentSSR> sim(proto, init,
-                                            derive_seed(52 + n, i));
-      sim.run_until(
-          [](const auto& s) { return s.counters().collision_triggers > 0; },
-          1ull << 62);
-      xs.push_back(sim.parallel_time());
-      effective = sim.stats().effective;
-    }
-    const double wall = timer.seconds() / trials;
-    const Summary s = summarize(xs);
-    t.add_row({std::to_string(n), std::to_string(trials), fmt_sci(s.mean),
-               fmt_sci((n - 1) / 2.0), fmt(wall, 2),
-               std::to_string(effective)});
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.init = "duplicate-rank";
+    spec.engine = "batch";
+    spec.strategy = "geometric_skip";
+    spec.until = "detected";
+    spec.trials = scale.smoke ? 1 : (n >= 10'000'000 ? 2 : 5);
+    spec.n = n;
+    spec.seed = 51 + n;
+    spec.threads = 1;  // serial: wall s/run is a measurement here
+    const ScenarioResult r = run_scenario(spec);
+    const double wall = r.wall_seconds / static_cast<double>(r.trials);
+    t.add_row({std::to_string(n), std::to_string(r.trials),
+               fmt_sci(r.summary.mean), fmt_sci((n - 1) / 2.0),
+               fmt(wall, 2)});
     report.add()
         .set("experiment", "detection_latency")
         .set("backend", "batch")
         .set("strategy", "geometric_skip")
         .set("n", static_cast<std::uint64_t>(n))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", s.mean)
+        .set("trials", r.trials)
+        .set("parallel_time", r.summary.mean)
         .set("analytic_parallel_time", (n - 1) / 2.0)
         .set("wall_seconds", wall);
   }
@@ -296,23 +277,22 @@ void experiment_detection_scale(const BenchScale& scale, BenchReport& report) {
 // ISSUE 3 acceptance: multinomial vs geometric-skip strategy head-to-head
 // on the timer-heavy regime of Optimal-Silent-SSR, up to n = 10^6.
 //
-// Workload: the dormant countdown (everyone Resetting with delaytimer =
-// Dmax — the post-wave configuration of every reset epoch). Every
-// interaction decrements two delay timers, so every interaction is
-// effective: the geometric skip degenerates to one-by-one simulation whose
-// per-step Fenwick updates walk a 35n-entry tree (280 MB at n = 10^6, ~25
-// DRAM misses per draw), while the multinomial strategy samples whole
-// ~0.63 sqrt(n)-interaction batches from the cache-resident occupied pool.
+// Workload: the dormant countdown (the `dormant-mix` initial condition —
+// everyone Resetting with delaytimer = Dmax, the post-wave configuration
+// of every reset epoch). Every interaction decrements two delay timers, so
+// every interaction is effective: the geometric skip degenerates to
+// one-by-one simulation whose per-step Fenwick updates walk a 35n-entry
+// tree (280 MB at n = 10^6, ~25 DRAM misses per draw), while the
+// multinomial strategy samples whole ~0.63 sqrt(n)-interaction batches
+// from the cache-resident occupied pool.
 //
-// The head-to-head runs a fixed parallel-time budget per n. (Running FULL
-// stabilization at n = 10^6 is not an option for either strategy — the
-// countdown alone is ~4 n^2 = 4e12 sequential effective interactions, days
-// of wall clock for any exact engine at any per-interaction cost; the
-// full-stabilization face-off below covers the largest feasible n.) The
-// recorded acceptance quantities: multinomial >= 5x faster at n = 10^6,
-// and the multinomial wall-vs-n log-log slope <= ~1.6 on this timer-heavy
-// workload (measured ~1, i.e. ~constant amortized cost per interaction,
-// where the geometric skip's slope also carries its Fenwick cache blowup).
+// The head-to-head runs a fixed parallel-time budget per n (until=ptime;
+// running FULL stabilization at n = 10^6 is not an option for either
+// strategy — the countdown alone is ~4 n^2 = 4e12 sequential effective
+// interactions, days of wall clock for any exact engine). The recorded
+// acceptance quantities: multinomial >= 5x faster at n = 10^6, and the
+// multinomial wall-vs-n log-log slope <= ~1.6 on this timer-heavy
+// workload.
 void experiment_strategy_timer_heavy(const BenchScale& scale,
                                      BenchReport& report) {
   const double budget_ptime = scale.smoke ? 0.25 : (scale.quick ? 2.0 : 5.0);
@@ -320,11 +300,8 @@ void experiment_strategy_timer_heavy(const BenchScale& scale,
             << budget_ptime << " parallel time units per run ==\n";
   const std::vector<std::uint32_t> sizes =
       scale.sizes({62'500, 250'000, 1'000'000});
-  const BatchStrategy strategies[] = {BatchStrategy::kGeometricSkip,
-                                      BatchStrategy::kMultinomial,
-                                      BatchStrategy::kAuto};
-  Table t({"n", "strategy", "wall s (min)", "interactions", "eff. events",
-           "mn. batches", "Minter/s"});
+  const char* strategies[] = {"geometric_skip", "multinomial", "auto"};
+  Table t({"n", "strategy", "wall s (min)", "interactions", "Minter/s"});
   // Wall clock at sub-second scales swings with ambient memory/frequency
   // state (the neighboring experiments allocate GBs); interleaved
   // repetitions with a per-strategy minimum measure the code, not the
@@ -333,42 +310,37 @@ void experiment_strategy_timer_heavy(const BenchScale& scale,
   std::vector<double> ns;
   std::vector<std::vector<double>> walls(3);
   for (std::uint32_t n : sizes) {
-    const auto params = OptimalSilentParams::standard(n);
-    OptimalSilentSSR proto(params);
-    const auto budget =
-        static_cast<std::uint64_t>(budget_ptime * static_cast<double>(n));
     ns.push_back(static_cast<double>(n));
     double best[3] = {1e300, 1e300, 1e300};
-    std::uint64_t interactions[3] = {0, 0, 0};
-    std::uint64_t effective[3] = {0, 0, 0};
-    std::uint64_t batches[3] = {0, 0, 0};
+    double interactions[3] = {0, 0, 0};
     for (int rep = 0; rep < reps; ++rep) {
       for (std::size_t si = 0; si < 3; ++si) {
-        BatchSimulation<OptimalSilentSSR> sim(
-            proto, optimal_silent_dormant_counts(params), derive_seed(97, n),
-            strategies[si]);
-        const WallTimer timer;
-        sim.run(budget);
-        best[si] = std::min(best[si], timer.seconds());
-        interactions[si] = sim.interactions();
-        effective[si] = sim.stats().effective;
-        batches[si] = sim.stats().multinomial_batches;
+        ScenarioSpec spec;
+        spec.protocol = "optimal-silent";
+        spec.init = "dormant-mix";
+        spec.engine = "batch";
+        spec.strategy = strategies[si];
+        spec.until = "ptime";
+        spec.horizon_ptime = budget_ptime;
+        spec.n = n;
+        spec.seed = 97 + n;
+        const ScenarioResult r = run_scenario(spec);
+        best[si] = std::min(best[si], r.summary.mean);  // run wall, 1 trial
+        interactions[si] = r.interactions_mean;
       }
     }
     for (std::size_t si = 0; si < 3; ++si) {
       walls[si].push_back(best[si]);
-      t.add_row({std::to_string(n), to_string(strategies[si]),
-                 fmt(best[si], 3), std::to_string(interactions[si]),
-                 std::to_string(effective[si]), std::to_string(batches[si]),
-                 fmt(static_cast<double>(interactions[si]) / best[si] / 1e6,
-                     1)});
+      t.add_row({std::to_string(n), strategies[si], fmt(best[si], 3),
+                 fmt_sci(interactions[si]),
+                 fmt(interactions[si] / best[si] / 1e6, 1)});
       report.add()
           .set("experiment", "strategy_timer_heavy")
           .set("backend", "batch")
-          .set("strategy", to_string(strategies[si]))
+          .set("strategy", strategies[si])
           .set("n", static_cast<std::uint64_t>(n))
           .set("parallel_time", budget_ptime)
-          .set("interactions", interactions[si])
+          .set("interactions", static_cast<std::uint64_t>(interactions[si]))
           .set("wall_seconds", best[si]);
     }
   }
@@ -377,12 +349,11 @@ void experiment_strategy_timer_heavy(const BenchScale& scale,
     for (std::size_t si = 0; si < 3; ++si) {
       const LinearFit f = fit_power_law(ns, walls[si]);
       std::cout << "wall ~ n^" << fmt(f.slope, 2) << " for "
-                << to_string(strategies[si]) << " (R^2 = " << fmt(f.r2, 3)
-                << ")\n";
+                << strategies[si] << " (R^2 = " << fmt(f.r2, 3) << ")\n";
       report.add()
           .set("experiment", "strategy_timer_heavy_slope")
           .set("backend", "batch")
-          .set("strategy", to_string(strategies[si]))
+          .set("strategy", strategies[si])
           .set("slope", f.slope)
           .set("r2", f.r2);
     }
@@ -412,48 +383,35 @@ void experiment_strategy_timer_heavy(const BenchScale& scale,
 // clock per strategy. Stabilization times agree across strategies (the
 // cross-strategy CI tests enforce it); the wall clock shows where each
 // strategy earns its keep over a whole run that crosses timer-heavy *and*
-// silent-heavy phases (kAuto switches between them on the exact
+// silent-heavy phases (auto switches between them on the exact
 // active-weight density).
 void experiment_strategy_full_stabilization(const BenchScale& scale,
                                             BenchReport& report) {
   const std::uint32_t n = scale.smoke ? 256 : (scale.full ? 8192 : 4096);
-  const std::uint32_t trials = scale.smoke ? 1 : 4;
   std::cout << "\n== full stabilization strategy face-off (n = " << n
             << ", uniform-random start) ==\n";
-  const BatchStrategy strategies[] = {BatchStrategy::kGeometricSkip,
-                                      BatchStrategy::kMultinomial,
-                                      BatchStrategy::kAuto};
-  Table t({"strategy", "trials", "wall s/run", "E[time]", "eff. events/run",
-           "mn. batches/run"});
-  for (BatchStrategy strategy : strategies) {
-    std::vector<double> xs;
-    std::uint64_t effective = 0, batches = 0;
-    const WallTimer timer;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      const auto params = OptimalSilentParams::standard(n);
-      OptimalSilentSSR proto(params);
-      auto init = optimal_silent_config(params, OsAdversary::kUniformRandom,
-                                        derive_seed(71 + n, i));
-      BatchSimulation<OptimalSilentSSR> sim(proto, init,
-                                            derive_seed(72 + n, i), strategy);
-      RunOptions opts;
-      opts.max_interactions =
-          static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
-      xs.push_back(run_engine_until_ranked(sim, opts).stabilization_ptime);
-      effective += sim.stats().effective;
-      batches += sim.stats().multinomial_batches;
-    }
-    const double wall = timer.seconds() / trials;
-    t.add_row({to_string(strategy), std::to_string(trials), fmt(wall, 3),
-               fmt(summarize(xs).mean, 0), std::to_string(effective / trials),
-               std::to_string(batches / trials)});
+  Table t({"strategy", "trials", "wall s/run", "E[time]"});
+  for (const char* strategy : {"geometric_skip", "multinomial", "auto"}) {
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.init = "uniform-random";
+    spec.engine = "batch";
+    spec.strategy = strategy;
+    spec.trials = scale.smoke ? 1 : 4;
+    spec.n = n;
+    spec.seed = 71 + n;
+    spec.threads = 1;  // serial: this experiment measures wall clock
+    const ScenarioResult r = run_scenario(spec);
+    const double wall = r.wall_seconds / static_cast<double>(r.trials);
+    t.add_row({strategy, std::to_string(r.trials), fmt(wall, 3),
+               fmt(r.summary.mean, 0)});
     report.add()
         .set("experiment", "row2_full_stabilization_strategy")
         .set("backend", "batch")
-        .set("strategy", to_string(strategy))
+        .set("strategy", strategy)
         .set("n", static_cast<std::uint64_t>(n))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(xs).mean)
+        .set("trials", r.trials)
+        .set("parallel_time", r.summary.mean)
         .set("wall_seconds", wall);
   }
   t.print();
@@ -463,56 +421,59 @@ void experiment_strategy_full_stabilization(const BenchScale& scale,
 // engines, wall-clock measured, >= 10x required. Workload: simulate T
 // parallel time units from the duplicate-rank configuration (the stable
 // regime a deployed silent protocol spends its life in). Identical
-// stochastic process and horizon on both engines; the batched backend
-// geometric-skips the null stretches, the agent array cannot.
+// stochastic process and horizon on both engines — the two ScenarioSpecs
+// differ only in the engine field; the batched backend geometric-skips the
+// null stretches, the agent array cannot.
 void experiment_backend_acceptance(const BenchScale& scale,
                                    BenchReport& report) {
   const std::uint32_t n = scale.smoke ? 1024 : 1'000'000;
   const double budget_time = scale.smoke ? 50 : (scale.quick ? 200 : 1000);
-  const auto budget =
-      static_cast<std::uint64_t>(budget_time * static_cast<double>(n));
   std::cout << "\n== backend acceptance (n = " << n << "): " << budget_time
             << " parallel time units from the duplicate-rank start ==\n";
-  const auto params = OptimalSilentParams::standard(n);
-  OptimalSilentSSR proto(params);
-  const auto init =
-      optimal_silent_config(params, OsAdversary::kDuplicateRank, 1);
+  ScenarioSpec spec;
+  spec.protocol = "optimal-silent";
+  spec.init = "duplicate-rank";
+  spec.until = "ptime";
+  spec.horizon_ptime = budget_time;
+  spec.n = n;
+  spec.seed = 7;
 
-  WallTimer array_timer;
-  Simulation<OptimalSilentSSR> array_sim(proto, init, 7);
-  array_sim.run(budget);
-  const double array_s = array_timer.seconds();
-  const double array_rate =
-      static_cast<double>(array_sim.interactions()) / array_s;
+  spec.engine = "array";
+  const ScenarioResult array_r = run_scenario(spec);
+  const double array_s = array_r.summary.mean;
+  const double array_rate = array_r.interactions_mean / array_s;
 
-  WallTimer batch_timer;
-  BatchSimulation<OptimalSilentSSR> batch_sim(proto, init, 7);
-  batch_sim.run(budget);
-  const double batch_s = batch_timer.seconds();
+  spec.engine = "batch";
+  spec.strategy = "geometric_skip";
+  const ScenarioResult batch_r = run_scenario(spec);
+  const double batch_s = batch_r.summary.mean;
 
   const double speedup = array_s / batch_s;
-  Table t({"backend", "wall s", "interactions simulated", "eff. events"});
-  t.add_row({"agent array", fmt(array_s, 3),
-             std::to_string(array_sim.interactions()), "-"});
-  t.add_row({"batched", fmt(batch_s, 3),
-             std::to_string(batch_sim.interactions()),
-             std::to_string(batch_sim.stats().effective)});
+  Table t({"backend", "wall s", "interactions simulated"});
+  t.add_row({"agent array", fmt(array_s, 3), fmt_sci(array_r.interactions_mean)});
+  t.add_row({"batched", fmt(batch_s, 3), fmt_sci(batch_r.interactions_mean)});
   t.print();
   if (scale.smoke || scale.quick) {
     std::cout << "batched backend " << fmt(speedup, 1)
               << "x faster (acceptance check needs the default budget: "
                  "--quick/--smoke shrink the horizon below the batched "
-                 "engine's fixed O(|Q|) construction cost)\n";
+                 "engine's per-run overheads)\n";
   } else {
     std::cout << (speedup >= 10.0 ? "PASS" : "FAIL") << ": batched backend "
               << fmt(speedup, 1) << "x faster (>= 10x required at n = 10^6)\n";
   }
+  // Achieved simulation parallel time = interactions / n: the batched
+  // engine may overshoot the requested budget (a final geometric jump is
+  // real simulated time), and the recorded field must reflect what
+  // actually ran so --strict drift checks can fire on it.
   report.add()
       .set("experiment", "acceptance_fixed_budget")
       .set("backend", "array")
       .set("n", static_cast<std::uint64_t>(n))
-      .set("parallel_time", budget_time)
-      .set("interactions", array_sim.interactions())
+      .set("parallel_time",
+           array_r.interactions_mean / static_cast<double>(n))
+      .set("interactions",
+           static_cast<std::uint64_t>(array_r.interactions_mean))
       .set("wall_seconds", array_s);
   {
     BenchRecord& rec = report.add();
@@ -520,8 +481,10 @@ void experiment_backend_acceptance(const BenchScale& scale,
         .set("backend", "batch")
         .set("strategy", "geometric_skip")
         .set("n", static_cast<std::uint64_t>(n))
-        .set("parallel_time", batch_sim.parallel_time())
-        .set("interactions", batch_sim.interactions())
+        .set("parallel_time",
+             batch_r.interactions_mean / static_cast<double>(n))
+        .set("interactions",
+             static_cast<std::uint64_t>(batch_r.interactions_mean))
         .set("wall_seconds", batch_s)
         .set("speedup_vs_array", speedup)
         .set("mode", scale.smoke   ? "smoke"
@@ -540,17 +503,15 @@ void experiment_backend_acceptance(const BenchScale& scale,
   // expected n(n-1)/2-interaction wait outright; the agent array's time for
   // the identical run is projected from its measured per-interaction rate
   // (labeled as a projection — at n = 10^6 the direct run would take hours).
-  WallTimer detect_timer;
-  BatchSimulation<OptimalSilentSSR> detect_sim(proto, init, 11);
-  detect_sim.run_until(
-      [](const auto& s) { return s.counters().collision_triggers > 0; },
-      1ull << 62);
-  const double detect_s = detect_timer.seconds();
-  const double array_projected_s =
-      static_cast<double>(detect_sim.interactions()) / array_rate;
+  spec.until = "detected";
+  spec.horizon_ptime = 0;
+  spec.seed = 11;
+  const ScenarioResult detect_r = run_scenario(spec);
+  const double detect_s = detect_r.wall_seconds;
+  const double array_projected_s = detect_r.interactions_mean / array_rate;
   std::cout << "run-to-detection at n = " << n << ": batched "
             << fmt(detect_s, 3) << " s for "
-            << fmt_sci(static_cast<double>(detect_sim.interactions()))
+            << fmt_sci(detect_r.interactions_mean)
             << " interactions; agent array projected "
             << fmt(array_projected_s, 0) << " s at its measured "
             << fmt_sci(array_rate) << " interactions/s ("
@@ -560,8 +521,9 @@ void experiment_backend_acceptance(const BenchScale& scale,
       .set("experiment", "run_to_detection")
       .set("backend", "batch")
       .set("n", static_cast<std::uint64_t>(n))
-      .set("interactions", detect_sim.interactions())
-      .set("parallel_time", detect_sim.parallel_time())
+      .set("interactions",
+           static_cast<std::uint64_t>(detect_r.interactions_mean))
+      .set("parallel_time", detect_r.summary.mean)
       .set("wall_seconds", detect_s)
       .set("array_projected_seconds", array_projected_s)
       .set("array_projected", true);
@@ -574,7 +536,7 @@ int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
   ppsim::BenchReport report("table1");
   std::cout << "=== bench_table1: the paper's Table 1, measured "
-               "(unified Engine API) ===\n";
+               "(Scenario API over the unified Engine API) ===\n";
   // The strategy head-to-head runs before the n = 10^7 detection sweep:
   // the latter's multi-GB engines perturb wall clocks for a while after.
   ppsim::print_table1(scale, report);

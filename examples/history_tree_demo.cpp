@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/name.h"
 #include "core/rng.h"
 #include "protocols/collision_tree.h"
@@ -64,7 +65,8 @@ void show(const Agent& a, const std::vector<Agent>& directory,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ppsim::require_no_args(argc, argv);
   constexpr std::uint32_t kH = 2;
   CollisionDetectorParams params;
   params.depth_h = kH;

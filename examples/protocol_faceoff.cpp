@@ -6,25 +6,20 @@
 // time hierarchy (Theta(n^2) vs Theta(n) vs sublinear) and the price paid
 // in state complexity.
 //
-// The unified Engine API makes the backend a flag: the enumerable protocols
-// (Silent-n-state, Optimal-Silent) race on either engine through the same
-// generic run_engine_until_ranked harness; Sublinear-Time-SSR always runs
-// on the agent array — its quasi-exponential state space is the textbook
-// example of a protocol the count-based backend cannot enumerate.
+// Every race is one declarative ScenarioSpec executed by the protocol
+// registry (the same specs `ppsle_run --scenario` takes): the backend is
+// just the spec's engine field. Sublinear-Time-SSR always runs on the
+// agent array — its quasi-exponential state space is the textbook example
+// of a protocol the count-based backend cannot enumerate, and the registry
+// rejects engine=batch for it.
 //
 // Build & run:  ./build/protocol_faceoff                  # agent array
 //               ./build/protocol_faceoff --backend=batch  # batched engine
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "analysis/adversary.h"
-#include "analysis/convergence.h"
-#include "core/batch_simulation.h"
-#include "core/simulation.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/silent_nstate.h"
-#include "protocols/sublinear.h"
+#include "analysis/scenarios.h"
+#include "common/cli.h"
 
 using namespace ppsim;
 
@@ -32,55 +27,23 @@ namespace {
 
 bool use_batch = false;
 
-// One race on the chosen backend: both engines run the identical harness.
-template <class P>
-double race(P proto, std::vector<typename P::State> init, std::uint64_t seed,
-            const RunOptions& opts) {
-  if (use_batch) {
-    BatchSimulation<P> sim(std::move(proto), init, seed);
-    return run_engine_until_ranked(sim, opts).stabilization_ptime;
-  }
-  Simulation<P> sim(std::move(proto), std::move(init), seed);
-  return run_engine_until_ranked(sim, opts).stabilization_ptime;
-}
-
-double race_silent_nstate(std::uint32_t n, std::uint64_t seed) {
-  RunOptions opts;
-  opts.max_interactions = 1ull << 40;
-  return race(SilentNStateSSR(n), silent_nstate_random_config(n, seed),
-              seed + 1, opts);
-}
-
-double race_optimal_silent(std::uint32_t n, std::uint64_t seed) {
-  const auto params = OptimalSilentParams::standard(n);
-  RunOptions opts;
-  opts.max_interactions = 1ull << 40;
-  return race(OptimalSilentSSR(params),
-              optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
-              seed + 1, opts);
-}
-
-double race_sublinear(std::uint32_t n, std::uint32_t h, std::uint64_t seed) {
-  const auto p = h == 0 ? SublinearParams::log_time(n)
-                        : SublinearParams::constant_h(n, h);
-  SublinearTimeSSR proto(p);
-  RunOptions opts;
-  opts.max_interactions = 1ull << 40;
-  opts.tail_ptime = 0.75 * p.th + 10;
-  // Not enumerable: always the agent array, whatever the flag says.
-  const RunResult r = run_until_ranked(
-      proto, sublinear_config(p, SlAdversary::kUniformRandom, seed), seed + 1,
-      opts);
-  return r.stabilization_ptime;
+// One race = one ScenarioSpec, single trial.
+double race(const std::string& protocol, const std::string& init,
+            std::uint32_t n, std::uint64_t seed, bool force_array = false) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.init = init;
+  spec.engine = (use_batch && !force_array) ? "batch" : "array";
+  spec.n = n;
+  spec.seed = seed;
+  spec.trials = 1;
+  return run_scenario(spec).values.front();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--backend=batch") == 0) use_batch = true;
-    else if (std::strcmp(argv[i], "--backend=array") == 0) use_batch = false;
-  }
+  use_batch = parse_backend_flag(argc, argv);
   std::printf("self-stabilizing ranking face-off (stabilization parallel "
               "time, one adversarial run each)\n");
   std::printf("backend: %s (Sublinear always runs on the agent array: its "
@@ -93,12 +56,15 @@ int main(int argc, char** argv) {
 
   std::uint64_t seed = 1;
   for (std::uint32_t n : {16u, 32u, 64u, 128u}) {
-    const double t1 = race_silent_nstate(n, seed += 10);
-    const double t2 = race_optimal_silent(n, seed += 10);
-    const double t3 = race_sublinear(n, 1, seed += 10);
+    const double t1 = race("silent-nstate", "uniform-random", n, seed += 10);
+    const double t2 = race("optimal-silent", "uniform-random", n, seed += 10);
+    const double t3 = race("sublinear-h1", "uniform-random", n, seed += 10,
+                           /*force_array=*/true);
     // The H = Theta(log n) configuration's history trees get expensive to
     // *simulate* (not to run!) beyond small n; keep the demo snappy.
-    const double t4 = n <= 32 ? race_sublinear(n, 0, seed += 10) : -1.0;
+    const double t4 = n <= 32 ? race("sublinear-hlog", "uniform-random", n,
+                                     seed += 10, /*force_array=*/true)
+                              : -1.0;
     if (t4 >= 0)
       std::printf("%6u %18.1f %18.1f %20.1f %22.1f\n", n, t1, t2, t3, t4);
     else

@@ -16,12 +16,12 @@
 // Build & run:  ./build/quickstart                  # agent array (default)
 //               ./build/quickstart --backend=batch  # count-based engine
 #include <cstdio>
-#include <cstring>
 
-#include "analysis/adversary.h"
+#include "common/cli.h"
 #include "core/batch_simulation.h"
 #include "core/engine.h"
 #include "core/simulation.h"
+#include "init/optimal_silent_init.h"
 #include "protocols/leader.h"
 #include "protocols/optimal_silent.h"
 
@@ -112,25 +112,24 @@ int drive(EngineT sim, const OptimalSilentParams& params) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool batch = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--backend=batch") == 0) batch = true;
-    else if (std::strcmp(argv[i], "--backend=array") == 0) batch = false;
-  }
+  const bool batch = parse_backend_flag(argc, argv);
 
   const auto params = OptimalSilentParams::standard(kN);
   OptimalSilentSSR protocol(params);
-  // An adversarial start: every field of every agent uniformly random.
-  auto initial =
-      optimal_silent_config(params, OsAdversary::kUniformRandom, /*seed=*/7);
+  // An adversarial start from the named initial-condition catalog: every
+  // field of every agent uniformly random. The same generator feeds either
+  // backend (counts for the batched engine, agents for the array).
+  const auto& inits = optimal_silent_inits();
 
   std::printf("backend: %s\n", batch ? "count-based batched" : "agent array");
   if (batch) {
-    return drive(
-        BatchSimulation<OptimalSilentSSR>(protocol, initial, /*seed=*/42),
-        params);
+    return drive(BatchSimulation<OptimalSilentSSR>(
+                     protocol, inits.counts(protocol, "uniform-random", 7),
+                     /*seed=*/42),
+                 params);
   }
-  return drive(
-      Simulation<OptimalSilentSSR>(protocol, std::move(initial), /*seed=*/42),
-      params);
+  return drive(Simulation<OptimalSilentSSR>(
+                   protocol, inits.agents(protocol, "uniform-random", 7),
+                   /*seed=*/42),
+               params);
 }

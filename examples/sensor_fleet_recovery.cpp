@@ -12,8 +12,9 @@
 // Build & run:  ./build/examples/sensor_fleet_recovery
 #include <cstdio>
 
-#include "analysis/adversary.h"
+#include "common/cli.h"
 #include "core/simulation.h"
+#include "init/sublinear_init.h"
 #include "protocols/leader.h"
 #include "protocols/sublinear.h"
 
@@ -49,14 +50,17 @@ double recover(Simulation<SublinearTimeSSR>& sim) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  require_no_args(argc, argv);
   const SublinearParams params = SublinearParams::constant_h(kFleet, 2);
   SublinearTimeSSR protocol(params);
 
-  // The fleet boots with whatever was in memory: fully adversarial.
-  auto initial =
-      sublinear_config(params, SlAdversary::kUniformRandom, /*seed=*/2021);
-  Simulation<SublinearTimeSSR> sim(protocol, std::move(initial), /*seed=*/7);
+  // The fleet boots with whatever was in memory: fully adversarial (the
+  // `uniform-random` generator from the initial-condition catalog).
+  Simulation<SublinearTimeSSR> sim(
+      protocol,
+      sublinear_inits().agents(protocol, "uniform-random", /*seed=*/2021),
+      /*seed=*/7);
 
   std::printf("fleet of %u sensors, H = %u, names of %u bits\n", kFleet,
               params.depth_h, params.name_len);

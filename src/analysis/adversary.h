@@ -1,376 +1,23 @@
-// Adversarial initial-configuration generators.
+// DEPRECATED shim — the adversarial generators moved to src/init/.
 //
-// Self-stabilization quantifies over every configuration of *valid* states
-// (any number of transient faults may have scrambled all memory). These
-// generators produce the hostile starting points used throughout the tests
-// and benchmarks: uniformly random fields, all-identical states, duplicated
-// and missing ranks, ghost names, colliding names, fabricated history trees,
-// and mid-reset mixtures.
+// This header used to define every adversarial initial-configuration
+// generator as per-protocol free functions, pulling four protocol headers
+// into every consumer. The generators now live in per-protocol headers
+// under src/init/ (one include per protocol, plus the composable
+// InitialCondition API in init/initial_condition.h that the Scenario API
+// dispatches on by name):
+//
+//   init/silent_nstate_init.h   silent_nstate_random_config / _all_same
+//   init/optimal_silent_init.h  OsAdversary, optimal_silent_config,
+//                               optimal_silent_dormant_counts
+//   init/sublinear_init.h       SlAdversary, sublinear_config, random_name,
+//                               distinct_names, random_history_node
+//
+// Include the specific header(s) you need instead of this one; this shim
+// only exists so historical includes keep compiling and will be removed
+// once the remaining consumers migrate.
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <stdexcept>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "core/rng.h"
-#include "protocols/collision_tree.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/silent_nstate.h"
-#include "protocols/sublinear.h"
-
-namespace ppsim {
-
-// ---------------------------------------------------------------- Protocol 1
-
-inline std::vector<SilentNStateSSR::State> silent_nstate_random_config(
-    std::uint32_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<SilentNStateSSR::State> states(n);
-  for (auto& s : states) s.rank = static_cast<std::uint32_t>(rng.below(n));
-  return states;
-}
-
-inline std::vector<SilentNStateSSR::State> silent_nstate_all_same(
-    std::uint32_t n, std::uint32_t rank) {
-  std::vector<SilentNStateSSR::State> states(n);
-  for (auto& s : states) s.rank = rank;
-  return states;
-}
-
-// ---------------------------------------------------------- Optimal-Silent
-
-enum class OsAdversary {
-  kUniformRandom,      // every field uniform over its valid range
-  kAllLeaders,         // everyone Settled at rank 1 ("all leaders")
-  kAllUnsettledZero,   // everyone Unsettled with exhausted patience
-  kDuplicateRank,      // correct ranking except one duplicated rank
-  kAllPropagating,     // everyone mid-reset with resetcount > 0
-  kAllDormant,         // everyone dormant with random delay timers
-  kCorrectRanking,     // the unique silent configuration (stability check)
-};
-
-inline const char* to_string(OsAdversary a) {
-  switch (a) {
-    case OsAdversary::kUniformRandom: return "uniform-random";
-    case OsAdversary::kAllLeaders: return "all-leaders";
-    case OsAdversary::kAllUnsettledZero: return "all-unsettled-0";
-    case OsAdversary::kDuplicateRank: return "duplicate-rank";
-    case OsAdversary::kAllPropagating: return "all-propagating";
-    case OsAdversary::kAllDormant: return "all-dormant";
-    case OsAdversary::kCorrectRanking: return "correct-ranking";
-  }
-  return "?";
-}
-
-// Number of children rank r has in the full binary tree over ranks {1..n}.
-inline std::uint8_t binary_tree_children(std::uint32_t rank,
-                                         std::uint32_t n) {
-  std::uint8_t c = 0;
-  if (2ull * rank <= n) ++c;
-  if (2ull * rank + 1 <= n) ++c;
-  return c;
-}
-
-inline std::vector<OptimalSilentSSR::State> optimal_silent_config(
-    const OptimalSilentParams& p, OsAdversary kind, std::uint64_t seed) {
-  Rng rng(seed);
-  const std::uint32_t n = p.n;
-  std::vector<OptimalSilentSSR::State> states(n);
-  auto settled = [&](std::uint32_t rank, std::uint8_t children) {
-    OptimalSilentSSR::State s;
-    s.role = OsRole::Settled;
-    s.rank = rank;
-    s.children = children;
-    return s;
-  };
-  switch (kind) {
-    case OsAdversary::kUniformRandom:
-      for (auto& s : states) {
-        switch (rng.below(3)) {
-          case 0:
-            s = settled(static_cast<std::uint32_t>(rng.range(1, n)),
-                        static_cast<std::uint8_t>(rng.below(3)));
-            break;
-          case 1:
-            s.role = OsRole::Unsettled;
-            s.errorcount = static_cast<std::uint32_t>(rng.below(p.emax + 1));
-            break;
-          default:
-            s.role = OsRole::Resetting;
-            s.leader = rng.coin();
-            s.resetcount =
-                static_cast<std::uint32_t>(rng.below(p.rmax + 1));
-            s.delaytimer =
-                static_cast<std::uint32_t>(rng.below(p.dmax + 1));
-            break;
-        }
-      }
-      break;
-    case OsAdversary::kAllLeaders:
-      for (auto& s : states) s = settled(1, 0);
-      break;
-    case OsAdversary::kAllUnsettledZero:
-      for (auto& s : states) {
-        s.role = OsRole::Unsettled;
-        s.errorcount = 0;
-      }
-      break;
-    case OsAdversary::kDuplicateRank:
-      for (std::uint32_t i = 0; i < n; ++i)
-        states[i] = settled(i + 1, binary_tree_children(i + 1, n));
-      states[1] = states[0];  // rank 1 duplicated, rank 2 missing
-      break;
-    case OsAdversary::kAllPropagating:
-      for (auto& s : states) {
-        s.role = OsRole::Resetting;
-        s.leader = rng.coin();
-        s.resetcount = static_cast<std::uint32_t>(rng.range(1, p.rmax));
-        s.delaytimer = 0;
-      }
-      break;
-    case OsAdversary::kAllDormant:
-      for (auto& s : states) {
-        s.role = OsRole::Resetting;
-        s.leader = rng.coin();
-        s.resetcount = 0;
-        s.delaytimer = static_cast<std::uint32_t>(rng.range(1, p.dmax));
-      }
-      break;
-    case OsAdversary::kCorrectRanking:
-      for (std::uint32_t i = 0; i < n; ++i)
-        states[i] = settled(i + 1, binary_tree_children(i + 1, n));
-      break;
-  }
-  return states;
-}
-
-// Count-vector configuration for the batched backend: the post-wave
-// configuration of a successful reset epoch — every agent dormant with a
-// full delay timer (delaytimer = Dmax), `leaders` of them still holding the
-// leader bit. This is the paper's timer-heavy regime: every interaction
-// decrements two delay timers, so every interaction is effective and the
-// geometric skip degenerates to one-by-one simulation (the multinomial
-// batch strategy's target workload). O(|Q|) to build, no agent array.
-inline std::vector<std::uint64_t> optimal_silent_dormant_counts(
-    const OptimalSilentParams& p, std::uint32_t leaders = 1) {
-  if (leaders > p.n) throw std::invalid_argument("leaders > population");
-  const OptimalSilentSSR proto(p);
-  std::vector<std::uint64_t> counts(proto.num_states(), 0);
-  OptimalSilentSSR::State s;
-  s.role = OsRole::Resetting;
-  s.resetcount = 0;
-  s.delaytimer = p.dmax;
-  s.leader = true;
-  counts[proto.encode(s)] = leaders;
-  s.leader = false;
-  counts[proto.encode(s)] = p.n - leaders;
-  return counts;
-}
-
-// ------------------------------------------------------- Sublinear-Time-SSR
-
-enum class SlAdversary {
-  kUniformRandom,    // random names/rosters/trees/roles (valid states)
-  kCorrectRanked,    // unique names, full rosters, lex ranks, bare trees
-  kDuplicateNames,   // two agents share a name (the Lemma 5.6 workload)
-  kGhostNames,       // unique names, a ghost entry planted in rosters
-  kPoisonedTrees,    // unique names + fabricated histories (Lemma 5.5)
-  kMidReset,         // everyone in a random Resetting state
-  kAllSameName,      // every agent has the same name
-  kShortNames,       // partially regenerated names
-};
-
-inline const char* to_string(SlAdversary a) {
-  switch (a) {
-    case SlAdversary::kUniformRandom: return "uniform-random";
-    case SlAdversary::kCorrectRanked: return "correct-ranked";
-    case SlAdversary::kDuplicateNames: return "duplicate-names";
-    case SlAdversary::kGhostNames: return "ghost-names";
-    case SlAdversary::kPoisonedTrees: return "poisoned-trees";
-    case SlAdversary::kMidReset: return "mid-reset";
-    case SlAdversary::kAllSameName: return "all-same-name";
-    case SlAdversary::kShortNames: return "short-names";
-  }
-  return "?";
-}
-
-inline Name random_name(Rng& rng, std::uint32_t len) {
-  return Name::from_bits(rng(), len);
-}
-
-// Distinct full-length names for the whole population.
-inline std::vector<Name> distinct_names(std::uint32_t count,
-                                        std::uint32_t len, Rng& rng) {
-  std::vector<Name> names;
-  names.reserve(count);
-  while (names.size() < count) {
-    const Name cand = random_name(rng, len);
-    bool dup = false;
-    for (const auto& existing : names)
-      if (existing == cand) {
-        dup = true;
-        break;
-      }
-    if (!dup) names.push_back(cand);
-  }
-  return names;
-}
-
-// A fabricated (but structurally valid: sibling-unique) history tree of the
-// given depth, drawing node labels from `pool` and random syncs/timers, some
-// live and some expired.
-inline HistoryNodePtr random_history_node(const Name& label,
-                                          const std::vector<Name>& pool,
-                                          std::uint32_t depth, Rng& rng,
-                                          const SublinearParams& p) {
-  std::vector<HistoryEdge> kids;
-  if (depth > 0) {
-    const std::uint32_t fanout = static_cast<std::uint32_t>(rng.below(3));
-    for (std::uint32_t k = 0; k < fanout; ++k) {
-      const Name child_label = pool[rng.below(pool.size())];
-      bool dup = false;
-      for (const auto& e : kids)
-        if (e.child->name == child_label) {
-          dup = true;
-          break;
-        }
-      if (dup) continue;
-      HistoryEdge e;
-      e.sync = rng.range(1, p.smax);
-      // Owner frame starts at ops = 0; expiries in [-th, +th]: half expired.
-      e.expiry = static_cast<std::int64_t>(rng.below(2 * p.th + 1)) -
-                 static_cast<std::int64_t>(p.th);
-      e.shift = 0;
-      e.child = random_history_node(child_label, pool, depth - 1, rng, p);
-      kids.push_back(std::move(e));
-    }
-  }
-  return std::make_shared<const HistoryNode>(label, std::move(kids));
-}
-
-inline std::vector<SublinearTimeSSR::State> sublinear_config(
-    const SublinearParams& p, SlAdversary kind, std::uint64_t seed) {
-  Rng rng(seed);
-  const std::uint32_t n = p.n;
-  const SublinearTimeSSR proto(p);
-  std::vector<SublinearTimeSSR::State> states(n);
-
-  auto collecting = [&](const Name& name) {
-    return proto.make_collecting(name);
-  };
-  auto names = distinct_names(n, p.name_len, rng);
-
-  // A correct ranked configuration over `names`: full rosters, lex ranks.
-  auto make_ranked = [&] {
-    Roster full;
-    for (const auto& nm : names) full.insert(nm);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      states[i] = collecting(names[i]);
-      states[i].roster = full;
-      states[i].rank = full.lexicographic_rank(names[i]);
-    }
-  };
-
-  switch (kind) {
-    case SlAdversary::kUniformRandom:
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (rng.below(4) == 0) {  // Resetting
-          auto& s = states[i];
-          s.role = SlRole::Resetting;
-          s.resetcount = static_cast<std::uint32_t>(rng.below(p.rmax + 1));
-          s.delaytimer = static_cast<std::uint32_t>(rng.below(p.dmax + 1));
-          s.name = rng.coin() ? Name()
-                              : random_name(rng, static_cast<std::uint32_t>(
-                                                     rng.below(p.name_len)));
-        } else {  // Collecting with random roster/tree/rank
-          const Name nm = rng.coin() ? names[i] : names[rng.below(n)];
-          auto& s = states[i];
-          s = collecting(nm);
-          const std::uint64_t extra = rng.below(n);
-          for (std::uint64_t k = 0; k < extra; ++k) {
-            // Mix of real names and arbitrary bitstrings (possible ghosts).
-            s.roster.insert(rng.coin() ? names[rng.below(n)]
-                                       : random_name(rng, p.name_len));
-          }
-          s.rank = static_cast<std::uint32_t>(rng.range(1, n));
-          s.tree.install(
-              random_history_node(nm, names,
-                                  std::min<std::uint32_t>(p.depth_h, 3), rng,
-                                  p),
-              0);
-        }
-      }
-      break;
-    case SlAdversary::kCorrectRanked:
-      make_ranked();
-      break;
-    case SlAdversary::kDuplicateNames: {
-      names[1] = names[0];  // a collision; rosters see n-1 distinct names
-      for (std::uint32_t i = 0; i < n; ++i)
-        states[i] = collecting(names[i]);
-      break;
-    }
-    case SlAdversary::kGhostNames: {
-      // Unique names, but partial rosters with a planted ghost entry: the
-      // roll call will push the union over n (Lemma 5.3). Rosters stay
-      // within the |roster| <= n field bound — the ghost displaces a real
-      // name the agent has "not heard yet".
-      const Name ghost = [&] {
-        while (true) {
-          const Name g = random_name(rng, p.name_len);
-          bool clash = false;
-          for (const auto& nm : names)
-            if (nm == g) clash = true;
-          if (!clash) return g;
-        }
-      }();
-      for (std::uint32_t i = 0; i < n; ++i) {
-        states[i] = collecting(names[i]);
-        const std::uint64_t extra = rng.below(n - 1);
-        for (std::uint64_t k = 0; k < extra && states[i].roster.size() < n;
-             ++k)
-          states[i].roster.insert(names[rng.below(n)]);
-      }
-      for (std::uint32_t i = 0; i < std::max<std::uint32_t>(1, n / 4); ++i) {
-        if (states[i].roster.size() >= n) continue;
-        states[i].roster.insert(ghost);
-      }
-      states[0].roster = Roster::singleton(names[0]);  // room for the ghost
-      states[0].roster.insert(ghost);
-      break;
-    }
-    case SlAdversary::kPoisonedTrees:
-      make_ranked();
-      for (std::uint32_t i = 0; i < n; ++i)
-        states[i].tree.install(
-            random_history_node(names[i], names,
-                                std::min<std::uint32_t>(p.depth_h, 3), rng,
-                                p),
-            0);
-      break;
-    case SlAdversary::kMidReset:
-      for (auto& s : states) {
-        s.role = SlRole::Resetting;
-        s.resetcount = static_cast<std::uint32_t>(rng.below(p.rmax + 1));
-        s.delaytimer = static_cast<std::uint32_t>(rng.below(p.dmax + 1));
-        s.name = Name();
-      }
-      break;
-    case SlAdversary::kAllSameName:
-      for (std::uint32_t i = 0; i < n; ++i) states[i] = collecting(names[0]);
-      break;
-    case SlAdversary::kShortNames:
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const auto len =
-            static_cast<std::uint32_t>(rng.below(p.name_len));
-        states[i] = collecting(Name::from_bits(rng(), len));
-      }
-      break;
-  }
-  return states;
-}
-
-}  // namespace ppsim
+#include "init/optimal_silent_init.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"

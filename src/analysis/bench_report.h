@@ -28,12 +28,37 @@
 #include <utility>
 #include <vector>
 
+#include "common/host.h"
+
 namespace ppsim {
+
+// JSON string literal (quotes + escapes) for the writer below.
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
 
 class BenchRecord {
  public:
   BenchRecord& set(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, quote(value));
+    fields_.emplace_back(key, json_quote(value));
     return *this;
   }
   BenchRecord& set(const std::string& key, const char* value) {
@@ -65,35 +90,13 @@ class BenchRecord {
     std::string out = "{";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (i) out += ", ";
-      out += quote(fields_[i].first) + ": " + fields_[i].second;
+      out += json_quote(fields_[i].first) + ": " + fields_[i].second;
     }
     out += "}";
     return out;
   }
 
  private:
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (char ch : s) {
-      switch (ch) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(ch) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-            out += buf;
-          } else {
-            out += ch;
-          }
-      }
-    }
-    out += "\"";
-    return out;
-  }
-
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> json
 };
 
@@ -113,7 +116,11 @@ class BenchReport {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return "";
-    std::fprintf(f, "{\"bench\": \"%s\", \"records\": [\n", name_.c_str());
+    // The host fingerprint records where the numbers came from; the
+    // per-host baseline directories of tools/bench_compare --host-gate are
+    // named by its slug form (common/host.h).
+    std::fprintf(f, "{\"bench\": \"%s\", \"host\": %s, \"records\": [\n",
+                 name_.c_str(), json_quote(host_fingerprint()).c_str());
     for (std::size_t i = 0; i < records_.size(); ++i)
       std::fprintf(f, "  %s%s\n", records_[i].json().c_str(),
                    i + 1 < records_.size() ? "," : "");

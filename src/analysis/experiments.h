@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.h"  // BenchScale (shared bench flag parsing)
 #include "core/engine.h"  // BatchStrategy, parse_strategy
 #include "core/rng.h"
 #include "core/stats.h"
@@ -136,85 +137,8 @@ inline void print_sweep(const std::string& title, const Sweep& sweep,
   }
 }
 
-// Tiny flag parser for the bench binaries:
-//   --quick / --full   scale the trial counts down / up
-//   --smoke            CI mode: 1 trial, smallest population only (see
-//                      sizes()) — exercises every code path in seconds
-//   --threads=N        thread count for run_trials_parallel (also
-//                      PPSIM_THREADS; 0 = hardware concurrency)
-//   --strategy=S       batching strategy for the count-based engine
-//                      (geometric_skip | multinomial | auto); benches that
-//                      honor it call strategy_or() and record the choice in
-//                      their BENCH_*.json metadata
-// Everything else is ignored (so the binaries also tolerate being invoked by
-// generic runners).
-struct BenchScale {
-  double factor = 1.0;  // multiplies trial counts
-  bool quick = false;
-  bool full = false;
-  bool smoke = false;
-  std::uint32_t threads = 0;   // 0 = auto (env / hardware)
-  std::string strategy_name;   // empty = bench default
-
-  static BenchScale from_args(int argc, char** argv) {
-    BenchScale s;
-    for (int i = 1; i < argc; ++i) {
-      const std::string a = argv[i];
-      if (a == "--quick") {
-        s.quick = true;
-        s.factor = 0.25;
-      } else if (a == "--full") {
-        s.full = true;
-        s.factor = 4.0;
-      } else if (a == "--smoke") {
-        s.smoke = true;
-        s.quick = true;
-        s.factor = 0.0;
-      } else if (a.rfind("--threads=", 0) == 0) {
-        const long v = std::strtol(a.c_str() + 10, nullptr, 10);
-        if (v > 0) s.threads = static_cast<std::uint32_t>(v);
-      } else if (a.rfind("--strategy=", 0) == 0) {
-        s.strategy_name = a.substr(11);
-        BatchStrategy ignored;
-        if (!parse_strategy(s.strategy_name, ignored)) {
-          std::cerr << "unknown --strategy value '" << s.strategy_name
-                    << "' (want geometric_skip | multinomial | auto)\n";
-          std::exit(2);
-        }
-      }
-    }
-    return s;
-  }
-
-  // The engine strategy this run should use: the --strategy flag if given,
-  // else the bench's own default.
-  BatchStrategy strategy_or(BatchStrategy fallback) const {
-    BatchStrategy s = fallback;
-    if (!strategy_name.empty()) parse_strategy(strategy_name, s);
-    return s;
-  }
-
-  std::uint32_t trials(std::uint32_t base) const {
-    if (smoke) return 1;
-    const auto t = static_cast<std::uint32_t>(base * factor);
-    return t < 3 ? 3 : t;
-  }
-
-  // Sweep points for this run: the full list normally, only the first
-  // (smallest) entry under --smoke. Works for any point type (population
-  // sizes, ablation factors, Smax values, ...).
-  template <class T>
-  std::vector<T> points(std::initializer_list<T> all) const {
-    if (smoke) return {*all.begin()};
-    return all;
-  }
-
-  // The common case: population sizes (keeps integer literals deducing to
-  // std::uint32_t at every call site).
-  std::vector<std::uint32_t> sizes(
-      std::initializer_list<std::uint32_t> all) const {
-    return points<std::uint32_t>(all);
-  }
-};
+// BenchScale (the shared --smoke/--quick/--full/--threads/--strategy flag
+// bundle) lives in common/cli.h now, re-exported through the include above;
+// unknown flags are a hard error there instead of being silently ignored.
 
 }  // namespace ppsim

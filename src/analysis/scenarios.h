@@ -1,0 +1,623 @@
+// Concrete protocol registrations for the Scenario API (core/registry.h).
+//
+// Every protocol in src/protocols/ and src/reset/ is registered here with
+// its name, state-space metadata, named adversarial initial conditions
+// (src/init/), supported stop conditions, and a type-erased runner that
+// executes a ScenarioSpec end to end:
+//
+//   protocol         inits (default first)            stop conditions
+//   silent-nstate    worst-case, uniform-random, ...  ranked | ptime
+//   optimal-silent   uniform-random, duplicate-rank,  ranked | detected |
+//                    dormant-mix, single-leader, ...    ptime
+//   sublinear-h1     uniform-random, ghost-names, ... ranked | ptime
+//   sublinear-hlog   (same; H = 3 log2 n params)      ranked | ptime
+//   reset-process    trigger-one, mid-reset-mix, ...  drained | ptime
+//   one-way-epidemic single-infected, residual-16     complete | ptime
+//   obs25            all-leaders, uniform-random      silent | ptime
+//
+// Stop conditions:
+//   ranked    run until the ranking is stably correct (the paper's
+//             stabilization time); metric = stabilization parallel time
+//   detected / drained / complete / silent
+//             protocol-specific predicates; metric = parallel time at the
+//             first firing
+//   ptime     fixed parallel-time budget (spec.horizon_ptime); metric =
+//             per-trial *run* wall seconds (engine construction excluded;
+//             ScenarioResult.wall_seconds covers the whole scenario
+//             including construction) — the perf-measurement mode
+//
+// Engine resolution: spec.engine = "auto" picks the batched engine for
+// enumerable protocols and the agent array otherwise; "batch" on a
+// non-enumerable protocol is a hard error. Trial t always runs the RNG
+// streams derived from derive_seed(spec.seed, t) (init and engine streams
+// split one level deeper), so results are bit-identical for any thread
+// count, exactly like run_trials_parallel.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/bench_report.h"
+#include "analysis/convergence.h"
+#include "analysis/experiments.h"
+#include "core/batch_simulation.h"
+#include "core/registry.h"
+#include "core/simulation.h"
+#include "init/epidemic_init.h"
+#include "init/obs25_init.h"
+#include "init/optimal_silent_init.h"
+#include "init/reset_init.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"
+#include "processes/epidemic.h"
+#include "protocols/obs25.h"
+#include "protocols/optimal_silent.h"
+#include "protocols/silent_nstate.h"
+#include "protocols/sublinear.h"
+#include "reset/reset_process.h"
+
+namespace ppsim {
+
+namespace scenario_detail {
+
+inline std::uint32_t resolve_population(const ScenarioSpec& spec,
+                                        std::uint32_t default_n,
+                                        std::uint32_t fixed_n) {
+  if (fixed_n != 0) {
+    if (spec.n != 0 && spec.n != fixed_n)
+      throw std::invalid_argument("protocol '" + spec.protocol +
+                                  "' is defined only for n = " +
+                                  std::to_string(fixed_n));
+    return fixed_n;
+  }
+  return spec.n != 0 ? spec.n : default_n;
+}
+
+template <class P>
+bool resolve_use_batch(const ScenarioSpec& spec) {
+  const std::string engine = spec.engine.empty() ? "auto" : spec.engine;
+  if (engine == "array") return false;
+  if (engine != "batch" && engine != "auto")
+    throw std::invalid_argument("unknown engine '" + engine +
+                                "' (array | batch | auto)");
+  if constexpr (EnumerableProtocol<P>) {
+    return true;
+  } else {
+    if (engine == "batch")
+      throw std::invalid_argument(
+          "protocol '" + spec.protocol +
+          "' is not enumerable: the batched engine cannot run it");
+    return false;
+  }
+}
+
+// Indexed deterministic trial fan-out (same contract as
+// run_trials_parallel: slot t is trial t whatever the thread count).
+inline void for_each_trial(std::uint32_t trials, std::uint32_t threads,
+                           const std::function<void(std::uint32_t)>& body) {
+  threads = resolve_thread_count(threads);
+  if (threads > trials) threads = trials;
+  if (threads <= 1) {
+    for (std::uint32_t t = 0; t < trials; ++t) body(t);
+    return;
+  }
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::uint32_t t = next.fetch_add(1);
+      if (t >= trials) return;
+      try {
+        body(t);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// Shared trial driver: materializes the named initial condition for the
+// resolved engine, runs `run_one(sim) -> {value, fired}` per trial, and
+// assembles the ScenarioResult.
+template <class P, class RunOne>
+ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
+                     const InitialConditionSet<P>& inits,
+                     const std::string& until_name, const char* metric,
+                     RunOne run_one) {
+  const std::string init_name =
+      spec.init.empty() ? inits.default_name() : spec.init;
+  if (inits.find(init_name) == nullptr)
+    throw std::invalid_argument("unknown initial condition '" + init_name +
+                                "' for protocol '" + spec.protocol + "'");
+  const bool use_batch = resolve_use_batch<P>(spec);
+  BatchStrategy strategy = BatchStrategy::kAuto;
+  if (use_batch) {
+    const std::string sname = spec.strategy.empty() ? "auto" : spec.strategy;
+    if (!parse_strategy(sname, strategy))
+      throw std::invalid_argument(
+          "unknown strategy '" + sname +
+          "' (geometric_skip | multinomial | auto)");
+  }
+  const std::uint32_t trials = spec.trials ? spec.trials : 1;
+  std::vector<double> values(trials, -1.0);
+  std::vector<std::uint64_t> interactions(trials, 0);
+  std::vector<char> fired(trials, 0);
+
+  const WallTimer total;
+  for_each_trial(trials, spec.threads, [&](std::uint32_t t) {
+    const std::uint64_t trial_seed = derive_seed(spec.seed, t);
+    const std::uint64_t init_seed = derive_seed(trial_seed, 1);
+    const std::uint64_t engine_seed = derive_seed(trial_seed, 2);
+    if (use_batch) {
+      if constexpr (EnumerableProtocol<P>) {
+        BatchSimulation<P> sim(proto,
+                               inits.counts(proto, init_name, init_seed),
+                               engine_seed, strategy);
+        const std::pair<double, bool> r = run_one(sim);
+        values[t] = r.first;
+        fired[t] = r.second;
+        interactions[t] = sim.interactions();
+      }
+    } else {
+      Simulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
+                        engine_seed);
+      const std::pair<double, bool> r = run_one(sim);
+      values[t] = r.first;
+      fired[t] = r.second;
+      interactions[t] = sim.interactions();
+    }
+  });
+
+  ScenarioResult out;
+  out.metric = metric;
+  out.values = values;
+  out.summary = summarize(out.values);
+  out.backend = use_batch ? "batch" : "array";
+  out.strategy = use_batch ? to_string(strategy) : "";
+  out.init = init_name;
+  out.until = until_name;
+  out.n = proto.population_size();
+  out.trials = trials;
+  for (char f : fired)
+    if (!f) ++out.failed;
+  double inter_sum = 0;
+  for (std::uint64_t i : interactions)
+    inter_sum += static_cast<double>(i);
+  out.interactions_mean = inter_sum / static_cast<double>(trials);
+  out.wall_seconds = total.seconds();
+  return out;
+}
+
+// Ranked-stabilization horizon/tail resolution: spec overrides win, the
+// protocol's registered defaults otherwise.
+inline RunOptions ranked_options(const ScenarioSpec& spec,
+                                 std::uint64_t default_horizon,
+                                 double default_tail) {
+  RunOptions opts;
+  opts.max_interactions =
+      spec.max_interactions ? spec.max_interactions : default_horizon;
+  opts.tail_ptime = spec.tail_ptime >= 0 ? spec.tail_ptime : default_tail;
+  return opts;
+}
+
+template <class P>
+ScenarioResult execute_ranked(const ScenarioSpec& spec, const P& proto,
+                              const InitialConditionSet<P>& inits,
+                              const std::string& until_name,
+                              const RunOptions& opts) {
+  return drive(spec, proto, inits, until_name, "parallel_time",
+               [&](auto& sim) {
+                 const RunResult r = run_engine_until_ranked(sim, opts);
+                 return std::pair<double, bool>(
+                     r.stabilized ? r.stabilization_ptime : -1.0,
+                     r.stabilized);
+               });
+}
+
+// Predicate stop condition. `done` is a generic callable over either
+// engine. `cheap` predicates (O(1): counter reads) are checked after every
+// interaction on the agent array; expensive ones (O(n) scans) every
+// max(1, n/64) interactions — an overshoot of at most 1/64 parallel time,
+// amortizing the scan to O(64) per interaction. Count engines check after
+// every configuration change (null stretches cannot flip a predicate).
+template <class P, class Done>
+ScenarioResult execute_predicate(const ScenarioSpec& spec, const P& proto,
+                                 const InitialConditionSet<P>& inits,
+                                 const std::string& until_name,
+                                 std::uint64_t max_interactions, Done done,
+                                 bool cheap) {
+  return drive(
+      spec, proto, inits, until_name, "parallel_time",
+      [&](auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        bool hit;
+        if constexpr (AgentArrayEngine<E>) {
+          if (cheap) {
+            hit = done(sim) ||
+                  sim.run_until([&](const E& s) { return done(s); },
+                                max_interactions);
+          } else {
+            const std::uint64_t stride =
+                std::max<std::uint64_t>(1, sim.population_size() / 64);
+            hit = done(sim);
+            while (!hit && sim.interactions() < max_interactions) {
+              sim.run(std::min(stride,
+                               max_interactions - sim.interactions()));
+              hit = done(sim);
+            }
+          }
+        } else {
+          hit = sim.run_until([&](const E& s) { return done(s); },
+                              max_interactions);
+        }
+        return std::pair<double, bool>(hit ? sim.parallel_time() : -1.0,
+                                       hit);
+      });
+}
+
+// Fixed parallel-time budget: the perf-measurement mode. Metric = per-trial
+// *run* wall seconds (engine construction excluded, so strategy
+// head-to-heads measure the stepping code); ScenarioResult.wall_seconds
+// still covers the whole scenario including construction.
+template <class P>
+ScenarioResult execute_ptime(const ScenarioSpec& spec, const P& proto,
+                             const InitialConditionSet<P>& inits,
+                             const std::string& until_name) {
+  if (spec.horizon_ptime <= 0)
+    throw std::invalid_argument(
+        "until=ptime needs a positive ptime=<parallel-time budget>");
+  const auto budget = static_cast<std::uint64_t>(
+      spec.horizon_ptime * static_cast<double>(proto.population_size()));
+  return drive(spec, proto, inits, until_name, "wall_seconds",
+               [&](auto& sim) {
+                 const WallTimer run_wall;
+                 sim.run(budget);
+                 return std::pair<double, bool>(run_wall.seconds(), true);
+               });
+}
+
+[[noreturn]] inline void unknown_until(const ScenarioSpec& spec,
+                                       const std::string& until) {
+  throw std::invalid_argument("unknown stop condition '" + until +
+                              "' for protocol '" + spec.protocol + "'");
+}
+
+}  // namespace scenario_detail
+
+// --- Protocol registrations -------------------------------------------------
+
+inline void register_silent_nstate(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "silent-nstate";
+  e.description =
+      "Protocol 1 (Cai-Izumi-Wada): n-state silent SSR, Theta(n^2) time";
+  e.states = "n (exact)";
+  e.silent = true;
+  e.batch_capable = true;
+  e.default_n = 64;
+  e.inits = silent_nstate_inits().names();
+  e.default_init = silent_nstate_inits().default_name();
+  e.untils = {"ranked", "ptime"};
+  e.default_until = "ranked";
+  e.run = [](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, 64, 0);
+    const SilentNStateSSR proto(n);
+    const auto& inits = silent_nstate_inits();
+    const std::string until = spec.until.empty() ? "ranked" : spec.until;
+    if (until == "ranked")
+      return sd::execute_ranked(spec, proto, inits, until,
+                                sd::ranked_options(spec, 1ull << 62, 0.0));
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+inline void register_optimal_silent(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "optimal-silent";
+  e.description =
+      "Protocols 3-4: time-optimal silent SSR, Theta(n) time, O(n) states";
+  e.states = "~35n (canonical coding)";
+  e.silent = true;
+  e.batch_capable = true;
+  e.default_n = 64;
+  e.inits = optimal_silent_inits().names();
+  e.default_init = optimal_silent_inits().default_name();
+  e.untils = {"ranked", "detected", "ptime"};
+  e.default_until = "ranked";
+  e.run = [](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, 64, 0);
+    const OptimalSilentSSR proto(OptimalSilentParams::standard(n));
+    const auto& inits = optimal_silent_inits();
+    const std::string until = spec.until.empty() ? "ranked" : spec.until;
+    const std::uint64_t horizon =
+        static_cast<std::uint64_t>(n) * n * 2000 + (1ull << 24);
+    if (until == "ranked")
+      return sd::execute_ranked(spec, proto, inits, until,
+                                sd::ranked_options(spec, horizon, 0.0));
+    if (until == "detected") {
+      // Observation 2.6's quantity: time until a rank collision is seen.
+      auto detected = [](const auto& sim) {
+        return sim.counters().collision_triggers > 0;
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 62,
+          detected, /*cheap=*/true);
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+namespace scenario_detail {
+inline void register_sublinear_entry(ProtocolRegistry& reg,
+                                     const std::string& name,
+                                     const std::string& description,
+                                     const std::string& states,
+                                     std::uint32_t default_n,
+                                     std::function<SublinearParams(
+                                         std::uint32_t)> make_params) {
+  ProtocolEntry e;
+  e.name = name;
+  e.description = description;
+  e.states = states;
+  e.silent = false;
+  e.batch_capable = false;  // quasi-exponential state space by design
+  e.default_n = default_n;
+  e.inits = sublinear_inits().names();
+  e.default_init = sublinear_inits().default_name();
+  e.untils = {"ranked", "ptime"};
+  e.default_until = "ranked";
+  e.run = [default_n,
+           make_params = std::move(make_params)](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, default_n, 0);
+    const SublinearParams p = make_params(n);
+    const SublinearTimeSSR proto(p);
+    const auto& inits = sublinear_inits();
+    const std::string until = spec.until.empty() ? "ranked" : spec.until;
+    if (until == "ranked") {
+      // Non-silent protocol: demand a tail window so stale adversarial
+      // timers cannot fake stabilization (Lemma 5.5; see convergence.h).
+      const std::uint64_t per_epoch =
+          static_cast<std::uint64_t>(p.n) *
+          (6ull * p.th + 6ull * p.dmax + 400);
+      const std::uint64_t horizon = 120ull * per_epoch + (1ull << 22);
+      return sd::execute_ranked(
+          spec, proto, inits, until,
+          sd::ranked_options(spec, horizon, 0.75 * p.th + 10));
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+}  // namespace scenario_detail
+
+inline void register_sublinear(ProtocolRegistry& reg) {
+  scenario_detail::register_sublinear_entry(
+      reg, "sublinear-h1",
+      "Protocols 5-8 with H = 1: Theta(n^{1/2})-time non-silent SSR",
+      "exp(O(n^H) log n)", 32,
+      [](std::uint32_t n) { return SublinearParams::constant_h(n, 1); });
+  // H = Theta(log n) trees make single interactions expensive to
+  // *simulate* beyond small n (the quasi-exponential state is real) —
+  // hence the small default.
+  scenario_detail::register_sublinear_entry(
+      reg, "sublinear-hlog",
+      "Protocols 5-8 with H = 3 log2 n: Theta(log n)-time non-silent SSR",
+      "exp(O(n^log n) log n)", 8,
+      [](std::uint32_t n) { return SublinearParams::log_time(n); });
+}
+
+inline void register_reset_process(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "reset-process";
+  e.description =
+      "Protocol 2 harness: Propagate-Reset in isolation (Section 3 phases)";
+  e.states = "Rmax + Dmax + 2";
+  e.silent = true;
+  e.batch_capable = true;
+  e.default_n = 64;
+  e.inits = reset_process_inits().names();
+  e.default_init = reset_process_inits().default_name();
+  e.untils = {"drained", "ptime"};
+  e.default_until = "drained";
+  e.run = [](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, 64, 0);
+    // The Section 3 experiment constants: Rmax = 8 ln n + 4, Dmax = 4 Rmax.
+    const auto rmax = static_cast<std::uint32_t>(
+                          std::ceil(8.0 * std::log(static_cast<double>(n)))) +
+                      4;
+    const ResetProcess proto(n, rmax, 4 * rmax);
+    const auto& inits = reset_process_inits();
+    const std::string until = spec.until.empty() ? "drained" : spec.until;
+    if (until == "drained") {
+      auto drained = [](const auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          for (const auto& s : sim.states())
+            if (s.resetting) return false;
+          return true;
+        } else {
+          return sim.silent();  // all-Computing iff zero active weight
+        }
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 50,
+          drained, /*cheap=*/false);
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+inline void register_one_way_epidemic(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "one-way-epidemic";
+  e.description =
+      "Section 2.1 one-way epidemic (initiator infects responder)";
+  e.states = "2";
+  e.silent = true;
+  e.batch_capable = true;
+  e.default_n = 1024;
+  e.inits = one_way_epidemic_inits().names();
+  e.default_init = one_way_epidemic_inits().default_name();
+  e.untils = {"complete", "ptime"};
+  e.default_until = "complete";
+  e.run = [](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, 1024, 0);
+    const OneWayEpidemic proto(n);
+    const auto& inits = one_way_epidemic_inits();
+    const std::string until = spec.until.empty() ? "complete" : spec.until;
+    if (until == "complete") {
+      auto complete = [](const auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          for (const auto& s : sim.states())
+            if (!s.infected) return false;
+          return true;
+        } else {
+          return sim.silent();  // all infected (no infected => no spreader)
+        }
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 62,
+          complete, /*cheap=*/false);
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+inline void register_obs25(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "obs25";
+  e.description =
+      "Observation 2.5: silent SSLE for n = 3 with unrankable states";
+  e.states = "6";
+  e.silent = true;
+  e.batch_capable = true;
+  e.fixed_n = 3;
+  e.default_n = 3;
+  e.inits = obs25_inits().names();
+  e.default_init = obs25_inits().default_name();
+  e.untils = {"silent", "ptime"};
+  e.default_until = "silent";
+  e.run = [](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    sd::resolve_population(spec, 3, 3);
+    const Obs25SSLE proto(3);
+    const auto& inits = obs25_inits();
+    const std::string until = spec.until.empty() ? "silent" : spec.until;
+    if (until == "silent") {
+      auto silent = [](const auto& sim) {
+        const auto& p = sim.protocol();
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          const auto& states = sim.states();
+          for (std::size_t i = 0; i < states.size(); ++i)
+            for (std::size_t j = 0; j < states.size(); ++j)
+              if (i != j && !p.is_null_pair(states[i], states[j]))
+                return false;
+          return true;
+        } else {
+          const auto& counts = sim.state_counts();
+          for (std::uint32_t a = 0; a < counts.size(); ++a) {
+            if (counts[a] == 0) continue;
+            if (counts[a] > 1 &&
+                !p.is_null_pair(p.decode(a), p.decode(a)))
+              return false;
+            for (std::uint32_t b = a + 1; b < counts.size(); ++b)
+              if (counts[b] > 0 &&
+                  !p.is_null_pair(p.decode(a), p.decode(b)))
+                return false;
+          }
+          return true;
+        }
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 30,
+          silent, /*cheap=*/true);
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+// The registry every harness shares: all protocols of the repo, registered
+// once, in a stable order.
+inline const ProtocolRegistry& default_registry() {
+  static const ProtocolRegistry reg = [] {
+    ProtocolRegistry r;
+    register_silent_nstate(r);
+    register_optimal_silent(r);
+    register_sublinear(r);
+    register_reset_process(r);
+    register_one_way_epidemic(r);
+    register_obs25(r);
+    return r;
+  }();
+  return reg;
+}
+
+inline ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return default_registry().run(spec);
+}
+
+// BENCH_*.json record for one executed scenario (tools/ppsle_run's emission
+// path). Identity fields first (bench_compare keys on experiment / backend
+// / strategy / n), then the metric summary and throughput measurements.
+inline BenchRecord& report_scenario(BenchReport& report,
+                                    const std::string& experiment,
+                                    const ScenarioResult& r) {
+  BenchRecord& rec = report.add();
+  rec.set("experiment", experiment).set("backend", r.backend);
+  if (!r.strategy.empty()) rec.set("strategy", r.strategy);
+  rec.set("n", static_cast<std::uint64_t>(r.n))
+      .set("trials", r.trials)
+      .set("init", r.init)
+      .set("until", r.until)
+      .set(r.metric + "_mean", r.summary.mean)
+      .set(r.metric + "_ci95", r.summary.ci95)
+      .set(r.metric + "_p99", r.summary.p99)
+      .set("interactions_mean", r.interactions_mean)
+      .set("wall_seconds", r.wall_seconds);
+  if (r.failed > 0) rec.set("failed", r.failed);
+  return rec;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,137 @@
+// Shared command-line parsing for the bench binaries, examples and tools.
+//
+// Every bench binary used to carry its own copy of the --smoke/--quick/
+// --full/--threads/--strategy loop (and every example its own --backend
+// strcmp chain); they now all go through this header. Unlike the old
+// parsers, unknown flags are a *hard error* (exit 2): a typoed
+// --strateg=multinomial used to be silently ignored and the bench would
+// happily measure the wrong configuration.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"  // BatchStrategy, parse_strategy
+
+namespace ppsim {
+
+// Scale/flag bundle for the bench binaries:
+//   --quick / --full   scale the trial counts down / up
+//   --smoke            CI mode: 1 trial, smallest population only (see
+//                      sizes()) — exercises every code path in seconds
+//   --threads=N        thread count for run_trials_parallel (also
+//                      PPSIM_THREADS; 0 = hardware concurrency)
+//   --strategy=S       batching strategy for the count-based engine
+//                      (geometric_skip | multinomial | auto); benches that
+//                      honor it call strategy_or() and record the choice in
+//                      their BENCH_*.json metadata
+//   --micro            also run the binary's google-benchmark micro section
+// Anything else is a hard error.
+struct BenchScale {
+  double factor = 1.0;  // multiplies trial counts
+  bool quick = false;
+  bool full = false;
+  bool smoke = false;
+  bool micro = false;
+  std::uint32_t threads = 0;   // 0 = auto (env / hardware)
+  std::string strategy_name;   // empty = bench default
+
+  static BenchScale from_args(int argc, char** argv) {
+    BenchScale s;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--quick") {
+        s.quick = true;
+        s.factor = 0.25;
+      } else if (a == "--full") {
+        s.full = true;
+        s.factor = 4.0;
+      } else if (a == "--smoke") {
+        s.smoke = true;
+        s.quick = true;
+        s.factor = 0.0;
+      } else if (a == "--micro") {
+        s.micro = true;
+      } else if (a.rfind("--threads=", 0) == 0) {
+        const long v = std::strtol(a.c_str() + 10, nullptr, 10);
+        if (v > 0) s.threads = static_cast<std::uint32_t>(v);
+      } else if (a.rfind("--strategy=", 0) == 0) {
+        s.strategy_name = a.substr(11);
+        BatchStrategy ignored;
+        if (!parse_strategy(s.strategy_name, ignored)) {
+          std::cerr << "unknown --strategy value '" << s.strategy_name
+                    << "' (want geometric_skip | multinomial | auto)\n";
+          std::exit(2);
+        }
+      } else {
+        std::cerr << argv[0] << ": unknown flag '" << a
+                  << "' (known: --quick --full --smoke --micro --threads=N "
+                     "--strategy=S)\n";
+        std::exit(2);
+      }
+    }
+    return s;
+  }
+
+  // The engine strategy this run should use: the --strategy flag if given,
+  // else the bench's own default.
+  BatchStrategy strategy_or(BatchStrategy fallback) const {
+    BatchStrategy s = fallback;
+    if (!strategy_name.empty()) parse_strategy(strategy_name, s);
+    return s;
+  }
+
+  std::uint32_t trials(std::uint32_t base) const {
+    if (smoke) return 1;
+    const auto t = static_cast<std::uint32_t>(base * factor);
+    return t < 3 ? 3 : t;
+  }
+
+  // Sweep points for this run: the full list normally, only the first
+  // (smallest) entry under --smoke. Works for any point type (population
+  // sizes, ablation factors, Smax values, ...).
+  template <class T>
+  std::vector<T> points(std::initializer_list<T> all) const {
+    if (smoke) return {*all.begin()};
+    return all;
+  }
+
+  // The common case: population sizes (keeps integer literals deducing to
+  // std::uint32_t at every call site).
+  std::vector<std::uint32_t> sizes(
+      std::initializer_list<std::uint32_t> all) const {
+    return points<std::uint32_t>(all);
+  }
+};
+
+// Flag parser for the examples: --backend=array|batch plus nothing else.
+// Returns true for the batched engine. Unknown flags are a hard error.
+inline bool parse_backend_flag(int argc, char** argv,
+                               bool default_batch = false) {
+  bool batch = default_batch;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--backend=batch") {
+      batch = true;
+    } else if (a == "--backend=array") {
+      batch = false;
+    } else {
+      std::cerr << argv[0] << ": unknown flag '" << a
+                << "' (known: --backend=array|batch)\n";
+      std::exit(2);
+    }
+  }
+  return batch;
+}
+
+// For binaries that take no flags at all: hard-error on any argument.
+inline void require_no_args(int argc, char** argv) {
+  if (argc <= 1) return;
+  std::cerr << argv[0] << ": unexpected argument '" << argv[1]
+            << "' (this binary takes no flags)\n";
+  std::exit(2);
+}
+
+}  // namespace ppsim

@@ -1,0 +1,74 @@
+// Host fingerprinting for perf baselines.
+//
+// Wall-clock baselines only transfer between machines with the same CPU;
+// tools/bench_compare keys its per-host baseline directories by this
+// fingerprint (CPU model + logical core count) so a CI runner that matches
+// the baseline host can apply the tight regression gate, while unknown
+// hosts fall back to a loose cross-machine threshold. BenchReport also
+// stamps the fingerprint into every BENCH_*.json envelope so an artifact
+// records where its numbers came from.
+#pragma once
+
+#include <cctype>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace ppsim {
+
+namespace detail {
+inline std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0 ||
+        line.compare(0, 8, "Hardware") == 0) {  // some ARM kernels
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && std::isspace(static_cast<unsigned char>(
+                                   value.front())))
+        value.erase(value.begin());
+      while (!value.empty() &&
+             std::isspace(static_cast<unsigned char>(value.back())))
+        value.pop_back();
+      if (!value.empty()) return value;
+    }
+  }
+  return "unknown-cpu";
+}
+}  // namespace detail
+
+// Human-readable fingerprint: "<cpu model> x<logical cores>".
+inline const std::string& host_fingerprint() {
+  static const std::string fp = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return detail::cpu_model_name() + " x" + std::to_string(hw ? hw : 1);
+  }();
+  return fp;
+}
+
+// Filesystem-safe slug of the fingerprint (lowercase, [a-z0-9-] only,
+// runs of other characters collapsed to one '-'): the per-host baseline
+// directory name bench_compare looks for.
+inline const std::string& host_fingerprint_slug() {
+  static const std::string slug = [] {
+    std::string out;
+    bool dash = false;
+    for (char c : host_fingerprint()) {
+      const auto u = static_cast<unsigned char>(c);
+      if (std::isalnum(u)) {
+        out.push_back(static_cast<char>(std::tolower(u)));
+        dash = false;
+      } else if (!dash && !out.empty()) {
+        out.push_back('-');
+        dash = true;
+      }
+    }
+    while (!out.empty() && out.back() == '-') out.pop_back();
+    return out.empty() ? std::string("unknown-host") : out;
+  }();
+  return slug;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,122 @@
+// The protocol registry and the declarative Scenario API.
+//
+// A ScenarioSpec is a complete, declarative description of one experiment
+// cell: which protocol, at which population size, from which named
+// adversarial initial condition, on which engine and batching strategy,
+// run until which stop condition, for how many seeded trials. The registry
+// maps protocol names to type-erased entries that know how to execute a
+// spec end to end and return a ScenarioResult (per-trial measurements +
+// summary + resolved configuration), so harnesses — tools/ppsle_run, the
+// bench binaries, the tests — compose experiments as data instead of
+// hand-writing a .cpp per (protocol x n x adversary x horizon) cell.
+//
+// This header is protocol-agnostic on purpose: it defines only the spec,
+// result, entry and registry types (type-erased behind std::function).
+// The concrete protocols are registered in analysis/scenarios.h, which is
+// where the template machinery that builds an entry's run() lives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace ppsim {
+
+// One experiment cell, fully declarative. Empty/zero fields mean "the
+// protocol's registered default".
+struct ScenarioSpec {
+  std::string protocol;        // registry name (required)
+  std::uint32_t n = 0;         // population size (0 = entry default_n)
+  std::string init;            // initial-condition name ("" = entry default)
+  std::string engine = "auto";    // array | batch | auto (batch if able)
+  std::string strategy = "auto";  // geometric_skip | multinomial | auto
+  std::string until;           // stop condition name ("" = entry default)
+  std::uint64_t max_interactions = 0;  // hard horizon (0 = entry default)
+  double horizon_ptime = 0.0;  // until=ptime: the fixed parallel-time budget
+  double tail_ptime = -1.0;    // ranked runs: extra correct window (<0 =
+                               // entry default)
+  std::uint32_t trials = 1;
+  std::uint64_t seed = 1;      // base seed; trial t runs derive_seed(seed, t)
+  std::uint32_t threads = 0;   // trial fan-out (0 = env/hardware)
+};
+
+// What one executed spec measured. `values` holds the per-trial metric —
+// stabilization/stop parallel time for predicate-style stop conditions,
+// per-trial wall seconds for fixed-budget (until=ptime) runs; failed trials
+// (horizon hit before the stop condition) contribute -1, mirroring the
+// bench convention.
+struct ScenarioResult {
+  std::string metric = "parallel_time";
+  Summary summary;             // over `values`
+  std::vector<double> values;  // per-trial, trial index = vector index
+  std::string backend;         // resolved: "array" | "batch"
+  std::string strategy;        // resolved; empty on the array engine
+  std::string init;            // resolved initial-condition name
+  std::string until;           // resolved stop-condition name
+  std::uint32_t n = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t failed = 0;            // trials that hit the horizon
+  double wall_seconds = 0.0;           // whole scenario (all trials)
+  double interactions_mean = 0.0;      // per trial
+};
+
+// A registered protocol: metadata for --list plus the type-erased runner.
+struct ProtocolEntry {
+  std::string name;         // registry key, e.g. "optimal-silent"
+  std::string description;  // one line for --list
+  std::string states;       // state-space size, human form, e.g. "~35n"
+  bool silent = false;      // does the protocol stabilize to silence?
+  bool batch_capable = false;  // EnumerableProtocol => count engine works
+  std::uint32_t fixed_n = 0;   // nonzero: protocol is defined only at this n
+  std::uint32_t default_n = 64;
+
+  std::vector<std::string> inits;   // registered generator names
+  std::string default_init;         // an *adversarial* default
+  std::vector<std::string> untils;  // registered stop-condition names
+  std::string default_until;
+
+  // Executes the spec (protocol field already matched). Throws
+  // std::invalid_argument on an inexpressible spec (unknown init/until,
+  // batch engine on a non-enumerable protocol, n mismatch, ...).
+  std::function<ScenarioResult(const ScenarioSpec&)> run;
+};
+
+class ProtocolRegistry {
+ public:
+  ProtocolRegistry& add(ProtocolEntry entry) {
+    if (find(entry.name) != nullptr)
+      throw std::logic_error("duplicate protocol entry '" + entry.name + "'");
+    entries_.push_back(std::move(entry));
+    return *this;
+  }
+
+  const ProtocolEntry* find(const std::string& name) const {
+    for (const auto& e : entries_)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+
+  const ProtocolEntry& at(const std::string& name) const {
+    const ProtocolEntry* e = find(name);
+    if (e == nullptr)
+      throw std::invalid_argument("unknown protocol '" + name +
+                                  "' (see --list)");
+    return *e;
+  }
+
+  const std::vector<ProtocolEntry>& all() const { return entries_; }
+
+  // Front door: resolve the spec's protocol and execute it.
+  ScenarioResult run(const ScenarioSpec& spec) const {
+    return at(spec.protocol).run(spec);
+  }
+
+ private:
+  std::vector<ProtocolEntry> entries_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,57 @@
+// Initial conditions for the one-way epidemic (Section 2.1): the classic
+// single-source start and the residual-drain endgame the unkeyed passive
+// skip accelerates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "init/initial_condition.h"
+#include "processes/epidemic.h"
+
+namespace ppsim {
+
+inline const InitialConditionSet<OneWayEpidemic>& one_way_epidemic_inits() {
+  using P = OneWayEpidemic;
+  auto agents_with_infected = [](const P& p, std::uint64_t infected) {
+    std::vector<P::State> init(p.population_size());
+    for (std::uint64_t i = 0; i < infected; ++i) init[i].infected = true;
+    return init;
+  };
+  static const InitialConditionSet<P> set = [agents_with_infected] {
+    InitialConditionSet<P> s;
+    s.add({"single-infected", "one infected agent, n-1 susceptible",
+           [agents_with_infected](const P& p, std::uint64_t) {
+             return agents_with_infected(p, 1);
+           },
+           [](const P& p, std::uint64_t) {
+             return one_way_epidemic_counts(p.population_size(), 1);
+           }});
+    // k = min(16, n/2) susceptible left: completion needs ~n H_k / 2 more
+    // interactions, almost all of them infected-infected nulls — the
+    // unkeyed-passive geometric skip's showcase regime. The susceptible
+    // agents sit at the FRONT of the array so an early-exit completeness
+    // scan reads O(k), not O(n), per check while any remain (the array
+    // engine's predicate cost must not distort the batch-vs-array
+    // baseline; the count form is layout-free anyway).
+    s.add({"residual-16",
+           "all but min(16, n/2) agents already infected (residual drain)",
+           [](const P& p, std::uint64_t) {
+             const std::uint32_t n = p.population_size();
+             const std::uint32_t k = std::min<std::uint32_t>(16, n / 2);
+             std::vector<P::State> init(n);
+             for (std::uint32_t i = k; i < n; ++i) init[i].infected = true;
+             return init;
+           },
+           [](const P& p, std::uint64_t) {
+             const std::uint32_t n = p.population_size();
+             const std::uint32_t k = std::min<std::uint32_t>(16, n / 2);
+             return one_way_epidemic_counts(n, n - k);
+           }});
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace ppsim

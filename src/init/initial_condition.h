@@ -1,0 +1,136 @@
+// Composable initial conditions — the adversary as a first-class value.
+//
+// Self-stabilization quantifies over *every* configuration of valid states,
+// so experiments need a vocabulary of hostile starting points. An
+// InitialCondition<P> is a named, seeded generator of such a configuration
+// for protocol P; an InitialConditionSet<P> is the per-protocol catalog the
+// Scenario API (core/registry.h, analysis/scenarios.h) dispatches on by
+// name, replacing the per-protocol free functions that used to live in
+// analysis/adversary.h.
+//
+// A generator emits the configuration in whichever representation is
+// natural — an agent-state array, a state-count vector, or both — and the
+// set converts on demand:
+//   * counts -> agents via decode()  (enumerable protocols),
+//   * agents -> counts via encode()  (enumerable protocols),
+// so every adversarial start can feed either simulation backend. Count
+// emission matters at scale: a generator that writes O(occupied) counts
+// (e.g. the dormant-mix start, 2 nonzero entries at any n) lets an
+// adversarial sweep run on the batched backend at n = 10^6+ without ever
+// materializing n agent structs.
+//
+// Generators producing both forms MUST consume their Rng stream
+// identically in both (same draws, same order), so the two forms of one
+// (name, seed) pair describe the same random configuration distribution —
+// tests/scenario_test.cpp enforces the encode/decode round trip for every
+// registered (protocol, generator) pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppsim {
+
+template <Protocol P>
+struct InitialCondition {
+  using State = typename P::State;
+  using AgentsFn =
+      std::function<std::vector<State>(const P&, std::uint64_t seed)>;
+  using CountsFn =
+      std::function<std::vector<std::uint64_t>(const P&, std::uint64_t seed)>;
+
+  std::string name;
+  std::string description;
+  AgentsFn make_agents;  // null: generator is count-only
+  CountsFn make_counts;  // null: generator is agent-only
+};
+
+template <Protocol P>
+class InitialConditionSet {
+ public:
+  using State = typename P::State;
+
+  // The first added generator is the set's default.
+  InitialConditionSet& add(InitialCondition<P> init) {
+    if (!init.make_agents && !init.make_counts)
+      throw std::invalid_argument("initial condition '" + init.name +
+                                  "' has no generator");
+    inits_.push_back(std::move(init));
+    return *this;
+  }
+
+  const InitialCondition<P>* find(const std::string& name) const {
+    for (const auto& i : inits_)
+      if (i.name == name) return &i;
+    return nullptr;
+  }
+
+  const std::string& default_name() const {
+    if (inits_.empty()) throw std::logic_error("empty initial-condition set");
+    return inits_.front().name;
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(inits_.size());
+    for (const auto& i : inits_) out.push_back(i.name);
+    return out;
+  }
+
+  const std::vector<InitialCondition<P>>& all() const { return inits_; }
+
+  // Materializes the named configuration as an agent array (decoding a
+  // count-only generator's output for enumerable protocols).
+  std::vector<State> agents(const P& protocol, const std::string& name,
+                            std::uint64_t seed) const {
+    const InitialCondition<P>& init = resolve(name);
+    if (init.make_agents) return init.make_agents(protocol, seed);
+    if constexpr (EnumerableProtocol<P>) {
+      const auto counts = init.make_counts(protocol, seed);
+      std::vector<State> out;
+      out.reserve(protocol.population_size());
+      for (std::uint32_t q = 0; q < counts.size(); ++q) {
+        const State s = protocol.decode(q);
+        for (std::uint64_t k = 0; k < counts[q]; ++k) out.push_back(s);
+      }
+      return out;
+    } else {
+      throw std::logic_error("initial condition '" + name +
+                             "' is count-only and the protocol is not "
+                             "enumerable");
+    }
+  }
+
+  // Materializes the named configuration as a state-count vector (encoding
+  // an agent-only generator's output). Enumerable protocols only.
+  std::vector<std::uint64_t> counts(const P& protocol, const std::string& name,
+                                    std::uint64_t seed) const
+    requires EnumerableProtocol<P>
+  {
+    const InitialCondition<P>& init = resolve(name);
+    if (init.make_counts) return init.make_counts(protocol, seed);
+    const auto agents = init.make_agents(protocol, seed);
+    std::vector<std::uint64_t> counts(protocol.num_states(), 0);
+    for (const State& s : agents) ++counts[protocol.encode(s)];
+    return counts;
+  }
+
+ private:
+  const InitialCondition<P>& resolve(const std::string& name) const {
+    const InitialCondition<P>* init =
+        find(name.empty() ? default_name() : name);
+    if (init == nullptr)
+      throw std::invalid_argument("unknown initial condition '" + name + "'");
+    return *init;
+  }
+
+  std::vector<InitialCondition<P>> inits_;
+};
+
+}  // namespace ppsim

@@ -1,0 +1,43 @@
+// Initial conditions for the Observation 2.5 SSLE protocol (n = 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "init/initial_condition.h"
+#include "protocols/obs25.h"
+
+namespace ppsim {
+
+inline const InitialConditionSet<Obs25SSLE>& obs25_inits() {
+  using P = Obs25SSLE;
+  static const InitialConditionSet<P> set = [] {
+    InitialConditionSet<P> s;
+    s.add({"all-leaders", "all three agents in the leader state l (active)",
+           [](const P&, std::uint64_t) {
+             return std::vector<P::State>(3);  // v = 0 is the leader state
+           },
+           [](const P&, std::uint64_t) {
+             return std::vector<std::uint64_t>{3, 0, 0, 0, 0, 0};
+           }});
+    s.add({"uniform-random", "each agent uniform over {l, f0..f4}",
+           [](const P&, std::uint64_t seed) {
+             Rng rng(seed);
+             std::vector<P::State> init(3);
+             for (auto& st : init)
+               st.v = static_cast<std::uint8_t>(rng.below(P::kStates));
+             return init;
+           },
+           [](const P&, std::uint64_t seed) {
+             Rng rng(seed);
+             std::vector<std::uint64_t> counts(P::kStates, 0);
+             for (int i = 0; i < 3; ++i) ++counts[rng.below(P::kStates)];
+             return counts;
+           }});
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,95 @@
+// Initial conditions for the ResetProcess harness protocol (Protocol 2 /
+// Section 3): the trigger-one start behind every phase-timing experiment,
+// the Corollary 3.5 debris mixture, and the all-computing stability check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "init/initial_condition.h"
+#include "reset/reset_process.h"
+
+namespace ppsim {
+
+// Count vector with one freshly triggered agent and n-1 Computing agents —
+// the start of every Section 3 phase experiment. O(|Q|) at any n.
+inline std::vector<std::uint64_t> reset_trigger_one_counts(
+    const ResetProcess& proto) {
+  std::vector<std::uint64_t> counts(proto.num_states(), 0);
+  ResetProcess::State triggered;
+  proto.trigger(triggered);
+  counts[0] = proto.population_size() - 1;
+  counts[proto.encode(triggered)] = 1;
+  return counts;
+}
+
+// Named generator catalog for the Scenario API.
+inline const InitialConditionSet<ResetProcess>& reset_process_inits() {
+  using P = ResetProcess;
+  static const InitialConditionSet<P> set = [] {
+    InitialConditionSet<P> s;
+    s.add({"trigger-one",
+           "one freshly triggered agent (resetcount = Rmax), n-1 Computing",
+           [](const P& p, std::uint64_t) {
+             std::vector<P::State> init(p.population_size());
+             p.trigger(init[0]);
+             return init;
+           },
+           [](const P& p, std::uint64_t) {
+             return reset_trigger_one_counts(p);
+           }});
+    // The Corollary 3.5 debris mixture: each agent independently Computing
+    // with probability 1/2, else Resetting with a uniform resetcount in
+    // [0, Rmax) and delaytimer in [0, Dmax]. Both emitters consume the Rng
+    // stream identically (coin, then two draws when Resetting).
+    s.add({"mid-reset-mix",
+           "arbitrary Resetting debris: ~n/2 agents mid-reset with random "
+           "wave heights and timers (Corollary 3.5)",
+           [](const P& p, std::uint64_t seed) {
+             Rng rng(seed);
+             std::vector<P::State> init(p.population_size());
+             for (auto& st : init) {
+               if (rng.coin()) continue;
+               st.resetting = true;
+               st.resetcount =
+                   static_cast<std::uint32_t>(rng.below(p.rmax()));
+               st.delaytimer =
+                   static_cast<std::uint32_t>(rng.below(p.dmax() + 1));
+             }
+             return init;
+           },
+           [](const P& p, std::uint64_t seed) {
+             Rng rng(seed);
+             std::vector<std::uint64_t> counts(p.num_states(), 0);
+             P::State st;
+             for (std::uint32_t i = 0; i < p.population_size(); ++i) {
+               if (rng.coin()) {
+                 ++counts[0];
+                 continue;
+               }
+               st.resetting = true;
+               st.resetcount =
+                   static_cast<std::uint32_t>(rng.below(p.rmax()));
+               st.delaytimer =
+                   static_cast<std::uint32_t>(rng.below(p.dmax() + 1));
+               ++counts[p.encode(st)];
+             }
+             return counts;
+           }});
+    s.add({"all-computing",
+           "everyone Computing (the silent configuration; stability check)",
+           [](const P& p, std::uint64_t) {
+             return std::vector<P::State>(p.population_size());
+           },
+           [](const P& p, std::uint64_t) {
+             std::vector<std::uint64_t> counts(p.num_states(), 0);
+             counts[0] = p.population_size();
+             return counts;
+           }});
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,90 @@
+// Adversarial initial conditions for Silent-n-state-SSR (Protocol 1).
+//
+// The free functions are the historical API (moved here from
+// analysis/adversary.h); silent_nstate_inits() wraps them as the named
+// InitialConditionSet the Scenario API dispatches on. The worst-case start
+// (Theorem 2.4's lower-bound configuration) lives with the protocol itself
+// in protocols/silent_nstate.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "init/initial_condition.h"
+#include "protocols/silent_nstate.h"
+
+namespace ppsim {
+
+inline std::vector<SilentNStateSSR::State> silent_nstate_random_config(
+    std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SilentNStateSSR::State> states(n);
+  for (auto& s : states) s.rank = static_cast<std::uint32_t>(rng.below(n));
+  return states;
+}
+
+inline std::vector<SilentNStateSSR::State> silent_nstate_all_same(
+    std::uint32_t n, std::uint32_t rank) {
+  std::vector<SilentNStateSSR::State> states(n);
+  for (auto& s : states) s.rank = rank;
+  return states;
+}
+
+// Named generator catalog. The count emitters mirror the agent emitters'
+// Rng draw order exactly, so either form of a (name, seed) pair is the same
+// random configuration distribution.
+inline const InitialConditionSet<SilentNStateSSR>& silent_nstate_inits() {
+  using P = SilentNStateSSR;
+  static const InitialConditionSet<P> set = [] {
+    InitialConditionSet<P> s;
+    s.add({"worst-case",
+           "Theorem 2.4 lower-bound start: two agents at rank 0, one at "
+           "each rank 1..n-2, none at n-1",
+           [](const P& p, std::uint64_t) {
+             return silent_nstate_worst_config(p.population_size());
+           },
+           [](const P& p, std::uint64_t) {
+             const std::uint32_t n = p.population_size();
+             std::vector<std::uint64_t> counts(p.num_states(), 0);
+             counts[0] = 2;
+             for (std::uint32_t i = 2; i < n; ++i) counts[i - 1] = 1;
+             return counts;
+           }});
+    s.add({"uniform-random", "every rank uniform over {0..n-1}",
+           [](const P& p, std::uint64_t seed) {
+             return silent_nstate_random_config(p.population_size(), seed);
+           },
+           [](const P& p, std::uint64_t seed) {
+             Rng rng(seed);
+             const std::uint32_t n = p.population_size();
+             std::vector<std::uint64_t> counts(p.num_states(), 0);
+             for (std::uint32_t i = 0; i < n; ++i) ++counts[rng.below(n)];
+             return counts;
+           }});
+    s.add({"all-same", "every agent at rank 0 (maximal collision mass)",
+           [](const P& p, std::uint64_t) {
+             return silent_nstate_all_same(p.population_size(), 0);
+           },
+           [](const P& p, std::uint64_t) {
+             std::vector<std::uint64_t> counts(p.num_states(), 0);
+             counts[0] = p.population_size();
+             return counts;
+           }});
+    s.add({"correct-ranking",
+           "the silent permutation 0..n-1 (stability check)",
+           [](const P& p, std::uint64_t) {
+             const std::uint32_t n = p.population_size();
+             std::vector<P::State> states(n);
+             for (std::uint32_t i = 0; i < n; ++i) states[i].rank = i;
+             return states;
+           },
+           [](const P& p, std::uint64_t) {
+             return std::vector<std::uint64_t>(p.num_states(), 1);
+           }});
+    return s;
+  }();
+  return set;
+}
+
+}  // namespace ppsim

@@ -1,0 +1,88 @@
+// Tests for the shared CLI parsing (common/cli.h): flag semantics, and the
+// hard-error-on-unknown-flag contract that replaced the old silently
+// ignoring parsers.
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+
+namespace ppsim {
+namespace {
+
+char** make_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(BenchScaleParse, KnownFlagsAreApplied) {
+  std::vector<std::string> args = {"bench", "--smoke", "--threads=3",
+                                   "--strategy=multinomial", "--micro"};
+  const BenchScale s =
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_TRUE(s.smoke);
+  EXPECT_TRUE(s.quick);  // smoke implies quick
+  EXPECT_TRUE(s.micro);
+  EXPECT_EQ(s.threads, 3u);
+  EXPECT_EQ(s.strategy_name, "multinomial");
+  EXPECT_EQ(s.strategy_or(BatchStrategy::kAuto),
+            BatchStrategy::kMultinomial);
+  EXPECT_EQ(s.trials(30), 1u);  // smoke: one trial
+  EXPECT_EQ(s.sizes({8, 64, 512}), std::vector<std::uint32_t>{8});
+}
+
+TEST(BenchScaleParse, DefaultsWithoutFlags) {
+  std::vector<std::string> args = {"bench"};
+  const BenchScale s =
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_FALSE(s.smoke);
+  EXPECT_FALSE(s.micro);
+  EXPECT_EQ(s.trials(30), 30u);
+  EXPECT_EQ(s.strategy_or(BatchStrategy::kGeometricSkip),
+            BatchStrategy::kGeometricSkip);
+}
+
+using CliDeath = ::testing::Test;
+
+TEST(CliDeath, UnknownFlagIsAHardError) {
+  std::vector<std::string> args = {"bench", "--strateg=multinomial"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliDeath, BadStrategyValueIsAHardError) {
+  std::vector<std::string> args = {"bench", "--strategy=warp"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "unknown --strategy value");
+}
+
+TEST(CliDeath, BackendFlagRejectsUnknown) {
+  std::vector<std::string> args = {"example", "--backend=quantum"};
+  EXPECT_EXIT(parse_backend_flag(static_cast<int>(args.size()),
+                                 make_argv(args)),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliDeath, RequireNoArgsRejectsAnything) {
+  std::vector<std::string> args = {"demo", "--help"};
+  EXPECT_EXIT(require_no_args(static_cast<int>(args.size()),
+                              make_argv(args)),
+              ::testing::ExitedWithCode(2), "unexpected argument");
+}
+
+TEST(BackendFlagParse, SelectsBackend) {
+  std::vector<std::string> args = {"example", "--backend=batch"};
+  EXPECT_TRUE(
+      parse_backend_flag(static_cast<int>(args.size()), make_argv(args)));
+  std::vector<std::string> args2 = {"example", "--backend=array"};
+  EXPECT_FALSE(
+      parse_backend_flag(static_cast<int>(args2.size()), make_argv(args2)));
+  std::vector<std::string> args3 = {"example"};
+  EXPECT_FALSE(
+      parse_backend_flag(static_cast<int>(args3.size()), make_argv(args3)));
+}
+
+}  // namespace
+}  // namespace ppsim

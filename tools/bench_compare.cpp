@@ -16,6 +16,17 @@
 //                            so any change means the simulated process
 //                            changed and the baseline needs a deliberate
 //                            refresh
+//       [--host-gate]        key the baseline by this machine's fingerprint
+//                            (CPU model + core count, common/host.h): if
+//                            <baseline_dir>/<fingerprint-slug>/ exists, use
+//                            it with the tight --tight threshold; otherwise
+//                            fall back to <baseline_dir> with the loose
+//                            --loose threshold. This is how CI applies the
+//                            tight 20% gate on a runner that matches the
+//                            committed baseline host while staying quiet on
+//                            unknown hardware.
+//       [--tight=0.2]        threshold when the host baseline matched
+//       [--loose=1.5]        threshold when it did not
 //
 // Records are matched by identity key (bench, experiment, backend,
 // strategy, n, mode — plus an occurrence index for repeated keys);
@@ -23,15 +34,13 @@
 // side are reported but are not failures (benches evolve). Exit status:
 // 0 clean, 1 regressions (or --strict drift), 2 usage/I-O error.
 //
-// CI runs this with a generous threshold (cross-machine wall-clock noise
-// between the baseline host and the runner); the default 20% is meant for
-// same-machine A/B runs while optimizing.
+// Without --host-gate the default 20% threshold is meant for same-machine
+// A/B runs while optimizing; pass an explicit generous --threshold for
+// cross-machine comparisons.
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -40,196 +49,13 @@
 #include <string>
 #include <vector>
 
+#include "common/host.h"
+#include "common/json.h"
+
 namespace {
 
-// --- Minimal JSON parser (objects/arrays/strings/numbers/bools/null),
-// sufficient for the flat schema bench_report.h emits. -----------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& [k, v] : fields)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!parse_value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return parse_string(out.str);
-    }
-    if (c == 't' || c == 'f') {
-      const bool is_true = c == 't';
-      const char* word = is_true ? "true" : "false";
-      const std::size_t len = is_true ? 4 : 5;
-      if (s_.compare(pos_, len, word) != 0) return false;
-      pos_ += len;
-      out.kind = JsonValue::Kind::kBool;
-      out.b = is_true;
-      return true;
-    }
-    if (c == 'n') {
-      if (s_.compare(pos_, 4, "null") != 0) return false;
-      pos_ += 4;
-      out.kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    return parse_number(out);
-  }
-
-  bool parse_string(std::string& out) {
-    if (s_[pos_] != '"') return false;
-    ++pos_;
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) return false;
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case 'r': out.push_back('\r'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return false;
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= h - '0';
-            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
-            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
-            else return false;
-          }
-          // The emitter only writes \u00XX control escapes; encode as-is.
-          out.push_back(static_cast<char>(code & 0xff));
-          break;
-        }
-        default: return false;
-      }
-    }
-    return false;
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            std::strchr("+-.eE", s_[pos_]) != nullptr))
-      ++pos_;
-    if (pos_ == start) return false;
-    try {
-      out.num = std::stod(s_.substr(start, pos_ - start));
-    } catch (...) {
-      return false;
-    }
-    out.kind = JsonValue::Kind::kNumber;
-    return true;
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue item;
-      if (!parse_value(item)) return false;
-      out.items.push_back(std::move(item));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= s_.size() || !parse_string(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.fields.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-// --- Record model ------------------------------------------------------------
+using ppsim::JsonParser;
+using ppsim::JsonValue;
 
 struct Record {
   std::string key;  // identity: bench|experiment|backend|strategy|n|mode|#i
@@ -309,21 +135,44 @@ bool load_dir(const std::string& dir, std::map<std::string, Record>& out,
   return true;
 }
 
+bool dir_has_bench_json(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) return false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json")
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string base_dir, cand_dir;
   double threshold = 0.20;
+  bool threshold_explicit = false;
   double min_seconds = 0.05;
   bool strict = false;
+  bool host_gate = false;
+  double tight = 0.20;
+  double loose = 1.50;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--threshold=", 0) == 0) {
       threshold = std::stod(a.substr(12));
+      threshold_explicit = true;
     } else if (a.rfind("--min-seconds=", 0) == 0) {
       min_seconds = std::stod(a.substr(14));
     } else if (a == "--strict") {
       strict = true;
+    } else if (a == "--host-gate") {
+      host_gate = true;
+    } else if (a.rfind("--tight=", 0) == 0) {
+      tight = std::stod(a.substr(8));
+    } else if (a.rfind("--loose=", 0) == 0) {
+      loose = std::stod(a.substr(8));
     } else if (base_dir.empty()) {
       base_dir = a;
     } else if (cand_dir.empty()) {
@@ -335,8 +184,29 @@ int main(int argc, char** argv) {
   }
   if (base_dir.empty() || cand_dir.empty()) {
     std::cerr << "usage: bench_compare <baseline_dir> <candidate_dir> "
-                 "[--threshold=0.2] [--min-seconds=0.05] [--strict]\n";
+                 "[--threshold=0.2] [--min-seconds=0.05] [--strict] "
+                 "[--host-gate] [--tight=0.2] [--loose=1.5]\n";
     return 2;
+  }
+
+  if (host_gate) {
+    // An explicit --threshold wins over the gate's tight/loose pair; the
+    // gate then only selects the per-host baseline directory.
+    const std::string host_dir =
+        base_dir + "/" + ppsim::host_fingerprint_slug();
+    if (dir_has_bench_json(host_dir)) {
+      base_dir = host_dir;
+      if (!threshold_explicit) threshold = tight;
+      std::cout << "host-gate: matched baseline for '"
+                << ppsim::host_fingerprint() << "' (" << host_dir
+                << "); threshold " << threshold * 100 << "%\n";
+    } else {
+      if (!threshold_explicit) threshold = loose;
+      std::cout << "host-gate: no baseline for '" << ppsim::host_fingerprint()
+                << "' (looked for " << host_dir
+                << "); cross-machine threshold " << threshold * 100
+                << "%\n";
+    }
   }
 
   std::map<std::string, Record> base, cand;
