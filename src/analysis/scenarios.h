@@ -32,6 +32,11 @@
 // streams derived from derive_seed(spec.seed, t) (init and engine streams
 // split one level deeper), so results are bit-identical for any thread
 // count, exactly like run_trials_parallel.
+//
+// strategy = "sharded" (+ shards=N) runs each trial on the sharded
+// single-run engine (core/sharded_simulation.h): the trial fan-out goes
+// serial and spec.threads caps the shard workers instead. Results are a
+// pure function of (seed, shards) — never of the thread count.
 #pragma once
 
 #include <algorithm>
@@ -51,6 +56,7 @@
 #include "analysis/experiments.h"
 #include "core/batch_simulation.h"
 #include "core/registry.h"
+#include "core/sharded_simulation.h"
 #include "core/simulation.h"
 #include "init/epidemic_init.h"
 #include "init/obs25_init.h"
@@ -156,7 +162,29 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
     if (!parse_strategy(sname, strategy))
       throw std::invalid_argument(
           "unknown strategy '" + sname +
-          "' (geometric_skip | multinomial | auto)");
+          "' (geometric_skip | multinomial | auto | sharded)");
+  }
+  // strategy=sharded parallelizes *inside* one run, so the trial fan-out
+  // goes serial and --threads/PPSIM_THREADS caps the shard workers instead.
+  // The shard count itself comes from shards= (0 = the fixed default, NOT
+  // the worker count — results are a pure function of (seed, shards) and
+  // must never depend on threads or the machine).
+  const bool sharded = use_batch && strategy == BatchStrategy::kSharded;
+  std::uint32_t engine_workers = 0;
+  std::uint32_t shard_count = 0;
+  if (sharded) {
+    if constexpr (!ShardableProtocol<P>) {
+      throw std::invalid_argument(
+          "protocol '" + spec.protocol +
+          "' cannot run the sharded strategy (counters are not mergeable)");
+    }
+    engine_workers = resolve_thread_count(spec.threads);
+    shard_count =
+        spec.shards ? spec.shards : ShardedOptions::kDefaultShards;
+    // Mirror of the engine's clamp, so the report names the real count.
+    shard_count = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(shard_count,
+                                   proto.population_size() / 2));
   }
   const std::uint32_t trials = spec.trials ? spec.trials : 1;
   std::vector<double> values(trials, -1.0);
@@ -164,27 +192,39 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   std::vector<char> fired(trials, 0);
 
   const WallTimer total;
-  for_each_trial(trials, spec.threads, [&](std::uint32_t t) {
+  for_each_trial(trials, sharded ? 1 : spec.threads, [&](std::uint32_t t) {
     const std::uint64_t trial_seed = derive_seed(spec.seed, t);
     const std::uint64_t init_seed = derive_seed(trial_seed, 1);
     const std::uint64_t engine_seed = derive_seed(trial_seed, 2);
-    if (use_batch) {
-      if constexpr (EnumerableProtocol<P>) {
-        BatchSimulation<P> sim(proto,
-                               inits.counts(proto, init_name, init_seed),
-                               engine_seed, strategy);
-        const std::pair<double, bool> r = run_one(sim);
-        values[t] = r.first;
-        fired[t] = r.second;
-        interactions[t] = sim.interactions();
-      }
-    } else {
-      Simulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
-                        engine_seed);
+    auto record = [&](auto& sim) {
       const std::pair<double, bool> r = run_one(sim);
       values[t] = r.first;
       fired[t] = r.second;
       interactions[t] = sim.interactions();
+    };
+    if (use_batch) {
+      if constexpr (EnumerableProtocol<P>) {
+        if (sharded) {
+          if constexpr (ShardableProtocol<P>) {
+            ShardedOptions options;
+            options.shards = shard_count;
+            options.max_workers = engine_workers;
+            ShardedSimulation<P> sim(
+                proto, inits.counts(proto, init_name, init_seed),
+                engine_seed, options);
+            record(sim);
+          }
+        } else {
+          BatchSimulation<P> sim(proto,
+                                 inits.counts(proto, init_name, init_seed),
+                                 engine_seed, strategy);
+          record(sim);
+        }
+      }
+    } else {
+      Simulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
+                        engine_seed);
+      record(sim);
     }
   });
 
@@ -194,6 +234,7 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   out.summary = summarize(out.values);
   out.backend = use_batch ? "batch" : "array";
   out.strategy = use_batch ? to_string(strategy) : "";
+  out.shards = shard_count;
   out.init = init_name;
   out.until = until_name;
   out.n = proto.population_size();
@@ -607,6 +648,7 @@ inline BenchRecord& report_scenario(BenchReport& report,
   BenchRecord& rec = report.add();
   rec.set("experiment", experiment).set("backend", r.backend);
   if (!r.strategy.empty()) rec.set("strategy", r.strategy);
+  if (r.shards > 0) rec.set("shards", static_cast<std::uint64_t>(r.shards));
   rec.set("n", static_cast<std::uint64_t>(r.n))
       .set("trials", r.trials)
       .set("init", r.init)

@@ -21,12 +21,17 @@ namespace ppsim {
 //   --quick / --full   scale the trial counts down / up
 //   --smoke            CI mode: 1 trial, smallest population only (see
 //                      sizes()) — exercises every code path in seconds
-//   --threads=N        thread count for run_trials_parallel (also
-//                      PPSIM_THREADS; 0 = hardware concurrency)
+//   --threads=N        thread count for run_trials_parallel and for the
+//                      sharded engine's worker pool (also PPSIM_THREADS;
+//                      0 = hardware concurrency). Never changes results —
+//                      only wall clock.
 //   --strategy=S       batching strategy for the count-based engine
-//                      (geometric_skip | multinomial | auto); benches that
-//                      honor it call strategy_or() and record the choice in
-//                      their BENCH_*.json metadata
+//                      (geometric_skip | multinomial | auto | sharded);
+//                      benches that honor it call strategy_or() and record
+//                      the choice in their BENCH_*.json metadata
+//   --shards=N         strategy=sharded: worker shard count (0 = the
+//                      engine's fixed default, 8). Results depend on
+//                      (seed, shards) — deliberately never on --threads.
 //   --micro            also run the binary's google-benchmark micro section
 // Anything else is a hard error.
 struct BenchScale {
@@ -36,6 +41,7 @@ struct BenchScale {
   bool smoke = false;
   bool micro = false;
   std::uint32_t threads = 0;   // 0 = auto (env / hardware)
+  std::uint32_t shards = 0;    // 0 = auto (sharded strategy only)
   std::string strategy_name;   // empty = bench default
 
   static BenchScale from_args(int argc, char** argv) {
@@ -57,18 +63,22 @@ struct BenchScale {
       } else if (a.rfind("--threads=", 0) == 0) {
         const long v = std::strtol(a.c_str() + 10, nullptr, 10);
         if (v > 0) s.threads = static_cast<std::uint32_t>(v);
+      } else if (a.rfind("--shards=", 0) == 0) {
+        const long v = std::strtol(a.c_str() + 9, nullptr, 10);
+        if (v > 0) s.shards = static_cast<std::uint32_t>(v);
       } else if (a.rfind("--strategy=", 0) == 0) {
         s.strategy_name = a.substr(11);
         BatchStrategy ignored;
         if (!parse_strategy(s.strategy_name, ignored)) {
           std::cerr << "unknown --strategy value '" << s.strategy_name
-                    << "' (want geometric_skip | multinomial | auto)\n";
+                    << "' (want geometric_skip | multinomial | auto | "
+                       "sharded)\n";
           std::exit(2);
         }
       } else {
         std::cerr << argv[0] << ": unknown flag '" << a
                   << "' (known: --quick --full --smoke --micro --threads=N "
-                     "--strategy=S)\n";
+                     "--shards=N --strategy=S)\n";
         std::exit(2);
       }
     }

@@ -20,7 +20,16 @@
 //   OccupiedPool          - weighted pool over the *occupied* subset of a
 //                           huge code space: the multinomial kernel's
 //                           sampling substrate (cache-resident where the
-//                           full-|Q| Fenwick tree is hundreds of MB)
+//                           full-|Q| Fenwick tree is hundreds of MB); also
+//                           the sharded engine's per-shard count store
+//                           (reset() + apply_delta reloads in O(occupied))
+//   merge_signed_deltas   - folds per-shard code -> net-delta maps into the
+//                           global one in deterministic order (the sharded
+//                           engine's reconciliation kernel)
+//   ScalarActiveWeight    - the structured active weight W as scalars only
+//                           (no Fenwick trees): silence certification and
+//                           skip-vs-batch density decisions for the sharded
+//                           engine's merged view and its shard workers
 //   sample_collision_free_prefix
 //                         - exact birthday-problem draw of how many
 //                           consecutive interactions touch fresh agents
@@ -240,6 +249,18 @@ class FlatMap64 {
 
 inline std::uint64_t pair_code_key(std::uint32_t a, std::uint32_t b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// Accumulates one map of signed count deltas (values are int64 bit patterns,
+// the FlatMap64::add convention) into another. This is the sharded engine's
+// merge kernel: each worker shard reports its round as a code -> net-delta
+// map, and the merge folds them into the global map in shard order, so the
+// merged iteration order — and everything downstream of it — is a pure
+// function of (seed, shard count), never of the worker thread count.
+inline void merge_signed_deltas(FlatMap64& into, const FlatMap64& from) {
+  for (std::uint32_t slot : from.entry_slots())
+    into.add(from.key_at(slot),
+             static_cast<std::int64_t>(from.value_at(slot)));
 }
 
 // The scheduler's exact ordered state-pair draw from a count Fenwick:
@@ -570,6 +591,98 @@ class UnkeyedPassiveKernel {
   std::uint64_t restless_count_ = 0;
 };
 
+// --- Scalar active-weight tracker -------------------------------------------
+
+// Maintains the declared-structure active weight W as scalars only — no
+// Fenwick trees, no O(|Q|) arrays — in O(1) per count change and O(occupied)
+// to rebuild. The full geometric-skip kernels above also need to *sample*
+// the active pair, which costs them Fenwick trees over the whole code
+// space; the sharded engine (core/sharded_simulation.h) only needs W for
+// silence certification, the skip-vs-batch density decision, and the wait
+// geometric, and samples active pairs by linear scans over its (small)
+// occupied sets instead. Keyed key counts live in a FlatMap64 so clearing
+// between rounds is O(1).
+template <EnumerableProtocol P>
+class ScalarActiveWeight {
+ public:
+  static constexpr bool kStructured = DiagonalActiveProtocol<P> ||
+                                      KeyedPassiveProtocol<P> ||
+                                      UnkeyedPassiveProtocol<P>;
+
+  void clear() {
+    diag_total_ = 0;
+    restless_ = 0;
+    key_diag_ = 0;
+    key_counts_.clear();
+  }
+
+  // counts[code] moved old_count -> new_count.
+  void on_count_change(const P& protocol, std::uint32_t code,
+                       std::uint64_t old_count, std::uint64_t new_count) {
+    const std::int64_t d = static_cast<std::int64_t>(new_count) -
+                           static_cast<std::int64_t>(old_count);
+    if (d == 0) return;
+    if constexpr (DiagonalActiveProtocol<P>) {
+      const typename P::State st = protocol.decode(code);
+      if (protocol.is_null_pair(st, st)) return;
+      diag_total_ = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(diag_total_) +
+          static_cast<std::int64_t>(pair_weight(new_count)) -
+          static_cast<std::int64_t>(pair_weight(old_count)));
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      const typename P::State st = protocol.decode(code);
+      if (protocol.is_passive(st)) {
+        const std::uint32_t slot =
+            key_counts_.find_or_insert(protocol.passive_key(st), 0);
+        const std::uint64_t old_kc = key_counts_.value_at(slot);
+        const std::uint64_t new_kc = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(old_kc) + d);
+        key_counts_.value_ref(slot) = new_kc;
+        key_diag_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(key_diag_) +
+            static_cast<std::int64_t>(pair_weight(new_kc)) -
+            static_cast<std::int64_t>(pair_weight(old_kc)));
+      } else {
+        restless_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(restless_) + d);
+      }
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      if (!protocol.is_passive(protocol.decode(code)))
+        restless_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(restless_) + d);
+    }
+  }
+
+  // W for a population of m agents holding the tracked counts:
+  //   diagonal: sum over active q of m_q (m_q - 1)
+  //   keyed:    A (m - 1) + S A + sum_k s_k (s_k - 1)
+  //   unkeyed:  A (m - 1) + S A
+  std::uint64_t total(std::uint64_t m) const {
+    if constexpr (DiagonalActiveProtocol<P>) {
+      (void)m;
+      return diag_total_;
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      return restless_ * (m - 1) + (m - restless_) * restless_ + key_diag_;
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      return restless_ * (m - 1) + (m - restless_) * restless_;
+    } else {
+      (void)m;
+      return 0;
+    }
+  }
+
+  std::uint64_t restless() const { return restless_; }
+  std::uint64_t key_diag() const { return key_diag_; }
+  // Keyed only: passive key -> passive-agent count (insertion-ordered).
+  const FlatMap64& key_counts() const { return key_counts_; }
+
+ private:
+  std::uint64_t diag_total_ = 0;  // diagonal W
+  std::uint64_t restless_ = 0;    // A (keyed / unkeyed)
+  std::uint64_t key_diag_ = 0;    // sum_k s_k (s_k - 1) (keyed)
+  FlatMap64 key_counts_;          // keyed: s_k per occupied key
+};
+
 // --- Multinomial batch kernel -----------------------------------------------
 
 // Weighted pool over the occupied subset of a huge code space. Where the
@@ -581,6 +694,26 @@ class UnkeyedPassiveKernel {
 class OccupiedPool {
  public:
   bool built() const { return built_; }
+
+  // Resets to a built-but-empty pool. The sharded engine's workers reload
+  // their pool from each round's shard allocation this way: O(occupied)
+  // apply_delta calls instead of an O(|Q|) dense scan.
+  void reset() {
+    codes_.clear();
+    weights_.clear();
+    slot_of_.clear();
+    total_ = 0;
+    zero_slots_ = 0;
+    removed_.clear();
+    rebuild_fenwick();
+    built_ = true;
+  }
+
+  // Current weight of `code` (0 when the code has no slot).
+  std::uint64_t weight_of(std::uint32_t code) const {
+    const std::uint64_t* slot = slot_of_.find(code);
+    return slot == nullptr ? 0 : weights_[static_cast<std::size_t>(*slot)];
+  }
 
   void build(const std::vector<std::uint64_t>& counts) {
     codes_.clear();
@@ -819,6 +952,15 @@ class MultinomialKernel {
     return pool_.built() && pool_.single_occupied(code);
   }
 
+  // Sparse mode for the sharded engine's shard workers: the counts live
+  // entirely in the kernel's occupied pool — reset_sparse() then
+  // pool().apply_delta(code, count) per occupied code loads a shard's
+  // round allocation in O(occupied) — and the batch runs over a *shard*
+  // population rather than protocol.population_size().
+  void reset_sparse() { pool_.reset(); }
+  OccupiedPool& pool() { return pool_; }
+  const OccupiedPool& pool() const { return pool_; }
+
   // Runs one batch: mutates `counts`, accumulates protocol counters,
   // appends the net per-code deltas to `out_deltas`, and returns the number
   // of interactions consumed (L + 1). Requires n >= 2.
@@ -826,7 +968,36 @@ class MultinomialKernel {
                           Rng& rng, Counters& counters,
                           std::vector<CountDelta>& out_deltas) {
     ensure_built(counts);
-    const std::uint64_t n = protocol.population_size();
+    return run_batch_impl(protocol, protocol.population_size(),
+                          DenseCounts{&counts}, rng, counters, out_deltas);
+  }
+
+  // Sparse front door (see reset_sparse above): identical batch logic and
+  // randomness order, but the only count store updated is the pool.
+  std::uint64_t run_batch_sparse(const P& protocol, std::uint64_t n, Rng& rng,
+                                 Counters& counters,
+                                 std::vector<CountDelta>& out_deltas) {
+    return run_batch_impl(protocol, n, NullCounts{}, rng, counters,
+                          out_deltas);
+  }
+
+ private:
+  // Count-store sinks for run_batch_impl's fold phase.
+  struct DenseCounts {
+    std::vector<std::uint64_t>* counts;
+    void add(std::uint32_t code, std::int64_t d) const {
+      (*counts)[code] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>((*counts)[code]) + d);
+    }
+  };
+  struct NullCounts {
+    void add(std::uint32_t, std::int64_t) const {}
+  };
+
+  template <class CountsSink>
+  std::uint64_t run_batch_impl(const P& protocol, std::uint64_t n,
+                               CountsSink sink, Rng& rng, Counters& counters,
+                               std::vector<CountDelta>& out_deltas) {
     if (!prefix_.built_for(n)) prefix_.build(n);
     const std::uint64_t l = prefix_.sample(rng);
 
@@ -889,15 +1060,13 @@ class MultinomialKernel {
       const auto code = static_cast<std::uint32_t>(net_.key_at(slot));
       const auto d = static_cast<std::int64_t>(net_.value_at(slot));
       if (d == 0) continue;
-      counts[code] = static_cast<std::uint64_t>(
-          static_cast<std::int64_t>(counts[code]) + d);
+      sink.add(code, d);
       pool_.apply_delta(code, d);
       out_deltas.push_back(CountDelta{code, static_cast<std::int32_t>(d)});
     }
     return l + 1;
   }
 
- private:
   // Dense pairing matrices are limited to this many occupied categories
   // (64 x 64 x 4 bytes = 16 KB of scratch).
   static constexpr std::uint32_t kBulkMaxCategories = 64;

@@ -131,7 +131,10 @@ class BatchSimulation {
   const std::vector<CountDelta>& last_deltas() const { return last_deltas_; }
 
   BatchStrategy strategy() const { return strategy_; }
-  void set_strategy(BatchStrategy s) { strategy_ = s; }
+  void set_strategy(BatchStrategy s) {
+    reject_sharded(s);
+    strategy_ = s;
+  }
 
   // The strategy the next step will actually run: resolves kAuto from the
   // exact active-weight density when the protocol exposes one (protocols
@@ -218,7 +221,18 @@ class BatchSimulation {
   // Fenwick walks win even at density 1.
   static constexpr std::uint32_t kAutoMinPopulation = 16'384;
 
+  // kSharded is a whole-engine choice, not a per-step path: intra-run
+  // parallelism lives in ShardedSimulation (core/sharded_simulation.h),
+  // which owns the shard workers and the reconciliation rounds.
+  static void reject_sharded(BatchStrategy s) {
+    if (s == BatchStrategy::kSharded)
+      throw std::invalid_argument(
+          "strategy 'sharded' runs on ShardedSimulation "
+          "(core/sharded_simulation.h), not BatchSimulation");
+  }
+
   void init_samplers() {
+    reject_sharded(strategy_);
     const std::uint32_t q = protocol_.num_states();
     if (counts_.size() != q)
       throw std::invalid_argument("counts size != num_states");

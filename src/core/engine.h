@@ -41,10 +41,16 @@ namespace ppsim {
 //   kAuto          - pick per step from the measured effective-interaction
 //                    density (the active-weight fraction W / n(n-1) when the
 //                    protocol exposes an exact active weight)
+//   kSharded       - intra-run parallelism: split the count vector across T
+//                    worker shards per round (multivariate-hypergeometric
+//                    partition), run each shard's batches concurrently, and
+//                    merge (core/sharded_simulation.h's ShardedSimulation;
+//                    BatchSimulation itself rejects this value)
 enum class BatchStrategy : std::uint8_t {
   kGeometricSkip,
   kMultinomial,
   kAuto,
+  kSharded,
 };
 
 inline const char* to_string(BatchStrategy s) {
@@ -52,6 +58,7 @@ inline const char* to_string(BatchStrategy s) {
     case BatchStrategy::kGeometricSkip: return "geometric_skip";
     case BatchStrategy::kMultinomial: return "multinomial";
     case BatchStrategy::kAuto: return "auto";
+    case BatchStrategy::kSharded: return "sharded";
   }
   return "?";
 }
@@ -64,6 +71,8 @@ inline bool parse_strategy(const std::string& name, BatchStrategy& out) {
     out = BatchStrategy::kMultinomial;
   } else if (name == "auto") {
     out = BatchStrategy::kAuto;
+  } else if (name == "sharded") {
+    out = BatchStrategy::kSharded;
   } else {
     return false;
   }

@@ -33,7 +33,13 @@ struct ScenarioSpec {
   std::uint32_t n = 0;         // population size (0 = entry default_n)
   std::string init;            // initial-condition name ("" = entry default)
   std::string engine = "auto";    // array | batch | auto (batch if able)
-  std::string strategy = "auto";  // geometric_skip | multinomial | auto
+  std::string strategy = "auto";  // geometric_skip | multinomial | auto |
+                                  // sharded (intra-run parallelism)
+  std::uint32_t shards = 0;    // strategy=sharded: worker shard count
+                               // (0 = the engine's fixed default, 8;
+                               // clamped to n/2). Results depend on
+                               // (seed, shards), never on the executing
+                               // thread count.
   std::string until;           // stop condition name ("" = entry default)
   std::uint64_t max_interactions = 0;  // hard horizon (0 = entry default)
   double horizon_ptime = 0.0;  // until=ptime: the fixed parallel-time budget
@@ -55,6 +61,7 @@ struct ScenarioResult {
   std::vector<double> values;  // per-trial, trial index = vector index
   std::string backend;         // resolved: "array" | "batch"
   std::string strategy;        // resolved; empty on the array engine
+  std::uint32_t shards = 0;    // resolved shard count (sharded runs only)
   std::string init;            // resolved initial-condition name
   std::string until;           // resolved stop-condition name
   std::uint32_t n = 0;

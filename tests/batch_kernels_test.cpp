@@ -1,9 +1,11 @@
 // Unit tests for the sampling kernels of core/batch_kernels.h: the flat
 // hash map, the occupied-code pool, the exact birthday-problem prefix
-// sampler, the extracted pair sampler, and the multinomial batch kernel's
+// sampler, the extracted pair sampler, the multinomial batch kernel's
 // conservation/bookkeeping invariants (its distributional exactness is
 // cross-validated against the other engines in
-// tests/engine_equivalence_test.cpp).
+// tests/engine_equivalence_test.cpp), and the ISSUE 5 shard merge kernels
+// (merge_signed_deltas, OccupiedPool split/rejoin, ShardWorker population
+// conservation).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -12,7 +14,9 @@
 
 #include "core/batch_kernels.h"
 #include "core/batch_simulation.h"
+#include "core/discrete_samplers.h"
 #include "core/rng.h"
+#include "core/sharded_simulation.h"
 #include "processes/epidemic.h"
 #include "protocols/optimal_silent.h"
 
@@ -271,6 +275,140 @@ TEST(MultinomialKernel, OptimalSilentBatchesPreserveInvariants) {
 
 static_assert(MultinomialKernel<OptimalSilentSSR>::kCacheable);
 static_assert(MultinomialKernel<OneWayEpidemic>::kCacheable);
+
+// --- Shard merge kernels (ISSUE 5) ------------------------------------------
+
+// merge_signed_deltas folds shard net-delta maps in deterministic order:
+// sums are per-code exact (including cancellation to zero) and the merged
+// map's iteration order follows first insertion.
+TEST(ShardMerge, MergeSignedDeltasConservesAndOrders) {
+  FlatMap64 a, b, merged;
+  a.add(3, +5);
+  a.add(900, -2);
+  a.add(41, +1);
+  b.add(900, +2);  // cancels a's entry exactly
+  b.add(3, -1);
+  b.add(7, +4);
+  merge_signed_deltas(merged, a);
+  merge_signed_deltas(merged, b);
+  EXPECT_EQ(static_cast<std::int64_t>(*merged.find(3)), 4);
+  EXPECT_EQ(static_cast<std::int64_t>(*merged.find(900)), 0);
+  EXPECT_EQ(static_cast<std::int64_t>(*merged.find(41)), 1);
+  EXPECT_EQ(static_cast<std::int64_t>(*merged.find(7)), 4);
+  // Net of all deltas is conserved through the merge.
+  std::int64_t total = 0;
+  for (std::uint32_t slot : merged.entry_slots())
+    total += static_cast<std::int64_t>(merged.value_at(slot));
+  EXPECT_EQ(total, 9);
+  // Insertion order: a's keys first, then b's new key.
+  std::vector<std::uint64_t> order;
+  for (std::uint32_t slot : merged.entry_slots())
+    order.push_back(merged.key_at(slot));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 900, 41, 7}));
+}
+
+// OccupiedPool split/rejoin round trip: partitioning a pool's occupied
+// counts into shards and folding them back conserves every count, and no
+// phantom occupied codes appear on either side.
+TEST(ShardMerge, OccupiedPoolSplitRejoinInvariants) {
+  std::vector<std::uint64_t> counts(500, 0);
+  counts[2] = 40;
+  counts[77] = 1;
+  counts[140] = 25;
+  counts[499] = 34;  // total 100
+  OccupiedPool pool;
+  pool.build(counts);
+  EXPECT_EQ(pool.total(), 100u);
+  EXPECT_EQ(pool.weight_of(2), 40u);
+  EXPECT_EQ(pool.weight_of(3), 0u);  // unoccupied code has no weight
+
+  // Occupied snapshot (what the sharded engine splits each round).
+  std::vector<std::uint32_t> occ_codes;
+  std::vector<std::uint64_t> occ_counts;
+  for (std::uint32_t slot = 0; slot < pool.slots(); ++slot)
+    if (pool.weight_at(slot) > 0) {
+      occ_codes.push_back(pool.code_at(slot));
+      occ_counts.push_back(pool.weight_at(slot));
+    }
+  ASSERT_EQ(occ_codes.size(), 4u);
+
+  Rng rng(99);
+  const std::vector<std::uint64_t> sizes = {26, 25, 25, 24};
+  std::vector<std::vector<std::uint64_t>> shards;
+  sample_shard_partition(rng, occ_counts, sizes, shards);
+
+  // Load each shard into its own pool via reset(): per-shard totals match
+  // the shard sizes and only allocated codes are occupied.
+  std::vector<std::uint64_t> recombined(occ_codes.size(), 0);
+  for (std::size_t t = 0; t < shards.size(); ++t) {
+    OccupiedPool shard_pool;
+    shard_pool.reset();
+    std::uint64_t loaded = 0;
+    for (std::size_t i = 0; i < occ_codes.size(); ++i) {
+      if (shards[t][i] == 0) continue;
+      shard_pool.apply_delta(occ_codes[i],
+                             static_cast<std::int64_t>(shards[t][i]));
+      loaded += shards[t][i];
+      recombined[i] += shards[t][i];
+    }
+    EXPECT_EQ(shard_pool.total(), sizes[t]) << "shard " << t;
+    EXPECT_EQ(loaded, sizes[t]) << "shard " << t;
+    EXPECT_EQ(shard_pool.weight_of(3), 0u);  // no phantom codes
+    std::uint64_t occupied_weight = 0;
+    for (std::uint32_t slot = 0; slot < shard_pool.slots(); ++slot)
+      occupied_weight += shard_pool.weight_at(slot);
+    EXPECT_EQ(occupied_weight, sizes[t]) << "shard " << t;
+  }
+  // Rejoin: per-code counts conserved exactly.
+  EXPECT_EQ(recombined, occ_counts);
+}
+
+TEST(ShardMerge, OccupiedPoolResetClearsEverything) {
+  std::vector<std::uint64_t> counts = {0, 5, 0, 3};
+  OccupiedPool pool;
+  pool.build(counts);
+  Rng rng(7);
+  pool.draw_remove(rng);
+  pool.restore_removed();
+  pool.reset();
+  EXPECT_TRUE(pool.built());
+  EXPECT_EQ(pool.total(), 0u);
+  EXPECT_EQ(pool.occupied(), 0u);
+  EXPECT_EQ(pool.weight_of(1), 0u);
+  pool.apply_delta(9, 4);
+  EXPECT_EQ(pool.total(), 4u);
+  EXPECT_EQ(pool.weight_of(9), 4u);
+}
+
+// A ShardWorker round conserves its shard population: the pool total stays
+// m, and the net-delta map sums to zero (a closed rearrangement).
+TEST(ShardMerge, ShardWorkerConservesPopulation) {
+  const std::uint32_t n = 256;  // shard of a notionally larger run
+  OneWayEpidemic proto(1024);
+  ShardWorker<OneWayEpidemic> worker;
+  const std::vector<std::uint32_t> codes = {0, 1};
+  const std::vector<std::uint64_t> alloc = {n - 8, 8};
+  worker.prepare(proto, codes, alloc, n, /*seed=*/31);
+  const std::uint64_t consumed = worker.run(proto, 2'000);
+  EXPECT_GE(consumed, 2'000u);
+  std::int64_t net = 0;
+  std::uint64_t infected_delta = 0;
+  for (std::uint32_t slot : worker.net_deltas().entry_slots()) {
+    const auto d =
+        static_cast<std::int64_t>(worker.net_deltas().value_at(slot));
+    net += d;
+    if (worker.net_deltas().key_at(slot) == 1)
+      infected_delta = static_cast<std::uint64_t>(d);
+  }
+  EXPECT_EQ(net, 0);               // rearrangement, no creation
+  EXPECT_GT(infected_delta, 0u);   // the epidemic progressed
+  // A fully-infected (silent) shard fast-forwards its quota for free.
+  ShardWorker<OneWayEpidemic> silent_worker;
+  const std::vector<std::uint64_t> all_infected = {0, n};
+  silent_worker.prepare(proto, codes, all_infected, n, 32);
+  EXPECT_EQ(silent_worker.run(proto, 5'000), 5'000u);
+  EXPECT_TRUE(silent_worker.net_deltas().empty());
+}
 
 }  // namespace
 }  // namespace ppsim

@@ -5,7 +5,11 @@
 // value), on fixed seeds so the suite is deterministic. The binomial cases
 // straddle the inversion/BTPE dispatch boundary n * min(p, 1-p) = 10 from
 // both sides, and the hypergeometric cases cover the sequential-inversion
-// branch, the HRUA branch, and the large-sample reflection.
+// branch, the HRUA branch, and the large-sample reflection. The shard
+// partition (sample_shard_partition, the sharded engine's per-round split)
+// is checked category-by-category: every shard's marginal — first drawn,
+// chained, and the remainder — must match the closed-form hypergeometric
+// of its size.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -277,6 +281,76 @@ TEST(MultivariateHypergeometric, MarginalMatchesUnivariatePmf) {
         return hypergeometric_pmf(counts[4], total - counts[4], k, x);
       },
       "mvh marginal category 4 (chained)");
+}
+
+// --- shard partition (ISSUE 5) ----------------------------------------------
+//
+// The sharded engine's per-round split draws shard t's per-state counts by
+// chained multivariate hypergeometrics. The chain rule makes the joint law
+// the uniform partition, so *every* shard's marginal — not just the first
+// drawn — must be the plain hypergeometric of its size: chi-square checks
+// on an early shard, a late (chained) shard, and a remainder shard.
+
+TEST(ShardPartition, ConservesCountsAndSizes) {
+  Rng rng(21);
+  const std::vector<std::uint64_t> counts = {3, 0, 25, 12, 60};
+  const std::vector<std::uint64_t> sizes = {26, 25, 25, 24};
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (int rep = 0; rep < 2000; ++rep) {
+    sample_shard_partition(rng, counts, sizes, shards);
+    ASSERT_EQ(shards.size(), sizes.size());
+    std::vector<std::uint64_t> recombined(counts.size(), 0);
+    for (std::size_t t = 0; t < shards.size(); ++t) {
+      std::uint64_t total = 0;
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        total += shards[t][c];
+        recombined[c] += shards[t][c];
+      }
+      ASSERT_EQ(total, sizes[t]) << "shard " << t;
+      ASSERT_EQ(shards[t][1], 0u) << "phantom agents in empty category";
+    }
+    ASSERT_EQ(recombined, counts);
+  }
+  EXPECT_THROW(
+      sample_shard_partition(rng, counts, {50, 49} /* != total */, shards),
+      std::invalid_argument);
+}
+
+TEST(ShardPartition, ShardMarginalsMatchHypergeometricPmf) {
+  Rng rng(22);
+  const std::vector<std::uint64_t> counts = {3, 0, 25, 12, 60};
+  const std::uint64_t total = 100;
+  const std::vector<std::uint64_t> sizes = {26, 25, 25, 24};
+  const std::uint32_t trials = 60'000;
+  std::vector<std::vector<std::uint64_t>> shards;
+  // shard 0 (first drawn), shard 2 (conditioned on two earlier draws),
+  // shard 3 (the remainder — never drawn explicitly at all).
+  std::vector<std::uint64_t> s0_cat4(trials), s2_cat2(trials),
+      s3_cat3(trials);
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    sample_shard_partition(rng, counts, sizes, shards);
+    s0_cat4[i] = shards[0][4];
+    s2_cat2[i] = shards[2][2];
+    s3_cat3[i] = shards[3][3];
+  }
+  expect_matches_pmf(
+      s0_cat4, counts[4],
+      [&](std::uint64_t k) {
+        return hypergeometric_pmf(counts[4], total - counts[4], sizes[0], k);
+      },
+      "shard 0 category 4");
+  expect_matches_pmf(
+      s2_cat2, counts[2],
+      [&](std::uint64_t k) {
+        return hypergeometric_pmf(counts[2], total - counts[2], sizes[2], k);
+      },
+      "shard 2 category 2 (chained)");
+  expect_matches_pmf(
+      s3_cat3, counts[3],
+      [&](std::uint64_t k) {
+        return hypergeometric_pmf(counts[3], total - counts[3], sizes[3], k);
+      },
+      "shard 3 category 3 (remainder)");
 }
 
 // --- multinomial ------------------------------------------------------------

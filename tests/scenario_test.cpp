@@ -10,6 +10,9 @@
 //  * cross-engine equivalence: every (protocol, generator) pair runs on
 //    both engines to its default stop condition with overlapping 95% CIs
 //    at n in {8, 64, 512};
+//  * sharded strategy (ISSUE 5): strategy=sharded + shards=N resolves,
+//    matches the agent array distributionally, and is invariant to the
+//    worker thread count;
 //  * determinism: per-trial values are bit-identical for any thread count;
 //  * acceptance: the Table-1 row-1 sweep reproduced from a ScenarioSpec
 //    has CIs overlapping the committed bench/acceptance values, and an
@@ -28,6 +31,7 @@
 #include "init/reset_init.h"
 #include "init/silent_nstate_init.h"
 #include "init/sublinear_init.h"
+#include "stat_harness.h"
 
 namespace ppsim {
 namespace {
@@ -153,21 +157,12 @@ TEST(InitRoundTrip, SublinearGeneratorsEmitFullPopulations) {
 // distribution on the agent array and the batched engine: overlapping 95%
 // CIs over independent seeds, at n in {8, 64, 512}.
 
-// `widen` scales the half-widths: 1.0 is the plain 95% overlap check; the
-// cross-engine sweep below runs ~60 simultaneous comparisons, where a
-// per-pair 95% check would fail by chance every few runs — it passes
-// widen = 3.29/1.96 (99.9% intervals, Bonferroni-style family control).
-void expect_overlapping_ci(const Summary& a, const Summary& b,
-                           const std::string& what, double widen = 1.0) {
-  const double lo_a = a.mean - widen * a.ci95,
-               hi_a = a.mean + widen * a.ci95;
-  const double lo_b = b.mean - widen * b.ci95,
-               hi_b = b.mean + widen * b.ci95;
-  EXPECT_LE(lo_a, hi_b) << what << ": CIs disjoint: [" << lo_a << ", "
-                        << hi_a << "] vs [" << lo_b << ", " << hi_b << "]";
-  EXPECT_LE(lo_b, hi_a) << what << ": CIs disjoint: [" << lo_a << ", "
-                        << hi_a << "] vs [" << lo_b << ", " << hi_b << "]";
-}
+// The CI-overlap check now lives in tests/stat_harness.h; the cross-engine
+// sweep below runs ~60 simultaneous comparisons, where a per-pair 95% check
+// would fail by chance every few runs — it passes the Bonferroni widening
+// stat_harness::family_widen(60).
+using stat_harness::expect_overlapping_ci;
+const double kSweepWiden = stat_harness::family_widen(60);
 
 void expect_cross_engine_agreement(const std::string& protocol,
                                    const std::string& init, std::uint32_t n,
@@ -190,8 +185,7 @@ void expect_cross_engine_agreement(const std::string& protocol,
   EXPECT_EQ(batch_r.failed, 0u) << what;
   EXPECT_EQ(array_r.backend, "array");
   EXPECT_EQ(batch_r.backend, "batch");
-  expect_overlapping_ci(array_r.summary, batch_r.summary, what,
-                        /*widen=*/3.29 / 1.96);
+  expect_overlapping_ci(array_r.summary, batch_r.summary, what, kSweepWiden);
 }
 
 class CrossEngine : public ::testing::TestWithParam<std::uint32_t> {};
@@ -230,6 +224,67 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CrossEngine,
 TEST(CrossEngineObs25, EveryGenerator) {
   for (const auto& init : obs25_inits().all())
     expect_cross_engine_agreement("obs25", init.name, 3, 40);
+}
+
+// --- Sharded strategy through the Scenario API ------------------------------
+
+// strategy=sharded + shards=N is a first-class spec: it resolves, reports
+// its shard count, matches the agent array distributionally, and its
+// per-trial values are invariant to the worker thread count (threads= caps
+// workers for sharded runs instead of fanning out trials).
+TEST(ScenarioSharded, ShardedSpecMatchesArrayAndIgnoresThreadCount) {
+  ScenarioSpec spec;
+  spec.protocol = "optimal-silent";
+  spec.init = "uniform-random";
+  spec.engine = "batch";
+  spec.strategy = "sharded";
+  spec.shards = 4;
+  spec.n = 64;
+  spec.trials = 12;
+  spec.seed = 4100;
+  spec.threads = 1;
+  const ScenarioResult sharded = run_scenario(spec);
+  EXPECT_EQ(sharded.backend, "batch");
+  EXPECT_EQ(sharded.strategy, "sharded");
+  EXPECT_EQ(sharded.shards, 4u);
+  EXPECT_EQ(sharded.failed, 0u);
+
+  spec.threads = 4;  // workers only: must not change any trial value
+  const ScenarioResult threaded = run_scenario(spec);
+  stat_harness::expect_bit_identical(sharded.values, threaded.values,
+                                     "sharded values vs thread count");
+
+  ScenarioSpec array_spec = spec;
+  array_spec.engine = "array";
+  array_spec.strategy = "auto";
+  array_spec.shards = 0;
+  array_spec.seed = 4200;
+  array_spec.trials = 16;
+  const ScenarioResult array_r = run_scenario(array_spec);
+  EXPECT_EQ(array_r.shards, 0u);
+  expect_overlapping_ci(array_r.summary, sharded.summary,
+                        "sharded vs array scenario", kSweepWiden);
+}
+
+// The shard count defaults to the worker count and is clamped to n / 2;
+// non-sharded strategies never report shards.
+TEST(ScenarioSharded, ShardCountResolution) {
+  ScenarioSpec spec;
+  spec.protocol = "reset-process";
+  spec.engine = "batch";
+  spec.strategy = "sharded";
+  spec.shards = 64;  // n = 8 below: clamped to 4
+  spec.n = 8;
+  spec.trials = 2;
+  spec.seed = 5;
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_EQ(r.shards, 4u);
+  EXPECT_EQ(r.failed, 0u);
+
+  spec.strategy = "auto";
+  spec.shards = 4;  // ignored off the sharded strategy
+  const ScenarioResult plain = run_scenario(spec);
+  EXPECT_EQ(plain.shards, 0u);
 }
 
 // --- Determinism ------------------------------------------------------------

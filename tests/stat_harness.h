@@ -1,0 +1,133 @@
+// Statistical equivalence harness shared by the engine/strategy validation
+// suites (tests/engine_equivalence_test.cpp, tests/scenario_test.cpp).
+//
+// The repo's correctness discipline for every simulation strategy is the
+// same: a new engine must measure the same convergence-time distribution as
+// the ground-truth agent array, checked as overlapping confidence intervals
+// over independent seeds, plus bit-determinism for anything that claims to
+// be a pure function of its seed. Before this header each test file carried
+// its own copy of the CI-overlap check with an ad-hoc widening constant;
+// the helpers here make the family control explicit so every present and
+// future strategy is validated identically:
+//
+//   family_widen(k)        - Bonferroni widening for k simultaneous
+//                            CI-overlap checks: each pairwise check uses
+//                            z_{1 - 0.025/k}/z_{0.975}-widened intervals,
+//                            holding the whole family's false-alarm rate
+//                            near the single-test 5%
+//   expect_overlapping_ci  - the overlap assertion itself
+//   seeded_values          - per-seed measurement vector (trial i runs
+//                            derive_seed(base, i)); running two engines
+//                            with the same base gives index-aligned paired
+//                            runs
+//   expect_bit_identical   - exact equality of two measurement vectors
+//   expect_paired_bit_identical
+//                          - per-seed paired determinism: two run callables
+//                            must produce bitwise-equal values on every
+//                            derived seed (e.g. the same engine at
+//                            different worker-thread counts)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace ppsim {
+namespace stat_harness {
+
+// Inverse standard normal cdf (Acklam's rational approximation; absolute
+// error < 1.2e-8 over (0, 1), far below what a widening factor needs).
+inline double inverse_normal_cdf(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("inverse_normal_cdf needs p in (0, 1)");
+  constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                          -2.759285104469687e+02, 1.383577518672690e+02,
+                          -3.066479806614716e+01, 2.506628277459239e+00};
+  constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                          -1.556989798598866e+02, 6.680131188771972e+01,
+                          -1.328068155288572e+01};
+  constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                          -2.400758277161838e+00, -2.549732539343734e+00,
+                          4.374664141464968e+00,  2.938163982698783e+00};
+  constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                          2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) return -inverse_normal_cdf(1.0 - p);
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+// Widening factor for a family of `comparisons` simultaneous CI-overlap
+// checks (1.0 for a single check; ~1.31 for 5, ~1.70 for 60).
+inline double family_widen(std::size_t comparisons) {
+  if (comparisons <= 1) return 1.0;
+  return inverse_normal_cdf(1.0 - 0.025 / static_cast<double>(comparisons)) /
+         1.959963984540054;
+}
+
+// The cross-engine acceptance check: the two summaries' (widened) 95%
+// confidence intervals on the mean must overlap.
+inline void expect_overlapping_ci(const Summary& a, const Summary& b,
+                                  const std::string& what,
+                                  double widen = 1.0) {
+  const double lo_a = a.mean - widen * a.ci95;
+  const double hi_a = a.mean + widen * a.ci95;
+  const double lo_b = b.mean - widen * b.ci95;
+  const double hi_b = b.mean + widen * b.ci95;
+  EXPECT_LE(lo_a, hi_b) << what << ": CIs disjoint: [" << lo_a << ", "
+                        << hi_a << "] vs [" << lo_b << ", " << hi_b << "]";
+  EXPECT_LE(lo_b, hi_a) << what << ": CIs disjoint: [" << lo_a << ", "
+                        << hi_a << "] vs [" << lo_b << ", " << hi_b << "]";
+}
+
+// Per-seed measurement vector: trial i measures one(derive_seed(base, i)).
+template <class F>
+std::vector<double> seeded_values(std::uint32_t seeds, std::uint64_t base,
+                                  F&& one) {
+  std::vector<double> xs;
+  xs.reserve(seeds);
+  for (std::uint32_t i = 0; i < seeds; ++i)
+    xs.push_back(one(derive_seed(base, i)));
+  return xs;
+}
+
+inline void expect_bit_identical(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << what << ": trial " << i << " diverged";
+}
+
+// Per-seed paired determinism: `a` and `b` are two spellings of what must
+// be the same pure function of the seed (e.g. one engine run with 1 worker
+// thread and with 8); every derived seed must produce bitwise-equal values.
+template <class FA, class FB>
+void expect_paired_bit_identical(std::uint32_t seeds, std::uint64_t base,
+                                 FA&& a, FB&& b, const std::string& what) {
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = derive_seed(base, i);
+    EXPECT_EQ(a(seed), b(seed)) << what << ": seed index " << i;
+  }
+}
+
+}  // namespace stat_harness
+}  // namespace ppsim

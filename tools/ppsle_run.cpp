@@ -13,8 +13,8 @@
 //       initial conditions and stop conditions.
 //   ppsle_run --scenario key=val [key=val ...]
 //       Run one scenario. Keys: protocol, n, init, engine, strategy,
-//       until, trials, seed, threads, max_interactions, ptime, tail,
-//       label. Unknown keys/values are hard errors.
+//       shards, until, trials, seed, threads, max_interactions, ptime,
+//       tail, label. Unknown keys/values are hard errors.
 //   ppsle_run --matrix file.json
 //       Run a sweep matrix: the JSON's "matrix" object maps spec keys to
 //       value lists (full cross product), "defaults" seeds every cell, and
@@ -86,6 +86,8 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     spec.engine = value;
   } else if (key == "strategy") {
     spec.strategy = value;
+  } else if (key == "shards") {
+    spec.shards = static_cast<std::uint32_t>(parse_u64(key, value));
   } else if (key == "until") {
     spec.until = value;
   } else if (key == "trials") {
@@ -104,8 +106,8 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     label = value;
   } else {
     usage_error("unknown scenario key '" + key +
-                "' (known: protocol n init engine strategy until trials "
-                "seed threads max_interactions ptime tail label)");
+                "' (known: protocol n init engine strategy shards until "
+                "trials seed threads max_interactions ptime tail label)");
   }
 }
 
@@ -299,6 +301,9 @@ int run_matrix(const std::string& path, std::string out_name) {
                            : (cell.spec.n ? cell.spec.n : entry.default_n)) +
         "|" + (cell.spec.init.empty() ? entry.default_init : cell.spec.init) +
         "|" + (batch ? "batch/" + cell.spec.strategy : "array") + "|" +
+        (batch && cell.spec.strategy == "sharded"
+             ? "shards=" + std::to_string(cell.spec.shards) + "|"
+             : "") +
         (cell.spec.until.empty() ? entry.default_until : cell.spec.until) +
         "|" + std::to_string(cell.spec.seed) + "|" +
         std::to_string(cell.spec.trials) + "|" +
