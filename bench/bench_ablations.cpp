@@ -13,70 +13,60 @@
 //   * Sublinear TH: timers must live ~tau_{H+1} or detection paths expire
 //   * direct-check rule at n = 2 (DESIGN.md erratum discussion)
 //   * synthetic coin overhead (Section 6)
-#include <benchmark/benchmark.h>
-
+//
+// Every ablation is a ScenarioSpec sweep over param.<name> overrides
+// (core/registry.h ParamReader): the constants under study are starved
+// through exactly the interface ppsle_run exposes, each cell runs the
+// shared scenario driver (engine resolution, seeding, stop conditions),
+// and each result lands in the BENCH JSON through report_scenario — the
+// same schema the smoke matrix and ppsle_run emit. Reproduce any cell by
+// hand, e.g.:
+//   ppsle_run --scenario protocol=optimal-silent n=256 init=uniform-random
+//             until=ranked param.emax_factor=2
 #include <cmath>
+#include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "analysis/adversary.h"
-#include "analysis/convergence.h"
-#include "analysis/experiments.h"
-#include "core/simulation.h"
-#include "protocols/leader.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/sublinear.h"
 #include "analysis/bench_report.h"
-#include "reset/reset_process.h"
+#include "analysis/scenarios.h"
+#include "common/cli.h"
+#include "core/registry.h"
+#include "core/table.h"
+#include "protocols/sublinear.h"
 
 namespace ppsim {
 namespace {
 
+// One sweep cell: run the spec through the registry, add the shared table
+// row, emit the shared BENCH record.
+ScenarioResult ablate_cell(BenchReport& report, const std::string& experiment,
+                           const ScenarioSpec& spec, Table& t,
+                           const std::string& sweep_label) {
+  const ScenarioResult r = run_scenario(spec);
+  t.add_row({sweep_label,
+             fmt(r.summary.mean, 1) + " +/- " + fmt(r.summary.ci95, 1),
+             std::to_string(r.failed) + "/" + std::to_string(r.trials)});
+  report_scenario(report, experiment, r);
+  return r;
+}
+
 void ablate_dmax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Optimal-Silent Dmax (dormancy vs slow "
                "election, Lemma 4.2) ==\n";
-  constexpr std::uint32_t kN = 256;
-  Table t({"Dmax/n", "unique-leader frac", "mean stabilization time"});
+  Table t({"Dmax/n", "stabilization time mean +/- ci95", "failed"});
   for (double factor : scale.points({0.5, 1.0, 2.0, 4.0, 8.0, 16.0})) {
-    const auto trials = scale.trials(12);
-    std::uint32_t unique = 0;
-    std::vector<double> times;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      auto params = OptimalSilentParams::standard(kN);
-      params.dmax = static_cast<std::uint32_t>(factor * kN);
-      OptimalSilentSSR proto(params);
-      auto init = optimal_silent_config(params, OsAdversary::kAllPropagating,
-                                        derive_seed(100 + i, factor * 16));
-      Simulation<OptimalSilentSSR> sim(proto, std::move(init),
-                                       derive_seed(200 + i, factor * 16));
-      while (sim.counters().resets_executed == 0 &&
-             sim.interactions() < (1ull << 31))
-        sim.step();
-      std::uint32_t leaders = 0;
-      for (const auto& s : sim.states()) {
-        if (s.role == OsRole::Resetting && s.leader) ++leaders;
-        if (s.role == OsRole::Settled && s.rank == 1) ++leaders;
-      }
-      if (leaders == 1) ++unique;
-      // Continue to stabilization to see the retry cost.
-      RunOptions opts;
-      opts.max_interactions = 4000ull * kN * kN;
-      std::vector<OptimalSilentSSR::State> cont = sim.states();
-      OptimalSilentSSR fresh(params);
-      const RunResult r = run_until_ranked(fresh, std::move(cont),
-                                           derive_seed(300 + i, factor * 16),
-                                           opts);
-      times.push_back(r.stabilized ? r.stabilization_ptime : -1);
-    }
-    t.add_row({fmt(factor, 1), fmt(static_cast<double>(unique) / trials, 2),
-               fmt(summarize(times).mean, 0)});
-    report.add()
-        .set("experiment", "ablate_dmax")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("dmax_over_n", factor)
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("unique_fraction", static_cast<double>(unique) / trials)
-        .set("parallel_time", summarize(times).mean);
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.n = 256;
+    spec.init = "all-propagating";  // every agent mid-wave: the retry regime
+    spec.until = "ranked";
+    spec.trials = scale.trials(12);
+    spec.seed = 100;
+    spec.max_interactions = 4000ull * 256 * 256;
+    spec.params = {{"dmax_factor", fmt(factor, 2)}};
+    ablate_cell(report, "ablate_dmax", spec, t, fmt(factor, 1));
   }
   t.print();
   std::cout << "small Dmax starves the L,L->L,F election (multi-leader "
@@ -88,39 +78,18 @@ void ablate_dmax(const BenchScale& scale, BenchReport& report) {
 void ablate_emax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Optimal-Silent Emax (Unsettled patience, "
                "Theorem 4.3) ==\n";
-  constexpr std::uint32_t kN = 256;
-  Table t({"Emax/n", "mean time", "timeout triggers/run"});
+  Table t({"Emax/n", "stabilization time mean +/- ci95", "failed"});
   for (double factor : scale.points({2.0, 4.0, 8.0, 16.0, 32.0})) {
-    const auto trials = scale.trials(10);
-    std::vector<double> times, triggers;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      auto params = OptimalSilentParams::standard(kN);
-      params.emax = static_cast<std::uint32_t>(factor * kN);
-      OptimalSilentSSR proto(params);
-      auto init = optimal_silent_config(params, OsAdversary::kUniformRandom,
-                                        derive_seed(400 + i, factor * 16));
-      RunOptions opts;
-      opts.max_interactions = 8000ull * kN * kN;
-      Simulation<OptimalSilentSSR> sim(proto, std::move(init),
-                                       derive_seed(500 + i, factor * 16));
-      std::uint64_t budget = opts.max_interactions;
-      while (!is_correctly_ranked(sim.protocol(), sim.states()) &&
-             budget-- > 0)
-        sim.step();
-      times.push_back(sim.parallel_time());
-      triggers.push_back(
-          static_cast<double>(sim.counters().timeout_triggers));
-    }
-    t.add_row({fmt(factor, 0), fmt(summarize(times).mean, 0),
-               fmt(summarize(triggers).mean, 1)});
-    report.add()
-        .set("experiment", "ablate_emax")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("emax_over_n", factor)
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(times).mean)
-        .set("timeout_triggers", summarize(triggers).mean);
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.n = 256;
+    spec.init = "uniform-random";
+    spec.until = "ranked";
+    spec.trials = scale.trials(10);
+    spec.seed = 400;
+    spec.max_interactions = 8000ull * 256 * 256;
+    spec.params = {{"emax_factor", fmt(factor, 2)}};
+    ablate_cell(report, "ablate_emax", spec, t, fmt(factor, 0));
   }
   t.print();
   std::cout << "Emax too small fires timeouts during healthy ranking "
@@ -131,97 +100,45 @@ void ablate_emax(const BenchScale& scale, BenchReport& report) {
 void ablate_rmax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Propagate-Reset Rmax (wave coverage, Lemma "
                "3.2) ==\n";
-  constexpr std::uint32_t kN = 1024;
-  Table t({"Rmax", "all-reset frac", "exactly-once frac"});
+  Table t({"Rmax factor", "drain time mean +/- ci95", "failed"});
   for (double factor : scale.points({1.0, 2.0, 4.0, 8.0})) {
-    const auto rmax = static_cast<std::uint32_t>(
-        std::ceil(factor * std::log(kN)));
-    const std::uint32_t dmax = 8 * rmax;
-    const auto trials = scale.trials(15);
-    std::uint32_t all_reset = 0, exactly_once = 0;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      ResetProcess proto(kN, rmax, dmax);
-      std::vector<ResetProcess::State> init(kN);
-      proto.trigger(init[0]);
-      Simulation<ResetProcess> sim(proto, std::move(init),
-                                   derive_seed(600 + i, factor * 16));
-      // Run until fully computing (or give up).
-      while (sim.interactions() < 2000ull * kN) {
-        sim.step();
-        bool all_computing = true;
-        for (const auto& s : sim.states())
-          if (s.resetting) {
-            all_computing = false;
-            break;
-          }
-        if (all_computing) break;
-      }
-      std::uint32_t min_r = UINT32_MAX, max_r = 0;
-      for (const auto& s : sim.states()) {
-        min_r = std::min(min_r, s.resets_executed);
-        max_r = std::max(max_r, s.resets_executed);
-      }
-      if (min_r >= 1) ++all_reset;
-      if (min_r == 1 && max_r == 1) ++exactly_once;
-    }
-    t.add_row({std::to_string(rmax),
-               fmt(static_cast<double>(all_reset) / trials, 2),
-               fmt(static_cast<double>(exactly_once) / trials, 2)});
-    report.add()
-        .set("experiment", "ablate_rmax")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("rmax", static_cast<std::uint64_t>(rmax))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("all_reset_fraction", static_cast<double>(all_reset) / trials)
-        .set("exactly_once_fraction",
-             static_cast<double>(exactly_once) / trials);
+    ScenarioSpec spec;
+    spec.protocol = "reset-process";
+    spec.n = 1024;
+    spec.init = "trigger-one";
+    spec.until = "drained";
+    spec.trials = scale.trials(15);
+    spec.seed = 600;
+    spec.max_interactions = 2000ull * 1024;
+    // Keep the old experiment's Dmax = 8 Rmax coupling while Rmax shrinks.
+    spec.params = {{"rmax_factor", fmt(factor, 2)}, {"dmax_factor", "8"}};
+    ablate_cell(report, "ablate_rmax", spec, t, fmt(factor, 1));
   }
   t.print();
   std::cout << "Rmax = Theta(log n) with a sufficient constant makes the "
                "wave reach everyone before dormancy (the paper uses 60 ln "
-               "n for its tail bounds; ~8 ln n suffices empirically)\n";
+               "n for its tail bounds; ~8 ln n suffices empirically); "
+               "per-agent coverage invariants are asserted by the tier-1 "
+               "reset tests\n";
 }
 
 void ablate_smax(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Sublinear Smax (sync width vs lucky echoes, "
                "Lemma 5.6) ==\n";
-  constexpr std::uint32_t kN = 64;
-  Table t({"Smax", "mean detection time", "failed detections frac"});
-  for (std::uint64_t smax : scale.points<std::uint64_t>(
-           {2, 4, 16, 256, static_cast<std::uint64_t>(kN) * kN})) {
-    const auto trials = scale.trials(15);
-    std::vector<double> times;
-    std::uint32_t failures = 0;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      auto p = SublinearParams::constant_h(kN, 2);
-      p.smax = smax;
-      p.direct_check = false;
-      SublinearTimeSSR proto(p);
-      auto init = sublinear_config(p, SlAdversary::kDuplicateNames,
-                                   derive_seed(700 + i, smax));
-      Simulation<SublinearTimeSSR> sim(proto, std::move(init),
-                                       derive_seed(800 + i, smax));
-      const std::uint64_t horizon = 400ull * kN * p.th;
-      while (sim.counters().collision_triggers == 0 &&
-             sim.interactions() < horizon)
-        sim.step();
-      if (sim.counters().collision_triggers == 0)
-        ++failures;
-      else
-        times.push_back(sim.parallel_time());
-    }
-    t.add_row({std::to_string(smax),
-               times.empty() ? "-" : fmt(summarize(times).mean, 1),
-               fmt(static_cast<double>(failures) / trials, 2)});
-    report.add()
-        .set("experiment", "ablate_smax")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("smax", smax)
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", times.empty() ? -1.0 : summarize(times).mean)
-        .set("failure_fraction", static_cast<double>(failures) / trials);
+  Table t({"Smax", "detection time mean +/- ci95", "failed"});
+  for (std::uint64_t smax :
+       scale.points<std::uint64_t>({2, 4, 16, 256, 64ull * 64})) {
+    ScenarioSpec spec;
+    spec.protocol = "sublinear-h1";
+    spec.n = 64;
+    spec.init = "duplicate-names";
+    spec.until = "detected";
+    spec.trials = scale.trials(15);
+    spec.seed = 700;
+    spec.max_interactions = 2'000'000;
+    // Third-party detection only: the direct rule would mask echo luck.
+    spec.params = {{"smax", std::to_string(smax)}, {"direct_check", "0"}};
+    ablate_cell(report, "ablate_smax", spec, t, std::to_string(smax));
   }
   t.print();
   std::cout << "tiny Smax lets the duplicate echo sync values by luck "
@@ -232,37 +149,25 @@ void ablate_smax(const BenchScale& scale, BenchReport& report) {
 void ablate_th(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: Sublinear TH (timer lifetime vs tau_{H+1}) "
                "==\n";
-  constexpr std::uint32_t kN = 256;
-  Table t({"TH", "TH/tau-scale", "mean detection time"});
-  const auto p_ref = SublinearParams::constant_h(kN, 1);
+  const auto p_ref = SublinearParams::constant_h(256, 1);
+  Table t({"TH", "TH/tau-scale", "detection time mean +/- ci95", "failed"});
   for (double factor : scale.points({0.25, 0.5, 1.0, 2.0})) {
     const auto th = std::max<std::uint32_t>(
         2, static_cast<std::uint32_t>(factor * p_ref.th));
-    const auto trials = scale.trials(12);
-    std::vector<double> times;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      auto p = p_ref;
-      p.th = th;
-      p.direct_check = false;
-      SublinearTimeSSR proto(p);
-      auto init = sublinear_config(p, SlAdversary::kDuplicateNames,
-                                   derive_seed(900 + i, factor * 16));
-      Simulation<SublinearTimeSSR> sim(proto, std::move(init),
-                                       derive_seed(1000 + i, factor * 16));
-      while (sim.counters().collision_triggers == 0 &&
-             sim.interactions() < (1ull << 31))
-        sim.step();
-      times.push_back(sim.parallel_time());
-    }
+    ScenarioSpec spec;
+    spec.protocol = "sublinear-h1";
+    spec.n = 256;
+    spec.init = "duplicate-names";
+    spec.until = "detected";
+    spec.trials = scale.trials(12);
+    spec.seed = 900;
+    spec.max_interactions = 1ull << 31;
+    spec.params = {{"th", std::to_string(th)}, {"direct_check", "0"}};
+    const ScenarioResult r = run_scenario(spec);
     t.add_row({std::to_string(th), fmt(factor, 2),
-               fmt(summarize(times).mean, 1)});
-    report.add()
-        .set("experiment", "ablate_th")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("th", static_cast<std::uint64_t>(th))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(times).mean);
+               fmt(r.summary.mean, 1) + " +/- " + fmt(r.summary.ci95, 1),
+               std::to_string(r.failed) + "/" + std::to_string(r.trials)});
+    report_scenario(report, "ablate_th", r);
   }
   t.print();
   std::cout << "timers shorter than tau_{H+1} expire detection paths before "
@@ -275,30 +180,21 @@ void ablate_direct_check(const BenchScale&, BenchReport& report) {
                "==\n";
   Table t({"direct_check", "outcome"});
   for (bool direct : {true, false}) {
-    auto p = SublinearParams::constant_h(2, 1);
-    p.direct_check = direct;
-    SublinearTimeSSR proto(p);
-    auto init = sublinear_config(p, SlAdversary::kAllSameName, 1);
-    Simulation<SublinearTimeSSR> sim(proto, std::move(init), 2);
-    const std::uint64_t horizon = 2000000;
-    bool ranked = false;
-    while (sim.interactions() < horizon) {
-      sim.step();
-      if (is_correctly_ranked(sim.protocol(), sim.states())) {
-        ranked = true;
-        break;
-      }
-    }
+    ScenarioSpec spec;
+    spec.protocol = "sublinear-h1";
+    spec.n = 2;
+    spec.init = "all-same-name";
+    spec.until = "ranked";
+    spec.trials = 1;
+    spec.seed = 1;
+    spec.max_interactions = 2'000'000;
+    spec.params = {{"direct_check", direct ? "1" : "0"}};
+    const ScenarioResult r = run_scenario(spec);
     t.add_row({direct ? "on" : "off",
-               ranked ? "stabilized at t=" + fmt(sim.parallel_time(), 1)
-                      : "STUCK (no third party can witness the collision)"});
-    report.add()
-        .set("experiment", "ablate_direct_check")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(2))
-        .set("direct_check", direct)
-        .set("stabilized", ranked)
-        .set("parallel_time", ranked ? sim.parallel_time() : -1.0);
+               r.failed == 0
+                   ? "stabilized at t=" + fmt(r.summary.mean, 1)
+                   : "STUCK (no third party can witness the collision)"});
+    report_scenario(report, "ablate_direct_check", r);
   }
   t.print();
   std::cout << "faithful Protocol 7 detects only through third parties and "
@@ -310,37 +206,19 @@ void ablate_direct_check(const BenchScale&, BenchReport& report) {
 void ablate_synthetic_coin(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== ablation: synthetic-coin derandomization overhead "
                "(Section 6) ==\n";
-  constexpr std::uint32_t kN = 64;
-  Table t({"coin", "mean stabilization time", "coin bits/agent"});
+  Table t({"coin", "stabilization time mean +/- ci95", "failed"});
   for (bool coin : {false, true}) {
-    const auto trials = scale.trials(10);
-    std::vector<double> times, bits;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      auto p = SublinearParams::constant_h(kN, 2);
-      p.use_synthetic_coin = coin;
-      SublinearTimeSSR proto(p);
-      auto init = sublinear_config(p, SlAdversary::kDuplicateNames,
-                                   derive_seed(1100 + i, coin ? 1 : 0));
-      Simulation<SublinearTimeSSR> sim(proto, std::move(init),
-                                       derive_seed(1200 + i, coin ? 1 : 0));
-      std::uint64_t budget = 1ull << 31;
-      while (!is_correctly_ranked(sim.protocol(), sim.states()) &&
-             budget-- > 0)
-        sim.step();
-      times.push_back(sim.parallel_time());
-      bits.push_back(
-          static_cast<double>(sim.counters().coin_bits) / kN);
-    }
-    t.add_row({coin ? "on" : "off", fmt(summarize(times).mean, 1),
-               fmt(summarize(bits).mean, 1)});
-    report.add()
-        .set("experiment", "ablate_synthetic_coin")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(kN))
-        .set("synthetic_coin", coin)
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(times).mean)
-        .set("coin_bits_per_agent", summarize(bits).mean);
+    ScenarioSpec spec;
+    spec.protocol = "sublinear-h1";
+    spec.n = 64;
+    spec.init = "duplicate-names";
+    spec.until = "ranked";
+    spec.trials = scale.trials(10);
+    spec.seed = 1100;
+    spec.max_interactions = 1ull << 31;
+    spec.params = {{"synthetic_coin", coin ? "1" : "0"}};
+    ablate_cell(report, "ablate_synthetic_coin", spec, t,
+                coin ? "on" : "off");
   }
   t.print();
   std::cout << "paper: the coin costs ~4 interactions per harvested bit "
@@ -353,7 +231,8 @@ void ablate_synthetic_coin(const BenchScale& scale, BenchReport& report) {
 
 int main(int argc, char** argv) {
   const auto scale = ppsim::BenchScale::from_args(argc, argv);
-  std::cout << "=== bench_ablations: constant-sensitivity studies ===\n";
+  std::cout << "=== bench_ablations: constant-sensitivity studies "
+               "(Scenario API + param overrides) ===\n";
   ppsim::BenchReport report("ablations");
   ppsim::ablate_dmax(scale, report);
   ppsim::ablate_emax(scale, report);

@@ -1,23 +1,31 @@
 // Kernel microbenchmarks (google-benchmark): the per-interaction costs that
 // determine how large an n each protocol can be simulated at. Not a paper
 // experiment — an engineering dashboard for the simulator itself.
+//
+// Two sections:
+//   * pure kernel microbenches (RNG, scheduler, name/roster ops) stay on
+//     google-benchmark — they have no scenario-level equivalent;
+//   * protocol-stepping costs run through the Scenario API (until=ptime):
+//     each cell is a ScenarioSpec, so the measured loop is byte-for-byte
+//     the loop every harness runs (engine resolution, strategy controller,
+//     seeding included) instead of a hand-rolled step() driver, and
+//     ns/interaction falls out of run wall seconds / interactions.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "analysis/adversary.h"
 #include "analysis/bench_report.h"
-#include "core/batch_simulation.h"
+#include "analysis/scenarios.h"
 #include "common/name.h"
 #include "common/roster.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
-#include "core/simulation.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/silent_nstate.h"
-#include "protocols/sublinear.h"
+#include "core/table.h"
 
 namespace ppsim {
 namespace {
@@ -73,94 +81,57 @@ void BM_RosterUnionShared(benchmark::State& state) {
 }
 BENCHMARK(BM_RosterUnionShared);
 
-void BM_SimulationStepSilentNState(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  SilentNStateSSR proto(n);
-  Simulation<SilentNStateSSR> sim(proto, silent_nstate_random_config(n, 1),
-                                  2);
-  for (auto _ : state) sim.step();
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SimulationStepSilentNState)->Arg(1024)->Arg(1 << 16);
-
-void BM_SimulationStepOptimalSilent(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto params = OptimalSilentParams::standard(n);
-  OptimalSilentSSR proto(params);
-  Simulation<OptimalSilentSSR> sim(
-      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, 1),
-      2);
-  for (auto _ : state) sim.step();
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SimulationStepOptimalSilent)->Arg(1024)->Arg(1 << 16);
-
-void BM_BatchStepSilentNState(benchmark::State& state) {
-  // The diagonal fast path: one geometric jump per effective interaction.
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  std::uint64_t seed = 2;
-  BatchSimulation<SilentNStateSSR> sim(SilentNStateSSR(n),
-                                       silent_nstate_random_config(n, 1),
-                                       seed);
-  for (auto _ : state) {
-    if (sim.step() == 0) {  // silent: restart from a fresh hostile config
-      state.PauseTiming();
-      ++seed;
-      sim = BatchSimulation<SilentNStateSSR>(
-          SilentNStateSSR(n), silent_nstate_random_config(n, seed), seed);
-      state.ResumeTiming();
-    }
+// Protocol-stepping dashboard on the Scenario API. engine=array pins the
+// agent-array ground truth; engine=batch pins the count engine with the
+// per-step strategy controller live (strategy=auto), which is what `auto`
+// actually runs in the non-dense regimes. The H = Theta(log n) sublinear
+// configuration is excluded as before: a single steady-state step can cost
+// seconds (the quasi-exponential live tree), which starves a wall-clock
+// measurement; bench_sublinear's state-growth table covers it.
+void protocol_stepping(bool smoke, BenchReport& report) {
+  struct Cell {
+    const char* protocol;
+    std::uint32_t n;
+    const char* init;
+    const char* engine;
+    double ptime;  // parallel-time budget; interactions = ptime * n
+  };
+  const std::vector<Cell> cells = {
+      {"silent-nstate", 1024, "uniform-random", "array", 1000.0},
+      {"silent-nstate", 1 << 16, "uniform-random", "array", 16.0},
+      {"silent-nstate", 1024, "uniform-random", "batch", 1000.0},
+      {"silent-nstate", 1 << 16, "uniform-random", "batch", 16.0},
+      {"optimal-silent", 1024, "uniform-random", "array", 1000.0},
+      {"optimal-silent", 1 << 16, "uniform-random", "array", 16.0},
+      {"optimal-silent", 1024, "uniform-random", "batch", 1000.0},
+      {"optimal-silent", 1 << 16, "uniform-random", "batch", 16.0},
+      {"sublinear-h1", 1024, "correct-ranked", "array", 40.0},
+  };
+  std::cout << "\n== protocol stepping (Scenario API, until=ptime) ==\n";
+  Table t({"protocol", "n", "engine", "ns/interaction", "interactions"});
+  for (const Cell& c : cells) {
+    ScenarioSpec spec;
+    spec.protocol = c.protocol;
+    spec.n = c.n;
+    spec.init = c.init;
+    spec.engine = c.engine;
+    spec.until = "ptime";
+    spec.horizon_ptime = smoke ? std::max(1.0, c.ptime / 8) : c.ptime;
+    spec.trials = smoke ? 1 : 3;
+    spec.seed = 42;
+    const ScenarioResult r = run_scenario(spec);
+    const double per_interaction_ns =
+        r.summary.mean / std::max(1.0, r.interactions_mean) * 1e9;
+    const std::string engine_desc =
+        r.backend == "batch" ? r.backend + "/" + r.strategy : r.backend;
+    t.add_row({c.protocol, std::to_string(r.n), engine_desc,
+               fmt(per_interaction_ns, 1), fmt(r.interactions_mean, 0)});
+    report_scenario(report,
+                    std::string("step_") + c.protocol + "_" + c.engine, r)
+        .set("ns_per_interaction", per_interaction_ns);
   }
-  state.SetItemsProcessed(state.iterations());
+  t.print();
 }
-BENCHMARK(BM_BatchStepSilentNState)->Arg(1024)->Arg(1 << 16);
-
-void BM_BatchStepOptimalSilent(benchmark::State& state) {
-  // The keyed-passive path on a hostile (mostly-active) configuration.
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto params = OptimalSilentParams::standard(n);
-  OptimalSilentSSR proto(params);
-  std::uint64_t seed = 2;
-  BatchSimulation<OptimalSilentSSR> sim(
-      proto, optimal_silent_config(params, OsAdversary::kUniformRandom, 1),
-      seed);
-  for (auto _ : state) {
-    if (sim.step() == 0) {  // silent: restart from a fresh hostile config
-      state.PauseTiming();
-      ++seed;
-      sim = BatchSimulation<OptimalSilentSSR>(
-          proto,
-          optimal_silent_config(params, OsAdversary::kUniformRandom, seed),
-          seed);
-      state.ResumeTiming();
-    }
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BatchStepOptimalSilent)->Arg(1024)->Arg(1 << 16);
-
-void BM_SimulationStepSublinear(benchmark::State& state) {
-  const auto h = static_cast<std::uint32_t>(state.range(0));
-  const auto n = static_cast<std::uint32_t>(state.range(1));
-  const auto p = h == 0 ? SublinearParams::log_time(n)
-                        : SublinearParams::constant_h(n, h);
-  SublinearTimeSSR proto(p);
-  Simulation<SublinearTimeSSR> sim(
-      proto, sublinear_config(p, SlAdversary::kCorrectRanked, 1), 2);
-  sim.run(20000);  // reach steady-state tree sizes
-  for (auto _ : state) sim.step();
-  state.SetItemsProcessed(state.iterations());
-  state.counters["dfs_nodes_per_call"] =
-      static_cast<double>(sim.counters().detector.nodes_visited) /
-      std::max<std::uint64_t>(1, sim.counters().detector.calls);
-}
-// The H = Theta(log n) configuration is excluded here: a single steady-state
-// step can cost seconds (the quasi-exponential live tree), which starves the
-// wall-clock benchmark loop; bench_sublinear's state-growth table covers it.
-BENCHMARK(BM_SimulationStepSublinear)
-    ->Args({1, 1024})
-    ->Args({2, 1024})
-    ->Args({3, 256});
 
 // Tees every benchmark result into BENCH_micro.json next to the console
 // output, so the per-interaction cost trajectory is tracked across PRs.
@@ -207,6 +178,7 @@ int main(int argc, char** argv) {
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());
   ppsim::BenchReport report("micro");
+  ppsim::protocol_stepping(smoke, report);
   ppsim::JsonTeeReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   const std::string path = report.write();

@@ -15,8 +15,10 @@
 //     probability at Dmax = 8n (Lemma 4.2)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "analysis/bench_report.h"
@@ -205,6 +207,68 @@ void experiment_sharded_scaling(const BenchScale& scale,
   }
 }
 
+// ISSUE 6 acceptance leg: the dense-regime cliff. A uniform-random start
+// occupies ~min(n, |state space|) distinct codes, so count-based engines
+// pay per-round costs proportional to occupancy and fall off a cliff that
+// the agent array never sees; a dormant-mix start collapses onto a handful
+// of codes and is the count engine's best case. With engine=auto the
+// strategy controller probes trial-0 occupancy and routes each side to its
+// winning engine — acceptance is the dense cell landing within 3x of the
+// sparse cell's wall clock over the same ptime window on the same
+// controller (both cells simulate exactly ptime * n interactions).
+// Both cells run in well under a second even at n = 1e6 (run wall excludes
+// construction), so the acceptance size is used at every scale — the
+// --smoke baseline records the real verdict, not a proxy.
+void experiment_dense_cliff(const BenchScale& scale, BenchReport& report) {
+  const std::uint32_t n = 1'000'000;
+  const double window = 0.25;
+  const std::uint32_t trials = scale.smoke ? 1 : 3;
+  std::cout << "\n== ISSUE 6: dense-regime cliff (engine=auto, n = " << n
+            << ", ptime " << window << ", " << trials
+            << " trial(s) per cell) ==\n";
+  Table t({"init", "engine (controller)", "run s (mean)", "ns/interaction"});
+  double sparse = 0.0;
+  double dense = 0.0;
+  for (const char* init : {"dormant-mix", "uniform-random"}) {
+    ScenarioSpec spec;
+    spec.protocol = "optimal-silent";
+    spec.init = init;
+    spec.engine = "auto";
+    spec.until = "ptime";
+    spec.horizon_ptime = window;
+    spec.n = n;
+    spec.trials = trials;
+    spec.seed = 2026;
+    spec.threads = scale.threads;
+    const ScenarioResult r = run_scenario(spec);
+    const double per_interaction_ns =
+        r.summary.mean / std::max(1.0, r.interactions_mean) * 1e9;
+    const std::string engine_desc =
+        (r.engine_arm.empty() ? "" : "auto:") +
+        (r.backend == "batch" ? r.backend + "/" + r.strategy : r.backend);
+    t.add_row({init, engine_desc, fmt(r.summary.mean, 4),
+               fmt(per_interaction_ns, 1)});
+    if (std::string(init) == "dormant-mix")
+      sparse = r.summary.mean;
+    else
+      dense = r.summary.mean;
+    report_scenario(report, "dense_cliff", r)
+        .set("ns_per_interaction", per_interaction_ns);
+  }
+  t.print();
+  const double ratio = sparse > 0 ? dense / sparse : 0.0;
+  report.add()
+      .set("experiment", "dense_cliff_verdict")
+      .set("n", static_cast<std::uint64_t>(n))
+      .set("ptime_window", window)
+      .set("dense_over_sparse_ratio", ratio)
+      .set("pass", static_cast<std::uint64_t>(ratio <= 3.0 ? 1 : 0));
+  std::cout << (ratio <= 3.0 ? "PASS" : "FAIL")
+            << ": uniform-random wall clock is " << fmt(ratio, 2)
+            << "x dormant-mix over the same window (acceptance: <= 3x "
+               "with engine=auto at n = 1e6)\n";
+}
+
 // Lemma 4.2: probability that an awakening configuration has one leader.
 void experiment_awakening_leader(const BenchScale& scale,
                                  BenchReport& report) {
@@ -269,6 +333,7 @@ int main(int argc, char** argv) {
                "(Table 1 row 2) ===\n";
   ppsim::experiment_stabilization(scale, report);
   ppsim::experiment_sharded_scaling(scale, report);
+  ppsim::experiment_dense_cliff(scale, report);
   ppsim::experiment_tree_ranking(scale, report);
   ppsim::experiment_awakening_leader(scale, report);
   const std::string path = report.write();

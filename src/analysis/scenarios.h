@@ -155,7 +155,31 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   if (inits.find(init_name) == nullptr)
     throw std::invalid_argument("unknown initial condition '" + init_name +
                                 "' for protocol '" + spec.protocol + "'");
-  const bool use_batch = resolve_use_batch<P>(spec);
+  bool use_batch = resolve_use_batch<P>(spec);
+  // Whole-run arm choice: when engine=auto AND strategy=auto leave the
+  // decision open, the strategy controller inspects trial 0's initial
+  // occupancy (regenerated bit-identically from the derived init seed — no
+  // randomness is consumed from any trial stream) and routes dense starts
+  // to the agent array, which no count engine can beat there (see
+  // core/engine.h StrategyController). Pinning either field disables the
+  // override, so head-to-head strategy measurements stay pure.
+  std::string engine_arm;
+  if constexpr (EnumerableProtocol<P>) {
+    const std::string engine_name = spec.engine.empty() ? "auto" : spec.engine;
+    const std::string strat_name =
+        spec.strategy.empty() ? "auto" : spec.strategy;
+    if (use_batch && engine_name == "auto" && strat_name == "auto") {
+      const std::vector<std::uint64_t> probe = inits.counts(
+          proto, init_name, derive_seed(derive_seed(spec.seed, 0), 1));
+      std::uint64_t occupancy = 0;
+      for (std::uint64_t c : probe)
+        if (c != 0) ++occupancy;
+      const StrategyArm arm =
+          StrategyController::engine_arm(proto.population_size(), occupancy);
+      engine_arm = to_string(arm);
+      if (arm == StrategyArm::kArray) use_batch = false;
+    }
+  }
   BatchStrategy strategy = BatchStrategy::kAuto;
   if (use_batch) {
     const std::string sname = spec.strategy.empty() ? "auto" : spec.strategy;
@@ -190,6 +214,7 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   std::vector<double> values(trials, -1.0);
   std::vector<std::uint64_t> interactions(trials, 0);
   std::vector<char> fired(trials, 0);
+  std::vector<StrategyTrace> traces(trials);
 
   const WallTimer total;
   for_each_trial(trials, sharded ? 1 : spec.threads, [&](std::uint32_t t) {
@@ -201,6 +226,11 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
       values[t] = r.first;
       fired[t] = r.second;
       interactions[t] = sim.interactions();
+      if constexpr (requires { sim.strategy_trace(); }) {
+        traces[t] = sim.strategy_trace();
+      } else {
+        traces[t].note(StrategyArm::kArray, sim.interactions());
+      }
     };
     if (use_batch) {
       if constexpr (EnumerableProtocol<P>) {
@@ -234,9 +264,12 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   out.summary = summarize(out.values);
   out.backend = use_batch ? "batch" : "array";
   out.strategy = use_batch ? to_string(strategy) : "";
+  out.engine_arm = engine_arm;
+  for (const StrategyTrace& tr : traces) out.trace.merge(tr);
   out.shards = shard_count;
   out.init = init_name;
   out.until = until_name;
+  out.params = spec.params;
   out.n = proto.population_size();
   out.trials = trials;
   for (char f : fired)
@@ -363,6 +396,7 @@ inline void register_silent_nstate(ProtocolRegistry& reg) {
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, 64, 0);
+    ParamReader(spec).finish();  // no overridable constants
     const SilentNStateSSR proto(n);
     const auto& inits = silent_nstate_inits();
     const std::string until = spec.until.empty() ? "ranked" : spec.until;
@@ -391,7 +425,21 @@ inline void register_optimal_silent(ProtocolRegistry& reg) {
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, 64, 0);
-    const OptimalSilentSSR proto(OptimalSilentParams::standard(n));
+    // Timer-constant overrides: the standard() defaults are Emax = 16n,
+    // Dmax = 8n, Rmax = ceil(8 ln n) + 4; the factors scale each Theta
+    // constant (bench_ablations' failure-boundary sweeps drive these).
+    ParamReader params(spec);
+    OptimalSilentParams op = OptimalSilentParams::standard(n);
+    op.emax = static_cast<std::uint32_t>(
+        params.number("emax_factor", 16.0) * static_cast<double>(n));
+    op.dmax = static_cast<std::uint32_t>(
+        params.number("dmax_factor", 8.0) * static_cast<double>(n));
+    op.rmax = static_cast<std::uint32_t>(
+                  std::ceil(params.number("rmax_factor", 8.0) *
+                            std::log(static_cast<double>(n)))) +
+              4;
+    params.finish();
+    const OptimalSilentSSR proto(op);
     const auto& inits = optimal_silent_inits();
     const std::string until = spec.until.empty() ? "ranked" : spec.until;
     const std::uint64_t horizon =
@@ -432,13 +480,23 @@ inline void register_sublinear_entry(ProtocolRegistry& reg,
   e.default_n = default_n;
   e.inits = sublinear_inits().names();
   e.default_init = sublinear_inits().default_name();
-  e.untils = {"ranked", "ptime"};
+  e.untils = {"ranked", "detected", "ptime"};
   e.default_until = "ranked";
   e.run = [default_n,
            make_params = std::move(make_params)](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, default_n, 0);
-    const SublinearParams p = make_params(n);
+    // Detector/timer overrides: smax and th replace the derived values
+    // outright; the flags toggle the Section 6 synthetic coin and the
+    // direct-check collision detector variant.
+    ParamReader params(spec);
+    SublinearParams p = make_params(n);
+    p.smax = params.integer("smax", p.smax);
+    p.th = static_cast<std::uint32_t>(params.integer("th", p.th));
+    p.use_synthetic_coin =
+        params.flag("synthetic_coin", p.use_synthetic_coin);
+    p.direct_check = params.flag("direct_check", p.direct_check);
+    params.finish();
     const SublinearTimeSSR proto(p);
     const auto& inits = sublinear_inits();
     const std::string until = spec.until.empty() ? "ranked" : spec.until;
@@ -452,6 +510,17 @@ inline void register_sublinear_entry(ProtocolRegistry& reg,
       return sd::execute_ranked(
           spec, proto, inits, until,
           sd::ranked_options(spec, horizon, 0.75 * p.th + 10));
+    }
+    if (until == "detected") {
+      // Time until the collision detector first fires — the Section 4
+      // detection-latency quantity (cheap: one counter read).
+      auto detected = [](const auto& sim) {
+        return sim.counters().collision_triggers > 0;
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 62,
+          detected, /*cheap=*/true);
     }
     if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
     sd::unknown_until(spec, until);
@@ -492,11 +561,18 @@ inline void register_reset_process(ProtocolRegistry& reg) {
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, 64, 0);
-    // The Section 3 experiment constants: Rmax = 8 ln n + 4, Dmax = 4 Rmax.
-    const auto rmax = static_cast<std::uint32_t>(
-                          std::ceil(8.0 * std::log(static_cast<double>(n)))) +
-                      4;
-    const ResetProcess proto(n, rmax, 4 * rmax);
+    // The Section 3 experiment constants: Rmax = 8 ln n + 4, Dmax = 4 Rmax;
+    // rmax_factor / dmax_factor override the two Theta constants.
+    ParamReader params(spec);
+    const auto rmax =
+        static_cast<std::uint32_t>(
+            std::ceil(params.number("rmax_factor", 8.0) *
+                      std::log(static_cast<double>(n)))) +
+        4;
+    const auto dmax = static_cast<std::uint32_t>(
+        params.number("dmax_factor", 4.0) * static_cast<double>(rmax));
+    params.finish();
+    const ResetProcess proto(n, rmax, dmax);
     const auto& inits = reset_process_inits();
     const std::string until = spec.until.empty() ? "drained" : spec.until;
     if (until == "drained") {
@@ -537,6 +613,7 @@ inline void register_one_way_epidemic(ProtocolRegistry& reg) {
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, 1024, 0);
+    ParamReader(spec).finish();  // no overridable constants
     const OneWayEpidemic proto(n);
     const auto& inits = one_way_epidemic_inits();
     const std::string until = spec.until.empty() ? "complete" : spec.until;
@@ -579,6 +656,7 @@ inline void register_obs25(ProtocolRegistry& reg) {
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     sd::resolve_population(spec, 3, 3);
+    ParamReader(spec).finish();  // no overridable constants
     const Obs25SSLE proto(3);
     const auto& inits = obs25_inits();
     const std::string until = spec.until.empty() ? "silent" : spec.until;
@@ -648,6 +726,14 @@ inline BenchRecord& report_scenario(BenchReport& report,
   BenchRecord& rec = report.add();
   rec.set("experiment", experiment).set("backend", r.backend);
   if (!r.strategy.empty()) rec.set("strategy", r.strategy);
+  if (!r.engine_arm.empty()) rec.set("engine_arm", r.engine_arm);
+  for (std::size_t i = 0; i < kStrategyArmCount; ++i) {
+    if (r.trace.steps[i] == 0) continue;
+    const std::string arm = to_string(static_cast<StrategyArm>(i));
+    rec.set("arm_" + arm + "_steps", r.trace.steps[i])
+        .set("arm_" + arm + "_interactions", r.trace.interactions[i]);
+  }
+  for (const auto& [key, value] : r.params) rec.set("param_" + key, value);
   if (r.shards > 0) rec.set("shards", static_cast<std::uint64_t>(r.shards));
   rec.set("n", static_cast<std::uint64_t>(r.n))
       .set("trials", r.trials)

@@ -17,12 +17,16 @@
 //                           distinct keys" (Optimal-Silent-SSR)
 //   UnkeyedPassiveKernel  - geometric skip for "both passive => null" with
 //                           no key (ResetProcess, one-way epidemics)
-//   OccupiedPool          - weighted pool over the *occupied* subset of a
-//                           huge code space: the multinomial kernel's
-//                           sampling substrate (cache-resident where the
-//                           full-|Q| Fenwick tree is hundreds of MB); also
-//                           the sharded engine's per-shard count store
-//                           (reset() + apply_delta reloads in O(occupied))
+//   SegmentedPool         - weighted pool over the *occupied* subset of a
+//                           huge code space, clustered into contiguous
+//                           256-code segments with per-segment weight
+//                           subtotals: the multinomial kernel's sampling
+//                           substrate (weighted draws walk a Fenwick tree
+//                           over O(segments) subtotals plus one short
+//                           in-segment scan, instead of a deep tree over
+//                           O(occupied) raw codes); also the sharded
+//                           engine's per-shard count store (reset() +
+//                           apply_delta reloads in O(occupied))
 //   merge_signed_deltas   - folds per-shard code -> net-delta maps into the
 //                           global one in deterministic order (the sharded
 //                           engine's reconciliation kernel)
@@ -97,8 +101,12 @@ class WeightedSampler {
   }
 
   // Returns the smallest index such that the prefix sum through it exceeds
-  // `target` (target in [0, total())): samples index ∝ weight.
-  std::uint32_t find(std::uint64_t target) const {
+  // `target` (target in [0, total())): samples index ∝ weight. When
+  // `remainder` is non-null it receives the offset of `target` inside the
+  // found index's weight — the residual a caller needs to keep drilling
+  // into a finer structure (e.g. a segment's member list).
+  std::uint32_t find(std::uint64_t target,
+                     std::uint64_t* remainder = nullptr) const {
     std::uint32_t pos = 0;
     std::uint32_t mask = 1;
     while ((mask << 1) < tree_.size()) mask <<= 1;
@@ -109,6 +117,7 @@ class WeightedSampler {
         pos = next;
       }
     }
+    if (remainder != nullptr) *remainder = target;
     return pos;  // 0-based index
   }
 
@@ -691,8 +700,30 @@ class ScalarActiveWeight {
 // this pool indexes only the occupied codes — O(min(n, |Q|)) slots, usually
 // cache-resident — and supports weighted without-replacement draws with a
 // restore step, which is exactly the access pattern of a multinomial batch.
-class OccupiedPool {
+//
+// The occupied codes are clustered into *segments*: all codes sharing
+// code >> kSegShift (a contiguous 256-code span of the state space; state
+// encodings place related states in nearby codes, so occupied codes arrive
+// clustered). Each segment carries a weight subtotal and its member slots
+// sorted by code, and the sampling Fenwick tree runs over the O(segments)
+// subtotals rather than the O(occupied) raw codes. A weighted draw is one
+// shallow Fenwick walk plus a short in-segment scan; bulk multiset splits
+// (multinomial categories, shard partitions) chain hypergeometrics over
+// the subtotals first and touch member weights only inside segments that
+// actually received mass. Dense regimes — uniform-random starts with ~n
+// distinct occupied states, the paper's adversarial worst case — are where
+// the two-level layout pays: the per-draw structure shrinks by the mean
+// segment fill, and splits skip empty segments wholesale.
+//
+// Slot handles remain stable between structural mutations (apply_delta /
+// build / reset); draw/remove/restore never move slots.
+class SegmentedPool {
  public:
+  // log2 of the code span per segment. 256 codes keeps a segment's member
+  // list inside a cache line or two while collapsing the Fenwick tree by
+  // the mean segment fill.
+  static constexpr std::uint32_t kSegShift = 8;
+
   bool built() const { return built_; }
 
   // Resets to a built-but-empty pool. The sharded engine's workers reload
@@ -702,10 +733,13 @@ class OccupiedPool {
     codes_.clear();
     weights_.clear();
     slot_of_.clear();
+    slot_seg_.clear();
+    segments_.clear();
+    seg_of_.clear();
     total_ = 0;
     zero_slots_ = 0;
     removed_.clear();
-    rebuild_fenwick();
+    rebuild_seg_fenwick();
     built_ = true;
   }
 
@@ -716,20 +750,17 @@ class OccupiedPool {
   }
 
   void build(const std::vector<std::uint64_t>& counts) {
-    codes_.clear();
-    weights_.clear();
-    slot_of_.clear();
-    total_ = 0;
-    zero_slots_ = 0;
+    reset();
     for (std::uint32_t code = 0; code < counts.size(); ++code) {
       if (counts[code] == 0) continue;
-      slot_of_.find_or_insert(code, codes_.size());
-      codes_.push_back(code);
-      weights_.push_back(counts[code]);
+      bool fresh = false;
+      const std::uint32_t slot = ensure_slot(code, &fresh);
+      weights_[slot] = counts[code];
+      const std::uint32_t seg = slot_seg_[slot];
+      segments_[seg].weight += counts[code];
       total_ += counts[code];
     }
-    rebuild_fenwick();
-    built_ = true;
+    rebuild_seg_fenwick();
   }
 
   std::uint64_t total() const { return total_; }
@@ -741,6 +772,29 @@ class OccupiedPool {
   }
   std::uint32_t code_at(std::uint32_t slot) const { return codes_[slot]; }
   std::uint64_t weight_at(std::uint32_t slot) const { return weights_[slot]; }
+
+  // --- Segment directory ---------------------------------------------------
+  std::uint32_t segment_count() const {
+    return static_cast<std::uint32_t>(segments_.size());
+  }
+  std::uint64_t segment_weight(std::uint32_t seg) const {
+    return segments_[seg].weight;
+  }
+  // Member slots of a segment, sorted by code. Zero-weight members stay
+  // listed until the next compaction (weighted scans skip them naturally).
+  const std::vector<std::uint32_t>& segment_slots(std::uint32_t seg) const {
+    return segments_[seg].slots;
+  }
+  // The member slot holding offset `target` of the segment's weight
+  // (target in [0, segment_weight(seg))).
+  std::uint32_t pick_in_segment(std::uint32_t seg, std::uint64_t target) const {
+    for (std::uint32_t slot : segments_[seg].slots) {
+      const std::uint64_t w = weights_[slot];
+      if (target < w) return slot;
+      target -= w;
+    }
+    throw std::logic_error("segment weight subtotal inconsistent");
+  }
 
   // When exactly one code holds the whole population, writes it to `code`.
   // Only meaningful with no outstanding removals.
@@ -755,10 +809,14 @@ class OccupiedPool {
   }
 
   // Draws a slot ∝ weight and removes one unit from it (recorded for
-  // restore_removed()).
+  // restore_removed()): segment via the subtotal Fenwick, member by the
+  // in-segment scan on the residual.
   std::uint32_t draw_remove(Rng& rng) {
-    const std::uint32_t slot = fenwick_.find(rng.below(total_));
-    fenwick_.add(slot, -1);
+    std::uint64_t rem = 0;
+    const std::uint32_t seg = seg_fenwick_.find(rng.below(total_), &rem);
+    const std::uint32_t slot = pick_in_segment(seg, rem);
+    seg_fenwick_.add(seg, -1);
+    --segments_[seg].weight;
     --weights_[slot];
     --total_;
     removed_.push_back(Removed{slot, 1});
@@ -768,7 +826,9 @@ class OccupiedPool {
   // Removes `k` units at `slot` (recorded for restore_removed()).
   void remove_bulk(std::uint32_t slot, std::uint64_t k) {
     if (k == 0) return;
-    fenwick_.add(slot, -static_cast<std::int64_t>(k));
+    const std::uint32_t seg = slot_seg_[slot];
+    seg_fenwick_.add(seg, -static_cast<std::int64_t>(k));
+    segments_[seg].weight -= k;
     weights_[slot] -= k;
     total_ -= k;
     removed_.push_back(Removed{slot, k});
@@ -778,36 +838,32 @@ class OccupiedPool {
   // to "weights == counts" state.
   void restore_removed() {
     for (const Removed& r : removed_) {
-      fenwick_.add(r.slot, static_cast<std::int64_t>(r.k));
+      const std::uint32_t seg = slot_seg_[r.slot];
+      seg_fenwick_.add(seg, static_cast<std::int64_t>(r.k));
+      segments_[seg].weight += r.k;
       weights_[r.slot] += r.k;
       total_ += r.k;
     }
     removed_.clear();
   }
 
-  // Permanent count change (counts[code] += delta), creating the slot on
-  // demand. Must not be called while removals are outstanding.
+  // Permanent count change (counts[code] += delta), creating the slot (and
+  // its segment) on demand. Must not be called while removals are
+  // outstanding.
   void apply_delta(std::uint32_t code, std::int64_t delta) {
     if (delta == 0) return;
-    bool inserted = false;
-    const std::uint32_t map_slot =
-        slot_of_.find_or_insert(code, codes_.size(), &inserted);
-    std::uint32_t slot;
-    if (inserted) {
-      slot = static_cast<std::uint32_t>(codes_.size());
-      codes_.push_back(code);
-      weights_.push_back(0);
-      if (codes_.size() > fenwick_.size()) grow_fenwick();
-    } else {
-      slot = static_cast<std::uint32_t>(slot_of_.value_at(map_slot));
-    }
+    bool fresh = false;
+    const std::uint32_t slot = ensure_slot(code, &fresh);
     const std::uint64_t old = weights_[slot];
     weights_[slot] = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(old) + delta);
     total_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(total_) +
                                         delta);
-    fenwick_.add(slot, delta);
-    if (old == 0 && weights_[slot] != 0 && !inserted) --zero_slots_;
+    const std::uint32_t seg = slot_seg_[slot];
+    segments_[seg].weight = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(segments_[seg].weight) + delta);
+    seg_fenwick_.add(seg, delta);
+    if (old == 0 && weights_[slot] != 0 && !fresh) --zero_slots_;
     if (old != 0 && weights_[slot] == 0) ++zero_slots_;
     maybe_compact();
   }
@@ -818,16 +874,51 @@ class OccupiedPool {
     std::uint64_t k;
   };
 
-  void rebuild_fenwick() {
-    std::uint32_t cap = 16;
-    while (cap < codes_.size()) cap *= 2;
-    std::vector<std::uint64_t> w(cap, 0);
-    for (std::size_t i = 0; i < weights_.size(); ++i) w[i] = weights_[i];
-    fenwick_ = WeightedSampler(cap);
-    fenwick_.build(w);
+  struct Segment {
+    std::uint64_t weight = 0;          // sum of member weights
+    std::vector<std::uint32_t> slots;  // member slots, sorted by code
+  };
+
+  // Slot for `code`, creating it (weight 0) and its segment on demand.
+  std::uint32_t ensure_slot(std::uint32_t code, bool* fresh) {
+    bool inserted = false;
+    const std::uint32_t map_slot =
+        slot_of_.find_or_insert(code, codes_.size(), &inserted);
+    *fresh = inserted;
+    if (!inserted)
+      return static_cast<std::uint32_t>(slot_of_.value_at(map_slot));
+    const auto slot = static_cast<std::uint32_t>(codes_.size());
+    codes_.push_back(code);
+    weights_.push_back(0);
+    const std::uint64_t seg_id = code >> kSegShift;
+    bool seg_inserted = false;
+    const std::uint32_t seg_map =
+        seg_of_.find_or_insert(seg_id, segments_.size(), &seg_inserted);
+    std::uint32_t seg;
+    if (seg_inserted) {
+      seg = static_cast<std::uint32_t>(segments_.size());
+      segments_.push_back(Segment{});
+      if (segments_.size() > seg_fenwick_.size()) rebuild_seg_fenwick();
+    } else {
+      seg = static_cast<std::uint32_t>(seg_of_.value_at(seg_map));
+    }
+    auto& members = segments_[seg].slots;
+    const auto it = std::lower_bound(
+        members.begin(), members.end(), code,
+        [this](std::uint32_t s, std::uint32_t c) { return codes_[s] < c; });
+    members.insert(it, slot);
+    slot_seg_.push_back(seg);
+    return slot;
   }
 
-  void grow_fenwick() { rebuild_fenwick(); }
+  void rebuild_seg_fenwick() {
+    std::uint32_t cap = 16;
+    while (cap < segments_.size()) cap *= 2;
+    std::vector<std::uint64_t> w(cap, 0);
+    for (std::size_t i = 0; i < segments_.size(); ++i) w[i] = segments_[i].weight;
+    seg_fenwick_ = WeightedSampler(cap);
+    seg_fenwick_.build(w);
+  }
 
   void maybe_compact() {
     if (codes_.size() < 64 || zero_slots_ * 2 < codes_.size()) return;
@@ -835,28 +926,45 @@ class OccupiedPool {
     std::vector<std::uint64_t> weights;
     codes.reserve(codes_.size() - zero_slots_);
     weights.reserve(codes_.size() - zero_slots_);
-    slot_of_.clear();
     for (std::size_t i = 0; i < codes_.size(); ++i) {
       if (weights_[i] == 0) continue;
-      slot_of_.find_or_insert(codes_[i], codes.size());
       codes.push_back(codes_[i]);
       weights.push_back(weights_[i]);
     }
-    codes_ = std::move(codes);
-    weights_ = std::move(weights);
+    const std::uint64_t saved_total = total_;
+    codes_.clear();
+    weights_.clear();
+    slot_of_.clear();
+    slot_seg_.clear();
+    segments_.clear();
+    seg_of_.clear();
     zero_slots_ = 0;
-    rebuild_fenwick();
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      bool fresh = false;
+      const std::uint32_t slot = ensure_slot(codes[i], &fresh);
+      weights_[slot] = weights[i];
+      segments_[slot_seg_[slot]].weight += weights[i];
+    }
+    total_ = saved_total;
+    rebuild_seg_fenwick();
   }
 
   std::vector<std::uint32_t> codes_;    // slot -> code
   std::vector<std::uint64_t> weights_;  // slot -> current weight
   FlatMap64 slot_of_;                   // code -> slot
-  WeightedSampler fenwick_;             // over slots (power-of-two capacity)
+  std::vector<std::uint32_t> slot_seg_; // slot -> segment index
+  std::vector<Segment> segments_;       // insertion-ordered
+  FlatMap64 seg_of_;                    // code >> kSegShift -> segment index
+  WeightedSampler seg_fenwick_;         // over segment subtotals (pow-2 cap)
   std::uint64_t total_ = 0;
   std::uint32_t zero_slots_ = 0;
   std::vector<Removed> removed_;
   bool built_ = false;
 };
+
+// The pre-segmentation name; every consumer-facing contract (slots, draws,
+// deltas, restore) is unchanged, so the alias keeps the engines readable.
+using OccupiedPool = SegmentedPool;
 
 // The distribution of the number L >= 1 of consecutive interactions whose
 // 2L participants are all distinct (the birthday-problem prefix): with
@@ -974,11 +1082,20 @@ class MultinomialKernel {
 
   // Sparse front door (see reset_sparse above): identical batch logic and
   // randomness order, but the only count store updated is the pool.
+  //
+  // `cap` > 0 truncates the batch exactly: when the drawn collision-free
+  // prefix would overshoot (l + 1 > cap), the event "the first cap
+  // interactions touch only fresh agents" has occurred — it is exactly
+  // {L >= cap} — so the kernel simulates precisely cap collision-free
+  // interactions, skips the collision replay, and returns cap. The sharded
+  // engine uses this to land each shard on its round quota with zero
+  // overshoot instead of up to one whole ~sqrt(m)-interaction batch.
   std::uint64_t run_batch_sparse(const P& protocol, std::uint64_t n, Rng& rng,
                                  Counters& counters,
-                                 std::vector<CountDelta>& out_deltas) {
+                                 std::vector<CountDelta>& out_deltas,
+                                 std::uint64_t cap = 0) {
     return run_batch_impl(protocol, n, NullCounts{}, rng, counters,
-                          out_deltas);
+                          out_deltas, cap);
   }
 
  private:
@@ -997,9 +1114,16 @@ class MultinomialKernel {
   template <class CountsSink>
   std::uint64_t run_batch_impl(const P& protocol, std::uint64_t n,
                                CountsSink sink, Rng& rng, Counters& counters,
-                               std::vector<CountDelta>& out_deltas) {
+                               std::vector<CountDelta>& out_deltas,
+                               std::uint64_t cap = 0) {
     if (!prefix_.built_for(n)) prefix_.build(n);
     const std::uint64_t l = prefix_.sample(rng);
+    // Exact truncation (see run_batch_sparse): l >= cap is the event that
+    // the first cap interactions are collision-free, so conditioned on the
+    // drawn l the truncated batch is cap collision-free interactions and
+    // no collision replay.
+    const bool truncated = cap > 0 && l + 1 > cap;
+    const std::uint64_t use_l = truncated ? cap : l;
 
     net_.clear();
     touched_.clear();
@@ -1008,41 +1132,43 @@ class MultinomialKernel {
     // --- Prefix participants: 2l states drawn without replacement. The
     // ordered tuple of distinct agents is exchangeable, so drawing the l
     // initiators first and the l responders second, then pairing by index,
-    // has exactly the scheduler's distribution.
-    if (pool_.occupied() <= kBulkMaxCategories) {
-      sample_prefix_bulk(rng, l);
+    // has exactly the scheduler's distribution. Bulk splitting costs
+    // O(segments) hypergeometrics per side; per-draw costs O(l) pool draws
+    // — cross over where the split is cheaper per interaction.
+    if (2 * static_cast<std::uint64_t>(pool_.segment_count()) <= use_l) {
+      sample_prefix_bulk(rng, use_l);
     } else {
-      sample_prefix_per_draw(rng, l);
+      sample_prefix_per_draw(rng, use_l);
     }
 
     // --- Apply the prefix per distinct ordered pair.
     for (const PairCount& pc : pair_list_)
       apply_pair(protocol, pc.a, pc.b, pc.k, rng, counters);
 
-    // --- The colliding interaction. Conditioned on the prefix ending at
-    // length l, the first colliding pick is either the initiator (weight
-    // r/n, r = 2l touched agents) or the responder after a fresh initiator
-    // (weight (n-r)/n * r/(n-1)); scaled by n(n-1):
-    const std::uint64_t r = 2 * l;
-    const std::uint64_t w_init = r * (n - 1);
-    const std::uint64_t w_resp = (n - r) * r;
-    const std::uint64_t x = rng.below(w_init + w_resp);
-    std::uint32_t ca, cb;
-    if (x < w_init) {
-      // Initiator is uniform among the touched agents (their *current*,
-      // post-batch states); responder uniform over the other n - 1 agents.
-      ca = pick_touched(rng.below(r), /*exclude=*/0, 0);
-      const std::uint64_t y = rng.below(n - 1);
-      if (y < r - 1) {
-        cb = pick_touched(y, ca, 1);
+    if (!truncated) {
+      // --- The colliding interaction. Conditioned on the prefix ending at
+      // length l, the first colliding pick is either the initiator (weight
+      // r/n, r = 2l touched agents) or the responder after a fresh
+      // initiator (weight (n-r)/n * r/(n-1)); scaled by n(n-1):
+      const std::uint64_t r = 2 * l;
+      const std::uint64_t w_init = r * (n - 1);
+      const std::uint64_t w_resp = (n - r) * r;
+      const std::uint64_t x = rng.below(w_init + w_resp);
+      std::uint32_t ca, cb;
+      if (x < w_init) {
+        // Initiator is uniform among the touched agents (their *current*,
+        // post-batch states); responder uniform over the other n - 1 agents.
+        ca = pick_touched(rng.below(r), /*exclude=*/0, 0);
+        const std::uint64_t y = rng.below(n - 1);
+        if (y < r - 1) {
+          cb = pick_touched(y, ca, 1);
+        } else {
+          cb = pool_.code_at(pool_.draw_remove(rng));  // untouched agent
+        }
       } else {
-        cb = pool_.code_at(pool_.draw_remove(rng));  // untouched agent
+        ca = pool_.code_at(pool_.draw_remove(rng));  // fresh initiator
+        cb = pick_touched(rng.below(r), /*exclude=*/0, 0);
       }
-    } else {
-      ca = pool_.code_at(pool_.draw_remove(rng));  // fresh initiator
-      cb = pick_touched(rng.below(r), /*exclude=*/0, 0);
-    }
-    {
       State sa = protocol.decode(ca);
       State sb = protocol.decode(cb);
       invoke_interact(protocol, sa, sb, rng, counters);
@@ -1064,16 +1190,18 @@ class MultinomialKernel {
       pool_.apply_delta(code, d);
       out_deltas.push_back(CountDelta{code, static_cast<std::int32_t>(d)});
     }
-    return l + 1;
+    return truncated ? cap : l + 1;
   }
-
-  // Dense pairing matrices are limited to this many occupied categories
-  // (64 x 64 x 4 bytes = 16 KB of scratch).
-  static constexpr std::uint32_t kBulkMaxCategories = 64;
 
   struct PairCount {
     std::uint32_t a;
     std::uint32_t b;
+    std::uint64_t k;
+  };
+
+  // One category run of a bulk split: `k` draws landed on `slot`.
+  struct SlotRun {
+    std::uint32_t slot;
     std::uint64_t k;
   };
 
@@ -1095,60 +1223,95 @@ class MultinomialKernel {
     }
   }
 
-  // Bulk path for few occupied states: split the initiator and responder
-  // multisets off the counts with chained hypergeometric draws (O(occ)
-  // univariate draws, independent of l), then realize the uniform
+  // Below this allocation a segment's multiset is realized by sequential
+  // weighted member draws (each one rng.below + short scan); above it by a
+  // chained hypergeometric walk over the members.
+  static constexpr std::uint64_t kSmallSegmentAlloc = 4;
+
+  // Splits a `want`-sized multiset off the pool (without replacement) into
+  // per-slot runs: chained hypergeometrics over the per-segment subtotals
+  // first — O(segments) univariate draws with early exit, segments that
+  // receive nothing are never opened — then each allocated segment's share
+  // over its members. Removes the drawn units from the pool (restored by
+  // the caller's restore_removed()).
+  void split_segmented(Rng& rng, std::uint64_t want,
+                       std::vector<SlotRun>& out) {
+    out.clear();
+    std::uint64_t remaining = pool_.total();
+    std::uint64_t left = want;
+    const std::uint32_t segs = pool_.segment_count();
+    for (std::uint32_t seg = 0; seg < segs && left > 0; ++seg) {
+      const std::uint64_t sw = pool_.segment_weight(seg);
+      const std::uint64_t k =
+          sw == 0 ? 0 : sample_hypergeometric(rng, sw, remaining - sw, left);
+      remaining -= sw;
+      left -= k;
+      if (k == 0) continue;
+      const auto& members = pool_.segment_slots(seg);
+      if (members.size() == 1) {
+        out.push_back(SlotRun{members[0], k});
+        pool_.remove_bulk(members[0], k);
+      } else if (k <= kSmallSegmentAlloc) {
+        std::uint64_t seg_w = sw;
+        for (std::uint64_t i = 0; i < k; ++i) {
+          const std::uint32_t slot =
+              pool_.pick_in_segment(seg, rng.below(seg_w--));
+          out.push_back(SlotRun{slot, 1});
+          pool_.remove_bulk(slot, 1);
+        }
+      } else {
+        std::uint64_t seg_remaining = sw;
+        std::uint64_t seg_left = k;
+        for (std::uint32_t slot : members) {
+          if (seg_left == 0) break;
+          const std::uint64_t w = pool_.weight_at(slot);
+          const std::uint64_t x =
+              w == 0 ? 0
+                     : sample_hypergeometric(rng, w, seg_remaining - w,
+                                             seg_left);
+          seg_remaining -= w;
+          seg_left -= x;
+          if (x != 0) {
+            out.push_back(SlotRun{slot, x});
+            pool_.remove_bulk(slot, x);
+          }
+        }
+      }
+    }
+  }
+
+  // Bulk path: split the initiator and responder multisets off the counts
+  // with the two-level segmented split, then realize the uniform
   // initiator-responder bijection by Fisher-Yates-shuffling the expanded
   // responder sequence against the initiators in fixed category order —
-  // O(l) cheap operations, no per-cell hypergeometrics — and group through
-  // a dense occ x occ category matrix.
+  // O(l) cheap operations — and group the ordered pairs through the pairs_
+  // map (no dense category matrix, so bulk has no occupied-count cap).
   void sample_prefix_bulk(Rng& rng, std::uint64_t l) {
-    cats_.clear();
-    for (std::uint32_t slot = 0; slot < pool_.slots(); ++slot)
-      if (pool_.weight_at(slot) > 0) cats_.push_back(slot);
-    const std::size_t occ = cats_.size();
-
-    auto split = [&](std::uint64_t want, std::vector<std::uint64_t>& out) {
-      out.assign(occ, 0);
-      std::uint64_t remaining = pool_.total();
-      std::uint64_t left = want;
-      for (std::size_t i = 0; i < occ && left > 0; ++i) {
-        const std::uint64_t w = pool_.weight_at(cats_[i]);
-        const std::uint64_t x =
-            sample_hypergeometric(rng, w, remaining - w, left);
-        out[i] = x;
-        left -= x;
-        remaining -= w;
-      }
-      for (std::size_t i = 0; i < occ; ++i)
-        pool_.remove_bulk(cats_[i], out[i]);
-    };
-    split(l, sender_k_);
-    split(l, recv_k_);
+    split_segmented(rng, l, sender_runs_);
+    split_segmented(rng, l, recv_runs_);
 
     recv_expand_.clear();
-    for (std::size_t j = 0; j < occ; ++j)
-      for (std::uint64_t rep = 0; rep < recv_k_[j]; ++rep)
-        recv_expand_.push_back(static_cast<std::uint32_t>(j));
+    recv_expand_.reserve(l);
+    for (const SlotRun& run : recv_runs_)
+      for (std::uint64_t rep = 0; rep < run.k; ++rep)
+        recv_expand_.push_back(pool_.code_at(run.slot));
     for (std::uint64_t i = l - 1; i > 0; --i) {
       const std::uint64_t j = rng.below(i + 1);
       std::swap(recv_expand_[i], recv_expand_[j]);
     }
 
-    pair_matrix_.assign(occ * occ, 0);
+    pairs_.clear();
     std::size_t idx = 0;
-    for (std::size_t i = 0; i < occ; ++i)
-      for (std::uint64_t rep = 0; rep < sender_k_[i]; ++rep)
-        ++pair_matrix_[i * occ + recv_expand_[idx++]];
-    for (std::size_t i = 0; i < occ; ++i) {
-      if (sender_k_[i] == 0) continue;
-      const std::uint32_t code_a = pool_.code_at(cats_[i]);
-      for (std::size_t j = 0; j < occ; ++j) {
-        const std::uint32_t k = pair_matrix_[i * occ + j];
-        if (k != 0)
-          pair_list_.push_back(
-              PairCount{code_a, pool_.code_at(cats_[j]), k});
-      }
+    for (const SlotRun& run : sender_runs_) {
+      const std::uint32_t code_a = pool_.code_at(run.slot);
+      for (std::uint64_t rep = 0; rep < run.k; ++rep)
+        pairs_.add(pair_code_key(code_a, recv_expand_[idx++]), 1);
+    }
+    for (std::uint32_t slot : pairs_.entry_slots()) {
+      const std::uint64_t key = pairs_.key_at(slot);
+      pair_list_.push_back(PairCount{static_cast<std::uint32_t>(key >> 32),
+                                     static_cast<std::uint32_t>(key),
+                                     pairs_.value_at(slot)});
     }
   }
 
@@ -1244,11 +1407,9 @@ class MultinomialKernel {
   std::vector<CacheEntry> cache_entries_;
   std::vector<PairCount> pair_list_;    // this batch's (s1, s2, k) groups
   std::vector<std::uint32_t> draws_;
-  std::vector<std::uint32_t> cats_;
-  std::vector<std::uint64_t> sender_k_;
-  std::vector<std::uint64_t> recv_k_;
-  std::vector<std::uint32_t> recv_expand_;  // shuffled receiver categories
-  std::vector<std::uint32_t> pair_matrix_;  // occ x occ grouping scratch
+  std::vector<SlotRun> sender_runs_;
+  std::vector<SlotRun> recv_runs_;
+  std::vector<std::uint32_t> recv_expand_;  // shuffled receiver codes
 };
 
 }  // namespace ppsim

@@ -41,9 +41,12 @@
 //    table, then replay the one colliding interaction exactly. Optimal in
 //    timer-heavy regimes where nearly every interaction is effective and
 //    the geometric skip degenerates to one-by-one simulation.
-//  * kAuto — pick per step from the exact active-weight density
-//    W / n(n-1) when the protocol exposes an active weight (diagonal /
-//    keyed / unkeyed structures); multinomial above 1/16, geometric below.
+//  * kAuto — delegate per step to core/engine.h's StrategyController: the
+//    exact active-weight density W / n(n-1) decides skip vs batch, and the
+//    occupied pool's segment count guards batch amortization (protocols
+//    with only the generic null-pair predicate stay on the geometric path;
+//    protocols with no null knowledge always batch multinomially). Every
+//    step's resolved arm is recorded in strategy_trace().
 //
 // While the multinomial kernel drives the run it never touches the
 // geometric paths' Fenwick trees (the full-|Q| count tree is hundreds of MB
@@ -136,26 +139,33 @@ class BatchSimulation {
     strategy_ = s;
   }
 
-  // The strategy the next step will actually run: resolves kAuto from the
-  // exact active-weight density when the protocol exposes one (protocols
-  // with only the generic null-pair predicate stay on the geometric path;
-  // protocols with no null knowledge always batch multinomially).
+  // The strategy the next step will actually run: kAuto delegates to the
+  // StrategyController with the measured per-round inputs (population,
+  // exact active weight, occupied-segment count). Protocols with only the
+  // generic null-pair predicate stay on the geometric path; protocols with
+  // no null knowledge always batch multinomially. When the occupied pool
+  // was never built (small populations under kAuto — see init_samplers),
+  // the controller has no segment signal and the engine stays on the
+  // cache-hot geometric path, which is what wins there anyway.
   BatchStrategy resolved_strategy() const {
     if (strategy_ != BatchStrategy::kAuto) return strategy_;
     if constexpr (DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P> ||
                   UnkeyedPassiveProtocol<P>) {
-      if (population_size() < kAutoMinPopulation)
-        return BatchStrategy::kGeometricSkip;
-      const double density =
-          static_cast<double>(active_weight()) / ordered_pairs();
-      return density >= kAutoDensityThreshold ? BatchStrategy::kMultinomial
-                                              : BatchStrategy::kGeometricSkip;
+      if (!multi_kernel_.built()) return BatchStrategy::kGeometricSkip;
+      return StrategyController::step_strategy(
+          population_size(), active_weight(),
+          multi_kernel_.pool().segment_count());
     } else if constexpr (NullPairProtocol<P>) {
       return BatchStrategy::kGeometricSkip;
     } else {
       return BatchStrategy::kMultinomial;
     }
   }
+
+  // The controller's decision trace: per-arm step and interaction totals
+  // for every step this engine has taken (single-arm runs under a pinned
+  // strategy; mixed under kAuto).
+  const StrategyTrace& strategy_trace() const { return trace_; }
 
   // For diagonal and passive-structured protocols: true iff no future
   // interaction can change the configuration (the configuration is silent).
@@ -172,18 +182,24 @@ class BatchSimulation {
   // zero active weight (structured protocols), or every agent in one null
   // self-pairing state (null-aware general protocols).
   std::uint64_t step() {
-    if (resolved_strategy() == BatchStrategy::kMultinomial)
-      return step_multinomial();
-    resync_fenwicks();
-    if constexpr (DiagonalActiveProtocol<P>) {
-      return step_diagonal();
-    } else if constexpr (KeyedPassiveProtocol<P>) {
-      return step_keyed();
-    } else if constexpr (UnkeyedPassiveProtocol<P>) {
-      return step_unkeyed();
-    } else {
-      return step_general();
+    if (resolved_strategy() == BatchStrategy::kMultinomial) {
+      const std::uint64_t consumed = step_multinomial();
+      if (consumed != 0) trace_.note(StrategyArm::kMultinomial, consumed);
+      return consumed;
     }
+    resync_fenwicks();
+    std::uint64_t consumed;
+    if constexpr (DiagonalActiveProtocol<P>) {
+      consumed = step_diagonal();
+    } else if constexpr (KeyedPassiveProtocol<P>) {
+      consumed = step_keyed();
+    } else if constexpr (UnkeyedPassiveProtocol<P>) {
+      consumed = step_unkeyed();
+    } else {
+      consumed = step_general();
+    }
+    if (consumed != 0) trace_.note(StrategyArm::kGeometricSkip, consumed);
+    return consumed;
   }
 
   // Runs until at least `count` interactions have elapsed (a final batch
@@ -209,18 +225,6 @@ class BatchSimulation {
   }
 
  private:
-  // kAuto switches to the multinomial batch once at least 1/16 of ordered
-  // pairs are active: below that, the geometric skip pays one cheap jump
-  // per effective interaction; above it, its jumps degenerate to wait = 1
-  // while the multinomial batch amortizes ~sqrt(n) interactions per step.
-  static constexpr double kAutoDensityThreshold = 1.0 / 16.0;
-  // ...but only when the population is large enough for ~0.63 sqrt(n)-
-  // interaction batches to amortize their fixed cost: measured crossover on
-  // the Optimal-Silent dormant countdown is n ~ 1-2e4 (bench_table1's
-  // strategy head-to-head), below which the geometric path's cache-hot
-  // Fenwick walks win even at density 1.
-  static constexpr std::uint32_t kAutoMinPopulation = 16'384;
-
   // kSharded is a whole-engine choice, not a per-step path: intra-run
   // parallelism lives in ShardedSimulation (core/sharded_simulation.h),
   // which owns the shard workers and the reconciliation rounds.
@@ -248,24 +252,25 @@ class BatchSimulation {
     } else if constexpr (UnkeyedPassiveProtocol<P>) {
       unkeyed_kernel_.build(protocol_, counts_);
     }
-    // The occupied pool costs one O(|Q|) scan to build and O(log occ) per
-    // count change to maintain; pay that at construction (like the Fenwick
-    // builds above) only when some step can actually resolve to the
-    // multinomial batch. Under kAuto with a structured protocol below the
-    // population floor that never happens, and an engine pinned to the
-    // geometric path never batches either; both skip the pool entirely.
-    // (A later set_strategy() is still safe: run_batch builds lazily.)
+    // The occupied pool costs one O(|Q|) scan to build and O(log segments)
+    // per count change to maintain; pay that at construction (like the
+    // Fenwick builds above) only when some step can actually resolve to
+    // the multinomial batch. Under kAuto with a structured protocol the
+    // pool doubles as the controller's segment-count signal, so it is
+    // built above the controller's pool floor and skipped below it (where
+    // the cache-hot geometric path wins regardless and resolved_strategy
+    // treats the missing pool as "skip"). An engine pinned to the
+    // geometric path never batches and skips the pool entirely. (A later
+    // set_strategy() is still safe: run_batch builds lazily.)
     constexpr bool structured = DiagonalActiveProtocol<P> ||
                                 KeyedPassiveProtocol<P> ||
                                 UnkeyedPassiveProtocol<P>;
-    // Mirror of resolved_strategy(): under kAuto, structured protocols can
-    // batch only above the population floor, and unstructured protocols
-    // only when they have no null-pair predicate at all.
     constexpr bool auto_can_batch = structured || !NullPairProtocol<P>;
     const bool may_batch =
         strategy_ == BatchStrategy::kMultinomial ||
         (strategy_ == BatchStrategy::kAuto && auto_can_batch &&
-         (!structured || population_size() >= kAutoMinPopulation));
+         (!structured ||
+          population_size() >= StrategyController::kAutoPoolMinPopulation));
     if (may_batch) multi_kernel_.ensure_built(counts_);
   }
 
@@ -545,6 +550,7 @@ class BatchSimulation {
   BatchStrategy strategy_ = BatchStrategy::kGeometricSkip;
   std::uint64_t interactions_ = 0;
   BatchStepStats stats_;
+  StrategyTrace trace_;
   std::vector<CountDelta> last_deltas_;
   FlatMap64 dirty_codes_;  // code -> count the Fenwick trees still reflect
   bool fenwicks_dirty_ = false;

@@ -19,6 +19,8 @@
 //                      interactions consumed (0 = provably stuck/silent).
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -78,6 +80,147 @@ inline bool parse_strategy(const std::string& name, BatchStrategy& out) {
   }
   return true;
 }
+
+// One executable arm of the occupancy-adaptive strategy controller: the
+// full space of ways a scenario step can be driven, including the
+// agent-array ground truth (which BatchStrategy cannot express — it is not
+// a count-engine strategy at all).
+enum class StrategyArm : std::uint8_t {
+  kArray = 0,
+  kGeometricSkip = 1,
+  kMultinomial = 2,
+  kSharded = 3,
+};
+
+inline constexpr std::size_t kStrategyArmCount = 4;
+
+inline const char* to_string(StrategyArm a) {
+  switch (a) {
+    case StrategyArm::kArray: return "array";
+    case StrategyArm::kGeometricSkip: return "geometric_skip";
+    case StrategyArm::kMultinomial: return "multinomial";
+    case StrategyArm::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+// Per-run record of which arm drove each step and how many interactions it
+// consumed — the controller's decision trace, surfaced through
+// ScenarioResult so benches can report what `auto` actually ran.
+struct StrategyTrace {
+  std::array<std::uint64_t, kStrategyArmCount> steps{};
+  std::array<std::uint64_t, kStrategyArmCount> interactions{};
+
+  void note(StrategyArm arm, std::uint64_t consumed) {
+    const auto i = static_cast<std::size_t>(arm);
+    ++steps[i];
+    interactions[i] += consumed;
+  }
+
+  void merge(const StrategyTrace& other) {
+    for (std::size_t i = 0; i < kStrategyArmCount; ++i) {
+      steps[i] += other.steps[i];
+      interactions[i] += other.interactions[i];
+    }
+  }
+
+  std::uint64_t total_steps() const {
+    std::uint64_t s = 0;
+    for (std::uint64_t v : steps) s += v;
+    return s;
+  }
+};
+
+// The measured strategy controller behind `auto`: maps the configuration's
+// occupancy profile — population, occupied-state count, segment count and
+// the exact active weight when the protocol declares structure — onto the
+// arm that the measurements in README.md ("Occupancy regimes and strategy
+// selection") show is fastest there. Every input is derived from the
+// deterministic simulation state (never wall-clock), so decisions are a
+// pure function of the seed and all bit-determinism contracts survive.
+//
+// The sharded arm is never auto-chosen: picking it from a machine property
+// (core count) would make results machine-dependent, which the repo's
+// determinism contract forbids. It runs only when requested explicitly.
+struct StrategyController {
+  // Whole-run arm choice (engine_arm): dense starts — occupancy at least
+  // n / kDenseOccupancyDivisor — defeat every count engine, because with
+  // ~n occupied states each interaction pays hash/Fenwick traffic that the
+  // agent array's two random array reads do not. Measured on the
+  // uniform-random n = 10^6 worst case: array ~80 ns/interaction vs ~2 us
+  // for the count engines. Below kDenseArrayMinPopulation the count
+  // engines' batches stay cache-resident regardless of occupancy, so the
+  // density signal alone decides.
+  static constexpr std::uint64_t kDenseArrayMinPopulation = 4096;
+  static constexpr std::uint64_t kDenseOccupancyDivisor = 8;
+
+  // Count-engine effective-interaction density below which geometric skip
+  // beats batching (most interactions are null: jump them).
+  static constexpr double kSkipDensity = 1.0 / 16.0;
+
+  // Below this population a structured protocol under `auto` never builds
+  // the occupied pool (no segment signal, no batching): the geometric
+  // path's Fenwick walks are cache-hot there and win even at density 1.
+  // Measured crossover on the Optimal-Silent dormant countdown is
+  // n ~ 1-2e4 (bench_table1's strategy head-to-head); the floor sits below
+  // it so the controller — not the floor — decides the contested range.
+  static constexpr std::uint64_t kAutoPoolMinPopulation = 4096;
+
+  // Batch amortization guard: the multinomial batch spreads its O(segments)
+  // split cost over E[L] ~ 0.63 sqrt(n) interactions, so batching needs
+  // kBatchSegmentsPerPrefix * segments <= sqrt(n). This replaces the old
+  // fixed n >= 16384 floor with the occupancy-adaptive equivalent (at the
+  // old floor, sqrt(n) = 128: protocols with <= 32 segments batch exactly
+  // as before; fragmented configurations now correctly fall back to skip).
+  static constexpr std::uint64_t kBatchSegmentsPerPrefix = 4;
+
+  // Whole-run decision from the initial configuration, taken before an
+  // engine is constructed: dense starts go to the agent array, everything
+  // else to a count engine refined per step by step_strategy().
+  static StrategyArm engine_arm(std::uint64_t n, std::uint64_t occupancy) {
+    if (n >= kDenseArrayMinPopulation &&
+        occupancy * kDenseOccupancyDivisor >= n)
+      return StrategyArm::kArray;
+    return StrategyArm::kMultinomial;
+  }
+
+  // Per-step count-engine choice for protocols with an exact structured
+  // active weight W (effective-interaction density W / n(n-1)).
+  static BatchStrategy step_strategy(std::uint64_t n,
+                                     std::uint64_t active_weight,
+                                     std::uint32_t segments) {
+    const double density =
+        static_cast<double>(active_weight) /
+        (static_cast<double>(n) * static_cast<double>(n - 1));
+    if (density < kSkipDensity) return BatchStrategy::kGeometricSkip;
+    const double prefix = std::sqrt(static_cast<double>(n));
+    if (static_cast<double>(kBatchSegmentsPerPrefix) *
+            static_cast<double>(segments) >
+        prefix)
+      return BatchStrategy::kGeometricSkip;
+    return BatchStrategy::kMultinomial;
+  }
+
+  // Per-step choice inside a shard worker. The tradeoff differs from
+  // step_strategy() because the geometric path's costs differ: the merged
+  // engine draws its active pair through full-|Q| Fenwick walks (O(log |Q|)
+  // per effective interaction), while a shard worker draws by linear scans
+  // over its occupied pool — O(occupied) per *effective* interaction. So
+  // inside a shard the skip path pays only while active arrivals are rare
+  // enough that scans are amortized by the jumps; at higher density the
+  // multinomial batch wins regardless of segment spread (the sparse
+  // kernel's per-draw fallback is O(log segments + segment fill) per draw,
+  // never O(occupied)). Without this a dense uniform-random pool pinned to
+  // strategy=sharded paid ~n scans per interaction — quadratic rounds.
+  static BatchStrategy shard_step_strategy(std::uint64_t m,
+                                           std::uint64_t active_weight) {
+    const double density =
+        static_cast<double>(active_weight) /
+        (static_cast<double>(m) * static_cast<double>(m - 1));
+    return density < kSkipDensity ? BatchStrategy::kGeometricSkip
+                                  : BatchStrategy::kMultinomial;
+  }
+};
 
 // Concept-probe predicate (requires-expressions cannot contain lambdas).
 struct NeverDone {

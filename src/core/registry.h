@@ -20,8 +20,10 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/stats.h"
 
 namespace ppsim {
@@ -48,6 +50,88 @@ struct ScenarioSpec {
   std::uint32_t trials = 1;
   std::uint64_t seed = 1;      // base seed; trial t runs derive_seed(seed, t)
   std::uint32_t threads = 0;   // trial fan-out (0 = env/hardware)
+
+  // Protocol-constant overrides ("param.<name>=<value>" on the CLI / in
+  // matrix files): each entry is interpreted by the protocol's registered
+  // runner through a ParamReader. Unknown names are hard errors, exactly
+  // like unknown spec keys.
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+// Typed view over ScenarioSpec::params for a protocol runner: each lookup
+// marks its key consumed, and finish() rejects leftovers so a typo'd or
+// misplaced override fails loudly instead of silently running defaults.
+class ParamReader {
+ public:
+  explicit ParamReader(const ScenarioSpec& spec)
+      : params_(spec.params), used_(spec.params.size(), false) {}
+
+  double number(const std::string& name, double fallback) {
+    const std::string* v = find(name);
+    if (v == nullptr) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double d = std::stod(*v, &pos);
+      if (pos != v->size()) throw std::invalid_argument(*v);
+      return d;
+    } catch (...) {
+      throw std::invalid_argument("param '" + name + "' is not a number: '" +
+                                  *v + "'");
+    }
+  }
+
+  std::uint64_t integer(const std::string& name, std::uint64_t fallback) {
+    const std::string* v = find(name);
+    if (v == nullptr) return fallback;
+    try {
+      std::size_t pos = 0;
+      const unsigned long long u = std::stoull(*v, &pos);
+      if (pos != v->size()) throw std::invalid_argument(*v);
+      return u;
+    } catch (...) {
+      throw std::invalid_argument("param '" + name +
+                                  "' is not an integer: '" + *v + "'");
+    }
+  }
+
+  bool flag(const std::string& name, bool fallback) {
+    const std::string* v = find(name);
+    if (v == nullptr) return fallback;
+    if (*v == "1" || *v == "true") return true;
+    if (*v == "0" || *v == "false") return false;
+    throw std::invalid_argument("param '" + name +
+                                "' is not a flag (0|1|true|false): '" + *v +
+                                "'");
+  }
+
+  // Call after the last lookup; throws listing every unconsumed key.
+  void finish() const {
+    std::string unknown;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (used_[i]) continue;
+      if (!unknown.empty()) unknown += ", ";
+      unknown += params_[i].first;
+    }
+    if (!unknown.empty())
+      throw std::invalid_argument(
+          "unknown param(s) for this protocol: " + unknown);
+  }
+
+ private:
+  // Last occurrence wins (CLI-override semantics); every occurrence is
+  // marked consumed.
+  const std::string* find(const std::string& name) {
+    const std::string* out = nullptr;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i].first != name) continue;
+      used_[i] = true;
+      out = &params_[i].second;
+    }
+    return out;
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& params_;
+  std::vector<char> used_;
 };
 
 // What one executed spec measured. `values` holds the per-trial metric —
@@ -61,9 +145,15 @@ struct ScenarioResult {
   std::vector<double> values;  // per-trial, trial index = vector index
   std::string backend;         // resolved: "array" | "batch"
   std::string strategy;        // resolved; empty on the array engine
+  std::string engine_arm;      // strategy controller's whole-run pick when
+                               // engine=auto + strategy=auto left it the
+                               // choice ("" when the spec pinned it)
+  StrategyTrace trace;         // per-arm steps/interactions, merged over
+                               // all trials (the controller decision trace)
   std::uint32_t shards = 0;    // resolved shard count (sharded runs only)
   std::string init;            // resolved initial-condition name
   std::string until;           // resolved stop-condition name
+  std::vector<std::pair<std::string, std::string>> params;  // echoed spec
   std::uint32_t n = 0;
   std::uint64_t trials = 0;
   std::uint64_t failed = 0;            // trials that hit the horizon

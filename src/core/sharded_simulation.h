@@ -10,10 +10,12 @@
 // Each step() simulates one *round* of G = round_ptime * n interactions:
 //
 //  1. Partition. The population is partitioned uniformly at random into T
-//     fixed-size shards by chained multivariate-hypergeometric draws over
-//     the occupied codes (core/discrete_samplers.h sample_shard_partition;
-//     shards whose quota is zero this round are integrated out of the
-//     chain, which leaves the joint law of the drawn shards unchanged).
+//     fixed-size shards by a two-level chained hypergeometric draw over
+//     the merged pool's occupied *segments* first and their member codes
+//     second (the chain rule factors through the grouping, so the joint
+//     law equals sample_shard_partition's flat chain; shards whose quota
+//     is zero this round are integrated out, which leaves the law of the
+//     drawn shards unchanged).
 //  2. Quotas. The round's G interactions are attributed to shards by an
 //     exact multinomial with weights m_t (m_t - 1) — precisely the uniform
 //     scheduler's probability of an ordered pair falling inside shard t,
@@ -219,11 +221,13 @@ class ShardWorker {
     }
   }
 
-  // Simulates at least `target` interactions of the uniform scheduler
-  // restricted to this shard's m agents (a final batch or geometric wait
-  // may overshoot — that is real simulated time, exactly like
-  // BatchSimulation::run); a shard with zero active weight fast-forwards
-  // the remainder for free. Returns the interactions consumed.
+  // Simulates exactly `target` interactions of the uniform scheduler
+  // restricted to this shard's m agents: the geometric path truncates its
+  // waits at the remaining quota (memorylessness makes redrawing next
+  // round exact) and the multinomial path runs its final batch in exact
+  // truncated mode (run_batch_sparse's cap), so a shard never overshoots
+  // its round quota. A shard with zero active weight fast-forwards the
+  // remainder for free. Returns the interactions consumed (== target).
   std::uint64_t run(const P& protocol, std::uint64_t target) {
     std::uint64_t consumed = 0;
     while (consumed < target) {
@@ -234,10 +238,9 @@ class ShardWorker {
           consumed = target;
           break;
         }
-        const double pairs =
-            static_cast<double>(m_) * static_cast<double>(m_ - 1);
-        if (static_cast<double>(w) >= kDensityThreshold * pairs) {
-          consumed += step_multinomial(protocol);
+        if (StrategyController::shard_step_strategy(m_, w) ==
+            BatchStrategy::kMultinomial) {
+          consumed += step_multinomial(protocol, target - consumed);
         } else {
           consumed += step_geometric(protocol, w, target - consumed);
         }
@@ -253,7 +256,7 @@ class ShardWorker {
             }
           }
         }
-        consumed += step_multinomial(protocol);
+        consumed += step_multinomial(protocol, target - consumed);
       }
     }
     return consumed;
@@ -266,16 +269,14 @@ class ShardWorker {
   const BatchStepStats& stats() const { return stats_; }
 
  private:
-  // Same skip-vs-batch crossover as BatchSimulation's kAuto, applied at
-  // shard scale: above 1/16 active density the multinomial batch amortizes
-  // ~0.63 sqrt(m) interactions per step; below it the geometric skip pays
-  // one O(occupied) linear-scan draw per effective interaction.
-  static constexpr double kDensityThreshold = 1.0 / 16.0;
-
-  std::uint64_t step_multinomial(const P& protocol) {
+  // The skip-vs-batch choice is StrategyController::shard_step_strategy
+  // at shard scale (population m); see its comment for why the shard rule
+  // is density-only. `cap` bounds the batch at the shard's remaining quota
+  // exactly.
+  std::uint64_t step_multinomial(const P& protocol, std::uint64_t cap) {
     deltas_.clear();
-    const std::uint64_t used =
-        kernel_.run_batch_sparse(protocol, m_, rng_, counters_, deltas_);
+    const std::uint64_t used = kernel_.run_batch_sparse(
+        protocol, m_, rng_, counters_, deltas_, cap);
     for (const CountDelta& d : deltas_) {
       const std::uint64_t now = kernel_.pool().weight_of(d.code);
       const std::uint64_t old = static_cast<std::uint64_t>(
@@ -548,15 +549,21 @@ class ShardedSimulation {
     // 1. Exact multinomial quotas ∝ m_t (m_t - 1).
     sample_multinomial(alloc_rng_, g_round_, quota_probs_, quota_);
 
-    // 2. Occupied snapshot + chained MVH partition. This is
-    //    sample_shard_partition's chain (same sample_multivariate_
-    //    hypergeometric primitive, same remainder semantics — the law the
-    //    chi-square tests in tests/discrete_samplers_test.cpp pin down)
-    //    with two exact shortcuts: quota-0 shards are integrated out of
-    //    the chain, and the last active shard takes the remainder without
-    //    a draw.
+    // 2. Occupied snapshot + two-level chained MVH partition: each shard's
+    //    allocation is drawn segment-by-segment over the merged pool's
+    //    per-segment subtotals (one hypergeometric per segment, with early
+    //    exit once the shard is full), then member-by-member only inside
+    //    segments that actually received mass. Grouping the chain by
+    //    segment leaves the joint law identical to the flat chain of
+    //    sample_shard_partition (the law the chi-square tests in
+    //    tests/discrete_samplers_test.cpp pin down) — the chain rule
+    //    factors through any fixed grouping — while skipping exhausted and
+    //    empty segments wholesale. The two exact shortcuts remain: quota-0
+    //    shards are integrated out of the chain, and the last active shard
+    //    takes the remainder without a draw.
     snapshot_occupied();
     remaining_ = occ_counts_;
+    seg_remaining_ = seg_subtotal_;
     const std::uint64_t round_base =
         derive_seed(derive_seed(seed_, 0xB10C), round_index_);
     std::uint64_t unassigned = n;
@@ -565,10 +572,7 @@ class ShardedSimulation {
       if (unassigned == shard_sizes_[t]) {
         alloc_[t] = remaining_;
       } else {
-        sample_multivariate_hypergeometric(alloc_rng_, remaining_,
-                                           shard_sizes_[t], alloc_[t]);
-        for (std::size_t c = 0; c < remaining_.size(); ++c)
-          remaining_[c] -= alloc_[t][c];
+        sample_segmented_allocation(shard_sizes_[t], unassigned, alloc_[t]);
       }
       unassigned -= shard_sizes_[t];
       workers_state_[t].prepare(protocol_, occ_codes_, alloc_[t],
@@ -619,8 +623,14 @@ class ShardedSimulation {
     }
     interactions_ += consumed_total;
     ++rounds_;
+    trace_.note(StrategyArm::kSharded, consumed_total);
     return consumed_total;
   }
+
+  // The controller's decision trace: every round of this engine runs the
+  // sharded arm (the per-shard skip-vs-batch refinement happens inside the
+  // workers and is not an arm switch).
+  const StrategyTrace& strategy_trace() const { return trace_; }
 
   // Runs until at least `count` interactions have elapsed (the last round
   // may overshoot; the overshoot is real simulated time).
@@ -727,14 +737,66 @@ class ShardedSimulation {
     }
   }
 
+  // Snapshot of the merged pool's occupied codes, grouped contiguously by
+  // pool segment: occ_codes_/occ_counts_ entries [seg_begin_[s],
+  // seg_begin_[s+1]) belong to segment s, whose live subtotal starts at
+  // seg_subtotal_[s]. The grouping is what lets the per-shard chain draw
+  // one hypergeometric per segment instead of one per occupied code.
   void snapshot_occupied() {
     occ_codes_.clear();
     occ_counts_.clear();
-    for (std::uint32_t slot = 0; slot < merged_pool_.slots(); ++slot) {
-      const std::uint64_t w = merged_pool_.weight_at(slot);
-      if (w == 0) continue;
-      occ_codes_.push_back(merged_pool_.code_at(slot));
-      occ_counts_.push_back(w);
+    seg_begin_.clear();
+    seg_subtotal_.clear();
+    const std::uint32_t segs = merged_pool_.segment_count();
+    for (std::uint32_t seg = 0; seg < segs; ++seg) {
+      seg_begin_.push_back(static_cast<std::uint32_t>(occ_codes_.size()));
+      std::uint64_t subtotal = 0;
+      for (std::uint32_t slot : merged_pool_.segment_slots(seg)) {
+        const std::uint64_t w = merged_pool_.weight_at(slot);
+        if (w == 0) continue;
+        occ_codes_.push_back(merged_pool_.code_at(slot));
+        occ_counts_.push_back(w);
+        subtotal += w;
+      }
+      seg_subtotal_.push_back(subtotal);
+    }
+    seg_begin_.push_back(static_cast<std::uint32_t>(occ_codes_.size()));
+  }
+
+  // One shard's allocation (`want` agents out of the `available` not yet
+  // assigned), drawn by the two-level chain over seg_remaining_ and
+  // remaining_; both are decremented in place.
+  void sample_segmented_allocation(std::uint64_t want, std::uint64_t available,
+                                   std::vector<std::uint64_t>& out) {
+    out.assign(occ_counts_.size(), 0);
+    std::uint64_t remaining_total = available;
+    std::uint64_t left = want;
+    for (std::size_t seg = 0; seg < seg_subtotal_.size() && left > 0; ++seg) {
+      const std::uint64_t sw = seg_remaining_[seg];
+      const std::uint64_t k =
+          sw == 0 ? 0
+                  : sample_hypergeometric(alloc_rng_, sw, remaining_total - sw,
+                                          left);
+      remaining_total -= sw;
+      left -= k;
+      if (k == 0) continue;
+      seg_remaining_[seg] = sw - k;
+      std::uint64_t seg_rem = sw;
+      std::uint64_t seg_left = k;
+      for (std::uint32_t i = seg_begin_[seg];
+           i < seg_begin_[seg + 1] && seg_left > 0; ++i) {
+        const std::uint64_t w = remaining_[i];
+        const std::uint64_t x =
+            w == 0 ? 0
+                   : sample_hypergeometric(alloc_rng_, w, seg_rem - w,
+                                           seg_left);
+        seg_rem -= w;
+        seg_left -= x;
+        if (x != 0) {
+          out[i] = x;
+          remaining_[i] -= x;
+        }
+      }
     }
   }
 
@@ -759,9 +821,13 @@ class ShardedSimulation {
   std::vector<std::uint64_t> remaining_;
   std::vector<std::uint32_t> occ_codes_;
   std::vector<std::uint64_t> occ_counts_;
+  std::vector<std::uint32_t> seg_begin_;      // segment -> occ_* start index
+  std::vector<std::uint64_t> seg_subtotal_;   // segment live subtotals
+  std::vector<std::uint64_t> seg_remaining_;  // ...not yet assigned
   FlatMap64 round_net_;
   std::vector<CountDelta> last_deltas_;
   BatchStepStats stats_;
+  StrategyTrace trace_;
   [[no_unique_address]] Counters counters_{};
 };
 

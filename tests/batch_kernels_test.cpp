@@ -120,6 +120,182 @@ TEST(OccupiedPool, SingleOccupied) {
   EXPECT_FALSE(pool.single_occupied(code));
 }
 
+// --- SegmentedPool segment API (ISSUE 6) ------------------------------------
+
+// Shared invariant: the per-segment weight subtotals partition the pool
+// total exactly, every member of a segment shares code >> kSegShift, and
+// members are sorted by code within their segment. Checked after every
+// mutation phase below — the subtotals are what the segmented samplers
+// (split_segmented, the sharded partition) trust blindly.
+void expect_segment_invariants(const OccupiedPool& pool) {
+  std::uint64_t total = 0;
+  for (std::uint32_t seg = 0; seg < pool.segment_count(); ++seg) {
+    std::uint64_t subtotal = 0;
+    bool first = true;
+    std::uint32_t prev = 0, span = 0;
+    for (std::uint32_t slot : pool.segment_slots(seg)) {
+      const std::uint32_t code = pool.code_at(slot);
+      if (first) {
+        span = code >> OccupiedPool::kSegShift;
+      } else {
+        ASSERT_LT(prev, code) << "segment " << seg << " members unsorted";
+        ASSERT_EQ(code >> OccupiedPool::kSegShift, span)
+            << "segment " << seg << " mixes code spans";
+      }
+      first = false;
+      prev = code;
+      subtotal += pool.weight_at(slot);
+    }
+    ASSERT_EQ(subtotal, pool.segment_weight(seg))
+        << "segment " << seg << " subtotal drifted";
+    total += subtotal;
+  }
+  ASSERT_EQ(total, pool.total()) << "segment subtotals do not partition";
+}
+
+TEST(SegmentedPool, BuildGroupsByCodeSpan) {
+  std::vector<std::uint64_t> counts(1200, 0);
+  counts[3] = 7;
+  counts[250] = 2;   // same 256-code span as code 3
+  counts[256] = 11;  // first code of the next span
+  counts[300] = 4;
+  counts[1100] = 6;  // span 4
+  OccupiedPool pool;
+  pool.build(counts);
+  EXPECT_EQ(pool.segment_count(), 3u);
+  EXPECT_EQ(pool.total(), 30u);
+  EXPECT_EQ(pool.occupied(), 5u);
+  expect_segment_invariants(pool);
+}
+
+TEST(SegmentedPool, PickInSegmentCoversEveryMember) {
+  std::vector<std::uint64_t> counts(600, 0);
+  counts[10] = 3;
+  counts[20] = 1;
+  counts[200] = 5;
+  counts[512] = 4;
+  counts[599] = 2;
+  OccupiedPool pool;
+  pool.build(counts);
+  for (std::uint32_t seg = 0; seg < pool.segment_count(); ++seg) {
+    // Both edge targets of every member's cumulative range must land on it.
+    std::uint64_t cum = 0;
+    for (std::uint32_t slot : pool.segment_slots(seg)) {
+      const std::uint64_t w = pool.weight_at(slot);
+      if (w == 0) continue;
+      EXPECT_EQ(pool.pick_in_segment(seg, cum), slot);
+      EXPECT_EQ(pool.pick_in_segment(seg, cum + w - 1), slot);
+      cum += w;
+    }
+    EXPECT_EQ(cum, pool.segment_weight(seg));
+  }
+}
+
+// Split / merge / rejoin round trip through the segment API: dealing a
+// pool's members into two shard pools and folding them back conserves
+// every per-code weight, and all three pools keep consistent subtotals
+// throughout.
+TEST(SegmentedPool, SplitMergeRejoinConserves) {
+  std::vector<std::uint64_t> counts(2048, 0);
+  Rng fill(71);
+  for (int i = 0; i < 120; ++i)
+    counts[fill.below(2048)] += 1 + fill.below(9);
+  OccupiedPool pool, shard_a, shard_b, rejoined;
+  pool.build(counts);
+  shard_a.reset();
+  shard_b.reset();
+  rejoined.reset();
+  expect_segment_invariants(pool);
+
+  Rng rng(72);
+  std::uint64_t moved_a = 0, moved_b = 0;
+  for (std::uint32_t seg = 0; seg < pool.segment_count(); ++seg) {
+    for (std::uint32_t slot : pool.segment_slots(seg)) {
+      const std::uint32_t code = pool.code_at(slot);
+      const std::uint64_t w = pool.weight_at(slot);
+      if (w == 0) continue;
+      // Random split of this member's weight between the two shards.
+      const std::uint64_t to_a = rng.below(w + 1);
+      if (to_a) shard_a.apply_delta(code, static_cast<std::int64_t>(to_a));
+      if (w - to_a)
+        shard_b.apply_delta(code, static_cast<std::int64_t>(w - to_a));
+      moved_a += to_a;
+      moved_b += w - to_a;
+    }
+  }
+  EXPECT_EQ(shard_a.total(), moved_a);
+  EXPECT_EQ(shard_b.total(), moved_b);
+  EXPECT_EQ(moved_a + moved_b, pool.total());
+  expect_segment_invariants(shard_a);
+  expect_segment_invariants(shard_b);
+
+  // Rejoin both shards; per-code weights must match the original exactly.
+  for (const OccupiedPool* shard : {&shard_a, &shard_b})
+    for (std::uint32_t seg = 0; seg < shard->segment_count(); ++seg)
+      for (std::uint32_t slot : shard->segment_slots(seg))
+        if (shard->weight_at(slot) > 0)
+          rejoined.apply_delta(
+              shard->code_at(slot),
+              static_cast<std::int64_t>(shard->weight_at(slot)));
+  expect_segment_invariants(rejoined);
+  EXPECT_EQ(rejoined.total(), pool.total());
+  for (std::uint32_t code = 0; code < 2048; ++code)
+    ASSERT_EQ(rejoined.weight_of(code), counts[code]) << "code " << code;
+}
+
+// Subtotals stay consistent through the full mutation surface:
+// draw_remove, remove_bulk, restore_removed, weight-moving apply_delta
+// (including fresh segments and the zero-slot compaction path).
+TEST(SegmentedPool, ChurnKeepsSubtotalsConsistent) {
+  std::vector<std::uint64_t> counts(4096, 0);
+  Rng fill(81);
+  for (int i = 0; i < 200; ++i) counts[fill.below(4096)] += 1 + fill.below(5);
+  OccupiedPool pool;
+  pool.build(counts);
+  const std::uint64_t original_total = pool.total();
+  expect_segment_invariants(pool);
+
+  // Weighted without-replacement draws.
+  Rng rng(82);
+  for (int i = 0; i < 64; ++i) {
+    pool.draw_remove(rng);
+    expect_segment_invariants(pool);
+  }
+  pool.restore_removed();
+  expect_segment_invariants(pool);
+  EXPECT_EQ(pool.total(), original_total);
+
+  // Bulk removal of one member's remaining weight, then restore.
+  for (std::uint32_t seg = 0; seg < pool.segment_count(); ++seg) {
+    if (pool.segment_weight(seg) == 0) continue;
+    const std::uint32_t slot =
+        pool.pick_in_segment(seg, pool.segment_weight(seg) - 1);
+    pool.remove_bulk(slot, pool.weight_at(slot));
+    expect_segment_invariants(pool);
+    break;
+  }
+  pool.restore_removed();
+  expect_segment_invariants(pool);
+  EXPECT_EQ(pool.total(), original_total);
+
+  // Move everything onto a handful of fresh codes: drains all original
+  // segments to zero (compaction trigger) and creates new segments.
+  for (std::uint32_t code = 0; code < 4096; ++code) {
+    const std::uint64_t w = pool.weight_of(code);
+    if (w == 0 || code >= 4000) continue;
+    pool.apply_delta(code, -static_cast<std::int64_t>(w));
+    pool.apply_delta(4000 + (code % 7), static_cast<std::int64_t>(w));
+  }
+  expect_segment_invariants(pool);
+  EXPECT_EQ(pool.total(), original_total);
+  // All remaining weight sits at codes 4000..4095: exactly one live
+  // segment (drained segments may linger at weight 0 until compaction).
+  std::uint32_t live_segments = 0;
+  for (std::uint32_t seg = 0; seg < pool.segment_count(); ++seg)
+    if (pool.segment_weight(seg) > 0) ++live_segments;
+  EXPECT_EQ(live_segments, 1u);
+}
+
 // --- Collision-free prefix --------------------------------------------------
 
 TEST(CollisionPrefix, ExactPmfAtN4) {

@@ -4,8 +4,10 @@
 // goodness-of-fit test at significance ~1e-3 (Wilson-Hilferty critical
 // value), on fixed seeds so the suite is deterministic. The binomial cases
 // straddle the inversion/BTPE dispatch boundary n * min(p, 1-p) = 10 from
-// both sides, and the hypergeometric cases cover the sequential-inversion
-// branch, the HRUA branch, and the large-sample reflection. The shard
+// both sides, and the hypergeometric cases cover all three branches —
+// sequential inversion (sample < 10), mode-centered two-sided inversion
+// (sd <= 32), HRUA (sd > 32) — straddling *both* dispatch boundaries from
+// both sides, plus the large-sample reflection. The shard
 // partition (sample_shard_partition, the sharded engine's per-round split)
 // is checked category-by-category: every shard's marginal — first drawn,
 // chained, and the remainder — must match the closed-form hypergeometric
@@ -228,13 +230,26 @@ INSTANTIATE_TEST_SUITE_P(
         // Sequential-inversion branch (sample < 10).
         HyperCase{7, 9, 5, "hyp good=7 bad=9 sample=5"},
         HyperCase{40, 3, 6, "hyp minority bad"},
-        // HRUA branch.
-        HyperCase{120, 200, 90, "hrua 120/200/90"},
-        HyperCase{60, 30, 40, "hrua good majority"},
-        // Reflection: sample > popsize/2.
+        // First dispatch boundary from both sides: sample = 9 stays on
+        // sequential inversion, sample = 10 crosses into two-sided.
+        HyperCase{30, 40, 9, "hyp boundary sample=9"},
+        HyperCase{30, 40, 10, "two-sided boundary sample=10"},
+        // Two-sided branch (10 <= sample, sd <= 32).
+        HyperCase{120, 200, 90, "two-sided 120/200/90"},
+        HyperCase{60, 30, 40, "two-sided good majority"},
+        HyperCase{2000, 2000, 400, "two-sided symmetric 2000/2000/400"},
+        // Reflection: sample > popsize/2 (recursed sample lands two-sided).
         HyperCase{50, 40, 70, "reflected 50/40/70"},
-        // Large population, batch-sized draw (the engine's regime).
-        HyperCase{5000, 95000, 600, "hrua 5000/95000/600"}));
+        // Large population, batch-sized draw (the engine's regime;
+        // sd ~ 5.3 => two-sided).
+        HyperCase{5000, 95000, 600, "two-sided 5000/95000/600"},
+        // Second dispatch boundary from both sides: sd ~ 31.7 stays on
+        // two-sided, sd ~ 32.4 crosses into HRUA.
+        HyperCase{100000, 100000, 4100, "two-sided sd just under cutoff"},
+        HyperCase{100000, 100000, 4300, "hrua sd just over cutoff"},
+        // Deep HRUA (sd ~ 38; larger populations overflow the reference
+        // pmf's log_gamma accuracy, not the sampler's).
+        HyperCase{150000, 150000, 6000, "hrua deep 150k/150k/6k"}));
 
 // --- multivariate hypergeometric --------------------------------------------
 

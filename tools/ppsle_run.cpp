@@ -14,7 +14,8 @@
 //   ppsle_run --scenario key=val [key=val ...]
 //       Run one scenario. Keys: protocol, n, init, engine, strategy,
 //       shards, until, trials, seed, threads, max_interactions, ptime,
-//       tail, label. Unknown keys/values are hard errors.
+//       tail, label, param.<name> (protocol-constant override, e.g.
+//       param.rmax_factor=2). Unknown keys/values are hard errors.
 //   ppsle_run --matrix file.json
 //       Run a sweep matrix: the JSON's "matrix" object maps spec keys to
 //       value lists (full cross product), "defaults" seeds every cell, and
@@ -104,10 +105,16 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     spec.tail_ptime = parse_double(key, value);
   } else if (key == "label") {
     label = value;
+  } else if (key.rfind("param.", 0) == 0 && key.size() > 6) {
+    // Protocol-constant override, passed through verbatim; the protocol's
+    // registered runner validates the name and value (unknown names are
+    // hard errors there, matching the unknown-key policy here).
+    spec.params.emplace_back(key.substr(6), value);
   } else {
     usage_error("unknown scenario key '" + key +
                 "' (known: protocol n init engine strategy shards until "
-                "trials seed threads max_interactions ptime tail label)");
+                "trials seed threads max_interactions ptime tail label "
+                "param.<name>)");
   }
 }
 
@@ -161,8 +168,11 @@ std::string default_label(const ScenarioSpec& spec,
 void run_and_report(const ScenarioSpec& spec, const std::string& label,
                     Table& table, BenchReport& report) {
   const ScenarioResult r = run_scenario(spec);
+  // "auto:" marks cells where the strategy controller (not the spec) chose
+  // the whole-run arm from the initial occupancy.
   const std::string engine_desc =
-      r.backend == "batch" ? r.backend + "/" + r.strategy : r.backend;
+      (r.engine_arm.empty() ? "" : "auto:") +
+      (r.backend == "batch" ? r.backend + "/" + r.strategy : r.backend);
   table.add_row(
       {spec.protocol, std::to_string(r.n), r.init, engine_desc, r.until,
        std::to_string(r.trials),
@@ -311,7 +321,11 @@ int run_matrix(const std::string& path, std::string out_name) {
         std::to_string(cell.spec.max_interactions) + "|" +
         std::to_string(cell.spec.horizon_ptime) + "|" +
         std::to_string(cell.spec.tail_ptime) + "|" + cell.label;
-    if (!seen.insert(identity).second) {
+    std::string identity_params;
+    for (const auto& [pk, pv] : cell.spec.params)
+      identity_params += "|param." + pk + "=" + pv;
+    const std::string full_identity = identity + identity_params;
+    if (!seen.insert(full_identity).second) {
       ++collapsed;
       continue;
     }
