@@ -14,45 +14,33 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/adversary.h"
 #include "analysis/bench_report.h"
 #include "analysis/experiments.h"
+#include "analysis/scenarios.h"
 #include "core/simulation.h"
-#include "protocols/optimal_silent.h"
-#include "protocols/silent_nstate.h"
 
 namespace ppsim {
 namespace {
 
-// Time until the duplicated pair first interacts (= first configuration
-// change) in Silent-n-state-SSR, starting from a correct ranking with one
-// agent's rank overwritten by another's.
-double duplicate_meeting_time_silent_nstate(std::uint32_t n,
-                                            std::uint64_t seed) {
-  SilentNStateSSR proto(n);
-  std::vector<SilentNStateSSR::State> init(n);
-  for (std::uint32_t i = 0; i < n; ++i) init[i].rank = i;
-  init[1].rank = init[0].rank;  // duplicate the "leader" (rank 0)
-  Simulation<SilentNStateSSR> sim(proto, std::move(init), seed);
-  while (true) {
-    const AgentPair p = sim.step();
-    if ((p.initiator == 0 && p.responder == 1) ||
-        (p.initiator == 1 && p.responder == 0))
-      return sim.parallel_time();
-  }
-}
-
-// Same experiment on Optimal-Silent-SSR: duplicate the rank-1 agent of the
-// silent configuration; the collision trigger fires only when they meet.
-double duplicate_meeting_time_optimal(std::uint32_t n, std::uint64_t seed) {
-  const auto params = OptimalSilentParams::standard(n);
-  OptimalSilentSSR proto(params);
-  auto init =
-      optimal_silent_config(params, OsAdversary::kCorrectRanking, seed);
-  init[1] = init[0];  // two copies of the rank-1 leader state
-  Simulation<OptimalSilentSSR> sim(proto, std::move(init), seed + 1);
-  while (sim.counters().collision_triggers == 0) sim.step();
-  return sim.parallel_time();
+// Observation 2.6 as two ScenarioSpec cells per n. Silent-n-state: the
+// `duplicate-rank` start is silent except for the duplicated pair, so
+// until=thinned (rank 0 back to one holder) IS the direct-meeting time —
+// and the batched geometric-skip engine samples it in one jump. On
+// Optimal-Silent the collision trigger (until=detected) fires only when
+// the two rank-1 copies meet.
+ScenarioResult obs26_cell(const BenchScale& scale, const char* protocol,
+                          const char* init, const char* until,
+                          std::uint32_t n, std::uint32_t trials,
+                          std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.init = init;
+  spec.until = until;
+  spec.n = n;
+  spec.trials = trials;
+  spec.seed = seed;
+  spec.threads = scale.threads;
+  return run_scenario(spec);
 }
 
 void experiment_obs26(const BenchScale& scale, BenchReport& report) {
@@ -61,28 +49,28 @@ void experiment_obs26(const BenchScale& scale, BenchReport& report) {
   Table t({"protocol", "n", "mean time", "(n-1)/2", "ratio", "frac >= n/3"});
   for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
     const auto trials = scale.trials(60);
-    std::vector<double> a, b;
-    int tail_a = 0, tail_b = 0;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      a.push_back(
-          duplicate_meeting_time_silent_nstate(n, derive_seed(10 + n, i)));
-      b.push_back(duplicate_meeting_time_optimal(n, derive_seed(20 + n, i)));
-      if (a.back() >= n / 3.0) ++tail_a;
-      if (b.back() >= n / 3.0) ++tail_b;
-    }
+    const ScenarioResult a = obs26_cell(scale, "silent-nstate",
+                                        "duplicate-rank", "thinned", n,
+                                        trials, 10 + n);
+    const ScenarioResult b = obs26_cell(scale, "optimal-silent",
+                                        "duplicate-rank", "detected", n,
+                                        trials, 20 + n);
     const double expect = (n - 1) / 2.0;
-    t.add_row({"Silent-n-state", std::to_string(n), fmt(summarize(a).mean, 1),
-               fmt(expect, 1), fmt(summarize(a).mean / expect, 3),
-               fmt(static_cast<double>(tail_a) / trials, 2)});
-    t.add_row({"Optimal-Silent", std::to_string(n), fmt(summarize(b).mean, 1),
-               fmt(expect, 1), fmt(summarize(b).mean / expect, 3),
-               fmt(static_cast<double>(tail_b) / trials, 2)});
-    report.add()
-        .set("experiment", "obs26_duplicate_meeting")
-        .set("backend", "array")
-        .set("n", static_cast<std::uint64_t>(n))
-        .set("trials", static_cast<std::uint64_t>(trials))
-        .set("parallel_time", summarize(b).mean)
+    auto tail_frac = [&](const ScenarioResult& r) {
+      std::uint32_t tail = 0;
+      for (double x : r.values)
+        if (x >= n / 3.0) ++tail;
+      return static_cast<double>(tail) / static_cast<double>(trials);
+    };
+    t.add_row({"Silent-n-state", std::to_string(n), fmt(a.summary.mean, 1),
+               fmt(expect, 1), fmt(a.summary.mean / expect, 3),
+               fmt(tail_frac(a), 2)});
+    t.add_row({"Optimal-Silent", std::to_string(n), fmt(b.summary.mean, 1),
+               fmt(expect, 1), fmt(b.summary.mean / expect, 3),
+               fmt(tail_frac(b), 2)});
+    report_scenario(report, "obs26_duplicate_meeting", b)
+        .set("analytic_parallel_time", expect);
+    report_scenario(report, "obs26_duplicate_meeting_nstate", a)
         .set("analytic_parallel_time", expect);
   }
   t.print();
@@ -135,29 +123,18 @@ void experiment_log_lower_bound(const BenchScale& scale, BenchReport& report) {
                "all-leaders configuration (coupon collector)\n";
 
   // And the matching protocol-level fact: Silent-n-state from all-equal
-  // ranks takes at least that long to reach one agent per rank.
+  // ranks takes at least that long to reach one agent per rank
+  // (until=thinned from the all-same start, one ScenarioSpec per n).
   std::cout << "\n== all-leaders start, Silent-n-state: time until the "
                "original rank has one holder ==\n";
   Table t2({"n", "mean time", "ln n", "mean/ln(n)"});
   for (std::uint32_t n : scale.sizes({64, 256, 1024})) {
-    const auto trials = scale.trials(40);
-    std::vector<double> xs;
-    for (std::uint32_t i = 0; i < trials; ++i) {
-      SilentNStateSSR proto(n);
-      Simulation<SilentNStateSSR> sim(proto, silent_nstate_all_same(n, 0),
-                                      derive_seed(40 + n, i));
-      while (true) {
-        sim.step();
-        std::uint32_t at_zero = 0;
-        for (const auto& s : sim.states())
-          if (s.rank == 0) ++at_zero;
-        if (at_zero <= 1) break;
-      }
-      xs.push_back(sim.parallel_time());
-    }
-    t2.add_row({std::to_string(n), fmt(summarize(xs).mean, 2),
+    const ScenarioResult r = obs26_cell(scale, "silent-nstate", "all-same",
+                                        "thinned", n, scale.trials(40),
+                                        40 + n);
+    t2.add_row({std::to_string(n), fmt(r.summary.mean, 2),
                 fmt(std::log(n), 2),
-                fmt(summarize(xs).mean / std::log(n), 3)});
+                fmt(r.summary.mean / std::log(n), 3)});
   }
   t2.print();
   std::cout << "in Protocol 1 the thinning needs equal-rank meetings, so it "

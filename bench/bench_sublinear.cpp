@@ -13,58 +13,67 @@
 #include <cmath>
 #include <iostream>
 
-#include "analysis/adversary.h"
 #include "analysis/bench_report.h"
-#include "analysis/convergence.h"
 #include "analysis/experiments.h"
+#include "analysis/scenarios.h"
 #include "core/simulation.h"
-#include "protocols/leader.h"
+#include "init/sublinear_init.h"
 #include "protocols/sublinear.h"
 
 namespace ppsim {
 namespace {
 
-SublinearParams params_for(std::uint32_t n, std::uint32_t h) {
-  // h = 0 encodes the H = Theta(log n) configuration.
-  return h == 0 ? SublinearParams::log_time(n)
-                : SublinearParams::constant_h(n, h);
-}
-
 std::string h_label(std::uint32_t h) {
   return h == 0 ? "Theta(log n)" : std::to_string(h);
 }
 
-// Parallel time until the planted duplicate pair is first detected
-// (collision trigger), with the direct-check rule disabled so only the
-// indirect (tree-path) mechanism of Protocol 7 is measured.
-double detection_latency(std::uint32_t n, std::uint32_t h,
-                         std::uint64_t seed) {
-  auto p = params_for(n, h);
-  p.direct_check = false;
-  SublinearTimeSSR proto(p);
-  auto init = sublinear_config(p, SlAdversary::kDuplicateNames, seed);
-  Simulation<SublinearTimeSSR> sim(proto, std::move(init),
-                                   derive_seed(seed, 1));
-  while (sim.counters().collision_triggers == 0) {
-    sim.step();
-    if (sim.interactions() > (1ull << 34)) return -1;
-  }
-  return sim.parallel_time();
+// h = 0 encodes the H = Theta(log n) configuration. Used only by the
+// experiments that stay hand-rolled below (state growth, safety, the
+// google-benchmark micro): they inspect individual agent states and
+// detector counters, which the Scenario API's count-based summaries
+// anonymize away.
+SublinearParams params_for(std::uint32_t n, std::uint32_t h) {
+  return h == 0 ? SublinearParams::log_time(n)
+                : SublinearParams::constant_h(n, h);
+}
+
+// One ScenarioSpec per (H, n, init, until) cell: h = 0 selects the
+// registered H = Theta(log n) entry, h >= 1 the constant-H entry with the
+// param.h override; the registry owns the horizon/tail formulas that the
+// hand-rolled loops here used to duplicate.
+ScenarioSpec sublinear_spec(const BenchScale& scale, std::uint32_t h,
+                            std::uint32_t n, const char* init,
+                            const char* until, std::uint32_t trials,
+                            std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = h == 0 ? "sublinear-hlog" : "sublinear-h1";
+  if (h >= 2) spec.params.push_back({"h", std::to_string(h)});
+  spec.init = init;
+  spec.until = until;
+  spec.n = n;
+  spec.trials = trials;
+  spec.seed = seed;
+  spec.threads = scale.threads;
+  return spec;
 }
 
 void experiment_detection_latency(const BenchScale& scale, BenchReport& report) {
   std::cout << "\n== L5.6: collision-detection latency (indirect only) ==\n";
+  // direct_check off: only the indirect (tree-path) mechanism of
+  // Protocol 7 is measured.
   for (std::uint32_t h : {1u, 2u, 3u}) {
     Sweep sweep;
     std::vector<std::uint32_t> sizes =
         h == 1 ? scale.sizes({64, 128, 256, 512, 1024})
                : scale.sizes({64, 128, 256, 512});
     for (std::uint32_t n : sizes) {
-      const auto trials = scale.trials(n <= 256 ? 12 : 6);
-      std::vector<double> xs;
-      for (std::uint32_t i = 0; i < trials; ++i)
-        xs.push_back(detection_latency(n, h, derive_seed(6000 + n * 7 + h, i)));
-      sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+      ScenarioSpec spec =
+          sublinear_spec(scale, h, n, "duplicate-names", "detected",
+                         scale.trials(n <= 256 ? 12 : 6), 6000 + n * 7 + h);
+      spec.params.push_back({"direct_check", "0"});
+      spec.max_interactions = 1ull << 34;
+      sweep.points.push_back(
+          {static_cast<double>(n), run_scenario(spec).summary});
     }
     print_sweep("detection latency, H = " + h_label(h), sweep,
                 "detect time");
@@ -79,11 +88,12 @@ void experiment_detection_latency(const BenchScale& scale, BenchReport& report) 
     Sweep sweep;
     Table t({"n", "mean detect time", "p95", "ln n", "mean/ln(n)"});
     for (std::uint32_t n : scale.sizes({16, 32, 64, 128})) {
-      const auto trials = scale.trials(n <= 64 ? 10 : 6);
-      std::vector<double> xs;
-      for (std::uint32_t i = 0; i < trials; ++i)
-        xs.push_back(detection_latency(n, 0, derive_seed(7000 + n, i)));
-      const Summary s = summarize(xs);
+      ScenarioSpec spec =
+          sublinear_spec(scale, 0, n, "duplicate-names", "detected",
+                         scale.trials(n <= 64 ? 10 : 6), 7000 + n);
+      spec.params.push_back({"direct_check", "0"});
+      spec.max_interactions = 1ull << 34;
+      const Summary s = run_scenario(spec).summary;
       sweep.points.push_back({static_cast<double>(n), s});
       t.add_row({std::to_string(n), fmt(s.mean, 2), fmt(s.p95, 2),
                  fmt(std::log(n), 2), fmt(s.mean / std::log(n), 3)});
@@ -98,21 +108,6 @@ void experiment_detection_latency(const BenchScale& scale, BenchReport& report) 
                 << "  (paper: O(log n), exponent -> 0; mean/ln(n) ~ const)\n";
     }
   }
-}
-
-double stabilization_time(std::uint32_t n, std::uint32_t h,
-                          SlAdversary kind, std::uint64_t seed) {
-  const auto p = params_for(n, h);
-  SublinearTimeSSR proto(p);
-  auto init = sublinear_config(p, kind, seed);
-  RunOptions opts;
-  const std::uint64_t per_epoch = static_cast<std::uint64_t>(p.n) *
-                                  (6ull * p.th + 6ull * p.dmax + 400);
-  opts.max_interactions = 120ull * per_epoch + (1ull << 22);
-  opts.tail_ptime = 0.75 * p.th + 10;
-  const RunResult r =
-      run_until_ranked(proto, std::move(init), derive_seed(seed, 2), opts);
-  return r.stabilized ? r.stabilization_ptime : -1;
 }
 
 void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
@@ -133,23 +128,20 @@ void experiment_stabilization(const BenchScale& scale, BenchReport& report) {
       {0u, scale.sizes({8, 16})},
   };
   for (const auto& cfg : configs) {
-    for (auto kind :
-         {SlAdversary::kDuplicateNames, SlAdversary::kUniformRandom}) {
+    for (const char* kind : {"duplicate-names", "uniform-random"}) {
       Sweep sweep;
       for (std::uint32_t n : cfg.sizes) {
-        const auto trials = scale.trials(n <= 128 ? 4 : 3);
-        std::vector<double> xs;
-        for (std::uint32_t i = 0; i < trials; ++i)
-          xs.push_back(stabilization_time(
-              n, cfg.h, kind, derive_seed(8000 + n * 13 + cfg.h, i)));
-        sweep.points.push_back({static_cast<double>(n), summarize(xs)});
+        const ScenarioSpec spec = sublinear_spec(
+            scale, cfg.h, n, kind, "ranked",
+            scale.trials(n <= 128 ? 4 : 3), 8000 + n * 13 + cfg.h);
+        sweep.points.push_back(
+            {static_cast<double>(n), run_scenario(spec).summary});
       }
       print_sweep("stabilization, H = " + h_label(cfg.h) + ", start = " +
-                      to_string(kind),
+                      std::string(kind),
                   sweep);
       report_sweep(report,
-                   "stabilization_h" + std::to_string(cfg.h) + "_" +
-                       to_string(kind),
+                   "stabilization_h" + std::to_string(cfg.h) + "_" + kind,
                    "array", sweep);
       if (cfg.h != 0) {
         std::cout << "paper: Theta(H n^{1/(H+1)}) -> exponent ~"

@@ -37,6 +37,14 @@
 // single-run engine (core/sharded_simulation.h): the trial fan-out goes
 // serial and spec.threads caps the shard workers instead. Results are a
 // pure function of (seed, shards) — never of the thread count.
+//
+// APPROXIMATE tier (opt-in, never auto-chosen):
+//   strategy = "tau" (+ tau.eps=E) runs trials on the tau-leaping count
+//   engine (core/tau_leap_simulation.h) — exact only in the small-leap
+//   limit. engine = "ode" (until=ptime only) integrates the mean-field
+//   drift (core/mean_field.h). Both stamp ScenarioResult.approximate =
+//   true + the resolved tau_eps; bench_compare exempts such records from
+//   strict drift checks against exact baselines.
 #pragma once
 
 #include <algorithm>
@@ -55,9 +63,11 @@
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/batch_simulation.h"
+#include "core/mean_field.h"
 #include "core/registry.h"
 #include "core/sharded_simulation.h"
 #include "core/simulation.h"
+#include "core/tau_leap_simulation.h"
 #include "init/epidemic_init.h"
 #include "init/obs25_init.h"
 #include "init/optimal_silent_init.h"
@@ -88,13 +98,23 @@ inline std::uint32_t resolve_population(const ScenarioSpec& spec,
   return spec.n != 0 ? spec.n : default_n;
 }
 
+// Compile-time gate for the tau-leaping engine: deterministic transitions
+// (bulk application replays the cache), passive-structured null knowledge
+// (category enumeration), and — when observable — scalable counters.
+template <class P>
+inline constexpr bool kTauCapable =
+    EnumerableProtocol<P> && DeterministicProtocol<P> &&
+    (KeyedPassiveProtocol<P> || UnkeyedPassiveProtocol<P>) &&
+    (!ObservableProtocol<P> || ScalableCounters<ProtocolCounters<P>>);
+
 template <class P>
 bool resolve_use_batch(const ScenarioSpec& spec) {
   const std::string engine = spec.engine.empty() ? "auto" : spec.engine;
   if (engine == "array") return false;
   if (engine != "batch" && engine != "auto")
     throw std::invalid_argument("unknown engine '" + engine +
-                                "' (array | batch | auto)");
+                                "' (array | batch | auto; ode needs "
+                                "until=ptime)");
   if constexpr (EnumerableProtocol<P>) {
     return true;
   } else {
@@ -155,6 +175,12 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   if (inits.find(init_name) == nullptr)
     throw std::invalid_argument("unknown initial condition '" + init_name +
                                 "' for protocol '" + spec.protocol + "'");
+  // execute_ptime intercepts engine=ode before reaching here, so seeing it
+  // means a stop condition the drift-only integrator cannot answer.
+  if (spec.engine == "ode")
+    throw std::invalid_argument(
+        "engine=ode supports until=ptime only (the mean-field drift has no "
+        "per-trial stopping events)");
   bool use_batch = resolve_use_batch<P>(spec);
   // Whole-run arm choice: when engine=auto AND strategy=auto leave the
   // decision open, the strategy controller inspects trial 0's initial
@@ -186,7 +212,32 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
     if (!parse_strategy(sname, strategy))
       throw std::invalid_argument(
           "unknown strategy '" + sname +
-          "' (geometric_skip | multinomial | auto | sharded)");
+          "' (geometric_skip | multinomial | auto | sharded | tau)");
+  } else if (spec.strategy == "tau" || spec.strategy == "tau_leap") {
+    // The array engine silently ignores pinned batch strategies (matrix
+    // sweeps reuse one strategy list across engines), but running exact
+    // while the spec asked for the approximate tier would mislabel the
+    // result — hard error instead.
+    throw std::invalid_argument(
+        "strategy 'tau' needs the count engine (enumerable protocol, "
+        "engine != array)");
+  }
+  // APPROXIMATE tier: tau-leaping is strictly opt-in (never reachable from
+  // strategy=auto; see core/engine.h StrategyController) and stamps the
+  // result so downstream tooling can never strict-diff it against exact
+  // baselines.
+  const bool tau = use_batch && strategy == BatchStrategy::kTauLeap;
+  double tau_eps = 0.0;
+  if (tau) {
+    if constexpr (!kTauCapable<P>) {
+      throw std::invalid_argument(
+          "protocol '" + spec.protocol +
+          "' cannot run the tau-leaping engine (needs deterministic, "
+          "passive-structured transitions)");
+    }
+    if (!std::isfinite(spec.tau_eps) || spec.tau_eps < 0.0)
+      throw std::invalid_argument("tau.eps must be finite and >= 0");
+    tau_eps = spec.tau_eps > 0.0 ? spec.tau_eps : kDefaultTauEps;
   }
   // strategy=sharded parallelizes *inside* one run, so the trial fan-out
   // goes serial and --threads/PPSIM_THREADS caps the shard workers instead.
@@ -234,7 +285,14 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
     };
     if (use_batch) {
       if constexpr (EnumerableProtocol<P>) {
-        if (sharded) {
+        if (tau) {
+          if constexpr (kTauCapable<P>) {
+            TauLeapSimulation<P> sim(proto,
+                                     inits.counts(proto, init_name, init_seed),
+                                     engine_seed, tau_eps);
+            record(sim);
+          }
+        } else if (sharded) {
           if constexpr (ShardableProtocol<P>) {
             ShardedOptions options;
             options.shards = shard_count;
@@ -279,6 +337,8 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
     inter_sum += static_cast<double>(i);
   out.interactions_mean = inter_sum / static_cast<double>(trials);
   out.wall_seconds = total.seconds();
+  out.approximate = tau;
+  out.tau_eps = tau_eps;
   return out;
 }
 
@@ -349,6 +409,73 @@ ScenarioResult execute_predicate(const ScenarioSpec& spec, const P& proto,
       });
 }
 
+// APPROXIMATE drift-only tier: engine=ode integrates the mean-field ODE
+// (core/mean_field.h) over the fixed parallel-time budget. Deterministic
+// given the init (trials differ only through their derived init seeds);
+// metric = per-trial run wall seconds like every until=ptime cell, and the
+// result is stamped approximate with the resolved step (tau_eps doubles as
+// the RK4 dt here; 0 = kDefaultOdeDt).
+template <class P>
+ScenarioResult drive_ode(const ScenarioSpec& spec, const P& proto,
+                         const InitialConditionSet<P>& inits,
+                         const std::string& until_name) {
+  if constexpr (!(EnumerableProtocol<P> && DeterministicProtocol<P> &&
+                  (KeyedPassiveProtocol<P> || UnkeyedPassiveProtocol<P>))) {
+    throw std::invalid_argument(
+        "protocol '" + spec.protocol +
+        "' cannot run the mean-field engine (needs deterministic, "
+        "passive-structured transitions)");
+  } else {
+    if (spec.horizon_ptime <= 0)
+      throw std::invalid_argument(
+          "until=ptime needs a positive ptime=<parallel-time budget>");
+    if (!spec.strategy.empty() && spec.strategy != "auto")
+      throw std::invalid_argument(
+          "engine=ode has no batching strategy; drop strategy='" +
+          spec.strategy + "'");
+    const std::string init_name =
+        spec.init.empty() ? inits.default_name() : spec.init;
+    if (inits.find(init_name) == nullptr)
+      throw std::invalid_argument("unknown initial condition '" + init_name +
+                                  "' for protocol '" + spec.protocol + "'");
+    if (!std::isfinite(spec.tau_eps) || spec.tau_eps < 0.0)
+      throw std::invalid_argument("tau.eps must be finite and >= 0");
+    const double dt = spec.tau_eps > 0.0 ? spec.tau_eps : kDefaultOdeDt;
+    const std::uint32_t trials = spec.trials ? spec.trials : 1;
+    std::vector<double> values(trials, -1.0);
+    std::vector<std::uint64_t> interactions(trials, 0);
+    const WallTimer total;
+    for_each_trial(trials, spec.threads, [&](std::uint32_t t) {
+      const std::uint64_t trial_seed = derive_seed(spec.seed, t);
+      const std::uint64_t init_seed = derive_seed(trial_seed, 1);
+      MeanFieldSimulation<P> sim(
+          proto, inits.counts(proto, init_name, init_seed), dt);
+      const WallTimer run_wall;
+      sim.run_ptime(spec.horizon_ptime);
+      values[t] = run_wall.seconds();
+      interactions[t] = sim.interactions();
+    });
+    ScenarioResult out;
+    out.metric = "wall_seconds";
+    out.values = values;
+    out.summary = summarize(out.values);
+    out.backend = "ode";
+    out.init = init_name;
+    out.until = until_name;
+    out.params = spec.params;
+    out.n = proto.population_size();
+    out.trials = trials;
+    double inter_sum = 0;
+    for (std::uint64_t i : interactions)
+      inter_sum += static_cast<double>(i);
+    out.interactions_mean = inter_sum / static_cast<double>(trials);
+    out.wall_seconds = total.seconds();
+    out.approximate = true;
+    out.tau_eps = dt;
+    return out;
+  }
+}
+
 // Fixed parallel-time budget: the perf-measurement mode. Metric = per-trial
 // *run* wall seconds (engine construction excluded, so strategy
 // head-to-heads measure the stepping code); ScenarioResult.wall_seconds
@@ -357,6 +484,8 @@ template <class P>
 ScenarioResult execute_ptime(const ScenarioSpec& spec, const P& proto,
                              const InitialConditionSet<P>& inits,
                              const std::string& until_name) {
+  if (spec.engine == "ode")
+    return drive_ode(spec, proto, inits, until_name);
   if (spec.horizon_ptime <= 0)
     throw std::invalid_argument(
         "until=ptime needs a positive ptime=<parallel-time budget>");
@@ -391,7 +520,7 @@ inline void register_silent_nstate(ProtocolRegistry& reg) {
   e.default_n = 64;
   e.inits = silent_nstate_inits().names();
   e.default_init = silent_nstate_inits().default_name();
-  e.untils = {"ranked", "ptime"};
+  e.untils = {"ranked", "thinned", "ptime"};
   e.default_until = "ranked";
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
@@ -403,6 +532,28 @@ inline void register_silent_nstate(ProtocolRegistry& reg) {
     if (until == "ranked")
       return sd::execute_ranked(spec, proto, inits, until,
                                 sd::ranked_options(spec, 1ull << 62, 0.0));
+    if (until == "thinned") {
+      // Rank 0 holds at most one agent. From `duplicate-rank` this is the
+      // Observation 2.6 meeting time (the duplicated pair must interact
+      // directly); from `all-same` it is the time until the original rank
+      // thins to one holder — the protocol-level companion of the
+      // Omega(log n) coupon-collector bound (bench_lower_bounds).
+      auto thinned = [](const auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          std::uint32_t holders = 0;
+          for (const auto& s : sim.states())
+            if (s.rank == 0 && ++holders > 1) return false;
+          return true;
+        } else {
+          return sim.state_counts()[0] <= 1;
+        }
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 62,
+          thinned, /*cheap=*/false);
+    }
     if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
     sd::unknown_until(spec, until);
   };
@@ -420,7 +571,7 @@ inline void register_optimal_silent(ProtocolRegistry& reg) {
   e.default_n = 64;
   e.inits = optimal_silent_inits().names();
   e.default_init = optimal_silent_inits().default_name();
-  e.untils = {"ranked", "detected", "ptime"};
+  e.untils = {"ranked", "detected", "silent", "ptime"};
   e.default_until = "ranked";
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
@@ -457,6 +608,30 @@ inline void register_optimal_silent(ProtocolRegistry& reg) {
           spec.max_interactions ? spec.max_interactions : 1ull << 62,
           detected, /*cheap=*/true);
     }
+    if (until == "silent") {
+      // Full silence — the event the paper's silence definition names:
+      // no ordered pair is non-null. Count engines certify it in O(1)
+      // (zero active weight, Theta(n)-states keyed structure); the agent
+      // array falls back to the literal pair scan.
+      auto silent = [](const auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          const auto& p = sim.protocol();
+          const auto& states = sim.states();
+          for (std::size_t i = 0; i < states.size(); ++i)
+            for (std::size_t j = 0; j < states.size(); ++j)
+              if (i != j && !p.is_null_pair(states[i], states[j]))
+                return false;
+          return true;
+        } else {
+          return sim.silent();
+        }
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : horizon, silent,
+          /*cheap=*/false);
+    }
     if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
     sd::unknown_until(spec, until);
   };
@@ -486,11 +661,18 @@ inline void register_sublinear_entry(ProtocolRegistry& reg,
            make_params = std::move(make_params)](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
     const std::uint32_t n = sd::resolve_population(spec, default_n, 0);
-    // Detector/timer overrides: smax and th replace the derived values
-    // outright; the flags toggle the Section 6 synthetic coin and the
-    // direct-check collision detector variant.
+    // Detector/timer overrides: h rebuilds the constant-H parameter set
+    // (bench_sublinear's H sweep runs one registered entry across
+    // param.h=1..3 instead of three near-identical registrations), smax
+    // and th replace the derived values outright, and the flags toggle the
+    // Section 6 synthetic coin and the direct-check collision detector
+    // variant.
     ParamReader params(spec);
-    SublinearParams p = make_params(n);
+    const auto h_override =
+        static_cast<std::uint32_t>(params.integer("h", 0));
+    SublinearParams p = h_override > 0
+                            ? SublinearParams::constant_h(n, h_override)
+                            : make_params(n);
     p.smax = params.integer("smax", p.smax);
     p.th = static_cast<std::uint32_t>(params.integer("th", p.th));
     p.use_synthetic_coin =
@@ -744,6 +926,11 @@ inline BenchRecord& report_scenario(BenchReport& report,
       .set(r.metric + "_p99", r.summary.p99)
       .set("interactions_mean", r.interactions_mean)
       .set("wall_seconds", r.wall_seconds);
+  // Approximate-tier honesty stamp (strategy=tau / engine=ode): consumers
+  // (bench_compare) must never strict-diff these records' metric values
+  // against exact baselines.
+  if (r.approximate)
+    rec.set("approximate", true).set("tau_eps", r.tau_eps);
   if (r.failed > 0) rec.set("failed", r.failed);
   return rec;
 }

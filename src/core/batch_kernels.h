@@ -749,6 +749,17 @@ class SegmentedPool {
     return slot == nullptr ? 0 : weights_[static_cast<std::size_t>(*slot)];
   }
 
+  // Slot of `code`, when it has one (weight may still be 0 until the next
+  // compaction). Lets callers remove_bulk() at a known code — the
+  // tau-leaping engine conditions its responder draw on the initiator unit
+  // this way.
+  bool find_slot(std::uint32_t code, std::uint32_t& slot) const {
+    const std::uint64_t* s = slot_of_.find(code);
+    if (s == nullptr) return false;
+    slot = static_cast<std::uint32_t>(*s);
+    return true;
+  }
+
   void build(const std::vector<std::uint64_t>& counts) {
     reset();
     for (std::uint32_t code = 0; code < counts.size(); ++code) {
@@ -1015,6 +1026,70 @@ class CollisionPrefixSampler {
  private:
   std::uint64_t n_ = 0;
   std::vector<double> tail_;  // tail_[i] = P[L >= i], strictly descending
+};
+
+// Memoized transition table for deterministic protocols, keyed by the
+// ordered state-code pair: one decode/interact/encode per distinct (s1, s2)
+// ever seen, then every repetition is a table hit whose counter deltas are
+// applied in bulk via add_scaled. Extracted from MultinomialKernel so the
+// tau-leaping engine (core/tau_leap_simulation.h) applies its macro-leap
+// category counts through the very same cache.
+//
+// Only meaningful for DeterministicProtocol protocols (and, if observable,
+// ScalableCounters); callers gate on that — the template itself is left
+// unconstrained so engines can declare a member for any protocol and simply
+// never touch it outside a `if constexpr (cacheable)` branch.
+template <class P>
+class TransitionCache {
+ public:
+  using State = typename P::State;
+  using Counters = ProtocolCounters<P>;
+
+  struct Entry {
+    std::uint32_t na = 0;
+    std::uint32_t nb = 0;
+    [[no_unique_address]] Counters counters_delta{};
+  };
+
+  // The memoized result of the ordered pair (a, b), computing it on first
+  // use. The rng is threaded through for signature uniformity only — a
+  // deterministic protocol never reads it.
+  const Entry& lookup(const P& protocol, std::uint32_t a, std::uint32_t b,
+                      Rng& rng) {
+    bool inserted = false;
+    std::uint32_t slot =
+        map_.find_or_insert(pair_code_key(a, b), 0, &inserted);
+    if (inserted) {
+      if (entries_.size() >= kMaxEntries) {
+        // Huge state spaces could make the cache grow without limit;
+        // dropping it is always safe (it is a pure memoization).
+        map_.clear();
+        entries_.clear();
+        slot = map_.find_or_insert(pair_code_key(a, b), 0);
+      }
+      Entry e;
+      State sa = protocol.decode(a);
+      State sb = protocol.decode(b);
+      if constexpr (ObservableProtocol<P>) {
+        Counters delta{};
+        protocol.interact(sa, sb, rng, delta);
+        e.counters_delta = delta;
+      } else {
+        protocol.interact(sa, sb, rng);
+      }
+      e.na = protocol.encode(sa);
+      e.nb = protocol.encode(sb);
+      map_.value_ref(slot) = entries_.size();
+      entries_.push_back(e);
+    }
+    return entries_[map_.value_at(slot)];
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 22;
+
+  FlatMap64 map_;  // (a << 32 | b) -> index into entries_
+  std::vector<Entry> entries_;
 };
 
 // The ppsim-style multinomial batch step. One call simulates, exactly:
@@ -1320,33 +1395,8 @@ class MultinomialKernel {
   void apply_pair(const P& protocol, std::uint32_t a, std::uint32_t b,
                   std::uint64_t k, Rng& rng, Counters& counters) {
     if constexpr (kCacheable) {
-      bool inserted = false;
-      std::uint32_t slot =
-          cache_.find_or_insert(pair_code_key(a, b), 0, &inserted);
-      if (inserted) {
-        if (cache_entries_.size() >= (1u << 22)) {
-          // Huge state spaces could make the cache grow without limit;
-          // dropping it is always safe (it is a pure memoization).
-          cache_.clear();
-          cache_entries_.clear();
-          slot = cache_.find_or_insert(pair_code_key(a, b), 0);
-        }
-        CacheEntry e;
-        State sa = protocol.decode(a);
-        State sb = protocol.decode(b);
-        if constexpr (ObservableProtocol<P>) {
-          Counters delta{};
-          protocol.interact(sa, sb, rng, delta);
-          e.counters_delta = delta;
-        } else {
-          protocol.interact(sa, sb, rng);
-        }
-        e.na = protocol.encode(sa);
-        e.nb = protocol.encode(sb);
-        cache_.value_ref(slot) = cache_entries_.size();
-        cache_entries_.push_back(e);
-      }
-      const CacheEntry& e = cache_entries_[cache_.value_at(slot)];
+      const typename TransitionCache<P>::Entry& e =
+          cache_.lookup(protocol, a, b, rng);
       if constexpr (ObservableProtocol<P>) {
         counters.add_scaled(e.counters_delta, k);
       }
@@ -1392,19 +1442,12 @@ class MultinomialKernel {
     throw std::logic_error("touched multiset exhausted in collision draw");
   }
 
-  struct CacheEntry {
-    std::uint32_t na = 0;
-    std::uint32_t nb = 0;
-    [[no_unique_address]] Counters counters_delta{};
-  };
-
   OccupiedPool pool_;
   CollisionPrefixSampler prefix_;
   FlatMap64 pairs_;    // (a << 32 | b) -> repetitions (per-draw grouping)
   FlatMap64 net_;      // code -> net count delta (int64 bits)
   FlatMap64 touched_;  // code -> touched agents currently in that state
-  FlatMap64 cache_;    // (a << 32 | b) -> index into cache_entries_
-  std::vector<CacheEntry> cache_entries_;
+  TransitionCache<P> cache_;
   std::vector<PairCount> pair_list_;    // this batch's (s1, s2, k) groups
   std::vector<std::uint32_t> draws_;
   std::vector<SlotRun> sender_runs_;

@@ -225,14 +225,20 @@ class BatchSimulation {
   }
 
  private:
-  // kSharded is a whole-engine choice, not a per-step path: intra-run
-  // parallelism lives in ShardedSimulation (core/sharded_simulation.h),
-  // which owns the shard workers and the reconciliation rounds.
+  // kSharded and kTauLeap are whole-engine choices, not per-step paths:
+  // intra-run parallelism lives in ShardedSimulation
+  // (core/sharded_simulation.h) and the approximate macro-leap tier in
+  // TauLeapSimulation (core/tau_leap_simulation.h); each owns machinery
+  // this exact single-threaded engine has no counterpart for.
   static void reject_sharded(BatchStrategy s) {
     if (s == BatchStrategy::kSharded)
       throw std::invalid_argument(
           "strategy 'sharded' runs on ShardedSimulation "
           "(core/sharded_simulation.h), not BatchSimulation");
+    if (s == BatchStrategy::kTauLeap)
+      throw std::invalid_argument(
+          "strategy 'tau' runs on TauLeapSimulation "
+          "(core/tau_leap_simulation.h), not BatchSimulation");
   }
 
   void init_samplers() {

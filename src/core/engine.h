@@ -48,11 +48,20 @@ namespace ppsim {
 //                    partition), run each shard's batches concurrently, and
 //                    merge (core/sharded_simulation.h's ShardedSimulation;
 //                    BatchSimulation itself rejects this value)
+//   kTauLeap       - APPROXIMATE: freeze the pair rates and advance a whole
+//                    macro-leap at once by drawing Poisson interaction
+//                    counts per (s1, s2) category
+//                    (core/tau_leap_simulation.h's TauLeapSimulation;
+//                    BatchSimulation itself rejects this value). Results
+//                    are a pure function of (seed, tau_eps) but are NOT
+//                    exact-in-distribution; every result that flows through
+//                    the scenario API is stamped approximate.
 enum class BatchStrategy : std::uint8_t {
   kGeometricSkip,
   kMultinomial,
   kAuto,
   kSharded,
+  kTauLeap,
 };
 
 inline const char* to_string(BatchStrategy s) {
@@ -61,6 +70,7 @@ inline const char* to_string(BatchStrategy s) {
     case BatchStrategy::kMultinomial: return "multinomial";
     case BatchStrategy::kAuto: return "auto";
     case BatchStrategy::kSharded: return "sharded";
+    case BatchStrategy::kTauLeap: return "tau";
   }
   return "?";
 }
@@ -75,6 +85,8 @@ inline bool parse_strategy(const std::string& name, BatchStrategy& out) {
     out = BatchStrategy::kAuto;
   } else if (name == "sharded") {
     out = BatchStrategy::kSharded;
+  } else if (name == "tau" || name == "tau_leap") {
+    out = BatchStrategy::kTauLeap;
   } else {
     return false;
   }
@@ -90,9 +102,10 @@ enum class StrategyArm : std::uint8_t {
   kGeometricSkip = 1,
   kMultinomial = 2,
   kSharded = 3,
+  kTauLeap = 4,
 };
 
-inline constexpr std::size_t kStrategyArmCount = 4;
+inline constexpr std::size_t kStrategyArmCount = 5;
 
 inline const char* to_string(StrategyArm a) {
   switch (a) {
@@ -100,6 +113,7 @@ inline const char* to_string(StrategyArm a) {
     case StrategyArm::kGeometricSkip: return "geometric_skip";
     case StrategyArm::kMultinomial: return "multinomial";
     case StrategyArm::kSharded: return "sharded";
+    case StrategyArm::kTauLeap: return "tau";
   }
   return "?";
 }
@@ -142,6 +156,11 @@ struct StrategyTrace {
 // The sharded arm is never auto-chosen: picking it from a machine property
 // (core count) would make results machine-dependent, which the repo's
 // determinism contract forbids. It runs only when requested explicitly.
+//
+// The tau-leap arm is likewise never auto-chosen, for a stronger reason:
+// it is approximate, and `auto` promises an exact-in-distribution result.
+// Approximation is opt-in only (strategy=tau), and everything it produces
+// is stamped approximate downstream.
 struct StrategyController {
   // Whole-run arm choice (engine_arm): dense starts — occupancy at least
   // n / kDenseOccupancyDivisor — defeat every count engine, because with

@@ -1,0 +1,303 @@
+// Mean-field ODE companion to the tau-leaping tier.
+//
+// In the n -> infinity fluid limit the count vector's expected drift per
+// unit of parallel time is
+//   dx_q / dtau = n * sum over non-null (a, b) of
+//                   [x_a (x_b - [a = b]) / (n (n - 1))] * delta_q(a, b),
+// with delta_q(a, b) the transition's net count change at q — the same
+// deterministic transition function the exact engines apply, read through
+// the shared TransitionCache. MeanFieldSimulation integrates that drift
+// with classical RK4 over the real-valued mass vector: no randomness at
+// all, so it answers *drift-only* questions (expected trajectories,
+// occupancy profiles, where the bulk of the population sits at time t) at
+// a cost independent of n. Everything stochastic — hitting times of rare
+// events, fluctuation-driven leader collisions, stabilization tails — is
+// invisible to it; for those, use tau-leaping (which keeps the noise) or
+// an exact engine.
+//
+// The derivative enumeration reuses the passive-structured null knowledge
+// (categories with both sides passive and, for keyed protocols, distinct
+// keys are never visited), walking only the occupied support: O(occupied
+// active x occupied) per evaluation. Masses below kMassFloorPerAgent * n
+// are pruned to keep the support finite; the pruned mass (reported by
+// pruned_mass()) bounds the non-conservation error.
+//
+// Deterministic by construction; still *approximate* — results that flow
+// through the scenario API (engine=ode) are stamped `approximate: true`.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/batch_kernels.h"
+#include "core/protocol.h"
+#include "core/rng.h"
+
+namespace ppsim {
+
+// Default RK4 step in parallel-time units. Timer-chain protocols move a
+// code's mass at rate ~2x per unit of parallel time, so 0.05 resolves the
+// fastest drift to a few percent per step; engine=ode reuses the scenario's
+// tau_eps knob as the step when one is given.
+inline constexpr double kDefaultOdeDt = 0.05;
+
+template <EnumerableProtocol P>
+class MeanFieldSimulation {
+  static_assert(DeterministicProtocol<P>,
+                "the mean-field drift is derived from the deterministic "
+                "transition function");
+  static_assert(KeyedPassiveProtocol<P> || UnkeyedPassiveProtocol<P>,
+                "drift enumeration needs the passive-structured null "
+                "knowledge to skip null categories");
+
+ public:
+  using State = typename P::State;
+  using Counters = ProtocolCounters<P>;
+
+  // Mass below this fraction of one agent is pruned from the support.
+  static constexpr double kMassFloorPerAgent = 1e-12;
+
+  MeanFieldSimulation(P protocol, const std::vector<std::uint64_t>& counts,
+                      double dt = kDefaultOdeDt)
+      : protocol_(std::move(protocol)),
+        mass_(protocol_.num_states(), 0.0),
+        deriv_(protocol_.num_states(), 0.0),
+        dt_(dt) {
+    if (!(dt_ > 0.0) || !std::isfinite(dt_))
+      throw std::invalid_argument("ode dt must be finite and > 0");
+    if (counts.size() != mass_.size())
+      throw std::invalid_argument("counts size != num_states");
+    std::uint64_t total = 0;
+    for (std::uint32_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] == 0) continue;
+      total += counts[code];
+      mass_[code] = static_cast<double>(counts[code]);
+      occupied_.push_back(code);
+      occ_index_.find_or_insert(code, 0);
+    }
+    if (total != protocol_.population_size() || total < 2)
+      throw std::invalid_argument("counts must sum to population size >= 2");
+  }
+
+  std::uint32_t population_size() const { return protocol_.population_size(); }
+  const P& protocol() const { return protocol_; }
+  // Expected per-interaction event counters are not integrated (the repo's
+  // counters are integer-valued); always empty.
+  const Counters& counters() const { return counters_; }
+
+  double parallel_time() const { return time_; }
+  std::uint64_t interactions() const {
+    return static_cast<std::uint64_t>(
+        time_ * static_cast<double>(population_size()));
+  }
+  double dt() const { return dt_; }
+
+  // Real-valued mass at a state code, and the current support.
+  double mass(std::uint32_t code) const { return mass_[code]; }
+  const std::vector<std::uint32_t>& occupied() const { return occupied_; }
+  // Total mass pruned at the support floor so far (non-conservation bound).
+  double pruned_mass() const { return pruned_; }
+
+  // Advances by `count` scheduler interactions' worth of parallel time
+  // (count / n units), in RK4 steps of dt (a final partial step lands
+  // exactly on the target).
+  void run(std::uint64_t count) {
+    run_ptime(static_cast<double>(count) /
+              static_cast<double>(population_size()));
+  }
+
+  template <class Done>
+  bool run_until(Done&& done, std::uint64_t max_interactions) {
+    if (done(*this)) return true;
+    while (interactions() < max_interactions) {
+      step();
+      if (done(*this)) return true;
+    }
+    return false;
+  }
+
+  void run_ptime(double tau) {
+    const double target = time_ + tau;
+    while (time_ < target) {
+      const double h = std::min(dt_, target - time_);
+      step(h);
+    }
+  }
+
+  // One RK4 step of length h (default dt).
+  void step(double h = 0.0) {
+    if (h <= 0.0) h = dt_;
+    // k1..k4 each evaluate the drift at base + c * k_prev, applied to the
+    // mass vector in place and reverted (the support is sparse; copying
+    // the dense vector per stage would dominate).
+    eval_drift(k1_);
+    with_offset(k1_, 0.5 * h, [&] { eval_drift(k2_); });
+    with_offset(k2_, 0.5 * h, [&] { eval_drift(k3_); });
+    with_offset(k3_, h, [&] { eval_drift(k4_); });
+    const double w1 = h / 6.0, w2 = h / 3.0;
+    apply_stage(k1_, w1);
+    apply_stage(k2_, w2);
+    apply_stage(k3_, w2);
+    apply_stage(k4_, w1);
+    prune_and_compact();
+    time_ += h;
+  }
+
+ private:
+  struct Stage {
+    std::vector<std::uint32_t> codes;
+    std::vector<double> values;
+  };
+
+  bool restless(std::uint32_t code) const {
+    return !protocol_.is_passive(protocol_.decode(code));
+  }
+
+  // Evaluates dx/dtau at the current mass_ into `out` (sparse). Enumerates
+  // active x occupied and passive x active categories plus (keyed) the
+  // same-key passive fibers; every category's deltas come from the shared
+  // transition cache.
+  void eval_drift(Stage& out) {
+    out.codes.clear();
+    out.values.clear();
+    drift_seen_.clear();
+    const double n = static_cast<double>(population_size());
+    const double scale = n / (n * (n - 1.0));  // per unit parallel time
+    const double floor = kMassFloorPerAgent * n;
+    auto add = [&](std::uint32_t code, double v) {
+      bool inserted = false;
+      drift_seen_.find_or_insert(code, 0, &inserted);
+      if (inserted) out.codes.push_back(code);
+      deriv_[code] += v;
+    };
+    auto category = [&](std::uint32_t a, double xa, std::uint32_t b,
+                        double xb) {
+      if (a == b) xb -= 1.0;
+      if (xb <= 0.0) return;
+      const typename TransitionCache<P>::Entry& e =
+          cache_.lookup(protocol_, a, b, null_rng_);
+      if (e.na == a && e.nb == b) return;  // null category
+      const double rate = scale * xa * xb;
+      add(a, -rate);
+      add(b, -rate);
+      add(e.na, rate);
+      add(e.nb, rate);
+    };
+    for (std::uint32_t a : occupied_) {
+      const double xa = mass_[a];
+      if (xa <= floor || !restless(a)) continue;
+      for (std::uint32_t b : occupied_) {
+        const double xb = mass_[b];
+        if (xb <= floor) continue;
+        category(a, xa, b, xb);
+      }
+    }
+    for (std::uint32_t q : occupied_) {
+      const double xq = mass_[q];
+      if (xq <= floor || restless(q)) continue;
+      for (std::uint32_t b : occupied_) {
+        const double xb = mass_[b];
+        if (xb <= floor || !restless(b)) continue;
+        category(q, xq, b, xb);
+      }
+    }
+    if constexpr (KeyedPassiveProtocol<P>) {
+      // Same-key passive pairs: group occupied passive codes by key.
+      key_mass_.clear();
+      for (std::uint32_t q : occupied_) {
+        if (mass_[q] <= floor || restless(q)) continue;
+        key_mass_.add(protocol_.passive_key(protocol_.decode(q)), 1);
+      }
+      for (std::uint32_t slot : key_mass_.entry_slots()) {
+        // Fibers are tiny (3 codes for Optimal-Silent); enumerate the
+        // key's fiber pairs whenever the key holds occupied passive mass
+        // (two distinct codes, or one code with mass > 1).
+        const auto key = static_cast<std::uint32_t>(key_mass_.key_at(slot));
+        for (std::uint32_t c1 : protocol_.passive_fiber(key)) {
+          const double x1 = mass_[c1];
+          if (x1 <= floor) continue;
+          for (std::uint32_t c2 : protocol_.passive_fiber(key)) {
+            const double x2 = mass_[c2];
+            if (x2 <= floor) continue;
+            category(c1, x1, c2, x2);
+          }
+        }
+      }
+    }
+    for (std::uint32_t code : out.codes) {
+      out.values.push_back(deriv_[code]);
+      deriv_[code] = 0.0;  // leave the dense accumulator clean
+    }
+  }
+
+  // Runs `body` with mass_ displaced by c * stage, then reverts exactly
+  // (the displacement is saved, not recomputed, so float drift cannot
+  // corrupt the base state).
+  template <class Body>
+  void with_offset(const Stage& stage, double c, Body body) {
+    saved_.clear();
+    for (std::size_t i = 0; i < stage.codes.size(); ++i) {
+      const std::uint32_t code = stage.codes[i];
+      saved_.push_back(mass_[code]);
+      ensure_occupied(code);
+      mass_[code] =
+          std::max(0.0, mass_[code] + c * stage.values[i]);
+    }
+    body();
+    for (std::size_t i = 0; i < stage.codes.size(); ++i)
+      mass_[stage.codes[i]] = saved_[i];
+  }
+
+  void apply_stage(const Stage& stage, double c) {
+    for (std::size_t i = 0; i < stage.codes.size(); ++i) {
+      const std::uint32_t code = stage.codes[i];
+      ensure_occupied(code);
+      mass_[code] = std::max(0.0, mass_[code] + c * stage.values[i]);
+    }
+  }
+
+  void ensure_occupied(std::uint32_t code) {
+    bool inserted = false;
+    occ_index_.find_or_insert(code, 0, &inserted);
+    if (inserted) occupied_.push_back(code);
+  }
+
+  void prune_and_compact() {
+    const double floor =
+        kMassFloorPerAgent * static_cast<double>(population_size());
+    std::size_t kept = 0;
+    for (std::uint32_t code : occupied_) {
+      if (mass_[code] > floor) {
+        occupied_[kept++] = code;
+      } else {
+        pruned_ += mass_[code];
+        mass_[code] = 0.0;
+      }
+    }
+    if (kept == occupied_.size()) return;
+    occupied_.resize(kept);
+    occ_index_.clear();
+    for (std::uint32_t code : occupied_) occ_index_.find_or_insert(code, 0);
+  }
+
+  P protocol_;
+  std::vector<double> mass_;
+  std::vector<double> deriv_;  // dense accumulator for eval_drift
+  std::vector<std::uint32_t> occupied_;
+  FlatMap64 occ_index_;
+  FlatMap64 drift_seen_;  // codes already pushed this evaluation
+  FlatMap64 key_mass_;    // keyed: occupied passive keys this evaluation
+  TransitionCache<P> cache_;
+  Rng null_rng_{0};  // deterministic protocols never read it
+  Counters counters_{};
+  std::vector<double> saved_;
+  Stage k1_, k2_, k3_, k4_;
+  double dt_;
+  double time_ = 0.0;
+  double pruned_ = 0.0;
+};
+
+}  // namespace ppsim

@@ -34,9 +34,11 @@ struct ScenarioSpec {
   std::string protocol;        // registry name (required)
   std::uint32_t n = 0;         // population size (0 = entry default_n)
   std::string init;            // initial-condition name ("" = entry default)
-  std::string engine = "auto";    // array | batch | auto (batch if able)
+  std::string engine = "auto";    // array | batch | auto (batch if able) |
+                                  // ode (APPROXIMATE mean-field drift)
   std::string strategy = "auto";  // geometric_skip | multinomial | auto |
-                                  // sharded (intra-run parallelism)
+                                  // sharded (intra-run parallelism) |
+                                  // tau (APPROXIMATE tau-leaping)
   std::uint32_t shards = 0;    // strategy=sharded: worker shard count
                                // (0 = the engine's fixed default, 8;
                                // clamped to n/2). Results depend on
@@ -50,6 +52,11 @@ struct ScenarioSpec {
   std::uint32_t trials = 1;
   std::uint64_t seed = 1;      // base seed; trial t runs derive_seed(seed, t)
   std::uint32_t threads = 0;   // trial fan-out (0 = env/hardware)
+  double tau_eps = 0.0;        // strategy=tau: leap-size knob ("tau.eps=",
+                               // 0 = kDefaultTauEps); engine=ode reuses it
+                               // as the RK4 step in parallel-time units.
+                               // Approximate results are pure functions of
+                               // (seed, tau_eps) and stamped as such.
 
   // Protocol-constant overrides ("param.<name>=<value>" on the CLI / in
   // matrix files): each entry is interpreted by the protocol's registered
@@ -159,6 +166,12 @@ struct ScenarioResult {
   std::uint64_t failed = 0;            // trials that hit the horizon
   double wall_seconds = 0.0;           // whole scenario (all trials)
   double interactions_mean = 0.0;      // per trial
+
+  // Honesty stamp for the approximate tier (strategy=tau / engine=ode):
+  // true means the values are NOT exact-in-distribution and must never be
+  // strict-diffed against exact baselines (bench_compare exempts them).
+  bool approximate = false;
+  double tau_eps = 0.0;  // resolved knob behind an approximate result
 };
 
 // A registered protocol: metadata for --list plus the type-erased runner.

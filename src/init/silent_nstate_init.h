@@ -71,6 +71,22 @@ inline const InitialConditionSet<SilentNStateSSR>& silent_nstate_inits() {
              counts[0] = p.population_size();
              return counts;
            }});
+    s.add({"duplicate-rank",
+           "correct ranking except agent 1 copies rank 0 (Observation 2.6: "
+           "recovery needs the duplicated pair to meet directly)",
+           [](const P& p, std::uint64_t) {
+             const std::uint32_t n = p.population_size();
+             std::vector<P::State> states(n);
+             for (std::uint32_t i = 0; i < n; ++i) states[i].rank = i;
+             states[1].rank = 0;
+             return states;
+           },
+           [](const P& p, std::uint64_t) {
+             std::vector<std::uint64_t> counts(p.num_states(), 1);
+             counts[0] = 2;
+             counts[1] = 0;
+             return counts;
+           }});
     s.add({"correct-ranking",
            "the silent permutation 0..n-1 (stability check)",
            [](const P& p, std::uint64_t) {

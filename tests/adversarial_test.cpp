@@ -7,9 +7,11 @@
 
 #include <string>
 
-#include "analysis/adversary.h"
 #include "analysis/convergence.h"
 #include "core/simulation.h"
+#include "init/optimal_silent_init.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"
 #include "protocols/leader.h"
 #include "protocols/optimal_silent.h"
 #include "protocols/silent_nstate.h"

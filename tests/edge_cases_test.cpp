@@ -5,11 +5,13 @@
 
 #include <cmath>
 
-#include "analysis/adversary.h"
 #include "analysis/barrier.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
+#include "init/optimal_silent_init.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"
 #include "processes/bounded_epidemic.h"
 #include "processes/epidemic.h"
 #include "protocols/leader.h"

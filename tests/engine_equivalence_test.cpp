@@ -25,7 +25,6 @@
 #include <string>
 #include <vector>
 
-#include "analysis/adversary.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/batch_simulation.h"
@@ -33,6 +32,7 @@
 #include "core/sharded_simulation.h"
 #include "core/simulation.h"
 #include "core/stats.h"
+#include "init/optimal_silent_init.h"
 #include "processes/epidemic.h"
 #include "protocols/leader.h"
 #include "protocols/obs25.h"

@@ -3,10 +3,11 @@
 // window — the three engineering layers the benchmarks lean on.
 #include <gtest/gtest.h>
 
-#include "analysis/adversary.h"
 #include "analysis/convergence.h"
 #include "common/roster.h"
 #include "core/simulation.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"
 #include "protocols/collision_tree.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/sublinear.h"

@@ -5,8 +5,10 @@
 // the paper's state-counting arguments.
 #include <gtest/gtest.h>
 
-#include "analysis/adversary.h"
 #include "core/simulation.h"
+#include "init/optimal_silent_init.h"
+#include "init/silent_nstate_init.h"
+#include "init/sublinear_init.h"
 #include "protocols/optimal_silent.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/sublinear.h"

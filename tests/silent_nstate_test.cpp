@@ -4,11 +4,11 @@
 
 #include <numeric>
 
-#include "analysis/adversary.h"
 #include "analysis/barrier.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
+#include "init/silent_nstate_init.h"
 #include "protocols/leader.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/silent_nstate_fast.h"

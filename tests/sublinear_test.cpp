@@ -6,10 +6,10 @@
 
 #include <set>
 
-#include "analysis/adversary.h"
 #include "analysis/convergence.h"
 #include "analysis/experiments.h"
 #include "core/simulation.h"
+#include "init/sublinear_init.h"
 #include "protocols/leader.h"
 #include "protocols/sublinear.h"
 

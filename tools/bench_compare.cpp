@@ -15,7 +15,12 @@
 //                            same seeds must reproduce them bit-for-bit,
 //                            so any change means the simulated process
 //                            changed and the baseline needs a deliberate
-//                            refresh
+//                            refresh. Records stamped "approximate": true
+//                            (the strategy=tau / engine=ode tier) are a
+//                            separate class: wall-time gated like everything
+//                            else, but never strict-diffed — the approximate
+//                            engines may re-tune between commits, and their
+//                            sampled values carry no bit-for-bit contract.
 //       [--host-gate]        key the baseline by this machine's fingerprint
 //                            (CPU model + core count, common/host.h): if
 //                            <baseline_dir>/<fingerprint-slug>/ exists, use
@@ -28,112 +33,25 @@
 //       [--tight=0.2]        threshold when the host baseline matched
 //       [--loose=1.5]        threshold when it did not
 //
-// Records are matched by identity key (bench, experiment, backend,
-// strategy, n, mode — plus an occurrence index for repeated keys);
-// everything else is treated as measurement. Records present only on one
-// side are reported but are not failures (benches evolve). Exit status:
-// 0 clean, 1 regressions (or --strict drift), 2 usage/I-O error.
+// Record identity, loading, and the comparison itself live in
+// analysis/bench_records.h (shared with the unit tests); records present
+// only on one side are reported but are not failures (benches evolve).
+// Exit status: 0 clean, 1 regressions (or --strict drift), 2 usage/IO
+// error.
 //
 // Without --host-gate the default 20% threshold is meant for same-machine
 // A/B runs while optimizing; pass an explicit generous --threshold for
 // cross-machine comparisons.
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "analysis/bench_records.h"
 #include "common/host.h"
-#include "common/json.h"
 
 namespace {
-
-using ppsim::JsonParser;
-using ppsim::JsonValue;
-
-struct Record {
-  std::string key;  // identity: bench|experiment|backend|strategy|n|mode|#i
-  std::map<std::string, double> metrics;  // numeric fields
-};
-
-std::string identity_field(const JsonValue& rec, const char* name) {
-  const JsonValue* v = rec.get(name);
-  if (v == nullptr) return "";
-  if (v->kind == JsonValue::Kind::kString) return v->str;
-  if (v->kind == JsonValue::Kind::kNumber) {
-    std::ostringstream os;
-    os << v->num;
-    return os.str();
-  }
-  return "";
-}
-
-// Loads every BENCH_*.json in `dir` into keyed records.
-bool load_dir(const std::string& dir, std::map<std::string, Record>& out,
-              bool verbose) {
-  namespace fs = std::filesystem;
-  if (!fs::is_directory(dir)) {
-    std::cerr << "bench_compare: not a directory: " << dir << "\n";
-    return false;
-  }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
-        name.substr(name.size() - 5) == ".json")
-      files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
-  std::map<std::string, int> occurrence;
-  for (const auto& path : files) {
-    std::ifstream in(path);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-    JsonValue root;
-    if (!JsonParser(text).parse(root) ||
-        root.kind != JsonValue::Kind::kObject) {
-      std::cerr << "bench_compare: cannot parse " << path << "\n";
-      return false;
-    }
-    const JsonValue* bench = root.get("bench");
-    const JsonValue* records = root.get("records");
-    if (bench == nullptr || records == nullptr ||
-        records->kind != JsonValue::Kind::kArray) {
-      std::cerr << "bench_compare: unexpected schema in " << path << "\n";
-      return false;
-    }
-    for (const JsonValue& r : records->items) {
-      if (r.kind != JsonValue::Kind::kObject) continue;
-      std::string key = bench->str;
-      for (const char* field :
-           {"experiment", "backend", "strategy", "n", "mode"}) {
-        key.push_back('|');
-        key.append(identity_field(r, field));
-      }
-      const int index = occurrence[key]++;
-      key.append("|#");
-      key.append(std::to_string(index));
-      Record rec;
-      rec.key = key;
-      for (const auto& [k, v] : r.fields) {
-        if (v.kind == JsonValue::Kind::kNumber) rec.metrics[k] = v.num;
-        if (v.kind == JsonValue::Kind::kBool) rec.metrics[k] = v.b ? 1 : 0;
-      }
-      out.emplace(key, std::move(rec));
-    }
-  }
-  if (verbose)
-    std::cout << "loaded " << out.size() << " records from " << files.size()
-              << " files in " << dir << "\n";
-  return true;
-}
 
 bool dir_has_bench_json(const std::string& dir) {
   namespace fs = std::filesystem;
@@ -151,22 +69,20 @@ bool dir_has_bench_json(const std::string& dir) {
 
 int main(int argc, char** argv) {
   std::string base_dir, cand_dir;
-  double threshold = 0.20;
+  ppsim::benchcmp::CompareOptions opts;
   bool threshold_explicit = false;
-  double min_seconds = 0.05;
-  bool strict = false;
   bool host_gate = false;
   double tight = 0.20;
   double loose = 1.50;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--threshold=", 0) == 0) {
-      threshold = std::stod(a.substr(12));
+      opts.threshold = std::stod(a.substr(12));
       threshold_explicit = true;
     } else if (a.rfind("--min-seconds=", 0) == 0) {
-      min_seconds = std::stod(a.substr(14));
+      opts.min_seconds = std::stod(a.substr(14));
     } else if (a == "--strict") {
-      strict = true;
+      opts.strict = true;
     } else if (a == "--host-gate") {
       host_gate = true;
     } else if (a.rfind("--tight=", 0) == 0) {
@@ -196,75 +112,33 @@ int main(int argc, char** argv) {
         base_dir + "/" + ppsim::host_fingerprint_slug();
     if (dir_has_bench_json(host_dir)) {
       base_dir = host_dir;
-      if (!threshold_explicit) threshold = tight;
+      if (!threshold_explicit) opts.threshold = tight;
       std::cout << "host-gate: matched baseline for '"
                 << ppsim::host_fingerprint() << "' (" << host_dir
-                << "); threshold " << threshold * 100 << "%\n";
+                << "); threshold " << opts.threshold * 100 << "%\n";
     } else {
-      if (!threshold_explicit) threshold = loose;
+      if (!threshold_explicit) opts.threshold = loose;
       std::cout << "host-gate: no baseline for '" << ppsim::host_fingerprint()
                 << "' (looked for " << host_dir
-                << "); cross-machine threshold " << threshold * 100
+                << "); cross-machine threshold " << opts.threshold * 100
                 << "%\n";
     }
   }
 
-  std::map<std::string, Record> base, cand;
-  if (!load_dir(base_dir, base, true) || !load_dir(cand_dir, cand, true))
+  std::map<std::string, ppsim::benchcmp::Record> base, cand;
+  if (!ppsim::benchcmp::load_dir(base_dir, base, true) ||
+      !ppsim::benchcmp::load_dir(cand_dir, cand, true))
     return 2;
 
-  int regressions = 0, improvements = 0, compared = 0, drift = 0;
-  int missing = 0, added = 0;
-  for (const auto& [key, b] : base) {
-    const auto it = cand.find(key);
-    if (it == cand.end()) {
-      ++missing;
-      continue;
-    }
-    const Record& c = it->second;
-    const auto bw = b.metrics.find("wall_seconds");
-    const auto cw = c.metrics.find("wall_seconds");
-    if (bw != b.metrics.end() && cw != c.metrics.end()) {
-      // A regression must exceed the relative threshold AND an absolute
-      // min_seconds of growth: the absolute floor keeps sub-noise records
-      // (smoke runs) quiet without masking a large blowup from a tiny
-      // baseline.
-      ++compared;
-      const double ratio = cw->second / std::max(bw->second, 1e-12);
-      if (cw->second > bw->second * (1.0 + threshold) + min_seconds) {
-        ++regressions;
-        std::printf("REGRESSION  %-70s %8.3fs -> %8.3fs  (%.0f%%)\n",
-                    key.c_str(), bw->second, cw->second,
-                    (ratio - 1.0) * 100.0);
-      } else if (cw->second < bw->second * (1.0 - threshold) - min_seconds) {
-        ++improvements;
-        std::printf("improved    %-70s %8.3fs -> %8.3fs  (%.0f%%)\n",
-                    key.c_str(), bw->second, cw->second,
-                    (ratio - 1.0) * 100.0);
-      }
-    }
-    if (strict) {
-      for (const char* field : {"interactions", "parallel_time"}) {
-        const auto bf = b.metrics.find(field);
-        const auto cf = c.metrics.find(field);
-        if (bf == b.metrics.end() || cf == c.metrics.end()) continue;
-        const double denom = std::max(1.0, std::fabs(bf->second));
-        if (std::fabs(bf->second - cf->second) / denom > 1e-9) {
-          ++drift;
-          std::printf("DRIFT       %-70s %s %.17g -> %.17g\n", key.c_str(),
-                      field, bf->second, cf->second);
-        }
-      }
-    }
-  }
-  for (const auto& [key, c] : cand)
-    if (base.find(key) == base.end()) ++added;
+  const ppsim::benchcmp::CompareStats stats =
+      ppsim::benchcmp::compare(base, cand, opts);
 
   std::printf(
       "\nbench_compare: %d wall-clock comparisons, %d regressions "
-      "(> %.0f%% and > %.2fs growth), %d improvements, %d drifted, "
-      "%d baseline-only, %d new\n",
-      compared, regressions, threshold * 100.0, min_seconds, improvements,
-      drift, missing, added);
-  return regressions > 0 || drift > 0 ? 1 : 0;
+      "(> %.0f%% and > %.2fs growth), %d improvements, %d drifted "
+      "(%d approximate records exempt), %d baseline-only, %d new\n",
+      stats.compared, stats.regressions, opts.threshold * 100.0,
+      opts.min_seconds, stats.improvements, stats.drift, stats.approx_exempt,
+      stats.missing, stats.added);
+  return stats.failed() ? 1 : 0;
 }

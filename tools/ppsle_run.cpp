@@ -103,6 +103,10 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     spec.horizon_ptime = parse_double(key, value);
   } else if (key == "tail") {
     spec.tail_ptime = parse_double(key, value);
+  } else if (key == "tau.eps") {
+    // Approximate-tier knob: the tau-leap size (strategy=tau) or the RK4
+    // step (engine=ode). 0 keeps the engine default.
+    spec.tau_eps = parse_double(key, value);
   } else if (key == "label") {
     label = value;
   } else if (key.rfind("param.", 0) == 0 && key.size() > 6) {
@@ -113,8 +117,8 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
   } else {
     usage_error("unknown scenario key '" + key +
                 "' (known: protocol n init engine strategy shards until "
-                "trials seed threads max_interactions ptime tail label "
-                "param.<name>)");
+                "trials seed threads max_interactions ptime tail tau.eps "
+                "label param.<name>)");
   }
 }
 
@@ -304,16 +308,25 @@ int run_matrix(const std::string& path, std::string out_name) {
     // Every other spec field joins the identity verbatim: cells differing
     // in seed/trials/horizon/... are distinct runs, never duplicates.
     const bool batch = entry.batch_capable && cell.spec.engine != "array";
+    const bool approx = cell.spec.engine == "ode" ||
+                        (batch && (cell.spec.strategy == "tau" ||
+                                   cell.spec.strategy == "tau_leap"));
     const std::string identity =
         cell.spec.protocol + "|" +
         std::to_string(entry.fixed_n
                            ? entry.fixed_n
                            : (cell.spec.n ? cell.spec.n : entry.default_n)) +
         "|" + (cell.spec.init.empty() ? entry.default_init : cell.spec.init) +
-        "|" + (batch ? "batch/" + cell.spec.strategy : "array") + "|" +
+        "|" +
+        (cell.spec.engine == "ode"
+             ? "ode"
+             : (batch ? "batch/" + cell.spec.strategy : "array")) +
+        "|" +
         (batch && cell.spec.strategy == "sharded"
              ? "shards=" + std::to_string(cell.spec.shards) + "|"
              : "") +
+        (approx ? "tau_eps=" + std::to_string(cell.spec.tau_eps) + "|"
+                : "") +
         (cell.spec.until.empty() ? entry.default_until : cell.spec.until) +
         "|" + std::to_string(cell.spec.seed) + "|" +
         std::to_string(cell.spec.trials) + "|" +
