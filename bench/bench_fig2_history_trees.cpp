@@ -6,6 +6,11 @@
 // agent's tree after each interaction, and walks through the
 // Check-Path-Consistency call that the figure's caption narrates. Also
 // microbenchmarks the tree kernels (graft, detection DFS) under load.
+//
+// Deliberately NOT on the Scenario API: both measurements are
+// single-execution replays of a fixed four-agent interaction sequence and
+// per-call kernel micros, not population-scale experiment cells — no
+// registered (protocol, init, until) triple covers them.
 #include <benchmark/benchmark.h>
 
 #include <iostream>

@@ -7,6 +7,11 @@
 //   * epidemic trees:    height ~ e ln n (uniform random recursive trees)
 //
 // plus google-benchmark microbenchmarks of the process kernels.
+//
+// Deliberately NOT on the Scenario API: these are raw Section 2.1
+// processes (two-way epidemic, roll call, bounded epidemic, recursive
+// trees), not registered protocols — the registry's one-way-epidemic entry
+// measures a different process, so no scenario covers these cells.
 #include <benchmark/benchmark.h>
 
 #include <cmath>

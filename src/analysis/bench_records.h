@@ -3,14 +3,15 @@
 // bench_compare CLI and the unit tests that pin its semantics.
 //
 // Records are matched by identity key (bench, experiment, backend,
-// strategy, n, mode, approximate, tau_eps — plus an occurrence index for
-// repeated keys); everything else is measurement. The `approximate` and
-// `tau_eps` fields are part of the *identity*, not the measurement: a
-// record produced by the approximate tier (strategy=tau / engine=ode,
-// stamped "approximate": true by the scenario API) is a different
-// experiment class from an exact record of the same shape, so the two
-// never silently compare against each other when a bench cell migrates
-// between tiers.
+// strategy, n, mode, approximate, tau_eps, abstracted — plus an occurrence
+// index for repeated keys); everything else is measurement. The
+// `approximate`, `tau_eps`, and `abstracted` fields are part of the
+// *identity*, not the measurement: a record produced by the approximate
+// tier (strategy=tau / engine=ode, stamped "approximate": true by the
+// scenario API) or by an abstracted protocol (a count-form quotient,
+// stamped "abstracted": true) is a different experiment class from an
+// exact record of the same shape, so the two never silently compare
+// against each other when a bench cell migrates between tiers.
 //
 // Approximate records are additionally exempt from --strict drift checks:
 // strictness asserts that same code + same seeds reproduce the
@@ -20,6 +21,9 @@
 // point of the tier is that the engine may legitimately re-tune its leap
 // controller between commits — so approximate cells are gated on wall time
 // only, and drift in their sampled values is never a CI failure.
+// Abstracted records get the same exemption for the same reason: the
+// quotient (bucket boundaries, witness truncation) may legitimately be
+// re-tuned between commits, so their sampled values are wall-gated only.
 #pragma once
 
 #include <algorithm>
@@ -39,12 +43,17 @@
 namespace ppsim::benchcmp {
 
 struct Record {
-  // Identity: bench|experiment|backend|strategy|n|mode|approximate|tau_eps|#i
+  // Identity: bench|experiment|backend|strategy|n|mode|approximate|tau_eps|
+  //           abstracted|#i
   std::string key;
   std::map<std::string, double> metrics;  // numeric + boolean fields (0/1)
 
   bool approximate() const {
     const auto it = metrics.find("approximate");
+    return it != metrics.end() && it->second != 0.0;
+  }
+  bool abstracted() const {
+    const auto it = metrics.find("abstracted");
     return it != metrics.end() && it->second != 0.0;
   }
 };
@@ -103,7 +112,8 @@ inline bool load_dir(const std::string& dir,
       if (r.kind != JsonValue::Kind::kObject) continue;
       std::string key = bench->str;
       for (const char* field : {"experiment", "backend", "strategy", "n",
-                                "mode", "approximate", "tau_eps"}) {
+                                "mode", "approximate", "tau_eps",
+                                "abstracted"}) {
         key.push_back('|');
         key.append(identity_field(r, field));
       }
@@ -136,8 +146,9 @@ struct CompareStats {
   int regressions = 0;
   int improvements = 0;
   int drift = 0;
-  int approx_exempt = 0;  // approximate records --strict skipped over
-  int missing = 0;        // baseline-only records
+  int approx_exempt = 0;      // approximate records --strict skipped over
+  int abstracted_exempt = 0;  // abstracted records --strict skipped over
+  int missing = 0;            // baseline-only records
   int added = 0;          // candidate-only records
   bool failed() const { return regressions > 0 || drift > 0; }
 };
@@ -188,6 +199,10 @@ inline CompareStats compare(const std::map<std::string, Record>& base,
     if (opts.strict) {
       if (b.approximate() || c.approximate()) {
         ++stats.approx_exempt;
+        continue;
+      }
+      if (b.abstracted() || c.abstracted()) {
+        ++stats.abstracted_exempt;
         continue;
       }
       for (const char* field : {"interactions", "parallel_time"}) {

@@ -11,6 +11,8 @@
 //                    dormant-mix, single-leader, ...    ptime
 //   sublinear-h1     uniform-random, ghost-names, ... ranked | ptime
 //   sublinear-hlog   (same; H = 3 log2 n params)      ranked | ptime
+//   sublinear-h1-count   duplicate-names, mid-reset,  detected | drained |
+//   sublinear-hlog-count   correct-ranked, post-wave    ptime
 //   reset-process    trigger-one, mid-reset-mix, ...  drained | ptime
 //   one-way-epidemic single-infected, residual-16     complete | ptime
 //   obs25            all-leaders, uniform-random      silent | ptime
@@ -45,6 +47,14 @@
 //   drift (core/mean_field.h). Both stamp ScenarioResult.approximate =
 //   true + the resolved tau_eps; bench_compare exempts such records from
 //   strict drift checks against exact baselines.
+//
+// ABSTRACTED protocols: the sublinear-*-count entries run the truncated
+// count-form quotient of Sublinear-Time-SSR (protocols/sublinear_count.h)
+// rather than the concrete protocol, so every record they produce is
+// stamped ScenarioResult.abstracted = true regardless of engine —
+// bench_compare exempts abstracted records from strict drift the same way
+// it exempts approximate ones. The trunc.depth param (0 | 1, default 1)
+// selects the history-tree truncation depth.
 #pragma once
 
 #include <algorithm>
@@ -73,12 +83,14 @@
 #include "init/optimal_silent_init.h"
 #include "init/reset_init.h"
 #include "init/silent_nstate_init.h"
+#include "init/sublinear_count_init.h"
 #include "init/sublinear_init.h"
 #include "processes/epidemic.h"
 #include "protocols/obs25.h"
 #include "protocols/optimal_silent.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/sublinear.h"
+#include "protocols/sublinear_count.h"
 #include "reset/reset_process.h"
 
 namespace ppsim {
@@ -655,7 +667,7 @@ inline void register_sublinear_entry(ProtocolRegistry& reg,
   e.default_n = default_n;
   e.inits = sublinear_inits().names();
   e.default_init = sublinear_inits().default_name();
-  e.untils = {"ranked", "detected", "ptime"};
+  e.untils = {"ranked", "detected", "drained", "ptime"};
   e.default_until = "ranked";
   e.run = [default_n,
            make_params = std::move(make_params)](const ScenarioSpec& spec) {
@@ -704,8 +716,110 @@ inline void register_sublinear_entry(ProtocolRegistry& reg,
           spec.max_interactions ? spec.max_interactions : 1ull << 62,
           detected, /*cheap=*/true);
     }
+    if (until == "drained") {
+      // Time until no agent is Resetting — the reset-wave drain quantity,
+      // paired with the count form's drained cell for the cross-form
+      // exactness tests (the reset machinery is a lossless quotient).
+      auto drained = [](const auto& sim) {
+        for (const auto& s : sim.states())
+          if (s.role == SlRole::Resetting) return false;
+        return true;
+      };
+      return sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 50,
+          drained, /*cheap=*/false);
+    }
     if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
     sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
+// One count-form entry (protocols/sublinear_count.h): the truncated
+// abstraction of the same parameter family, EnumerableProtocol and hence
+// batch/sharded/tau-capable. Every result is stamped abstracted = true —
+// the protocol itself is a quotient, whatever the engine.
+inline void register_sublinear_count_entry(
+    ProtocolRegistry& reg, const std::string& name,
+    const std::string& description, const std::string& states,
+    std::uint32_t default_n,
+    std::function<SublinearParams(std::uint32_t)> make_params) {
+  ProtocolEntry e;
+  e.name = name;
+  e.description = description;
+  e.states = states;
+  // The abstraction is silent (tree churn is erased: an all-passive
+  // configuration has no non-null pair), unlike the concrete protocol.
+  e.silent = true;
+  e.batch_capable = true;
+  e.default_n = default_n;
+  e.inits = sublinear_count_inits().names();
+  e.default_init = sublinear_count_inits().default_name();
+  e.untils = {"detected", "drained", "ptime"};
+  e.default_until = "detected";
+  e.run = [default_n,
+           make_params = std::move(make_params)](const ScenarioSpec& spec) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(spec, default_n, 0);
+    // Same overridable constants as the array entries, plus trunc.depth
+    // (history-tree truncation: 0 = direct check only, 1 = witness
+    // automaton). synthetic_coin is accepted as a key so the error is
+    // about expressibility, not an unknown param.
+    ParamReader params(spec);
+    const auto h_override =
+        static_cast<std::uint32_t>(params.integer("h", 0));
+    SublinearParams p = h_override > 0
+                            ? SublinearParams::constant_h(n, h_override)
+                            : make_params(n);
+    p.smax = params.integer("smax", p.smax);
+    p.th = static_cast<std::uint32_t>(params.integer("th", p.th));
+    p.use_synthetic_coin = params.flag("synthetic_coin", false);
+    p.direct_check = params.flag("direct_check", p.direct_check);
+    const auto trunc_depth =
+        static_cast<std::uint32_t>(params.integer("trunc.depth", 1));
+    params.finish();
+    const SublinearCountSSR proto(p, trunc_depth);
+    const auto& inits = sublinear_count_inits();
+    const std::string until = spec.until.empty() ? "detected" : spec.until;
+    ScenarioResult out;
+    if (until == "detected") {
+      auto detected = [](const auto& sim) {
+        return sim.counters().collision_triggers > 0;
+      };
+      out = sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 62,
+          detected, /*cheap=*/true);
+    } else if (until == "drained") {
+      // No agent Resetting. The canonical coding keeps the Resetting block
+      // contiguous, so count engines scan one span of the count vector.
+      auto drained = [&proto](const auto& sim) {
+        using E = std::decay_t<decltype(sim)>;
+        if constexpr (AgentArrayEngine<E>) {
+          for (const auto& s : sim.states())
+            if (s.role == SlRole::Resetting) return false;
+          return true;
+        } else {
+          const auto& counts = sim.state_counts();
+          const std::uint32_t lo = proto.first_resetting_code();
+          const std::uint32_t hi = lo + proto.resetting_code_count();
+          for (std::uint32_t q = lo; q < hi; ++q)
+            if (counts[q] > 0) return false;
+          return true;
+        }
+      };
+      out = sd::execute_predicate(
+          spec, proto, inits, until,
+          spec.max_interactions ? spec.max_interactions : 1ull << 50,
+          drained, /*cheap=*/false);
+    } else if (until == "ptime") {
+      out = sd::execute_ptime(spec, proto, inits, until);
+    } else {
+      sd::unknown_until(spec, until);
+    }
+    out.abstracted = true;
+    return out;
   };
   reg.add(std::move(e));
 }
@@ -724,6 +838,26 @@ inline void register_sublinear(ProtocolRegistry& reg) {
       reg, "sublinear-hlog",
       "Protocols 5-8 with H = 3 log2 n: Theta(log n)-time non-silent SSR",
       "exp(O(n^log n) log n)", 8,
+      [](std::uint32_t n) { return SublinearParams::log_time(n); });
+}
+
+// Count-form truncated abstraction of the same rows (Table 1 rows 3-4 on
+// the batch/sharded/tau stack). The h1 variant's TH = Theta(n^{1/2}) blows
+// the witness-age axis up with n, so it stays a small-to-mid-n entry; the
+// hlog variant's TH = Theta(log n) keeps the state space ~O(log^2 n * TH)
+// and reaches n = 10^6 (bench_sublinear's count detection cells).
+inline void register_sublinear_count(ProtocolRegistry& reg) {
+  scenario_detail::register_sublinear_count_entry(
+      reg, "sublinear-h1-count",
+      "count-form quotient of sublinear-h1 (abstracted: trunc. trees, "
+      "name classes, bucketed rosters)",
+      "poly(n): ~6 log2(n) * TH codes, TH = Theta(n^{1/2})", 256,
+      [](std::uint32_t n) { return SublinearParams::constant_h(n, 1); });
+  scenario_detail::register_sublinear_count_entry(
+      reg, "sublinear-hlog-count",
+      "count-form quotient of sublinear-hlog (abstracted: trunc. trees, "
+      "name classes, bucketed rosters)",
+      "poly(n): ~6 log2(n) * TH codes, TH = Theta(log n)", 256,
       [](std::uint32_t n) { return SublinearParams::log_time(n); });
 }
 
@@ -887,6 +1021,7 @@ inline const ProtocolRegistry& default_registry() {
     register_silent_nstate(r);
     register_optimal_silent(r);
     register_sublinear(r);
+    register_sublinear_count(r);
     register_reset_process(r);
     register_one_way_epidemic(r);
     register_obs25(r);
@@ -931,6 +1066,9 @@ inline BenchRecord& report_scenario(BenchReport& report,
   // against exact baselines.
   if (r.approximate)
     rec.set("approximate", true).set("tau_eps", r.tau_eps);
+  // Abstracted-protocol honesty stamp (count-form quotients): same
+  // strict-diff exemption, orthogonal to `approximate`.
+  if (r.abstracted) rec.set("abstracted", true);
   if (r.failed > 0) rec.set("failed", r.failed);
   return rec;
 }

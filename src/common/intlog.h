@@ -1,0 +1,26 @@
+// Shared integer-logarithm helper.
+//
+// ceil_log2(n) = ceil(log2 n) for n >= 2, and 1 for n <= 2 — i.e. the
+// number of bits needed to index n distinct values, floored at 1 so that
+// degenerate populations still get a nonempty bit budget. Both
+// Name::full_length (common/name.h) and SublinearParams (protocols/
+// sublinear.h, protocols/sublinear_count.h) derive their bit lengths from
+// this one definition; they used to carry near-identical private loops.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ppsim {
+
+inline std::uint32_t ceil_log2(std::uint32_t n) {
+  std::uint32_t bits = 0;
+  std::uint32_t v = n > 1 ? n - 1 : 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return std::max<std::uint32_t>(1, bits);
+}
+
+}  // namespace ppsim

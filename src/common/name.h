@@ -17,6 +17,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/intlog.h"
+
 namespace ppsim {
 
 class Name {
@@ -38,13 +40,7 @@ class Name {
   // The number of bits a name has for population size n: 3*ceil(log2 n),
   // at least 3 (the paper's 3*log2 n; ceilings are asymptotically negligible).
   static std::uint32_t full_length(std::uint32_t n) {
-    std::uint32_t bits = 0;
-    std::uint32_t v = n > 1 ? n - 1 : 1;
-    while (v > 0) {
-      ++bits;
-      v >>= 1;
-    }
-    return std::max<std::uint32_t>(3, 3 * std::max<std::uint32_t>(1, bits));
+    return std::max<std::uint32_t>(3, 3 * ppsim::ceil_log2(n));
   }
 
   constexpr std::uint32_t length() const { return len_; }

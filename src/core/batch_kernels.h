@@ -762,6 +762,32 @@ class SegmentedPool {
 
   void build(const std::vector<std::uint64_t>& counts) {
     reset();
+    // Pre-size pass: count the occupied codes and their distinct segments
+    // up front so the slot arrays are allocated once and the segment
+    // Fenwick never doubles mid-build. Wide code spaces with scattered
+    // occupancy — the count-form sublinear quotients put thousands of
+    // occupied codes across thousands of segments — otherwise pay a
+    // geometric ladder of O(cap) rebuild_seg_fenwick calls inside
+    // ensure_slot.
+    std::uint32_t occ = 0;
+    std::uint32_t segs = 0;
+    std::uint64_t last_seg = ~std::uint64_t{0};
+    for (std::uint32_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] == 0) continue;
+      ++occ;
+      const std::uint64_t seg_id = code >> kSegShift;
+      if (seg_id != last_seg) {
+        ++segs;
+        last_seg = seg_id;
+      }
+    }
+    codes_.reserve(occ);
+    weights_.reserve(occ);
+    slot_seg_.reserve(occ);
+    segments_.reserve(segs);
+    std::uint32_t cap = 16;
+    while (cap < segs) cap *= 2;
+    seg_fenwick_ = WeightedSampler(cap);
     for (std::uint32_t code = 0; code < counts.size(); ++code) {
       if (counts[code] == 0) continue;
       bool fresh = false;

@@ -172,6 +172,15 @@ struct ScenarioResult {
   // strict-diffed against exact baselines (bench_compare exempts them).
   bool approximate = false;
   double tau_eps = 0.0;  // resolved knob behind an approximate result
+
+  // Honesty stamp for state-abstracted protocols (e.g. the count-form
+  // Sublinear-Time-SSR quotient): the *protocol itself* is a truncated
+  // abstraction of the one named in the experiment, so values can diverge
+  // from the concrete dynamics even under an exact engine. Orthogonal to
+  // `approximate` (an abstracted protocol run under tau carries both).
+  // bench_compare exempts abstracted records from --strict drift the same
+  // way it exempts approximate ones.
+  bool abstracted = false;
 };
 
 // A registered protocol: metadata for --list plus the type-erased runner.

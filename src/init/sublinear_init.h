@@ -26,6 +26,7 @@ enum class SlAdversary {
   kGhostNames,       // unique names, a ghost entry planted in rosters
   kPoisonedTrees,    // unique names + fabricated histories (Lemma 5.5)
   kMidReset,         // everyone in a random Resetting state
+  kPostWave,         // instant after a reset wave: everyone freshly recruited
   kAllSameName,      // every agent has the same name
   kShortNames,       // partially regenerated names
 };
@@ -38,6 +39,7 @@ inline const char* to_string(SlAdversary a) {
     case SlAdversary::kGhostNames: return "ghost-names";
     case SlAdversary::kPoisonedTrees: return "poisoned-trees";
     case SlAdversary::kMidReset: return "mid-reset";
+    case SlAdversary::kPostWave: return "post-wave";
     case SlAdversary::kAllSameName: return "all-same-name";
     case SlAdversary::kShortNames: return "short-names";
   }
@@ -206,6 +208,18 @@ inline std::vector<SublinearTimeSSR::State> sublinear_config(
         s.name = Name();
       }
       break;
+    case SlAdversary::kPostWave:
+      // Deterministic: the exact recruit() state (resetcount = 0,
+      // delaytimer = Dmax, nameless, bare tree). No rng draws, so the
+      // configuration is seed-independent — it mirrors the count-form
+      // generator and anchors the count-vs-array drain equivalence tests.
+      for (auto& s : states) {
+        s.role = SlRole::Resetting;
+        s.resetcount = 0;
+        s.delaytimer = p.dmax;
+        s.name = Name();
+      }
+      break;
     case SlAdversary::kAllSameName:
       for (std::uint32_t i = 0; i < n; ++i) states[i] = collecting(names[0]);
       break;
@@ -242,6 +256,8 @@ inline const InitialConditionSet<SublinearTimeSSR>& sublinear_inits() {
         return "unique names + fabricated histories (Lemma 5.5)";
       case SlAdversary::kMidReset:
         return "everyone in a random Resetting state";
+      case SlAdversary::kPostWave:
+        return "instant after a reset wave: everyone freshly recruited";
       case SlAdversary::kAllSameName:
         return "every agent has the same name";
       case SlAdversary::kShortNames:
@@ -255,7 +271,8 @@ inline const InitialConditionSet<SublinearTimeSSR>& sublinear_inits() {
          {SlAdversary::kUniformRandom, SlAdversary::kCorrectRanked,
           SlAdversary::kDuplicateNames, SlAdversary::kGhostNames,
           SlAdversary::kPoisonedTrees, SlAdversary::kMidReset,
-          SlAdversary::kAllSameName, SlAdversary::kShortNames})
+          SlAdversary::kPostWave, SlAdversary::kAllSameName,
+          SlAdversary::kShortNames})
       s.add({to_string(kind), describe(kind), from_kind(kind), nullptr});
     return s;
   }();

@@ -416,4 +416,80 @@ inline std::uint64_t live_node_count(const HistoryTree& tree,
              : 0;
 }
 
+// --- Truncated-tree projection (the count-form state abstraction). ---
+//
+// sublinear_count.h abstracts each agent's history tree to its depth-<= d
+// truncation with syncs erased: what survives of a root edge is only (child
+// name, age in owner operations). These helpers compute that projection from
+// a concrete tree, so tests can map agent-array states onto count-form codes
+// and verify the abstraction identifies exactly the states the quotient says
+// it should.
+
+// Number of live (timer > 0) root edges — the truncated tree's root degree.
+inline std::uint32_t live_root_degree(const HistoryTree& tree) {
+  if (!tree.initialized()) return 0;
+  const auto ops = static_cast<std::int64_t>(tree.ops());
+  std::uint32_t deg = 0;
+  for (const auto& e : tree.root()->children)
+    if (e.expiry - ops > 0) ++deg;
+  return deg;
+}
+
+// Age (in owner operations since the graft) of the root edge leading to
+// `name`, or -1 if no such edge exists. The edge is live iff its age < th it
+// was grafted with: age = ops_now - ops_at_graft = th - remaining_timer. A
+// freshly grafted edge has age 1 by the time its owner next interacts (the
+// creating interaction's tick happens after the graft).
+inline std::int64_t root_edge_age(const HistoryTree& tree, const Name& name,
+                                  std::uint32_t th) {
+  if (!tree.initialized()) return -1;
+  const auto ops = static_cast<std::int64_t>(tree.ops());
+  for (const auto& e : tree.root()->children)
+    if (e.child->name == name) return ops - (e.expiry - th);
+  return -1;
+}
+
+// Canonical shape code of the depth-<= d truncation restricted to live
+// paths: a stable hash over (child name, recursive code) pairs sorted by
+// name, with syncs and exact timer values erased. Two trees get the same
+// code iff their live truncations are isomorphic as name-labelled trees —
+// the equivalence the count form's state classes are built from.
+inline std::uint64_t truncated_shape_code(const HistoryNode& node,
+                                          std::int64_t sigma, std::int64_t ops,
+                                          std::uint32_t depth_left,
+                                          std::vector<Name>& path) {
+  std::uint64_t code = node.name.hash() * 0x9e3779b97f4a7c15ULL + 1;
+  if (depth_left == 0) return code;
+  path.push_back(node.name);
+  std::vector<std::uint64_t> kid_codes;
+  for (const auto& e : node.children) {
+    if (e.expiry + sigma - ops <= 0) continue;
+    bool repeated = false;
+    for (const Name& anc : path)
+      if (anc == e.child->name) {
+        repeated = true;
+        break;
+      }
+    if (repeated) continue;
+    kid_codes.push_back(truncated_shape_code(*e.child, sigma + e.shift, ops,
+                                             depth_left - 1, path));
+  }
+  path.pop_back();
+  std::sort(kid_codes.begin(), kid_codes.end());
+  // The root-vs-child mix must not commute: a plain (code ^ k) * m maps
+  // root-A-child-B and root-B-child-A single-edge trees to the same code.
+  for (std::uint64_t k : kid_codes)
+    code = (code * 0x2545f4914f6cdd1dULL) ^ (k + 0x9e3779b97f4a7c15ULL);
+  return code;
+}
+
+inline std::uint64_t truncated_shape_code(const HistoryTree& tree,
+                                          std::uint32_t depth) {
+  if (!tree.initialized()) return 0;
+  std::vector<Name> path;
+  return truncated_shape_code(*tree.root(), 0,
+                              static_cast<std::int64_t>(tree.ops()), depth,
+                              path);
+}
+
 }  // namespace ppsim

@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/intlog.h"
 #include "common/name.h"
 #include "common/roster.h"
 #include "core/rng.h"
@@ -71,14 +72,10 @@ struct SublinearParams {
     return p;
   }
 
+  // Kept as a member so existing callers (`SublinearParams::ceil_log2`)
+  // still resolve; forwards to the shared helper in common/intlog.h.
   static std::uint32_t ceil_log2(std::uint32_t n) {
-    std::uint32_t bits = 0;
-    std::uint32_t v = n > 1 ? n - 1 : 1;
-    while (v > 0) {
-      ++bits;
-      v >>= 1;
-    }
-    return std::max<std::uint32_t>(1, bits);
+    return ppsim::ceil_log2(n);
   }
 
  private:

@@ -166,7 +166,8 @@ TEST(Generators, SublinearStatesSatisfyValidity) {
        {SlAdversary::kUniformRandom, SlAdversary::kCorrectRanked,
         SlAdversary::kDuplicateNames, SlAdversary::kGhostNames,
         SlAdversary::kPoisonedTrees, SlAdversary::kMidReset,
-        SlAdversary::kAllSameName, SlAdversary::kShortNames}) {
+        SlAdversary::kPostWave, SlAdversary::kAllSameName,
+        SlAdversary::kShortNames}) {
     const SublinearParams p = SublinearParams::constant_h(12, 2);
     const auto states = sublinear_config(p, kind, 101);
     ASSERT_EQ(states.size(), p.n);

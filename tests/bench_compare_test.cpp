@@ -158,6 +158,96 @@ TEST(BenchRecords, WallGateNeedsRelativeAndAbsoluteGrowth) {
   EXPECT_FALSE(stats.failed());
 }
 
+// Abstracted records (count-form protocol quotients, stamped
+// "abstracted": true by the scenario API) mirror the approximate
+// treatment: a separate identity class from exact records of the same
+// shape, exempt from --strict drift, still wall-time gated.
+TEST(BenchRecords, AbstractedIsASeparateIdentityClass) {
+  const fs::path base = fresh_dir("abs-identity/base");
+  const fs::path cand = fresh_dir("abs-identity/cand");
+  const std::string shape =
+      "\"experiment\": \"detection_latency_hlog\", \"backend\": \"batch\", "
+      "\"strategy\": \"geometric_skip\", \"n\": 512";
+  write_bench(base, "t",
+              {"{" + shape + ", \"wall_seconds\": 1.0, "
+               "\"parallel_time\": 12.5}"});
+  write_bench(cand, "t",
+              {"{" + shape + ", \"abstracted\": true, "
+               "\"wall_seconds\": 0.1, \"parallel_time\": 14.0}"});
+
+  const auto b = load(base), c = load(cand);
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NE(b.begin()->first, c.begin()->first);
+  EXPECT_FALSE(b.begin()->second.abstracted());
+  EXPECT_TRUE(c.begin()->second.abstracted());
+
+  CompareOptions opts;
+  opts.strict = true;
+  std::ostringstream out;
+  const CompareStats stats = compare(b, c, opts, out);
+  EXPECT_EQ(stats.compared, 0);  // no shared key -> no wall comparison
+  EXPECT_EQ(stats.drift, 0);
+  EXPECT_EQ(stats.missing, 1);
+  EXPECT_EQ(stats.added, 1);
+  EXPECT_FALSE(stats.failed());
+}
+
+// Same key (both abstracted): value drift is allowed — the quotient may be
+// re-tuned between commits — but the wall-clock regression gate still
+// applies.
+TEST(BenchRecords, StrictDriftExemptsAbstractedRecordsButWallGates) {
+  const fs::path base = fresh_dir("abs-strict/base");
+  const fs::path cand = fresh_dir("abs-strict/cand");
+  const std::string shape =
+      "\"experiment\": \"detection_latency_hlog\", \"backend\": \"batch\", "
+      "\"strategy\": \"multinomial\", \"n\": 1000000, \"abstracted\": true";
+  write_bench(base, "t",
+              {"{" + shape + ", \"wall_seconds\": 1.0, "
+               "\"interactions\": 1000, \"parallel_time\": 2.0}"});
+  write_bench(cand, "t",
+              {"{" + shape + ", \"wall_seconds\": 3.0, "
+               "\"interactions\": 1234, \"parallel_time\": 7.7}"});
+
+  CompareOptions opts;
+  opts.strict = true;
+  std::ostringstream out;
+  const CompareStats stats = compare(load(base), load(cand), opts, out);
+  EXPECT_EQ(stats.compared, 1);
+  EXPECT_EQ(stats.drift, 0);
+  EXPECT_EQ(stats.abstracted_exempt, 1);
+  EXPECT_EQ(stats.regressions, 1);  // 3x wall growth still fails the gate
+  EXPECT_TRUE(stats.failed());
+}
+
+// A record can be both approximate and abstracted (count-form quotient run
+// under tau); the approximate exemption fires first and the record is
+// counted once.
+TEST(BenchRecords, ApproximateAndAbstractedStack) {
+  const fs::path base = fresh_dir("abs-both/base");
+  const fs::path cand = fresh_dir("abs-both/cand");
+  const std::string shape =
+      "\"experiment\": \"drain\", \"backend\": \"batch\", "
+      "\"strategy\": \"tau\", \"n\": 4096, \"approximate\": true, "
+      "\"tau_eps\": 0.05, \"abstracted\": true";
+  write_bench(base, "t",
+              {"{" + shape + ", \"wall_seconds\": 0.5, "
+               "\"interactions\": 100}"});
+  write_bench(cand, "t",
+              {"{" + shape + ", \"wall_seconds\": 0.5, "
+               "\"interactions\": 999}"});
+
+  CompareOptions opts;
+  opts.strict = true;
+  std::ostringstream out;
+  const CompareStats stats = compare(load(base), load(cand), opts, out);
+  EXPECT_EQ(stats.compared, 1);
+  EXPECT_EQ(stats.drift, 0);
+  EXPECT_EQ(stats.approx_exempt, 1);
+  EXPECT_EQ(stats.abstracted_exempt, 0);
+  EXPECT_FALSE(stats.failed());
+}
+
 // Booleans load as 0/1 metrics and repeated identical identities get
 // distinct occurrence indices (regression guard for the loader).
 TEST(BenchRecords, LoaderKeepsBoolsAndOccurrenceIndices) {

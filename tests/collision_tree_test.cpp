@@ -441,6 +441,52 @@ TEST(NodeCounts, LiveIsSubsetOfLogical) {
   EXPECT_EQ(live_node_count(a, 3), 1u);  // everything expired; root remains
 }
 
+// --- Minimal-population / H = 1 edge cases ---------------------------------
+
+TEST(HistoryTree, TwoAgentWorldAtHOneRegraftsInsteadOfAccumulating) {
+  // n = 2, H = 1: the smallest world the protocol runs in. The only
+  // possible meeting re-grafts the single root edge forever; the truncated
+  // projection must see degree 1 with the age snapping back to 1.
+  HistoryTree a, b;
+  a.reset(nm(1));
+  b.reset(nm(2));
+  CollisionDetector det(basic_params(1, /*th=*/5));
+  CollisionDetectorStats det_stats;
+  Rng rng(59);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
+    EXPECT_EQ(live_root_degree(a), 1u);
+    EXPECT_EQ(root_edge_age(a, nm(2), 5), 1);  // fresh graft every meeting
+  }
+  // Left alone, the lone edge ages out and the live truncation empties.
+  for (int i = 0; i < 5; ++i) a.tick();
+  EXPECT_EQ(live_root_degree(a), 0u);
+  EXPECT_EQ(root_edge_age(a, nm(2), 5), 6);  // still recorded, just dead
+}
+
+TEST(HistoryTree, ThreeAgentWorldAtHOneTruncationTracksLiveEdges) {
+  // n = 3, H = 1: the truncated shape distinguishes "met one neighbor"
+  // from "met both", and edge ages follow owner operations exactly.
+  HistoryTree a, b, c;
+  a.reset(nm(1));
+  b.reset(nm(2));
+  c.reset(nm(3));
+  CollisionDetector det(basic_params(1, /*th=*/100));
+  CollisionDetectorStats det_stats;
+  Rng rng(61);
+  const auto fresh_code = truncated_shape_code(a, 1);
+  ASSERT_FALSE(det.detect_and_update(a, b, rng, det_stats));
+  const auto one_edge = truncated_shape_code(a, 1);
+  EXPECT_NE(one_edge, fresh_code);
+  ASSERT_FALSE(det.detect_and_update(a, c, rng, det_stats));
+  EXPECT_NE(truncated_shape_code(a, 1), one_edge);
+  EXPECT_EQ(live_root_degree(a), 2u);
+  EXPECT_EQ(root_edge_age(a, nm(2), 100), 2);
+  EXPECT_EQ(root_edge_age(a, nm(3), 100), 1);
+  // Depth 0 never saw any of it.
+  EXPECT_EQ(truncated_shape_code(a, 0), fresh_code);
+}
+
 TEST(HistoryNode, LongGraftChainsDestructSafely) {
   // Build a reference chain much deeper than any sane call stack; the
   // iterative teardown in ~HistoryNode must handle it.

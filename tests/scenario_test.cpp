@@ -30,6 +30,7 @@
 #include "init/optimal_silent_init.h"
 #include "init/reset_init.h"
 #include "init/silent_nstate_init.h"
+#include "init/sublinear_count_init.h"
 #include "init/sublinear_init.h"
 #include "stat_harness.h"
 
@@ -41,8 +42,11 @@ namespace {
 TEST(Registry, EveryProtocolRegisteredWithValidDefaults) {
   const ProtocolRegistry& reg = default_registry();
   const std::vector<std::string> expected = {
-      "silent-nstate", "optimal-silent",   "sublinear-h1", "sublinear-hlog",
-      "reset-process", "one-way-epidemic", "obs25"};
+      "silent-nstate",      "optimal-silent",
+      "sublinear-h1",       "sublinear-hlog",
+      "sublinear-h1-count", "sublinear-hlog-count",
+      "reset-process",      "one-way-epidemic",
+      "obs25"};
   ASSERT_EQ(reg.all().size(), expected.size());
   for (const std::string& name : expected) {
     const ProtocolEntry* e = reg.find(name);
@@ -134,6 +138,10 @@ TEST(InitRoundTrip, EveryBatchCapableProtocolAndGenerator) {
     expect_roundtrips(ResetProcess(n, rmax, 4 * rmax),
                       reset_process_inits());
     expect_roundtrips(OneWayEpidemic(n), one_way_epidemic_inits());
+    expect_roundtrips(SublinearCountSSR(SublinearParams::constant_h(n, 1), 1),
+                      sublinear_count_inits());
+    expect_roundtrips(SublinearCountSSR(SublinearParams::log_time(n), 1),
+                      sublinear_count_inits());
   }
   expect_roundtrips(Obs25SSLE(3), obs25_inits());
 }

@@ -256,6 +256,49 @@ TEST(Sublinear, TwoAgentPopulationRecoversFromSameName) {
   ASSERT_TRUE(r.stabilized);
 }
 
+// --- Minimal-population edge cases (n in {2, 3}, H = 1) ---------------------
+
+TEST(Sublinear, NameLengthFloorCoversTinyPopulations) {
+  // full_length = max(3, 3 ceil(log2 n)): the floor keeps n = 2 names
+  // 3 bits long (collision probability 1/8 per regeneration, not 1/2),
+  // and the dormant window must leave room to regenerate every bit.
+  for (std::uint32_t n : {2u, 3u}) {
+    const auto p = SublinearParams::constant_h(n, 1);
+    EXPECT_EQ(p.name_len, n == 2 ? 3u : 6u);
+    EXPECT_GT(p.dmax, p.rmax + p.name_len);
+  }
+}
+
+TEST(Sublinear, GhostRosterTriggersResetAtTwoAgentsH1) {
+  // The roster-overflow rule at the smallest population: a stale third
+  // name makes the union exceed n = 2, which must read as a ghost even
+  // though no collision detection is possible through a third party.
+  const auto p = SublinearParams::constant_h(2, 1);
+  SublinearTimeSSR proto(p);
+  SublinearTimeSSR::Counters cnt;
+  Rng rng(67);
+  State a = proto.make_collecting(Name::from_bits(1, p.name_len));
+  State b = proto.make_collecting(Name::from_bits(2, p.name_len));
+  a.roster.insert(Name::from_bits(5, p.name_len));  // stale ghost name
+  proto.interact(a, b, rng, cnt);
+  EXPECT_EQ(cnt.ghost_triggers, 1u);
+  EXPECT_EQ(a.role, SlRole::Resetting);
+  EXPECT_EQ(b.role, SlRole::Resetting);
+  EXPECT_EQ(b.resetcount, p.rmax);
+}
+
+TEST(Sublinear, ThreeAgentPopulationRecoversAtH1) {
+  // n = 3, H = 1: one duplicate pair plus a lone third agent — the
+  // smallest population where indirect (third-party) detection can fire
+  // at all. The full pipeline must still stabilize to ranks {1, 2, 3}.
+  const auto p = SublinearParams::constant_h(3, 1);
+  SublinearTimeSSR proto(p);
+  auto init = sublinear_config(p, SlAdversary::kDuplicateNames, 71);
+  const RunResult r = run_until_ranked(proto, std::move(init), 73,
+                                       run_opts(p, /*horizon_mult=*/4));
+  ASSERT_TRUE(r.stabilized);
+}
+
 // Section 6: with the synthetic coin, dormant name generation still works
 // and the protocol still stabilizes (slower by a small constant factor).
 TEST(Sublinear, SyntheticCoinVariantStabilizes) {

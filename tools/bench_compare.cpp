@@ -21,6 +21,10 @@
 //                            else, but never strict-diffed — the approximate
 //                            engines may re-tune between commits, and their
 //                            sampled values carry no bit-for-bit contract.
+//                            Records stamped "abstracted": true (count-form
+//                            protocol quotients, e.g. sublinear-*-count) get
+//                            the same treatment: the abstraction itself may
+//                            be re-tuned, so they are wall-gated only.
 //       [--host-gate]        key the baseline by this machine's fingerprint
 //                            (CPU model + core count, common/host.h): if
 //                            <baseline_dir>/<fingerprint-slug>/ exists, use
@@ -136,9 +140,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nbench_compare: %d wall-clock comparisons, %d regressions "
       "(> %.0f%% and > %.2fs growth), %d improvements, %d drifted "
-      "(%d approximate records exempt), %d baseline-only, %d new\n",
+      "(%d approximate + %d abstracted records exempt), %d baseline-only, "
+      "%d new\n",
       stats.compared, stats.regressions, opts.threshold * 100.0,
       opts.min_seconds, stats.improvements, stats.drift, stats.approx_exempt,
-      stats.missing, stats.added);
+      stats.abstracted_exempt, stats.missing, stats.added);
   return stats.failed() ? 1 : 0;
 }
