@@ -24,6 +24,14 @@
 // Abstracted records get the same exemption for the same reason: the
 // quotient (bucket boundaries, witness truncation) may legitimately be
 // re-tuned between commits, so their sampled values are wall-gated only.
+//
+// Faulted records (fault injection: "faulted": true + the fault_drop /
+// fault_oneway / fault_churn knobs) join the identity the same way — a
+// faulted cell never silently compares against its fault-free twin or a
+// different knob setting — but get NO strict exemption: seeded faults are
+// drawn from the engines' own deterministic streams, so same code + same
+// seeds reproduce faulted interactions/parallel_time bit for bit, and
+// drift there is as much a red flag as in any exact record.
 #pragma once
 
 #include <algorithm>
@@ -44,7 +52,7 @@ namespace ppsim::benchcmp {
 
 struct Record {
   // Identity: bench|experiment|backend|strategy|n|mode|approximate|tau_eps|
-  //           abstracted|#i
+  //           abstracted|faulted|fault_drop|fault_oneway|fault_churn|#i
   std::string key;
   std::map<std::string, double> metrics;  // numeric + boolean fields (0/1)
 
@@ -113,7 +121,8 @@ inline bool load_dir(const std::string& dir,
       std::string key = bench->str;
       for (const char* field : {"experiment", "backend", "strategy", "n",
                                 "mode", "approximate", "tau_eps",
-                                "abstracted"}) {
+                                "abstracted", "faulted", "fault_drop",
+                                "fault_oneway", "fault_churn"}) {
         key.push_back('|');
         key.append(identity_field(r, field));
       }

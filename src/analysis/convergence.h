@@ -34,6 +34,7 @@
 
 #include "core/batch_simulation.h"
 #include "core/engine.h"
+#include "core/faults.h"  // ChurnReportingEngine
 #include "core/rank_tracker.h"
 #include "core/simulation.h"
 
@@ -178,14 +179,22 @@ RunResult run_engine_until_ranked(E& sim, const RunOptions& opts) {
   detail::StabilizationClock clock(opts, n, out);
   clock.init(tracker.is_permutation());
 
+  auto refresh_agent = [&](std::uint32_t agent) {
+    const std::uint32_t r = protocol.rank_of(sim.states()[agent]);
+    if (r != shadow[agent]) {
+      tracker.on_change(shadow[agent], r);
+      shadow[agent] = r;
+    }
+  };
   while (sim.interactions() < opts.max_interactions) {
     const AgentPair pair = sim.step();
-    for (std::uint32_t agent : {pair.initiator, pair.responder}) {
-      const std::uint32_t r = protocol.rank_of(sim.states()[agent]);
-      if (r != shadow[agent]) {
-        tracker.on_change(shadow[agent], r);
-        shadow[agent] = r;
-      }
+    refresh_agent(pair.initiator);
+    refresh_agent(pair.responder);
+    // Churn crashes an agent outside the scheduled pair; engines that do it
+    // report the victim so the shadow ranks stay exact.
+    if constexpr (ChurnReportingEngine<E>) {
+      const std::int64_t crashed = sim.last_crashed();
+      if (crashed >= 0) refresh_agent(static_cast<std::uint32_t>(crashed));
     }
     if (clock.on_state(tracker.is_permutation(), sim.parallel_time())) {
       out.stabilized = true;
@@ -260,6 +269,122 @@ RunResult run_engine_until_ranked(E& sim, const RunOptions& opts) {
   out.interactions = sim.interactions();
   if (out.stabilized) out.stabilization_ptime = clock.last_entry();
   detail::maybe_verify_silent(sim, opts, out);
+  return out;
+}
+
+// Holding-time harness: how long does a correct (rank-permutation)
+// configuration persist before the next disruption? The run waits for the
+// first entry into correctness, then for the first loss of it; the metric
+// is the parallel time between the two. Under a reliable scheduler a
+// silent protocol never loses correctness, so the natural use is fault
+// injection (core/faults.h) — holding time vs churn/drop rate quantifies
+// how robust the stabilized configuration is.
+//
+// Result encoding (reusing RunResult): first_correct_ptime is the entry,
+// stabilization_ptime is the HOLDING TIME, stabilized means the full
+// entry-then-break cycle was observed inside the horizon. A run that never
+// enters, or enters and never breaks (e.g. fault-free silence — the engine
+// reports provably stuck, or the horizon ends first), is not a measurement
+// and reports stabilized == false.
+
+template <AgentArrayEngine E>
+RunResult run_engine_until_held(E& sim, const RunOptions& opts) {
+  if (opts.max_interactions == 0)
+    throw std::invalid_argument("max_interactions must be set");
+  const std::uint32_t n = sim.population_size();
+  const auto& protocol = sim.protocol();
+
+  std::vector<std::uint32_t> shadow(n);
+  RankTracker tracker(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    shadow[i] = protocol.rank_of(sim.states()[i]);
+  tracker.reset(sim.states(), [&](const typename E::State& s) {
+    return protocol.rank_of(s);
+  });
+
+  RunResult out;
+  bool entered = tracker.is_permutation();
+  double entry_ptime = 0.0;
+  if (entered) out.first_correct_ptime = 0.0;
+
+  auto refresh_agent = [&](std::uint32_t agent) {
+    const std::uint32_t r = protocol.rank_of(sim.states()[agent]);
+    if (r != shadow[agent]) {
+      tracker.on_change(shadow[agent], r);
+      shadow[agent] = r;
+    }
+  };
+  while (sim.interactions() < opts.max_interactions) {
+    const AgentPair pair = sim.step();
+    refresh_agent(pair.initiator);
+    refresh_agent(pair.responder);
+    if constexpr (ChurnReportingEngine<E>) {
+      const std::int64_t crashed = sim.last_crashed();
+      if (crashed >= 0) refresh_agent(static_cast<std::uint32_t>(crashed));
+    }
+    const bool correct = tracker.is_permutation();
+    if (!entered) {
+      if (correct) {
+        entered = true;
+        entry_ptime = sim.parallel_time();
+        out.first_correct_ptime = entry_ptime;
+      }
+    } else if (!correct) {
+      out.correctness_breaks = 1;
+      out.stabilized = true;
+      out.stabilization_ptime = sim.parallel_time() - entry_ptime;
+      break;
+    }
+  }
+  out.interactions = sim.interactions();
+  return out;
+}
+
+// Count-engine twin. Correctness is observed at step granularity; while a
+// silent protocol's configuration is correct (hence silent) the only
+// possible step is a churn crash landing exactly on its own slot, so the
+// break is still caught at the exact interaction for the protocols
+// registered here.
+template <CountEngine E>
+RunResult run_engine_until_held(E& sim, const RunOptions& opts) {
+  if (opts.max_interactions == 0)
+    throw std::invalid_argument("max_interactions must be set");
+  const std::uint32_t n = sim.population_size();
+  const auto& protocol = sim.protocol();
+
+  RankTracker tracker(n);
+  {
+    const auto& counts = sim.state_counts();
+    for (std::uint32_t q = 0; q < counts.size(); ++q)
+      if (counts[q] > 0)
+        tracker.apply_delta(protocol.rank_of(protocol.decode(q)),
+                            static_cast<std::int64_t>(counts[q]));
+  }
+
+  RunResult out;
+  bool entered = tracker.is_permutation();
+  double entry_ptime = 0.0;
+  if (entered) out.first_correct_ptime = 0.0;
+
+  while (sim.interactions() < opts.max_interactions) {
+    if (sim.step() == 0) break;  // frozen forever: no break will ever come
+    for (const CountDelta& d : sim.last_deltas())
+      tracker.apply_delta(protocol.rank_of(protocol.decode(d.code)), d.delta);
+    const bool correct = tracker.is_permutation();
+    if (!entered) {
+      if (correct) {
+        entered = true;
+        entry_ptime = sim.parallel_time();
+        out.first_correct_ptime = entry_ptime;
+      }
+    } else if (!correct) {
+      out.correctness_breaks = 1;
+      out.stabilized = true;
+      out.stabilization_ptime = sim.parallel_time() - entry_ptime;
+      break;
+    }
+  }
+  out.interactions = sim.interactions();
   return out;
 }
 

@@ -239,6 +239,14 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   // result so downstream tooling can never strict-diff it against exact
   // baselines.
   const bool tau = use_batch && strategy == BatchStrategy::kTauLeap;
+  // Fault injection (core/faults.h) is exact-tier only: the approximate
+  // engines' error bounds assume the fault-free transition rates.
+  spec.faults.validate();
+  const bool faulted = spec.faults.active();
+  if (faulted && tau)
+    throw std::invalid_argument(
+        "fault injection is exact-tier only (strategy=tau is approximate; "
+        "use array, geometric_skip, multinomial, auto or sharded)");
   double tau_eps = 0.0;
   if (tau) {
     if constexpr (!kTauCapable<P>) {
@@ -312,15 +320,21 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
             ShardedSimulation<P> sim(
                 proto, inits.counts(proto, init_name, init_seed),
                 engine_seed, options);
+            if (faulted) sim.set_faults(spec.faults);
             record(sim);
           }
         } else {
           BatchSimulation<P> sim(proto,
                                  inits.counts(proto, init_name, init_seed),
                                  engine_seed, strategy);
+          if (faulted) sim.set_faults(spec.faults);
           record(sim);
         }
       }
+    } else if (faulted) {
+      FaultySimulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
+                              engine_seed, spec.faults);
+      record(sim);
     } else {
       Simulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
                         engine_seed);
@@ -351,6 +365,8 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   out.wall_seconds = total.seconds();
   out.approximate = tau;
   out.tau_eps = tau_eps;
+  out.faulted = faulted;
+  if (faulted) out.faults = spec.faults;
   return out;
 }
 
@@ -374,6 +390,29 @@ ScenarioResult execute_ranked(const ScenarioSpec& spec, const P& proto,
   return drive(spec, proto, inits, until_name, "parallel_time",
                [&](auto& sim) {
                  const RunResult r = run_engine_until_ranked(sim, opts);
+                 return std::pair<double, bool>(
+                     r.stabilized ? r.stabilization_ptime : -1.0,
+                     r.stabilized);
+               });
+}
+
+// Holding-time stop condition (convergence.h run_engine_until_held): wait
+// for the first correct ranking, then measure the parallel time until it
+// breaks. Metric = holding_time; a trial that never observes the full
+// enter-then-break cycle inside the horizon is a failed trial. Meaningful
+// mainly under fault injection — a fault-free silent protocol holds
+// forever, which reports as failed, not as a number.
+template <class P>
+ScenarioResult execute_held(const ScenarioSpec& spec, const P& proto,
+                            const InitialConditionSet<P>& inits,
+                            const std::string& until_name,
+                            std::uint64_t default_horizon) {
+  RunOptions opts;
+  opts.max_interactions =
+      spec.max_interactions ? spec.max_interactions : default_horizon;
+  return drive(spec, proto, inits, until_name, "holding_time",
+               [&](auto& sim) {
+                 const RunResult r = run_engine_until_held(sim, opts);
                  return std::pair<double, bool>(
                      r.stabilized ? r.stabilization_ptime : -1.0,
                      r.stabilized);
@@ -450,6 +489,10 @@ ScenarioResult drive_ode(const ScenarioSpec& spec, const P& proto,
     if (inits.find(init_name) == nullptr)
       throw std::invalid_argument("unknown initial condition '" + init_name +
                                   "' for protocol '" + spec.protocol + "'");
+    if (spec.faults.active())
+      throw std::invalid_argument(
+          "fault injection is exact-tier only (engine=ode is the mean-field "
+          "drift; use engine=array|batch)");
     if (!std::isfinite(spec.tau_eps) || spec.tau_eps < 0.0)
       throw std::invalid_argument("tau.eps must be finite and >= 0");
     const double dt = spec.tau_eps > 0.0 ? spec.tau_eps : kDefaultOdeDt;
@@ -532,7 +575,7 @@ inline void register_silent_nstate(ProtocolRegistry& reg) {
   e.default_n = 64;
   e.inits = silent_nstate_inits().names();
   e.default_init = silent_nstate_inits().default_name();
-  e.untils = {"ranked", "thinned", "ptime"};
+  e.untils = {"ranked", "thinned", "held", "ptime"};
   e.default_until = "ranked";
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
@@ -544,6 +587,15 @@ inline void register_silent_nstate(ProtocolRegistry& reg) {
     if (until == "ranked")
       return sd::execute_ranked(spec, proto, inits, until,
                                 sd::ranked_options(spec, 1ull << 62, 0.0));
+    if (until == "held") {
+      // Entry needs the Theta(n^2)-time stabilization first: ~20x the exact
+      // worst-case expectation (n-1)C(n,2), saturated to the open horizon.
+      const double cap =
+          20.0 * silent_nstate_worst_expected_interactions(n) + 16777216.0;
+      const std::uint64_t horizon =
+          cap > 9e18 ? (1ull << 62) : static_cast<std::uint64_t>(cap);
+      return sd::execute_held(spec, proto, inits, until, horizon);
+    }
     if (until == "thinned") {
       // Rank 0 holds at most one agent. From `duplicate-rank` this is the
       // Observation 2.6 meeting time (the duplicated pair must interact
@@ -583,7 +635,7 @@ inline void register_optimal_silent(ProtocolRegistry& reg) {
   e.default_n = 64;
   e.inits = optimal_silent_inits().names();
   e.default_init = optimal_silent_inits().default_name();
-  e.untils = {"ranked", "detected", "silent", "ptime"};
+  e.untils = {"ranked", "detected", "silent", "held", "ptime"};
   e.default_until = "ranked";
   e.run = [](const ScenarioSpec& spec) {
     namespace sd = scenario_detail;
@@ -610,6 +662,8 @@ inline void register_optimal_silent(ProtocolRegistry& reg) {
     if (until == "ranked")
       return sd::execute_ranked(spec, proto, inits, until,
                                 sd::ranked_options(spec, horizon, 0.0));
+    if (until == "held")
+      return sd::execute_held(spec, proto, inits, until, horizon);
     if (until == "detected") {
       // Observation 2.6's quantity: time until a rank collision is seen.
       auto detected = [](const auto& sim) {
@@ -1069,6 +1123,15 @@ inline BenchRecord& report_scenario(BenchReport& report,
   // Abstracted-protocol honesty stamp (count-form quotients): same
   // strict-diff exemption, orthogonal to `approximate`.
   if (r.abstracted) rec.set("abstracted", true);
+  // Fault-injection honesty stamp: the knobs join the record identity
+  // (a faulted cell never compares against its fault-free twin), but
+  // UNLIKE approximate/abstracted there is no strict-diff exemption —
+  // seeded faults reproduce bit for bit.
+  if (r.faulted)
+    rec.set("faulted", true)
+        .set("fault_drop", r.faults.drop)
+        .set("fault_oneway", r.faults.oneway)
+        .set("fault_churn", r.faults.churn);
   if (r.failed > 0) rec.set("failed", r.failed);
   return rec;
 }

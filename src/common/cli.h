@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/engine.h"  // BatchStrategy, parse_strategy
+#include "core/faults.h"  // FaultSpec
 
 namespace ppsim {
 
@@ -32,6 +33,12 @@ namespace ppsim {
 //   --shards=N         strategy=sharded: worker shard count (0 = the
 //                      engine's fixed default, 8). Results depend on
 //                      (seed, shards) — deliberately never on --threads.
+//   --fault.drop=P     fault injection (core/faults.h): interaction loss
+//   --fault.oneway=P   probability, one-way-delivery probability, and
+//   --fault.churn=R    crash-reset rate per unit parallel time. Benches
+//                      that honor these pass `faults` into their
+//                      ScenarioSpecs; out-of-range values are hard errors
+//                      like everything else here.
 //   --micro            also run the binary's google-benchmark micro section
 // Anything else is a hard error.
 struct BenchScale {
@@ -43,9 +50,28 @@ struct BenchScale {
   std::uint32_t threads = 0;   // 0 = auto (env / hardware)
   std::uint32_t shards = 0;    // 0 = auto (sharded strategy only)
   std::string strategy_name;   // empty = bench default
+  FaultSpec faults;            // all-zero = fault-free
 
   static BenchScale from_args(int argc, char** argv) {
     BenchScale s;
+    // Strict numeric parse for the fault knobs: the whole argument after
+    // '=' must be a number in [lo, hi], else exit 2 — a typoed
+    // --fault.drop=0.5x must not silently run some other experiment.
+    auto fault_knob = [&](const std::string& arg, std::size_t prefix_len,
+                          double lo, double hi, const char* name) {
+      const std::string text = arg.substr(prefix_len);
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (text.empty() || end != text.c_str() + text.size() || v < lo ||
+          v > hi) {
+        std::cerr << "bad --" << name << " value '" << text << "' (want a "
+                  << "number in [" << lo << ", "
+                  << (hi < 1e300 ? std::to_string(hi) : std::string("inf"))
+                  << "])\n";
+        std::exit(2);
+      }
+      return v;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--quick") {
@@ -75,10 +101,19 @@ struct BenchScale {
                        "sharded)\n";
           std::exit(2);
         }
+      } else if (a.rfind("--fault.drop=", 0) == 0) {
+        s.faults.drop = fault_knob(a, 13, 0.0, 1.0, "fault.drop");
+      } else if (a.rfind("--fault.oneway=", 0) == 0) {
+        s.faults.oneway = fault_knob(a, 15, 0.0, 1.0, "fault.oneway");
+      } else if (a.rfind("--fault.churn=", 0) == 0) {
+        // The churn <= n upper bound needs the population; the engines
+        // check it. Here: any finite non-negative rate.
+        s.faults.churn = fault_knob(a, 14, 0.0, 1e300, "fault.churn");
       } else {
         std::cerr << argv[0] << ": unknown flag '" << a
                   << "' (known: --quick --full --smoke --micro --threads=N "
-                     "--shards=N --strategy=S)\n";
+                     "--shards=N --strategy=S --fault.drop=P "
+                     "--fault.oneway=P --fault.churn=R)\n";
         std::exit(2);
       }
     }

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "core/discrete_samplers.h"
+#include "core/faults.h"
 #include "core/protocol.h"
 #include "core/rng.h"
 
@@ -1150,6 +1151,20 @@ class MultinomialKernel {
     if (!pool_.built()) pool_.build(counts);
   }
 
+  // Fault injection (core/faults.h), compiled into the batch exactly: the
+  // prefix draw and participant sampling are untouched (faults change what
+  // an interaction *does*, never who interacts), and each (s1, s2)
+  // category's k repetitions are thinned by one Binomial(k, 1 - drop)
+  // draw — a dropped pair leaves both agents unchanged, exactly like a
+  // null pair. Of the survivors, Binomial(., oneway) are delivered
+  // one-way: the cached transition applies, but the responder keeps its
+  // old state. The colliding interaction replays its own per-interaction
+  // fault draws. nullptr (the default) is the zero-overhead fault-free
+  // path, bit-identical to the pre-fault kernel.
+  void set_faults(const FaultSpec* faults) {
+    faults_ = (faults != nullptr && faults->active()) ? faults : nullptr;
+  }
+
   // Keeps the occupied pool current while another strategy drives the run.
   void on_external_change(std::uint32_t code, std::int64_t delta) {
     if (pool_.built()) pool_.apply_delta(code, delta);
@@ -1172,13 +1187,17 @@ class MultinomialKernel {
 
   // Runs one batch: mutates `counts`, accumulates protocol counters,
   // appends the net per-code deltas to `out_deltas`, and returns the number
-  // of interactions consumed (L + 1). Requires n >= 2.
+  // of interactions consumed (L + 1). Requires n >= 2. `cap` > 0 truncates
+  // the batch exactly as in run_batch_sparse — the engine uses it to land
+  // a batch on the churn crash countdown with zero overshoot.
   std::uint64_t run_batch(const P& protocol, std::vector<std::uint64_t>& counts,
                           Rng& rng, Counters& counters,
-                          std::vector<CountDelta>& out_deltas) {
+                          std::vector<CountDelta>& out_deltas,
+                          std::uint64_t cap = 0) {
     ensure_built(counts);
     return run_batch_impl(protocol, protocol.population_size(),
-                          DenseCounts{&counts}, rng, counters, out_deltas);
+                          DenseCounts{&counts}, rng, counters, out_deltas,
+                          cap);
   }
 
   // Sparse front door (see reset_sparse above): identical batch logic and
@@ -1270,15 +1289,24 @@ class MultinomialKernel {
         ca = pool_.code_at(pool_.draw_remove(rng));  // fresh initiator
         cb = pick_touched(rng.below(r), /*exclude=*/0, 0);
       }
-      State sa = protocol.decode(ca);
-      State sb = protocol.decode(cb);
-      invoke_interact(protocol, sa, sb, rng, counters);
-      const std::uint32_t na = protocol.encode(sa);
-      const std::uint32_t nb = protocol.encode(sb);
-      net_.add(ca, -1);
-      net_.add(na, +1);
-      net_.add(cb, -1);
-      net_.add(nb, +1);
+      // The colliding interaction draws its own fault Bernoullis: dropped
+      // means both agents return unchanged (their pool removals are undone
+      // by restore_removed below); one-way means the responder keeps cb.
+      const bool f_dropped = faults_ != nullptr && faults_->drop > 0.0 &&
+                             rng.unit() < faults_->drop;
+      if (!f_dropped) {
+        const bool f_oneway = faults_ != nullptr && faults_->oneway > 0.0 &&
+                              rng.unit() < faults_->oneway;
+        State sa = protocol.decode(ca);
+        State sb = protocol.decode(cb);
+        invoke_interact(protocol, sa, sb, rng, counters);
+        const std::uint32_t na = protocol.encode(sa);
+        const std::uint32_t nb = f_oneway ? cb : protocol.encode(sb);
+        net_.add(ca, -1);
+        net_.add(na, +1);
+        net_.add(cb, -1);
+        net_.add(nb, +1);
+      }
     }
 
     // --- Fold the batch back into the counts and the pool.
@@ -1417,26 +1445,44 @@ class MultinomialKernel {
   }
 
   // Applies k repetitions of the ordered pair (a, b): net count deltas,
-  // touched-multiset bookkeeping, counters.
+  // touched-multiset bookkeeping, counters. Under faults the k repetitions
+  // are thinned exactly: drops are i.i.d. per interaction, so the survivor
+  // count is Binomial(k, 1 - drop) and the one-way count Binomial(.,
+  // oneway); dropped pairs contribute no state change and no counters but
+  // their agents are still touched (they participated in the prefix, with
+  // unchanged states), so the collision replay sees the right multiset.
   void apply_pair(const P& protocol, std::uint32_t a, std::uint32_t b,
                   std::uint64_t k, Rng& rng, Counters& counters) {
+    std::uint64_t survivors = k;
+    std::uint64_t oneway = 0;
+    if (faults_ != nullptr) {
+      if (faults_->drop > 0.0)
+        survivors = sample_binomial(rng, k, 1.0 - faults_->drop);
+      if (faults_->oneway > 0.0 && survivors > 0)
+        oneway = sample_binomial(rng, survivors, faults_->oneway);
+      if (k > survivors) record_transition(a, b, a, b, k - survivors);
+      if (survivors == 0) return;
+    }
+    const std::uint64_t full = survivors - oneway;
     if constexpr (kCacheable) {
       const typename TransitionCache<P>::Entry& e =
           cache_.lookup(protocol, a, b, rng);
       if constexpr (ObservableProtocol<P>) {
-        counters.add_scaled(e.counters_delta, k);
+        counters.add_scaled(e.counters_delta, survivors);
       }
-      record_transition(a, b, e.na, e.nb, k);
+      if (full > 0) record_transition(a, b, e.na, e.nb, full);
+      if (oneway > 0) record_transition(a, b, e.na, b, oneway);
     } else {
       // Randomized (or unscalable-counters) protocol: every repetition must
       // consume its own randomness / report its own events.
       const State base_a = protocol.decode(a);
       const State base_b = protocol.decode(b);
-      for (std::uint64_t rep = 0; rep < k; ++rep) {
+      for (std::uint64_t rep = 0; rep < survivors; ++rep) {
         State sa = base_a;
         State sb = base_b;
         invoke_interact(protocol, sa, sb, rng, counters);
-        record_transition(a, b, protocol.encode(sa), protocol.encode(sb), 1);
+        record_transition(a, b, protocol.encode(sa),
+                          rep < full ? protocol.encode(sb) : b, 1);
       }
     }
   }
@@ -1470,6 +1516,7 @@ class MultinomialKernel {
 
   OccupiedPool pool_;
   CollisionPrefixSampler prefix_;
+  const FaultSpec* faults_ = nullptr;  // non-null iff fault injection is on
   FlatMap64 pairs_;    // (a << 32 | b) -> repetitions (per-draw grouping)
   FlatMap64 net_;      // code -> net count delta (int64 bits)
   FlatMap64 touched_;  // code -> touched agents currently in that state

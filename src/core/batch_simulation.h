@@ -68,6 +68,7 @@
 
 #include "core/batch_kernels.h"
 #include "core/engine.h"
+#include "core/faults.h"
 #include "core/protocol.h"
 #include "core/rng.h"  // sample_geometric
 
@@ -138,6 +139,42 @@ class BatchSimulation {
     reject_sharded(s);
     strategy_ = s;
   }
+
+  // Fault injection (core/faults.h), compiled exactly into every count
+  // path. Call before the first step. drop thins the changeful-slot
+  // probability multiplicatively (a dropped pair is a null), oneway is
+  // drawn per delivered interaction, and churn is materialized as a
+  // geometric crash countdown over interaction slots: geometric waits and
+  // multinomial batches are truncated at the countdown, which is exact by
+  // memorylessness. An all-zero spec is a no-op: the engine consumes
+  // exactly the fault-free randomness stream, bit for bit.
+  void set_faults(const FaultSpec& faults) {
+    faults.validate();
+    constexpr bool structured = DiagonalActiveProtocol<P> ||
+                                KeyedPassiveProtocol<P> ||
+                                UnkeyedPassiveProtocol<P>;
+    if (faults.active() && !structured)
+      throw std::invalid_argument(
+          "count-engine fault injection requires a protocol with declared "
+          "null structure (diagonal / keyed / unkeyed passive); use "
+          "engine=array");
+    faults_ = faults;
+    faults_active_ = faults.active();
+    multi_kernel_.set_faults(faults_active_ ? &faults_ : nullptr);
+    crash_q_ = 0.0;
+    crash_countdown_ = 0;
+    if (faults.churn > 0.0) {
+      if constexpr (!ChurnableProtocol<P>) {
+        throw std::invalid_argument(
+            "fault.churn needs a protocol with a churn_state()");
+      } else {
+        crash_q_ = faults.crash_probability(population_size());
+        churn_code_ = protocol_.encode(protocol_.churn_state());
+        crash_countdown_ = sample_geometric(rng_, crash_q_);
+      }
+    }
+  }
+  const FaultSpec& faults() const { return faults_; }
 
   // The strategy the next step will actually run: kAuto delegates to the
   // StrategyController with the measured per-round inputs (population,
@@ -372,14 +409,19 @@ class BatchSimulation {
   }
 
   // Applies interact() to one (a, b) state pair drawn by the scheduler and
-  // folds the result back into the counts.
+  // folds the result back into the counts. Under fault injection the
+  // one-way draw happens here (drop is folded into the wait upstream): the
+  // transition runs in full — counters included, per the FaultSpec
+  // convention — but the responder keeps its old state.
   void apply_interaction(std::uint32_t a, std::uint32_t b) {
     last_deltas_.clear();
+    const bool one_way = faults_active_ && faults_.oneway > 0.0 &&
+                         rng_.unit() < faults_.oneway;
     State sa = protocol_.decode(a);
     State sb = protocol_.decode(b);
     invoke_interact(protocol_, sa, sb, rng_, counters_);
     const std::uint32_t na = protocol_.encode(sa);
-    const std::uint32_t nb = protocol_.encode(sb);
+    const std::uint32_t nb = one_way ? b : protocol_.encode(sb);
     if (na != a) {
       apply_count_delta(a, -1);
       apply_count_delta(na, +1);
@@ -393,11 +435,14 @@ class BatchSimulation {
   // --- Multinomial batch step ----------------------------------------------
 
   std::uint64_t step_multinomial() {
+    const bool churn_on = crash_q_ > 0.0;
     if constexpr (DiagonalActiveProtocol<P> || KeyedPassiveProtocol<P> ||
                   UnkeyedPassiveProtocol<P>) {
-      if (active_weight() == 0) {  // silent forever
+      if (active_weight() == 0 || (faults_active_ && faults_.drop >= 1.0)) {
+        // Silent (or every interaction dropped): only churn can act.
         last_deltas_.clear();
-        return 0;
+        if (!churn_on) return 0;
+        return crash_fast_forward();
       }
     } else if constexpr (NullPairProtocol<P>) {
       // The only stuck configuration a structureless protocol can certify:
@@ -413,17 +458,98 @@ class BatchSimulation {
       }
     }
     last_deltas_.clear();
+    // With churn on, the batch is capped at the crash countdown: the crash
+    // must land at its exact slot, and it changes the counts the next
+    // batch's prefix law is computed from.
     const std::uint64_t consumed = multi_kernel_.run_batch(
-        protocol_, counts_, rng_, counters_, last_deltas_);
+        protocol_, counts_, rng_, counters_, last_deltas_,
+        churn_on ? crash_countdown_ : 0);
     for (const CountDelta& d : last_deltas_) note_lazy_delta(d.code, d.delta);
     interactions_ += consumed;
     stats_.batched += consumed - 1;
     ++stats_.effective;
     ++stats_.multinomial_batches;
+    if (churn_on) {
+      crash_countdown_ -= consumed;
+      maybe_crash_after_slot();
+    }
+    return consumed;
+  }
+
+  // --- Churn ---------------------------------------------------------------
+
+  // End-of-slot crash: reset one uniformly random agent to the protocol's
+  // boot state. The eager count update requires clean Fenwick trees (an
+  // eager delta on a lazily-dirty code would be double-counted at the next
+  // resync), and it appends to last_deltas_ so rank trackers observing the
+  // count stream see churn like any other transition.
+  void crash_uniform_agent() {
+    if constexpr (ChurnableProtocol<P>) {
+      resync_fenwicks();
+      const std::uint32_t victim =
+          count_sampler_.find(rng_.below(population_size()));
+      if (victim != churn_code_) {
+        apply_count_delta(victim, -1);
+        apply_count_delta(churn_code_, +1);
+      }
+    }
+  }
+
+  void maybe_crash_after_slot() {
+    if (crash_q_ > 0.0 && crash_countdown_ == 0) {
+      crash_uniform_agent();
+      crash_countdown_ = sample_geometric(rng_, crash_q_);
+    }
+  }
+
+  // No changeful interaction can precede the next crash: consume the
+  // countdown's null slots, crash at the countdown's own slot, redraw.
+  // Always consumes >= 1 slot, so a churning engine never reports stuck.
+  std::uint64_t crash_fast_forward() {
+    last_deltas_.clear();
+    const std::uint64_t consumed = crash_countdown_;
+    interactions_ += consumed;
+    stats_.batched += consumed;
+    crash_countdown_ = 0;
+    maybe_crash_after_slot();
     return consumed;
   }
 
   // --- Geometric-skip steps ------------------------------------------------
+
+  // Shared geometric-skip core: wait Geometric(p_eff) until the next
+  // changeful slot, where p_eff = (w / n(n-1)) * (1 - drop). Dropping is
+  // uniform thinning, so it scales the changeful-slot rate without
+  // disturbing the conditional active-pair distribution — the sampler
+  // callback is fault-agnostic. With churn on, a wait overshooting the
+  // crash countdown is cut at the crash (exact by memorylessness: the
+  // crash changes the active weight, and the residual wait is recomputed
+  // from the fresh counts on the next step).
+  //
+  // Fault-free bit-identity: sample_geometric returns 1 without touching
+  // the rng when p >= 1, so calling it unconditionally reproduces the old
+  // `wait = 1` saturated-weight shortcut of the keyed/unkeyed paths
+  // exactly.
+  template <class SampleApply>
+  std::uint64_t geometric_step(std::uint64_t w, SampleApply&& sample_apply) {
+    const bool churn_on = crash_q_ > 0.0;
+    double p = static_cast<double>(w) / ordered_pairs();
+    if (faults_active_) p *= 1.0 - faults_.drop;
+    if (w == 0 || p <= 0.0) {  // silent (or drop == 1): only churn can act
+      last_deltas_.clear();
+      if (!churn_on) return 0;  // silent forever
+      return crash_fast_forward();
+    }
+    const std::uint64_t wait = sample_geometric(rng_, p);
+    if (churn_on && wait > crash_countdown_) return crash_fast_forward();
+    interactions_ += wait;
+    stats_.batched += wait - 1;
+    ++stats_.effective;
+    if (churn_on) crash_countdown_ -= wait;
+    sample_apply();
+    maybe_crash_after_slot();
+    return wait;
+  }
 
   // Diagonal fast path: every non-null pair has equal states, so the wait
   // until the next effective interaction is Geometric(W / n(n-1)) with
@@ -431,19 +557,10 @@ class BatchSimulation {
   // drawn ∝ m_q (m_q - 1). Identical in distribution to stepping one
   // interaction at a time (compare SilentNStateFast).
   std::uint64_t step_diagonal() {
-    const std::uint64_t w = diag_kernel_.total();
-    if (w == 0) {  // silent forever
-      last_deltas_.clear();
-      return 0;
-    }
-    const double p = static_cast<double>(w) / ordered_pairs();
-    const std::uint64_t wait = sample_geometric(rng_, p);
-    interactions_ += wait;
-    stats_.batched += wait - 1;
-    ++stats_.effective;
-    const std::uint32_t q = diag_kernel_.sample(rng_);
-    apply_interaction(q, q);
-    return wait;
+    return geometric_step(diag_kernel_.total(), [&] {
+      const std::uint32_t q = diag_kernel_.sample(rng_);
+      apply_interaction(q, q);
+    });
   }
 
   // Keyed-passive fast path: the wait until the next active interaction is
@@ -452,23 +569,12 @@ class BatchSimulation {
   std::uint64_t step_keyed() {
     const std::uint64_t n = population_size();
     const auto kw = keyed_kernel_.weights(n);
-    if (kw.total == 0) {  // every pair is passive-distinct-key: silent
-      last_deltas_.clear();
-      return 0;
-    }
-    std::uint64_t wait = 1;
-    if (kw.total < n * (n - 1)) {
-      const double p = static_cast<double>(kw.total) / ordered_pairs();
-      wait = sample_geometric(rng_, p);
-    }
-    interactions_ += wait;
-    stats_.batched += wait - 1;
-    ++stats_.effective;
-    const auto [a, b] = keyed_kernel_.sample_pair(rng_, protocol_,
-                                                  count_sampler_, counts_, n,
-                                                  kw);
-    apply_interaction(a, b);
-    return wait;
+    return geometric_step(kw.total, [&] {
+      const auto [a, b] = keyed_kernel_.sample_pair(rng_, protocol_,
+                                                    count_sampler_, counts_,
+                                                    n, kw);
+      apply_interaction(a, b);
+    });
   }
 
   // Unkeyed-passive fast path: both-passive pairs are null by the declared
@@ -478,22 +584,11 @@ class BatchSimulation {
   std::uint64_t step_unkeyed() {
     const std::uint64_t n = population_size();
     const auto kw = unkeyed_kernel_.weights(n);
-    if (kw.total == 0) {  // every agent passive: silent forever
-      last_deltas_.clear();
-      return 0;
-    }
-    std::uint64_t wait = 1;
-    if (kw.total < n * (n - 1)) {
-      const double p = static_cast<double>(kw.total) / ordered_pairs();
-      wait = sample_geometric(rng_, p);
-    }
-    interactions_ += wait;
-    stats_.batched += wait - 1;
-    ++stats_.effective;
-    const auto [a, b] = unkeyed_kernel_.sample_pair(rng_, protocol_,
-                                                    count_sampler_, n, kw);
-    apply_interaction(a, b);
-    return wait;
+    return geometric_step(kw.total, [&] {
+      const auto [a, b] = unkeyed_kernel_.sample_pair(rng_, protocol_,
+                                                      count_sampler_, n, kw);
+      apply_interaction(a, b);
+    });
   }
 
   // General path: draw the ordered state pair exactly; when the protocol
@@ -560,6 +655,11 @@ class BatchSimulation {
   std::vector<CountDelta> last_deltas_;
   FlatMap64 dirty_codes_;  // code -> count the Fenwick trees still reflect
   bool fenwicks_dirty_ = false;
+  FaultSpec faults_{};  // all-zero (and bit-transparent) unless set_faults()
+  bool faults_active_ = false;
+  double crash_q_ = 0.0;  // per-slot crash probability churn / n
+  std::uint64_t crash_countdown_ = 0;  // slots until the next crash
+  std::uint32_t churn_code_ = 0;       // encode(churn_state()), churn only
   [[no_unique_address]] Counters counters_{};
 };
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/faults.h"
 #include "core/stats.h"
 
 namespace ppsim {
@@ -57,6 +58,12 @@ struct ScenarioSpec {
                                // as the RK4 step in parallel-time units.
                                // Approximate results are pure functions of
                                // (seed, tau_eps) and stamped as such.
+  FaultSpec faults;            // fault.drop= / fault.oneway= / fault.churn=
+                               // (core/faults.h). Exact on array, batch and
+                               // sharded; rejected on the approximate tier
+                               // (tau / ode), whose error bounds assume the
+                               // fault-free transition rates. Any non-zero
+                               // knob stamps the result `faulted`.
 
   // Protocol-constant overrides ("param.<name>=<value>" on the CLI / in
   // matrix files): each entry is interpreted by the protocol's registered
@@ -181,6 +188,15 @@ struct ScenarioResult {
   // bench_compare exempts abstracted records from --strict drift the same
   // way it exempts approximate ones.
   bool abstracted = false;
+
+  // Honesty stamp for fault injection: true means the scheduler layer was
+  // unreliable (some fault knob non-zero), so values measure behaviour
+  // under the FaultSpec's law, not the paper's fault-free model. UNLIKE
+  // approximate/abstracted, faulted results keep the full bit-determinism
+  // contract — seeded faults reproduce exactly, so bench_compare --strict
+  // still applies. The knobs are part of the record identity.
+  bool faulted = false;
+  FaultSpec faults;  // echoed spec (all-zero when faulted == false)
 };
 
 // A registered protocol: metadata for --list plus the type-erased runner.

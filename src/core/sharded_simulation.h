@@ -75,6 +75,7 @@
 #include "core/batch_simulation.h"  // BatchStepStats
 #include "core/discrete_samplers.h"
 #include "core/engine.h"
+#include "core/faults.h"
 #include "core/protocol.h"
 #include "core/rng.h"
 
@@ -202,6 +203,16 @@ class ShardWorker {
 
   static constexpr bool kStructured = ScalarActiveWeight<P>::kStructured;
 
+  // Installs the engine's fault spec (nullptr = fault-free). Drop and
+  // one-way are per-interaction draws, so they factor cleanly through the
+  // shard decomposition: each worker applies them to its own slice of the
+  // round from its own stream. Churn is handled round-granularly by the
+  // engine (see ShardedSimulation::set_faults), never inside a worker.
+  void set_faults(const FaultSpec* faults) {
+    faults_ = (faults != nullptr && faults->active()) ? faults : nullptr;
+    kernel_.set_faults(faults_);
+  }
+
   // Rebinds the worker to this round's allocation: alloc[i] agents of
   // codes[i], m agents total, a fresh derived RNG stream.
   void prepare(const P& protocol, const std::vector<std::uint32_t>& codes,
@@ -302,10 +313,18 @@ class ShardWorker {
   std::uint64_t step_geometric(const P& protocol, std::uint64_t w,
                                std::uint64_t remaining) {
     const std::uint64_t pairs = m_ * (m_ - 1);
-    std::uint64_t wait = 1;
-    if (w < pairs)
-      wait = sample_geometric(
-          rng_, static_cast<double>(w) / static_cast<double>(pairs));
+    // Dropping thins the changeful-slot rate multiplicatively and leaves
+    // the conditional active-pair law alone (uniform thinning), exactly as
+    // in BatchSimulation::geometric_step. sample_geometric returns 1
+    // without touching the rng when p >= 1, so the unconditional call
+    // reproduces the old saturated-weight `wait = 1` shortcut bit for bit.
+    double p = static_cast<double>(w) / static_cast<double>(pairs);
+    if (faults_ != nullptr) p *= 1.0 - faults_->drop;
+    if (p <= 0.0) {  // drop == 1: every arrival in this slice is lost
+      stats_.batched += remaining;
+      return remaining;
+    }
+    const std::uint64_t wait = sample_geometric(rng_, p);
     if (wait > remaining) {  // no active arrival inside this slice
       stats_.batched += remaining;
       return remaining;
@@ -437,11 +456,15 @@ class ShardWorker {
 
   void apply_interaction(const P& protocol, std::uint32_t a,
                          std::uint32_t b) {
+    // One-way delivery is drawn per delivered interaction (the FaultSpec
+    // convention: counters record in full, the responder keeps its state).
+    const bool one_way = faults_ != nullptr && faults_->oneway > 0.0 &&
+                         rng_.unit() < faults_->oneway;
     State sa = protocol.decode(a);
     State sb = protocol.decode(b);
     invoke_interact(protocol, sa, sb, rng_, counters_);
     const std::uint32_t na = protocol.encode(sa);
-    const std::uint32_t nb = protocol.encode(sb);
+    const std::uint32_t nb = one_way ? b : protocol.encode(sb);
     if (na != a) {
       bump(protocol, a, -1);
       bump(protocol, na, +1);
@@ -462,6 +485,7 @@ class ShardWorker {
   }
 
   MultinomialKernel<P> kernel_;    // owns the shard's occupied pool
+  const FaultSpec* faults_ = nullptr;  // non-null iff fault injection is on
   ScalarActiveWeight<P> weight_;
   FlatMap64 net_;                  // code -> net delta this round
   std::vector<CountDelta> deltas_;
@@ -529,6 +553,38 @@ class ShardedSimulation {
           std::string(to_string(s)));
   }
 
+  // Fault injection (core/faults.h). Drop and one-way compile into the
+  // workers exactly (each worker thins its own slice of the round from its
+  // own stream). Churn is round-granular BY DESIGN on this engine: the
+  // round's crashes are drawn as one Binomial(slots, churn / n) after
+  // reconciliation and applied to the merged counts — within-round crash
+  // timing is coarsened to the round boundary, the same operator-splitting
+  // coarsening the sharded partition itself already accepts for G > 1.
+  // An all-zero spec is bit-transparent.
+  void set_faults(const FaultSpec& faults) {
+    faults.validate();
+    if (faults.active() && !ScalarActiveWeight<P>::kStructured)
+      throw std::invalid_argument(
+          "count-engine fault injection requires a protocol with declared "
+          "null structure (diagonal / keyed / unkeyed passive); use "
+          "engine=array");
+    faults_ = faults;
+    faults_active_ = faults.active();
+    for (auto& w : workers_state_)
+      w.set_faults(faults_active_ ? &faults_ : nullptr);
+    crash_q_ = 0.0;
+    if (faults.churn > 0.0) {
+      if constexpr (!ChurnableProtocol<P>) {
+        throw std::invalid_argument(
+            "fault.churn needs a protocol with a churn_state()");
+      } else {
+        crash_q_ = faults.crash_probability(population_size());
+        churn_code_ = protocol_.encode(protocol_.churn_state());
+      }
+    }
+  }
+  const FaultSpec& faults() const { return faults_; }
+
   // For structured protocols: no future interaction can change anything.
   bool silent() const
     requires ScalarActiveWeight<P>::kStructured
@@ -541,7 +597,19 @@ class ShardedSimulation {
   // stuck.
   std::uint64_t step() {
     last_deltas_.clear();
-    if (provably_stuck()) return 0;
+    const bool churn_on = crash_q_ > 0.0;
+    if (provably_stuck()) {
+      if (!churn_on) return 0;
+      // Churn-only round: every pair is provably null, but agents still
+      // crash — consume a full round of null slots and apply its crashes.
+      ++round_index_;
+      apply_round_churn(g_round_);
+      interactions_ += g_round_;
+      stats_.batched += g_round_;
+      ++rounds_;
+      trace_.note(StrategyArm::kSharded, g_round_);
+      return g_round_;
+    }
     const std::uint64_t n = population_size();
     const std::uint32_t t_count = shards();
     ++round_index_;
@@ -622,6 +690,7 @@ class ShardedSimulation {
           CountDelta{code, static_cast<std::int32_t>(d)});
     }
     interactions_ += consumed_total;
+    if (churn_on) apply_round_churn(consumed_total);
     ++rounds_;
     trace_.note(StrategyArm::kSharded, consumed_total);
     return consumed_total;
@@ -722,6 +791,42 @@ class ShardedSimulation {
         merged_weight_.on_count_change(protocol_, merged_pool_.code_at(slot),
                                        0, w);
     }
+  }
+
+  // The round's churn: Binomial(slots, churn / n) crashes, each resetting
+  // a uniformly random agent to the boot state, applied to the merged
+  // counts (and last_deltas_, so downstream trackers see them).
+  void apply_round_churn(std::uint64_t slots) {
+    std::uint64_t crashes = sample_binomial(alloc_rng_, slots, crash_q_);
+    for (; crashes > 0; --crashes) {
+      const std::uint32_t victim = pick_uniform_agent_code();
+      if (victim == churn_code_) continue;
+      apply_global_delta(victim, -1);
+      apply_global_delta(churn_code_, +1);
+    }
+  }
+
+  // Uniform agent draw over the merged counts: linear scan of the occupied
+  // pool (crashes per round are few; O(occupied) each is in the noise).
+  std::uint32_t pick_uniform_agent_code() {
+    std::uint64_t target = alloc_rng_.below(population_size());
+    for (std::uint32_t slot = 0; slot < merged_pool_.slots(); ++slot) {
+      const std::uint64_t w = merged_pool_.weight_at(slot);
+      if (target < w) return merged_pool_.code_at(slot);
+      target -= w;
+    }
+    throw std::logic_error("population exhausted in churn victim draw");
+  }
+
+  // One merged-count change, mirrored into every global structure the
+  // reconciliation loop maintains.
+  void apply_global_delta(std::uint32_t code, std::int64_t d) {
+    const std::uint64_t old = counts_[code];
+    counts_[code] =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(old) + d);
+    merged_pool_.apply_delta(code, d);
+    merged_weight_.on_count_change(protocol_, code, old, counts_[code]);
+    last_deltas_.push_back(CountDelta{code, static_cast<std::int32_t>(d)});
   }
 
   bool provably_stuck() const {
@@ -826,6 +931,10 @@ class ShardedSimulation {
   std::vector<std::uint64_t> seg_remaining_;  // ...not yet assigned
   FlatMap64 round_net_;
   std::vector<CountDelta> last_deltas_;
+  FaultSpec faults_{};  // all-zero (and bit-transparent) unless set_faults()
+  bool faults_active_ = false;
+  double crash_q_ = 0.0;  // per-slot crash probability churn / n
+  std::uint32_t churn_code_ = 0;  // encode(churn_state()), churn only
   BatchStepStats stats_;
   StrategyTrace trace_;
   [[no_unique_address]] Counters counters_{};

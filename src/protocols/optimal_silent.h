@@ -151,6 +151,16 @@ class OptimalSilentSSR {
     return s.role == OsRole::Settled ? s.rank : 0;
   }
 
+  // ChurnableProtocol: a freshly booted agent is Unsettled with full
+  // patience — the same state Reset gives every non-leader (Protocol 4),
+  // so a crashed agent rejoins exactly like a freshly reset one.
+  State churn_state() const {
+    State s;
+    s.role = OsRole::Unsettled;
+    s.errorcount = params_.emax;
+    return s;
+  }
+
   // The stable configuration (all Settled, distinct ranks) is silent: every
   // pair of distinct-rank Settled states has only the null transition.
   bool is_null_pair(const State& a, const State& b) const {

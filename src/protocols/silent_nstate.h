@@ -49,6 +49,11 @@ class SilentNStateSSR {
   // Ranking output in the paper's formal {1..n} convention.
   std::uint32_t rank_of(const State& s) const { return s.rank + 1; }
 
+  // ChurnableProtocol: a freshly booted agent starts at rank 0. With n
+  // states there is no "unranked" value — a crash lands on whatever rank 0
+  // holds, and self-stabilization resolves the duplicate from there.
+  State churn_state() const { return State{0}; }
+
   // A pair is null iff the ranks differ; a configuration in which every pair
   // is null is silent, and the silent configurations are exactly the
   // permutations.

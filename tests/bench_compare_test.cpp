@@ -248,6 +248,70 @@ TEST(BenchRecords, ApproximateAndAbstractedStack) {
   EXPECT_FALSE(stats.failed());
 }
 
+// A faulted record (fault injection, stamped "faulted": true + knobs) is a
+// separate identity class from its fault-free twin and from a different
+// knob setting: a bench cell gaining a drop rate must never silently diff
+// against the reliable-scheduler history.
+TEST(BenchRecords, FaultedIsASeparateIdentityClass) {
+  const fs::path base = fresh_dir("fault-identity/base");
+  const fs::path cand = fresh_dir("fault-identity/cand");
+  const std::string shape =
+      "\"experiment\": \"drop_curve\", \"backend\": \"batch\", "
+      "\"strategy\": \"multinomial\", \"n\": 1024";
+  write_bench(base, "t",
+              {"{" + shape + ", \"wall_seconds\": 1.0, "
+               "\"parallel_time\": 12.0}",
+               "{" + shape + ", \"faulted\": true, \"fault_drop\": 0.1, "
+               "\"fault_oneway\": 0, \"fault_churn\": 0, "
+               "\"wall_seconds\": 1.1, \"parallel_time\": 13.3}"});
+  write_bench(cand, "t",
+              {"{" + shape + ", \"faulted\": true, \"fault_drop\": 0.5, "
+               "\"fault_oneway\": 0, \"fault_churn\": 0, "
+               "\"wall_seconds\": 1.9, \"parallel_time\": 24.0}"});
+
+  const auto b = load(base), c = load(cand);
+  ASSERT_EQ(b.size(), 2u);
+  ASSERT_EQ(c.size(), 1u);
+  // drop=0.5 matches neither the fault-free record nor the drop=0.1 one.
+  EXPECT_EQ(b.find(c.begin()->first), b.end());
+
+  std::ostringstream out;
+  const CompareStats stats = compare(b, c, CompareOptions{}, out);
+  EXPECT_EQ(stats.compared, 0);
+  EXPECT_EQ(stats.missing, 2);
+  EXPECT_EQ(stats.added, 1);
+  EXPECT_FALSE(stats.failed());
+}
+
+// Faulted records get NO strict exemption: seeded faults come from the
+// engines' deterministic streams, so same code + same seeds reproduce a
+// faulted run bit for bit — drift there fails --strict like any exact
+// record.
+TEST(BenchRecords, StrictDriftStillAppliesToFaultedRecords) {
+  const fs::path base = fresh_dir("fault-strict/base");
+  const fs::path cand = fresh_dir("fault-strict/cand");
+  const std::string shape =
+      "\"experiment\": \"drop_curve\", \"backend\": \"batch\", "
+      "\"strategy\": \"multinomial\", \"n\": 4096, \"faulted\": true, "
+      "\"fault_drop\": 0.5, \"fault_oneway\": 0, \"fault_churn\": 0";
+  write_bench(base, "t",
+              {"{" + shape + ", \"wall_seconds\": 1.0, "
+               "\"interactions\": 1000, \"parallel_time\": 2.0}"});
+  write_bench(cand, "t",
+              {"{" + shape + ", \"wall_seconds\": 1.0, "
+               "\"interactions\": 1001, \"parallel_time\": 2.1}"});
+
+  CompareOptions opts;
+  opts.strict = true;
+  std::ostringstream out;
+  const CompareStats stats = compare(load(base), load(cand), opts, out);
+  EXPECT_EQ(stats.compared, 1);
+  EXPECT_EQ(stats.drift, 2);  // interactions + parallel_time both moved
+  EXPECT_EQ(stats.approx_exempt, 0);
+  EXPECT_EQ(stats.abstracted_exempt, 0);
+  EXPECT_TRUE(stats.failed());
+}
+
 // Booleans load as 0/1 metrics and repeated identical identities get
 // distinct occurrence indices (regression guard for the loader).
 TEST(BenchRecords, LoaderKeepsBoolsAndOccurrenceIndices) {

@@ -42,6 +42,27 @@ TEST(BenchScaleParse, DefaultsWithoutFlags) {
             BatchStrategy::kGeometricSkip);
 }
 
+TEST(BenchScaleParse, FaultKnobsAreApplied) {
+  std::vector<std::string> args = {"bench", "--fault.drop=0.25",
+                                   "--fault.oneway=1", "--fault.churn=2.5"};
+  const BenchScale s =
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_DOUBLE_EQ(s.faults.drop, 0.25);
+  EXPECT_DOUBLE_EQ(s.faults.oneway, 1.0);
+  EXPECT_DOUBLE_EQ(s.faults.churn, 2.5);
+  EXPECT_TRUE(s.faults.active());
+}
+
+TEST(BenchScaleParse, FaultKnobsDefaultToZero) {
+  std::vector<std::string> args = {"bench"};
+  const BenchScale s =
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_DOUBLE_EQ(s.faults.drop, 0.0);
+  EXPECT_DOUBLE_EQ(s.faults.oneway, 0.0);
+  EXPECT_DOUBLE_EQ(s.faults.churn, 0.0);
+  EXPECT_FALSE(s.faults.active());
+}
+
 using CliDeath = ::testing::Test;
 
 TEST(CliDeath, UnknownFlagIsAHardError) {
@@ -56,6 +77,41 @@ TEST(CliDeath, BadStrategyValueIsAHardError) {
   EXPECT_EXIT(
       BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
       ::testing::ExitedWithCode(2), "unknown --strategy value");
+}
+
+TEST(CliDeath, FaultDropOutOfRangeIsAHardError) {
+  std::vector<std::string> args = {"bench", "--fault.drop=1.5"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --fault.drop value");
+}
+
+TEST(CliDeath, FaultOnewayMalformedNumberIsAHardError) {
+  std::vector<std::string> args = {"bench", "--fault.oneway=0.5x"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --fault.oneway value");
+}
+
+TEST(CliDeath, FaultChurnNegativeIsAHardError) {
+  std::vector<std::string> args = {"bench", "--fault.churn=-1"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --fault.churn value");
+}
+
+TEST(CliDeath, FaultEmptyValueIsAHardError) {
+  std::vector<std::string> args = {"bench", "--fault.drop="};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --fault.drop value");
+}
+
+TEST(CliDeath, MisspelledFaultFlagIsAHardError) {
+  std::vector<std::string> args = {"bench", "--fault.drops=0.5"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "unknown flag");
 }
 
 TEST(CliDeath, BackendFlagRejectsUnknown) {

@@ -107,6 +107,15 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     // Approximate-tier knob: the tau-leap size (strategy=tau) or the RK4
     // step (engine=ode). 0 keeps the engine default.
     spec.tau_eps = parse_double(key, value);
+  } else if (key == "fault.drop") {
+    // Fault-injection knobs (core/faults.h); ranges are validated by
+    // run_scenario (spec.faults.validate()), which also rejects faults on
+    // the approximate tier. Any non-zero knob stamps the record `faulted`.
+    spec.faults.drop = parse_double(key, value);
+  } else if (key == "fault.oneway") {
+    spec.faults.oneway = parse_double(key, value);
+  } else if (key == "fault.churn") {
+    spec.faults.churn = parse_double(key, value);
   } else if (key == "label") {
     label = value;
   } else if (key.rfind("param.", 0) == 0 && key.size() > 6) {
@@ -118,7 +127,7 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     usage_error("unknown scenario key '" + key +
                 "' (known: protocol n init engine strategy shards until "
                 "trials seed threads max_interactions ptime tail tau.eps "
-                "label param.<name>)");
+                "fault.drop fault.oneway fault.churn label param.<name>)");
   }
 }
 
@@ -327,6 +336,11 @@ int run_matrix(const std::string& path, std::string out_name) {
              : "") +
         (approx ? "tau_eps=" + std::to_string(cell.spec.tau_eps) + "|"
                 : "") +
+        (cell.spec.faults.active()
+             ? "drop=" + std::to_string(cell.spec.faults.drop) + "|oneway=" +
+                   std::to_string(cell.spec.faults.oneway) + "|churn=" +
+                   std::to_string(cell.spec.faults.churn) + "|"
+             : "") +
         (cell.spec.until.empty() ? entry.default_until : cell.spec.until) +
         "|" + std::to_string(cell.spec.seed) + "|" +
         std::to_string(cell.spec.trials) + "|" +
