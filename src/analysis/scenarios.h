@@ -16,6 +16,8 @@
 //   reset-process    trigger-one, mid-reset-mix, ...  drained | ptime
 //   one-way-epidemic single-infected, residual-16     complete | ptime
 //   obs25            all-leaders, uniform-random      silent | ptime
+//   ring-ssle        uniform-random, coherent, ...    elected | ptime
+//                    (directed ring only; topology defaults to ring)
 //
 // Stop conditions:
 //   ranked    run until the ranking is stably correct (the paper's
@@ -75,19 +77,23 @@
 #include "core/batch_simulation.h"
 #include "core/mean_field.h"
 #include "core/registry.h"
+#include "core/ring_simulation.h"
 #include "core/sharded_simulation.h"
 #include "core/simulation.h"
 #include "core/tau_leap_simulation.h"
+#include "core/topology.h"
 #include "init/epidemic_init.h"
 #include "init/obs25_init.h"
 #include "init/optimal_silent_init.h"
 #include "init/reset_init.h"
+#include "init/ring_ssle_init.h"
 #include "init/silent_nstate_init.h"
 #include "init/sublinear_count_init.h"
 #include "init/sublinear_init.h"
 #include "processes/epidemic.h"
 #include "protocols/obs25.h"
 #include "protocols/optimal_silent.h"
+#include "protocols/ring_ssle.h"
 #include "protocols/silent_nstate.h"
 #include "protocols/sublinear.h"
 #include "protocols/sublinear_count.h"
@@ -193,7 +199,47 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
     throw std::invalid_argument(
         "engine=ode supports until=ptime only (the mean-field drift has no "
         "per-trial stopping events)");
+  // Interaction graph (core/topology.h). "" = complete = the classical
+  // scheduler, bit for bit. The clique count engines compile the complete
+  // graph's pair law, so a non-complete topology demotes engine=auto to
+  // the agent array — except the directed ring, which has its own
+  // run-length-compressed count engine (core/ring_simulation.h) for
+  // protocols with enumerable, deterministic transitions.
+  const Topology topology = Topology::parse(
+      spec.topology.empty() ? "complete" : spec.topology,
+      proto.population_size());
+  const bool ring_topology = topology.kind() == TopologyKind::kRing;
   bool use_batch = resolve_use_batch<P>(spec);
+  bool use_ring = false;
+  if (!topology.is_complete() && use_batch) {
+    if (!ring_topology) {
+      if (spec.engine == "batch")
+        throw std::invalid_argument(
+            "engine=batch compiles the complete graph's pair law (plus the "
+            "compressed ring); topology '" + topology.spec() +
+            "' runs on engine=array");
+      use_batch = false;  // engine=auto: fall back to the agent array
+    } else if constexpr (RingCompressibleProtocol<P>) {
+      use_ring = true;
+      use_batch = false;
+    } else {
+      if (spec.engine == "batch")
+        throw std::invalid_argument(
+            "protocol '" + spec.protocol +
+            "' cannot run the compressed ring engine (needs deterministic "
+            "transitions); use engine=array");
+      use_batch = false;
+    }
+  }
+  if (use_ring) {
+    const std::string sname = spec.strategy.empty() ? "auto" : spec.strategy;
+    if (sname != "auto" && sname != "geometric_skip")
+      throw std::invalid_argument(
+          "the ring count path runs its own run-length-compressed geometric "
+          "skip; strategy '" + sname +
+          "' is not available on topology=ring (use auto, geometric_skip, "
+          "or engine=array)");
+  }
   // Whole-run arm choice: when engine=auto AND strategy=auto leave the
   // decision open, the strategy controller inspects trial 0's initial
   // occupancy (regenerated bit-identically from the derived init seed — no
@@ -303,7 +349,17 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
         traces[t].note(StrategyArm::kArray, sim.interactions());
       }
     };
-    if (use_batch) {
+    if (use_ring) {
+      if constexpr (RingCompressibleProtocol<P>) {
+        // Position-ordered agents: the same catalog array the agent-array
+        // engine consumes, so both ring engines start from the identical
+        // configuration per seed. The full fault law composes (drop thins
+        // the skip rate, oneway/churn are drawn per slot).
+        RingSimulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
+                              engine_seed, spec.faults);
+        record(sim);
+      }
+    } else if (use_batch) {
       if constexpr (EnumerableProtocol<P>) {
         if (tau) {
           if constexpr (kTauCapable<P>) {
@@ -333,11 +389,11 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
       }
     } else if (faulted) {
       FaultySimulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
-                              engine_seed, spec.faults);
+                              engine_seed, spec.faults, topology);
       record(sim);
     } else {
       Simulation<P> sim(proto, inits.agents(proto, init_name, init_seed),
-                        engine_seed);
+                        engine_seed, topology);
       record(sim);
     }
   });
@@ -346,9 +402,12 @@ ScenarioResult drive(const ScenarioSpec& spec, const P& proto,
   out.metric = metric;
   out.values = values;
   out.summary = summarize(out.values);
-  out.backend = use_batch ? "batch" : "array";
-  out.strategy = use_batch ? to_string(strategy) : "";
+  out.backend = (use_batch || use_ring) ? "batch" : "array";
+  out.strategy = use_ring ? "ring_rle"
+                          : (use_batch ? std::string(to_string(strategy))
+                                       : std::string());
   out.engine_arm = engine_arm;
+  out.topology = topology.spec();
   for (const StrategyTrace& tr : traces) out.trace.merge(tr);
   out.shards = shard_count;
   out.init = init_name;
@@ -493,6 +552,10 @@ ScenarioResult drive_ode(const ScenarioSpec& spec, const P& proto,
       throw std::invalid_argument(
           "fault injection is exact-tier only (engine=ode is the mean-field "
           "drift; use engine=array|batch)");
+    if (!spec.topology.empty() && spec.topology != "complete")
+      throw std::invalid_argument(
+          "engine=ode assumes complete mixing; topology '" + spec.topology +
+          "' has no mean-field drift here");
     if (!std::isfinite(spec.tau_eps) || spec.tau_eps < 0.0)
       throw std::invalid_argument("tau.eps must be finite and >= 0");
     const double dt = spec.tau_eps > 0.0 ? spec.tau_eps : kDefaultOdeDt;
@@ -515,6 +578,7 @@ ScenarioResult drive_ode(const ScenarioSpec& spec, const P& proto,
     out.values = values;
     out.summary = summarize(out.values);
     out.backend = "ode";
+    out.topology = "complete";
     out.init = init_name;
     out.until = until_name;
     out.params = spec.params;
@@ -1067,6 +1131,139 @@ inline void register_obs25(ProtocolRegistry& reg) {
   reg.add(std::move(e));
 }
 
+inline void register_ring_ssle(ProtocolRegistry& reg) {
+  ProtocolEntry e;
+  e.name = "ring-ssle";
+  e.description =
+      "Yokota-Sudo-Masuzawa SS-LE on the directed ring (arXiv 2009.10926)";
+  e.states = "8(cap+1), cap = N >= n (the paper's population bound)";
+  e.silent = false;  // the survivor perpetually re-fires its bullet
+  e.batch_capable = true;  // via the run-length-compressed ring engine
+  e.default_n = 64;
+  e.inits = ring_ssle_inits().names();
+  e.default_init = ring_ssle_inits().default_name();
+  e.untils = {"elected", "ptime"};
+  e.default_until = "elected";
+  e.run = [](const ScenarioSpec& raw) {
+    namespace sd = scenario_detail;
+    const std::uint32_t n = sd::resolve_population(raw, 64, 0);
+    ParamReader params(raw);
+    const auto cap = static_cast<std::uint32_t>(params.integer("cap", 0));
+    params.finish();
+    const RingSSLE proto(n, cap);
+    const auto& inits = ring_ssle_inits();
+    // The protocol is *defined* on the directed ring: its distance counting
+    // reads "my clockwise predecessor", which no other graph provides. An
+    // empty topology therefore defaults to ring here (not complete), and
+    // anything else is inexpressible.
+    ScenarioSpec spec = raw;
+    if (spec.topology.empty()) spec.topology = "ring";
+    if (spec.topology != "ring")
+      throw std::invalid_argument(
+          "ring-ssle is defined on the directed ring; topology '" +
+          spec.topology + "' has no predecessor structure (use "
+          "topology=ring or leave it empty)");
+    const std::string until = spec.until.empty() ? "elected" : spec.until;
+    if (until == "elected") {
+      // Unique leader, *held*: transient uniqueness is real in this
+      // protocol (a stale-distance follower can still promote after the
+      // count first touches 1), so the stop condition demands leader_count
+      // == 1 for a tail window before declaring election. The default
+      // window is 4n parallel time — a few full bullet circulations (one
+      // circulation is ~n parallel time: n edge-firings at ~n slots each).
+      // Metric = parallel time at the onset of the held uniqueness.
+      const double tail_ptime =
+          spec.tail_ptime >= 0 ? spec.tail_ptime : 4.0 * n;
+      const auto window = static_cast<std::uint64_t>(
+          tail_ptime * static_cast<double>(n));
+      const std::uint64_t horizon =
+          spec.max_interactions
+              ? spec.max_interactions
+              : 4ull * n * n * n + (1ull << 24);
+      return sd::drive(
+          spec, proto, inits, until, "parallel_time",
+          [&proto, window, horizon](auto& sim) {
+            using E = std::decay_t<decltype(sim)>;
+            // Count-engine leader census: the ring engine maintains it
+            // incrementally; the clique count engines (compiled here but
+            // unreachable at runtime — the ring topology demotes them)
+            // would pay a state-space scan.
+            auto census = [&proto](const auto& s) {
+              if constexpr (requires { s.leader_count(); }) {
+                return s.leader_count();
+              } else {
+                const auto& counts = s.state_counts();
+                std::uint64_t k = 0;
+                for (std::uint32_t q = 0; q < counts.size(); ++q)
+                  if (counts[q] != 0 && proto.is_leader(proto.decode(q)))
+                    k += counts[q];
+                return k;
+              }
+            };
+            std::uint64_t leaders = 0;
+            std::vector<char> lead;
+            if constexpr (AgentArrayEngine<E>) {
+              const auto& states = sim.states();
+              lead.resize(states.size());
+              for (std::size_t i = 0; i < states.size(); ++i) {
+                lead[i] = sim.protocol().is_leader(states[i]) ? 1 : 0;
+                leaders += lead[i];
+              }
+            } else {
+              leaders = census(sim);
+            }
+            bool holding = leaders == 1;
+            std::uint64_t hold_start = sim.interactions();
+            auto elected = [&]() {
+              return std::pair<double, bool>(
+                  static_cast<double>(hold_start) /
+                      static_cast<double>(sim.population_size()),
+                  true);
+            };
+            while (sim.interactions() < horizon) {
+              if constexpr (AgentArrayEngine<E>) {
+                const AgentPair pr = sim.step();
+                auto refresh = [&](std::uint32_t i) {
+                  const char l =
+                      sim.protocol().is_leader(sim.states()[i]) ? 1 : 0;
+                  leaders += static_cast<std::uint64_t>(l) -
+                             static_cast<std::uint64_t>(lead[i]);
+                  lead[i] = l;
+                };
+                refresh(pr.initiator);
+                refresh(pr.responder);
+                if constexpr (ChurnReportingEngine<E>) {
+                  if (sim.last_crashed() >= 0)
+                    refresh(static_cast<std::uint32_t>(sim.last_crashed()));
+                }
+              } else {
+                if (sim.step() == 0) {
+                  // Provably stuck: uniqueness (if held) is permanent.
+                  if (holding) return elected();
+                  return std::pair<double, bool>(-1.0, false);
+                }
+                leaders = census(sim);
+              }
+              if (leaders == 1) {
+                if (!holding) {
+                  holding = true;
+                  hold_start = sim.interactions();
+                }
+                if (sim.interactions() - hold_start >= window)
+                  return elected();
+              } else {
+                holding = false;
+              }
+            }
+            return std::pair<double, bool>(-1.0, false);
+          });
+    }
+    if (until == "ptime") return sd::execute_ptime(spec, proto, inits, until);
+    sd::unknown_until(spec, until);
+  };
+  reg.add(std::move(e));
+}
+
 // The registry every harness shares: all protocols of the repo, registered
 // once, in a stable order.
 inline const ProtocolRegistry& default_registry() {
@@ -1079,6 +1276,7 @@ inline const ProtocolRegistry& default_registry() {
     register_reset_process(r);
     register_one_way_epidemic(r);
     register_obs25(r);
+    register_ring_ssle(r);
     return r;
   }();
   return reg;
@@ -1106,6 +1304,12 @@ inline BenchRecord& report_scenario(BenchReport& report,
   }
   for (const auto& [key, value] : r.params) rec.set("param_" + key, value);
   if (r.shards > 0) rec.set("shards", static_cast<std::uint64_t>(r.shards));
+  // Interaction graph: stamped only when non-complete, so clique records
+  // keep their committed baseline shape byte for byte. The topology joins
+  // the record identity (a ring cell never compares against its clique
+  // twin), with no strict-diff exemption — topologized runs stay exact.
+  if (!r.topology.empty() && r.topology != "complete")
+    rec.set("topology", r.topology);
   rec.set("n", static_cast<std::uint64_t>(r.n))
       .set("trials", r.trials)
       .set("init", r.init)

@@ -13,8 +13,9 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"  // BatchStrategy, parse_strategy
-#include "core/faults.h"  // FaultSpec
+#include "core/engine.h"    // BatchStrategy, parse_strategy
+#include "core/faults.h"    // FaultSpec
+#include "core/topology.h"  // Topology::validate_spec
 
 namespace ppsim {
 
@@ -39,6 +40,11 @@ namespace ppsim {
 //                      that honor these pass `faults` into their
 //                      ScenarioSpecs; out-of-range values are hard errors
 //                      like everything else here.
+//   --topology=G       interaction graph (core/topology.h): complete |
+//                      ring | line | star | mesh:RxC | torus:RxC |
+//                      custom:<path>. Structurally validated here (bad
+//                      names/dims exit 2); the n-dependent checks happen
+//                      when the bench builds its Topology.
 //   --micro            also run the binary's google-benchmark micro section
 // Anything else is a hard error.
 struct BenchScale {
@@ -50,6 +56,7 @@ struct BenchScale {
   std::uint32_t threads = 0;   // 0 = auto (env / hardware)
   std::uint32_t shards = 0;    // 0 = auto (sharded strategy only)
   std::string strategy_name;   // empty = bench default
+  std::string topology;        // empty = bench default (complete)
   FaultSpec faults;            // all-zero = fault-free
 
   static BenchScale from_args(int argc, char** argv) {
@@ -109,11 +116,20 @@ struct BenchScale {
         // The churn <= n upper bound needs the population; the engines
         // check it. Here: any finite non-negative rate.
         s.faults.churn = fault_knob(a, 14, 0.0, 1e300, "fault.churn");
+      } else if (a.rfind("--topology=", 0) == 0) {
+        s.topology = a.substr(11);
+        try {
+          Topology::validate_spec(s.topology);
+        } catch (const std::exception& e) {
+          std::cerr << "bad --topology value '" << s.topology
+                    << "': " << e.what() << "\n";
+          std::exit(2);
+        }
       } else {
         std::cerr << argv[0] << ": unknown flag '" << a
                   << "' (known: --quick --full --smoke --micro --threads=N "
                      "--shards=N --strategy=S --fault.drop=P "
-                     "--fault.oneway=P --fault.churn=R)\n";
+                     "--fault.oneway=P --fault.churn=R --topology=G)\n";
         std::exit(2);
       }
     }

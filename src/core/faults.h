@@ -53,6 +53,7 @@
 #include "core/protocol.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
+#include "core/topology.h"
 
 namespace ppsim {
 
@@ -113,14 +114,27 @@ class FaultySimulation {
 
   FaultySimulation(P protocol, std::vector<State> initial, std::uint64_t seed,
                    const FaultSpec& faults)
+      : FaultySimulation(std::move(protocol), std::move(initial), seed,
+                         faults, Topology()) {}
+
+  // Interaction-graph variant: pairs come from the topology's uniform-edge
+  // sampler (core/topology.h). The fault law composes unchanged — drop /
+  // oneway / churn act on the scheduled slot whatever graph produced it.
+  FaultySimulation(P protocol, std::vector<State> initial, std::uint64_t seed,
+                   const FaultSpec& faults, Topology topology)
       : protocol_(std::move(protocol)),
         states_(std::move(initial)),
-        scheduler_(protocol_.population_size()),
+        topology_(topology.population_size() == 0
+                      ? Topology::complete(protocol_.population_size())
+                      : std::move(topology)),
         rng_(seed),
         spec_(faults) {
     if (states_.size() != protocol_.population_size())
       throw std::invalid_argument(
           "initial configuration size != population size");
+    if (topology_.population_size() != protocol_.population_size())
+      throw std::invalid_argument(
+          "topology population size != protocol population size");
     const double q = spec_.crash_probability(protocol_.population_size());
     if (spec_.churn > 0.0) {
       if constexpr (!ChurnableProtocol<P>)
@@ -139,6 +153,7 @@ class FaultySimulation {
   const P& protocol() const { return protocol_; }
   const Counters& counters() const { return counters_; }
   const FaultSpec& faults() const { return spec_; }
+  const Topology& topology() const { return topology_; }
 
   std::uint64_t interactions() const { return interactions_; }
   double parallel_time() const {
@@ -162,7 +177,7 @@ class FaultySimulation {
   // so an all-zero FaultSpec replays the undecorated Simulation<P> stream
   // bit for bit.
   AgentPair step() {
-    const AgentPair pair = scheduler_.next(rng_);
+    const AgentPair pair = topology_.sample(rng_);
     const bool dropped = spec_.drop > 0.0 && rng_.unit() < spec_.drop;
     if (!dropped) {
       if (spec_.oneway > 0.0 && rng_.unit() < spec_.oneway) {
@@ -204,7 +219,7 @@ class FaultySimulation {
  private:
   P protocol_;
   std::vector<State> states_;
-  UniformScheduler scheduler_;
+  Topology topology_;
   Rng rng_;
   FaultSpec spec_;
   double crash_q_ = 0.0;

@@ -64,6 +64,14 @@ struct ScenarioSpec {
                                // (tau / ode), whose error bounds assume the
                                // fault-free transition rates. Any non-zero
                                // knob stamps the result `faulted`.
+  std::string topology;        // interaction graph (core/topology.h):
+                               // "" | complete | ring | line | star |
+                               // mesh:RxC | torus:RxC | custom:<path>.
+                               // "" = complete (the classical scheduler,
+                               // bit-identical). Non-complete graphs run on
+                               // the agent array; the ring additionally has
+                               // the run-length-compressed count engine.
+                               // Joins the record identity when non-complete.
 
   // Protocol-constant overrides ("param.<name>=<value>" on the CLI / in
   // matrix files): each entry is interpreted by the protocol's registered
@@ -167,6 +175,9 @@ struct ScenarioResult {
   std::uint32_t shards = 0;    // resolved shard count (sharded runs only)
   std::string init;            // resolved initial-condition name
   std::string until;           // resolved stop-condition name
+  std::string topology;        // resolved interaction graph ("complete"
+                               // unless the spec named another; joins the
+                               // record identity when non-complete)
   std::vector<std::pair<std::string, std::string>> params;  // echoed spec
   std::uint32_t n = 0;
   std::uint64_t trials = 0;

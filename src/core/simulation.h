@@ -18,6 +18,7 @@
 #include "core/protocol.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
+#include "core/topology.h"
 
 namespace ppsim {
 
@@ -28,13 +29,27 @@ class Simulation {
   using Counters = ProtocolCounters<P>;
 
   Simulation(P protocol, std::vector<State> initial, std::uint64_t seed)
+      : Simulation(std::move(protocol), std::move(initial), seed,
+                   Topology()) {}
+
+  // Interaction-graph variant (core/topology.h): pairs are scheduled
+  // uniformly over the topology's directed edges. The default (and an
+  // explicit complete topology) replays UniformScheduler's draws bit for
+  // bit, so the classical engine is the special case, not a sibling.
+  Simulation(P protocol, std::vector<State> initial, std::uint64_t seed,
+             Topology topology)
       : protocol_(std::move(protocol)),
         states_(std::move(initial)),
-        scheduler_(protocol_.population_size()),
+        topology_(topology.population_size() == 0
+                      ? Topology::complete(protocol_.population_size())
+                      : std::move(topology)),
         rng_(seed) {
     if (states_.size() != protocol_.population_size())
       throw std::invalid_argument(
           "initial configuration size != population size");
+    if (topology_.population_size() != protocol_.population_size())
+      throw std::invalid_argument(
+          "topology population size != protocol population size");
   }
 
   std::uint32_t population_size() const {
@@ -44,6 +59,7 @@ class Simulation {
   std::vector<State>& mutable_states() { return states_; }
   P& protocol() { return protocol_; }
   const P& protocol() const { return protocol_; }
+  const Topology& topology() const { return topology_; }
   Rng& rng() { return rng_; }
 
   // Engine-side observer: per-interaction events reported by observable
@@ -69,7 +85,7 @@ class Simulation {
 
   // Executes one interaction and returns the pair that interacted.
   AgentPair step() {
-    const AgentPair pair = scheduler_.next(rng_);
+    const AgentPair pair = topology_.sample(rng_);
     invoke_interact(protocol_, states_[pair.initiator],
                     states_[pair.responder], rng_, counters_);
     ++interactions_;
@@ -95,7 +111,7 @@ class Simulation {
  private:
   P protocol_;
   std::vector<State> states_;
-  UniformScheduler scheduler_;
+  Topology topology_;
   Rng rng_;
   std::uint64_t interactions_ = 0;
   [[no_unique_address]] Counters counters_{};

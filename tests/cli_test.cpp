@@ -114,6 +114,48 @@ TEST(CliDeath, MisspelledFaultFlagIsAHardError) {
       ::testing::ExitedWithCode(2), "unknown flag");
 }
 
+TEST(BenchScaleParse, TopologyFlagIsApplied) {
+  std::vector<std::string> args = {"bench", "--topology=mesh:4x8"};
+  const BenchScale s =
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_EQ(s.topology, "mesh:4x8");
+  std::vector<std::string> args2 = {"bench"};
+  EXPECT_TRUE(BenchScale::from_args(static_cast<int>(args2.size()),
+                                    make_argv(args2))
+                  .topology.empty());
+}
+
+TEST(CliDeath, UnknownTopologyNameIsAHardError) {
+  std::vector<std::string> args = {"bench", "--topology=smallworld"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --topology value");
+}
+
+TEST(CliDeath, MalformedMeshDimsAreAHardError) {
+  // Zero dims and missing 'x' are both structural errors the flag parser
+  // must catch itself (the n-dependent rows*cols check happens later).
+  std::vector<std::string> args = {"bench", "--topology=mesh:0x5"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --topology value");
+  std::vector<std::string> args2 = {"bench", "--topology=torus:4"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args2.size()),
+                            make_argv(args2)),
+      ::testing::ExitedWithCode(2), "bad --topology value");
+}
+
+TEST(CliDeath, MissingCustomGraphFileIsAHardError) {
+  // validate_spec opens the edge file at flag-parse time, so a typoed
+  // path dies here instead of after the bench's warmup.
+  std::vector<std::string> args = {
+      "bench", "--topology=custom:/nonexistent/graph.edges"};
+  EXPECT_EXIT(
+      BenchScale::from_args(static_cast<int>(args.size()), make_argv(args)),
+      ::testing::ExitedWithCode(2), "bad --topology value");
+}
+
 TEST(CliDeath, BackendFlagRejectsUnknown) {
   std::vector<std::string> args = {"example", "--backend=quantum"};
   EXPECT_EXIT(parse_backend_flag(static_cast<int>(args.size()),

@@ -23,19 +23,13 @@
 
 #include "core/discrete_samplers.h"
 #include "core/rng.h"
+#include "stat_harness.h"
 
 namespace ppsim {
 namespace {
 
-// Upper ~0.001 quantile of chi-square with df degrees of freedom
-// (Wilson-Hilferty approximation; accurate to a few percent for df >= 3,
-// which only makes the tests slightly conservative or slightly lax — fixed
-// seeds keep them deterministic either way).
-double chi2_critical(double df) {
-  const double z = 3.09;  // standard normal upper 0.001 quantile
-  const double t = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
-  return df * t * t * t;
-}
+using stat_harness::chi2_critical;
+using stat_harness::expect_matches_pmf;
 
 double log_choose(double n, double k) {
   return log_gamma(n + 1.0) - log_gamma(k + 1.0) - log_gamma(n - k + 1.0);
@@ -59,56 +53,6 @@ double hypergeometric_pmf(std::uint64_t good, std::uint64_t bad,
   const double kd = static_cast<double>(k);
   return std::exp(log_choose(g, kd) + log_choose(b, s - kd) -
                   log_choose(g + b, s));
-}
-
-// Chi-square against an arbitrary pmf over [0, support]: bins with expected
-// count < 8 are merged into their neighbor toward the mode, so the
-// asymptotic chi-square approximation holds.
-void expect_matches_pmf(const std::vector<std::uint64_t>& samples,
-                        std::uint64_t support_max,
-                        const std::function<double(std::uint64_t)>& pmf,
-                        const char* label) {
-  const double n = static_cast<double>(samples.size());
-  std::vector<double> observed(support_max + 2, 0.0);
-  for (std::uint64_t s : samples) {
-    ASSERT_LE(s, support_max) << label << ": sample beyond support";
-    observed[s] += 1.0;
-  }
-  std::vector<double> expected(support_max + 2, 0.0);
-  double mass = 0.0;
-  for (std::uint64_t k = 0; k <= support_max; ++k) {
-    expected[k] = n * pmf(k);
-    mass += pmf(k);
-  }
-  ASSERT_NEAR(mass, 1.0, 1e-9) << label << ": pmf does not sum to 1";
-
-  // Merge small-expectation bins left to right, then fold the remainder
-  // into the last kept bin.
-  std::vector<double> obs_bins, exp_bins;
-  double o = 0.0, e = 0.0;
-  for (std::uint64_t k = 0; k <= support_max; ++k) {
-    o += observed[k];
-    e += expected[k];
-    if (e >= 8.0) {
-      obs_bins.push_back(o);
-      exp_bins.push_back(e);
-      o = e = 0.0;
-    }
-  }
-  if (e > 0.0 && !exp_bins.empty()) {
-    obs_bins.back() += o;
-    exp_bins.back() += e;
-  }
-  ASSERT_GE(exp_bins.size(), 3u) << label << ": too few bins";
-  double chi2 = 0.0;
-  for (std::size_t i = 0; i < exp_bins.size(); ++i) {
-    const double d = obs_bins[i] - exp_bins[i];
-    chi2 += d * d / exp_bins[i];
-  }
-  const double df = static_cast<double>(exp_bins.size()) - 1.0;
-  EXPECT_LE(chi2, chi2_critical(df))
-      << label << ": chi2 = " << chi2 << " over " << exp_bins.size()
-      << " bins (critical " << chi2_critical(df) << ")";
 }
 
 // --- log_gamma --------------------------------------------------------------

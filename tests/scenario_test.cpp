@@ -46,7 +46,7 @@ TEST(Registry, EveryProtocolRegisteredWithValidDefaults) {
       "sublinear-h1",       "sublinear-hlog",
       "sublinear-h1-count", "sublinear-hlog-count",
       "reset-process",      "one-way-epidemic",
-      "obs25"};
+      "obs25",              "ring-ssle"};
   ASSERT_EQ(reg.all().size(), expected.size());
   for (const std::string& name : expected) {
     const ProtocolEntry* e = reg.find(name);

@@ -14,8 +14,8 @@
 //   ppsle_run --scenario key=val [key=val ...]
 //       Run one scenario. Keys: protocol, n, init, engine, strategy,
 //       shards, until, trials, seed, threads, max_interactions, ptime,
-//       tail, label, param.<name> (protocol-constant override, e.g.
-//       param.rmax_factor=2). Unknown keys/values are hard errors.
+//       tail, topology, label, param.<name> (protocol-constant override,
+//       e.g. param.rmax_factor=2). Unknown keys/values are hard errors.
 //   ppsle_run --matrix file.json
 //       Run a sweep matrix: the JSON's "matrix" object maps spec keys to
 //       value lists (full cross product), "defaults" seeds every cell, and
@@ -116,6 +116,16 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     spec.faults.oneway = parse_double(key, value);
   } else if (key == "fault.churn") {
     spec.faults.churn = parse_double(key, value);
+  } else if (key == "topology") {
+    // Interaction graph (core/topology.h). Validated structurally here so
+    // a typo'd graph name dies at parse time like any other bad key; the
+    // n-dependent checks (mesh dims vs population) happen in run_scenario.
+    try {
+      Topology::validate_spec(value);
+    } catch (const std::exception& e) {
+      usage_error(std::string("value of 'topology' is invalid: ") + e.what());
+    }
+    spec.topology = value;
   } else if (key == "label") {
     label = value;
   } else if (key.rfind("param.", 0) == 0 && key.size() > 6) {
@@ -127,7 +137,8 @@ void apply_kv(ScenarioSpec& spec, std::string& label, const std::string& key,
     usage_error("unknown scenario key '" + key +
                 "' (known: protocol n init engine strategy shards until "
                 "trials seed threads max_interactions ptime tail tau.eps "
-                "fault.drop fault.oneway fault.churn label param.<name>)");
+                "fault.drop fault.oneway fault.churn topology label "
+                "param.<name>)");
   }
 }
 
@@ -341,6 +352,11 @@ int run_matrix(const std::string& path, std::string out_name) {
                    std::to_string(cell.spec.faults.oneway) + "|churn=" +
                    std::to_string(cell.spec.faults.churn) + "|"
              : "") +
+        // "" and "complete" are the same resolved graph, so normalize
+        // before joining: a {""|"complete"} sweep collapses to one cell.
+        (cell.spec.topology.empty() || cell.spec.topology == "complete"
+             ? ""
+             : "topology=" + cell.spec.topology + "|") +
         (cell.spec.until.empty() ? entry.default_until : cell.spec.until) +
         "|" + std::to_string(cell.spec.seed) + "|" +
         std::to_string(cell.spec.trials) + "|" +
